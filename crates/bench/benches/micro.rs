@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks for the kernels underneath the figures:
+//! point-in-polygon, the two sweeps, minDist, the AA-line rasterizer, the
+//! R-tree, and one full Algorithm 3.1 call. Kept short (small sample
+//! count) so `cargo bench --workspace` finishes in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hwa_core::hw_intersect::HwTester;
+use hwa_core::{HwConfig, TestStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spatial_datagen::shapes::harmonic_star;
+use spatial_geom::intersect::{polygons_intersect_with, IntersectStats, SweepAlgo};
+use spatial_geom::{point_in_polygon, within_distance, Point, Polygon, Rect, Segment};
+use spatial_index::RTree;
+use spatial_raster::aa_line::{rasterize_aa_line, DIAGONAL_WIDTH};
+use spatial_raster::HwStats;
+use std::hint::black_box;
+
+fn star(n: usize, seed: u64, cx: f64, cy: f64) -> Polygon {
+    let mut rng = StdRng::seed_from_u64(seed);
+    harmonic_star(Point::new(cx, cy), 50.0, n, 0.5, 0.3, 1.0, 0.0, &mut rng)
+}
+
+fn bench_pip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_in_polygon");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [64usize, 512, 4096] {
+        let poly = star(n, 1, 0.0, 0.0);
+        let p = Point::new(10.0, 10.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| point_in_polygon(black_box(p), black_box(&poly)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polygon_intersect");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [64usize, 512, 2048] {
+        // Overlapping pair: the expensive path.
+        let p = star(n, 2, 0.0, 0.0);
+        let q = star(n, 3, 40.0, 0.0);
+        for (name, algo) in [("tree", SweepAlgo::Tree), ("forward", SweepAlgo::Forward)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut st = IntersectStats::default();
+                    polygons_intersect_with(black_box(&p), black_box(&q), algo, &mut st)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("within_distance");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [64usize, 512] {
+        let p = star(n, 4, 0.0, 0.0);
+        let q = star(n, 5, 150.0, 0.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| within_distance(black_box(&p), black_box(&q), 30.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aa_line(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aa_line_raster");
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for res in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, &res| {
+            let a = Point::new(0.3, 0.7);
+            let e = Point::new(res as f64 - 0.3, res as f64 - 1.1);
+            b.iter(|| {
+                let mut st = HwStats::default();
+                let mut count = 0usize;
+                rasterize_aa_line(
+                    black_box(a),
+                    black_box(e),
+                    DIAGONAL_WIDTH,
+                    res,
+                    res,
+                    &mut st,
+                    &mut |_, _| count += 1,
+                );
+                count
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let items: Vec<(Rect, usize)> = (0..10_000)
+        .map(|i| {
+            let x = (i % 100) as f64 * 10.0;
+            let y = (i / 100) as f64 * 10.0;
+            (Rect::new(x, y, x + 8.0, y + 8.0), i)
+        })
+        .collect();
+    g.bench_function("bulk_load_10k", |b| {
+        b.iter(|| RTree::bulk_load(black_box(items.clone())))
+    });
+    let tree = RTree::bulk_load(items);
+    g.bench_function("window_query", |b| {
+        let w = Rect::new(200.0, 200.0, 400.0, 400.0);
+        b.iter(|| tree.search_intersects(black_box(&w)).len())
+    });
+    g.finish();
+}
+
+fn bench_hw_test(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_intersect_pair");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    // Near-miss pair (the case hardware accelerates) at two resolutions.
+    let p = star(512, 6, 0.0, 0.0);
+    let q = star(512, 7, 103.0, 0.0);
+    for res in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("hw", res), &res, |b, &res| {
+            let mut t = HwTester::new(HwConfig::at_resolution(res));
+            b.iter(|| {
+                let mut st = TestStats::default();
+                t.intersects(black_box(&p), black_box(&q), &mut st)
+            })
+        });
+    }
+    g.bench_function("sw", |b| {
+        b.iter(|| {
+            let mut st = IntersectStats::default();
+            polygons_intersect_with(black_box(&p), black_box(&q), SweepAlgo::Tree, &mut st)
+        })
+    });
+    g.finish();
+}
+
+fn bench_segment_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_kernels");
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let a = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 7.0));
+    let b_seg = Segment::new(Point::new(3.0, 9.0), Point::new(12.0, 1.0));
+    g.bench_function("intersects", |bch| {
+        bch.iter(|| black_box(a).intersects(black_box(&b_seg)))
+    });
+    g.bench_function("distance", |bch| {
+        bch.iter(|| black_box(a).dist_segment(black_box(&b_seg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pip,
+    bench_sweeps,
+    bench_mindist,
+    bench_aa_line,
+    bench_rtree,
+    bench_hw_test,
+    bench_segment_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 2: statistics of the polygon datasets.
+//!
+//! Regenerates the paper's dataset-statistics table for the synthetic
+//! stand-ins at the chosen scale. The vertex min/max columns match the
+//! paper exactly (they are pinned by the generators); N scales with
+//! `--scale`; the average is statistical.
+
+use spatial_bench::{header, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Table 2", "Statistics of Some Polygon Datasets", opts);
+
+    let datasets = [
+        spatial_datagen::landc(opts.scale, opts.seed),
+        spatial_datagen::lando(opts.scale, opts.seed),
+        spatial_datagen::states50(opts.seed),
+        spatial_datagen::prism(opts.scale, opts.seed),
+        spatial_datagen::water(opts.scale, opts.seed),
+    ];
+    let paper: [(usize, usize, usize, usize); 5] = [
+        (14_731, 3, 4_397, 192),
+        (33_860, 3, 8_807, 20),
+        (31, 4, 10_744, 1_380),
+        (6_243, 3, 29_556, 68),
+        (21_866, 3, 39_360, 91),
+    ];
+
+    println!(
+        "{:<10} {:>8} {:>6} {:>8} {:>8} | {:>8} {:>6} {:>8} {:>8}",
+        "Dataset", "N", "min", "max", "avg", "paper N", "min", "max", "avg"
+    );
+    println!("{:-<10} {:-<8} {:-<6} {:-<8} {:-<8}-+-{:-<7} {:-<6} {:-<8} {:-<8}",
+        "", "", "", "", "", "", "", "", "");
+    for (ds, (pn, pmin, pmax, pavg)) in datasets.iter().zip(paper.iter()) {
+        let s = ds.stats();
+        println!(
+            "{:<10} {:>8} {:>6} {:>8} {:>8.0} | {:>8} {:>6} {:>8} {:>8}",
+            ds.name, s.n, s.min_vertices, s.max_vertices, s.avg_vertices, pn, pmin, pmax, pavg
+        );
+    }
+    println!();
+    println!(
+        "BaseD (Eq. 2)  LANDC⋈LANDO = {:.1}   WATER⋈PRISM = {:.1}",
+        spatial_datagen::base_distance(&datasets[0], &datasets[1]),
+        spatial_datagen::base_distance(&datasets[4], &datasets[3]),
+    );
+}

@@ -1,0 +1,123 @@
+//! End-to-end verification harness (not a paper figure): runs every query
+//! pipeline in software and hardware-assisted mode over the full generated
+//! workload and asserts bit-identical result sets. Exits non-zero on any
+//! disagreement. This is the "the hardware path is a pure optimization"
+//! guarantee, checked at workload scale rather than per-pair.
+
+use hwa_core::engine::{EngineConfig, GeometryTest};
+use hwa_core::HwConfig;
+use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
+use spatial_raster::OverlapStrategy;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Verify", "software vs hardware result equality across all pipelines", opts);
+    let w = Workloads::generate(opts);
+    let mut failures = 0usize;
+
+    // Selections (intersection + containment) over both datasets.
+    for ds in [&w.water, &w.prism] {
+        let mut sw = software_engine();
+        for (ri, res) in [1usize, 8, 32].iter().enumerate() {
+            let mut hw = engine_with(
+                GeometryTest::Hardware,
+                HwConfig::at_resolution(*res).with_threshold(if ri == 1 { 500 } else { 0 }),
+                Some(4),
+                false,
+            );
+            for q in w.states50.polygons.iter().take(opts.queries.min(31)) {
+                let (a, _) = sw.intersection_selection(ds, q);
+                let (b, _) = hw.intersection_selection(ds, q);
+                if a != b {
+                    println!("FAIL intersection_selection {} res {res}", ds.name);
+                    failures += 1;
+                }
+                let (a, _) = sw.containment_selection(ds, q);
+                let (b, _) = hw.containment_selection(ds, q);
+                if a != b {
+                    println!("FAIL containment_selection {} res {res}", ds.name);
+                    failures += 1;
+                }
+            }
+        }
+        println!("selections over {} verified", ds.name);
+    }
+
+    // Joins under every strategy at the recommended operating point.
+    for (a, b) in [(&w.landc, &w.lando), (&w.water, &w.prism)] {
+        let mut sw = software_engine();
+        let (expected, _) = sw.intersection_join(a, b);
+        for strategy in [
+            OverlapStrategy::Accumulation,
+            OverlapStrategy::Blending,
+            OverlapStrategy::Stencil,
+        ] {
+            let mut hw = engine_with(
+                GeometryTest::Hardware,
+                HwConfig {
+                    resolution: 8,
+                    sw_threshold: 500,
+                    strategy,
+                },
+                None,
+                false,
+            );
+            let (got, _) = hw.intersection_join(a, b);
+            if got != expected {
+                println!("FAIL intersection_join {} ⋈ {} {strategy:?}", a.name, b.name);
+                failures += 1;
+            }
+        }
+        println!("intersection join {} ⋈ {} verified ({} results)", a.name, b.name, expected.len());
+    }
+
+    // Within-distance joins across the distance sweep.
+    for (a, b, base) in [
+        (&w.landc, &w.lando, w.base_d_landc_lando),
+        (&w.water, &w.prism, w.base_d_water_prism),
+    ] {
+        for f in [0.1, 1.0, 4.0] {
+            let d = f * base;
+            let mut sw = engine_with(GeometryTest::Software, HwConfig::recommended(), None, true);
+            let (expected, _) = sw.within_distance_join(a, b, d);
+            let mut hw = engine_with(
+                GeometryTest::Hardware,
+                HwConfig::at_resolution(8).with_threshold(500),
+                None,
+                true,
+            );
+            let (got, _) = hw.within_distance_join(a, b, d);
+            if got != expected {
+                println!("FAIL within_distance_join {} ⋈ {} D={f}×BaseD", a.name, b.name);
+                failures += 1;
+            }
+        }
+        println!("within-distance join {} ⋈ {} verified", a.name, b.name);
+    }
+
+    // Engine config must not change results either.
+    {
+        let mut e1 = spatial_bench::engine_with(
+            GeometryTest::Software,
+            HwConfig::recommended(),
+            Some(5),
+            true,
+        );
+        let mut e2 = spatial_bench::software_engine();
+        let q = &w.states50.polygons[0];
+        let (a, _) = e1.intersection_selection(&w.water, q);
+        let (b, _) = e2.intersection_selection(&w.water, q);
+        if a != b {
+            println!("FAIL interior filter changed selection results");
+            failures += 1;
+        }
+        let _ = EngineConfig::default();
+    }
+
+    if failures == 0 {
+        println!("\nALL PIPELINES VERIFIED: hardware assistance never changes results.");
+    } else {
+        println!("\n{failures} FAILURES");
+        std::process::exit(1);
+    }
+}

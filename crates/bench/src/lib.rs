@@ -1,0 +1,213 @@
+//! Shared experiment harness: every `src/bin/fig*.rs` binary regenerates
+//! one table or figure of the paper's §4 evaluation through this module,
+//! so workloads, scaling and reporting are identical across experiments.
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f64>` — dataset size factor (default 0.05 ≈ 1/20 of the
+//!   paper's object counts; `--scale 1` reproduces full sizes);
+//! * `--seed <u64>` — generator seed (default 42);
+//! * `--queries <n>` — cap on selection queries (default: all 31).
+//!
+//! Reported wall-clock numbers are averages over the workload, like the
+//! paper's "average cost per query". Hardware counters (pixels written,
+//! fragments, scans) are printed alongside: they are deterministic and
+//! host-independent, and they are what the resolution/overhead trade-off
+//! arguments of §4.2–4.4 are really about.
+
+use hwa_core::engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+use hwa_core::{CostBreakdown, HwConfig};
+use spatial_datagen::Dataset;
+use std::time::Duration;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    pub scale: f64,
+    pub seed: u64,
+    pub queries: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            scale: 0.05,
+            seed: 42,
+            queries: usize::MAX,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `--scale`, `--seed`, `--queries` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            let take = |i: usize| -> Option<&str> { args.get(i + 1).map(|s| s.as_str()) };
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = take(i).and_then(|v| v.parse().ok()).unwrap_or(opts.scale);
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = take(i).and_then(|v| v.parse().ok()).unwrap_or(opts.seed);
+                    i += 2;
+                }
+                "--queries" => {
+                    opts.queries = take(i).and_then(|v| v.parse().ok()).unwrap_or(opts.queries);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        opts
+    }
+}
+
+/// Converts a generated dataset into an engine-ready one.
+pub fn prepare(ds: Dataset) -> PreparedDataset {
+    PreparedDataset::new(ds.name, ds.polygons)
+}
+
+/// The standard workload bundle most figures draw from.
+pub struct Workloads {
+    pub landc: PreparedDataset,
+    pub lando: PreparedDataset,
+    pub water: PreparedDataset,
+    pub prism: PreparedDataset,
+    pub states50: Dataset,
+    /// Eq. 2 BaseD for LANDC ⋈ LANDO.
+    pub base_d_landc_lando: f64,
+    /// Eq. 2 BaseD for WATER ⋈ PRISM.
+    pub base_d_water_prism: f64,
+}
+
+impl Workloads {
+    pub fn generate(opts: BenchOpts) -> Self {
+        let landc = spatial_datagen::landc(opts.scale, opts.seed);
+        let lando = spatial_datagen::lando(opts.scale, opts.seed);
+        let water = spatial_datagen::water(opts.scale, opts.seed);
+        let prism = spatial_datagen::prism(opts.scale, opts.seed);
+        let states50 = spatial_datagen::states50(opts.seed);
+        let base_d_landc_lando = spatial_datagen::base_distance(&landc, &lando);
+        let base_d_water_prism = spatial_datagen::base_distance(&water, &prism);
+        Workloads {
+            landc: prepare(landc),
+            lando: prepare(lando),
+            water: prepare(water),
+            prism: prepare(prism),
+            states50,
+            base_d_landc_lando,
+            base_d_water_prism,
+        }
+    }
+}
+
+/// Milliseconds with two decimals (the paper reports milliseconds/seconds).
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+/// Runs the full STATES50 query set as intersection selections and returns
+/// the summed cost breakdown plus total result count.
+pub fn run_selection_set(
+    engine: &mut SpatialEngine,
+    ds: &PreparedDataset,
+    queries: &Dataset,
+    limit: usize,
+) -> (usize, CostBreakdown, usize) {
+    let mut total = CostBreakdown::default();
+    let mut results = 0usize;
+    let n = queries.polygons.len().min(limit);
+    for q in queries.polygons.iter().take(n) {
+        let (r, cost) = engine.intersection_selection(ds, q);
+        results += r.len();
+        total.add(&cost);
+    }
+    (n, total, results)
+}
+
+/// Builds a software-refinement engine.
+pub fn software_engine() -> SpatialEngine {
+    SpatialEngine::new(EngineConfig::software())
+}
+
+/// Builds a hardware-refinement engine at the given resolution/threshold.
+pub fn hardware_engine(resolution: usize, sw_threshold: usize) -> SpatialEngine {
+    SpatialEngine::new(EngineConfig::hardware(
+        HwConfig::at_resolution(resolution).with_threshold(sw_threshold),
+    ))
+}
+
+/// Builds an engine with explicit settings (used by the distance benches).
+pub fn engine_with(
+    test: GeometryTest,
+    hw: HwConfig,
+    interior_level: Option<u32>,
+    object_filters: bool,
+) -> SpatialEngine {
+    SpatialEngine::new(EngineConfig {
+        geometry_test: test,
+        hw,
+        interior_filter_level: interior_level,
+        use_object_filters: object_filters,
+    })
+}
+
+/// Prints a standard experiment header.
+pub fn header(figure: &str, what: &str, opts: BenchOpts) {
+    println!("==================================================================");
+    println!("{figure}: {what}");
+    println!(
+        "scale {} | seed {} | paper: SIGMOD'03 Hardware Acceleration for Spatial Selections and Joins",
+        opts.scale, opts.seed
+    );
+    println!("==================================================================");
+}
+
+/// The resolutions the paper sweeps in Figures 11, 12 and 15.
+pub const RESOLUTIONS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The distance multipliers of Figures 14 and 16.
+pub const DISTANCE_FACTORS: [f64; 5] = [0.1, 0.5, 1.0, 2.0, 4.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_default() {
+        let o = BenchOpts::default();
+        assert_eq!(o.scale, 0.05);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn workloads_generate_at_tiny_scale() {
+        let opts = BenchOpts {
+            scale: 0.002,
+            seed: 1,
+            queries: 2,
+        };
+        let w = Workloads::generate(opts);
+        assert!(w.landc.len() >= 12);
+        assert!(w.base_d_landc_lando > 0.0);
+        assert_eq!(w.states50.polygons.len(), 31);
+    }
+
+    #[test]
+    fn selection_set_runs() {
+        let opts = BenchOpts {
+            scale: 0.002,
+            seed: 1,
+            queries: 2,
+        };
+        let w = Workloads::generate(opts);
+        let mut e = software_engine();
+        let (n, cost, _) = run_selection_set(&mut e, &w.water, &w.states50, 2);
+        assert_eq!(n, 2);
+        assert!(cost.total() > Duration::ZERO);
+    }
+}

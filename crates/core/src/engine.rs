@@ -1,0 +1,614 @@
+//! The three query pipelines of Fig. 8: **MBR filtering → intermediate
+//! filtering → geometry comparison**, with per-stage cost accounting.
+//!
+//! The engine is what the benches drive: each figure of §4 is one of these
+//! pipelines swept over a knob (tiling level, window resolution,
+//! `sw_threshold`, query distance).
+
+use crate::config::HwConfig;
+use crate::hw_intersect::HwTester;
+use crate::stats::{CostBreakdown, TestStats};
+use spatial_filters::{one_object_upper_bound, zero_object_upper_bound, InteriorFilter};
+use spatial_geom::intersect::{polygons_intersect_with, IntersectStats, SweepAlgo};
+use spatial_geom::mindist::within_distance_with;
+use spatial_geom::{MinDistStats, Polygon, Segment};
+use spatial_index::{join_intersecting, join_within_distance, RTree};
+use std::time::Instant;
+
+/// How the geometry-comparison stage decides candidate pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeometryTest {
+    /// Pure software: plane sweep / modified minDist (the paper's
+    /// baseline curves).
+    #[default]
+    Software,
+    /// Hardware-assisted (Algorithm 3.1 / §3.1 distance test).
+    Hardware,
+}
+
+/// Engine configuration: which refinement path plus the filters in front
+/// of it.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    pub geometry_test: GeometryTest,
+    pub hw: HwConfig,
+    /// Interior-filter tiling level for selections; `None` disables the
+    /// intermediate filter stage (Figure 10 sweeps `Some(0..=6)`).
+    pub interior_filter_level: Option<u32>,
+    /// Enable the 0/1-object filters for within-distance joins (Fig. 14).
+    pub use_object_filters: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            geometry_test: GeometryTest::Software,
+            hw: HwConfig::recommended(),
+            interior_filter_level: None,
+            use_object_filters: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn software() -> Self {
+        Self::default()
+    }
+
+    pub fn hardware(hw: HwConfig) -> Self {
+        EngineConfig {
+            geometry_test: GeometryTest::Hardware,
+            hw,
+            ..Self::default()
+        }
+    }
+}
+
+/// A polygon collection plus its bulk-loaded R-tree — built once, queried
+/// many times. The engine is agnostic of where the polygons came from (the
+/// benches feed it `spatial-datagen` datasets, the examples WKT files).
+#[derive(Debug)]
+pub struct PreparedDataset {
+    pub name: String,
+    pub polygons: Vec<Polygon>,
+    pub tree: RTree<usize>,
+}
+
+impl PreparedDataset {
+    pub fn new(name: impl Into<String>, polygons: Vec<Polygon>) -> Self {
+        let entries = polygons
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.mbr(), i))
+            .collect();
+        PreparedDataset {
+            name: name.into(),
+            polygons,
+            tree: RTree::bulk_load(entries),
+        }
+    }
+
+    #[inline]
+    pub fn polygon(&self, i: usize) -> &Polygon {
+        &self.polygons[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+}
+
+/// Software strict-containment test: one vertex inside plus disjoint
+/// boundaries (restricted search space + tree sweep).
+fn sw_contained_in(inner: &Polygon, outer: &Polygon) -> bool {
+    use spatial_geom::intersect::restricted_edges;
+    use spatial_geom::sweep::tree_sweep_intersects;
+    if !outer.mbr().contains_rect(&inner.mbr()) {
+        return false;
+    }
+    if !spatial_geom::point_in_polygon(inner.vertices()[0], outer) {
+        return false;
+    }
+    let region = inner.mbr();
+    let ep = restricted_edges(inner, &region);
+    let eq = restricted_edges(outer, &region);
+    if ep.is_empty() || eq.is_empty() {
+        return true;
+    }
+    !tree_sweep_intersects(&ep, &eq)
+}
+
+/// Measured stage time with the simulation seconds swapped for modeled
+/// GPU seconds. Saturating: on a fast host the measured slice attributable
+/// to simulation can exceed the stage's own timer resolution.
+fn adjusted(measured: std::time::Duration, tests: &crate::stats::TestStats) -> std::time::Duration {
+    measured.saturating_sub(tests.sim_wall) + tests.gpu_modeled
+}
+
+/// The query engine.
+#[derive(Debug)]
+pub struct SpatialEngine {
+    config: EngineConfig,
+    tester: HwTester,
+}
+
+impl SpatialEngine {
+    pub fn new(config: EngineConfig) -> Self {
+        SpatialEngine {
+            config,
+            tester: HwTester::new(config.hw),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Reconfigures in place (knob sweeps reuse the rendering context).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+        self.tester.set_config(config.hw);
+    }
+
+    fn intersects(&mut self, p: &Polygon, q: &Polygon, tests: &mut TestStats) -> bool {
+        match self.config.geometry_test {
+            GeometryTest::Software => {
+                tests.software_tests += 1;
+                let mut st = IntersectStats::default();
+                let r = polygons_intersect_with(p, q, SweepAlgo::Tree, &mut st);
+                tests.decided_by_pip += st.decided_by_pip;
+                r
+            }
+            GeometryTest::Hardware => self.tester.intersects(p, q, tests),
+        }
+    }
+
+    fn within(&mut self, p: &Polygon, q: &Polygon, d: f64, tests: &mut TestStats) -> bool {
+        match self.config.geometry_test {
+            GeometryTest::Software => {
+                tests.software_tests += 1;
+                let mut st = MinDistStats::default();
+                within_distance_with(p, q, d, &mut st)
+            }
+            GeometryTest::Hardware => self.tester.within_distance(p, q, d, tests),
+        }
+    }
+
+    /// Intersection selection: all objects of `ds` intersecting `query`.
+    pub fn intersection_selection(
+        &mut self,
+        ds: &PreparedDataset,
+        query: &Polygon,
+    ) -> (Vec<usize>, CostBreakdown) {
+        let mut cost = CostBreakdown::default();
+
+        // Stage 1: MBR filter via the R-tree.
+        let t0 = Instant::now();
+        let candidates: Vec<usize> = ds
+            .tree
+            .search_intersects(&query.mbr())
+            .into_iter()
+            .copied()
+            .collect();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+
+        // Stage 2: interior filter (positives skip refinement).
+        let t1 = Instant::now();
+        let mut confirmed: Vec<usize> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        match self.config.interior_filter_level {
+            Some(level) => {
+                let filter = InteriorFilter::build(query, level);
+                for i in candidates {
+                    if filter.covers(&ds.polygon(i).mbr()) {
+                        confirmed.push(i);
+                    } else {
+                        rest.push(i);
+                    }
+                }
+            }
+            None => rest = candidates,
+        }
+        cost.intermediate_filter = t1.elapsed();
+        cost.filter_hits = confirmed.len();
+
+        // Stage 3: geometry comparison. Reported time = measured CPU time
+        // with the rasterizer-simulation seconds replaced by modeled GPU
+        // time (see `stats::CostBreakdown`).
+        let t2 = Instant::now();
+        let mut results = confirmed;
+        for i in rest {
+            if self.intersects(query, ds.polygon(i), &mut cost.tests) {
+                results.push(i);
+            }
+        }
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+
+    /// Containment selection: all objects of `ds` lying strictly inside
+    /// `query` (no boundary contact). The interior filter, when enabled,
+    /// confirms positives before any geometry comparison — this predicate
+    /// is where Table 1 says it pulls double duty.
+    pub fn containment_selection(
+        &mut self,
+        ds: &PreparedDataset,
+        query: &Polygon,
+    ) -> (Vec<usize>, CostBreakdown) {
+        let mut cost = CostBreakdown::default();
+
+        let t0 = Instant::now();
+        // Only objects whose MBR lies inside the query MBR can qualify.
+        let candidates: Vec<usize> = ds
+            .tree
+            .search_intersects(&query.mbr())
+            .into_iter()
+            .copied()
+            .filter(|&i| query.mbr().contains_rect(&ds.polygon(i).mbr()))
+            .collect();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+
+        let t1 = Instant::now();
+        let mut confirmed: Vec<usize> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        match self.config.interior_filter_level {
+            Some(level) => {
+                let filter = InteriorFilter::build(query, level);
+                for i in candidates {
+                    if filter.covers(&ds.polygon(i).mbr()) {
+                        confirmed.push(i);
+                    } else {
+                        rest.push(i);
+                    }
+                }
+            }
+            None => rest = candidates,
+        }
+        cost.intermediate_filter = t1.elapsed();
+        cost.filter_hits = confirmed.len();
+
+        let t2 = Instant::now();
+        let mut results = confirmed;
+        for i in rest {
+            let inside = match self.config.geometry_test {
+                GeometryTest::Software => {
+                    cost.tests.software_tests += 1;
+                    sw_contained_in(ds.polygon(i), query)
+                }
+                GeometryTest::Hardware => {
+                    self.tester.contained_in(ds.polygon(i), query, &mut cost.tests)
+                }
+            };
+            if inside {
+                results.push(i);
+            }
+        }
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+
+    /// Intersection join: all pairs `(i, j)` with `a[i]` intersecting `b[j]`.
+    pub fn intersection_join(
+        &mut self,
+        a: &PreparedDataset,
+        b: &PreparedDataset,
+    ) -> (Vec<(usize, usize)>, CostBreakdown) {
+        let mut cost = CostBreakdown::default();
+
+        let t0 = Instant::now();
+        let candidates: Vec<(usize, usize)> = join_intersecting(&a.tree, &b.tree)
+            .into_iter()
+            .map(|(x, y)| (*x, *y))
+            .collect();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+
+        let t2 = Instant::now();
+        let mut results = Vec::new();
+        for (i, j) in candidates {
+            if self.intersects(a.polygon(i), b.polygon(j), &mut cost.tests) {
+                results.push((i, j));
+            }
+        }
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+
+    /// Within-distance join (buffer query): pairs within distance `d`.
+    pub fn within_distance_join(
+        &mut self,
+        a: &PreparedDataset,
+        b: &PreparedDataset,
+        d: f64,
+    ) -> (Vec<(usize, usize)>, CostBreakdown) {
+        let mut cost = CostBreakdown::default();
+
+        let t0 = Instant::now();
+        let candidates: Vec<(usize, usize)> = join_within_distance(&a.tree, &b.tree, d)
+            .into_iter()
+            .map(|(x, y)| (*x, *y))
+            .collect();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+
+        // Stage 2: the 0-object then 1-object filters confirm positives.
+        // The paper's 1-object filter retrieves the larger object's actual
+        // geometry; we cache its edge list per left object.
+        let t1 = Instant::now();
+        let mut confirmed: Vec<(usize, usize)> = Vec::new();
+        let mut rest: Vec<(usize, usize)> = Vec::new();
+        if self.config.use_object_filters {
+            // The 1-object bound stays valid on any boundary *subset*
+            // (distances to fewer edges only grow), so huge boundaries are
+            // sampled down — otherwise the filter would scan a 39k-vertex
+            // river once per candidate pair and cost more than the
+            // geometry comparison it is meant to avoid.
+            const MAX_FILTER_EDGES: usize = 64;
+            let sampled = |poly: &Polygon| -> Vec<Segment> {
+                let step = poly.vertex_count().div_ceil(MAX_FILTER_EDGES).max(1);
+                poly.edges().step_by(step).collect()
+            };
+            let mut cached_edges: Option<(usize, Vec<Segment>)> = None;
+            for (i, j) in candidates {
+                let (pa, pb) = (a.polygon(i), b.polygon(j));
+                let ub0 = zero_object_upper_bound(&pa.mbr(), &pb.mbr());
+                if ub0 <= d {
+                    confirmed.push((i, j));
+                    continue;
+                }
+                // 1-object filter on the larger polygon of the pair; the
+                // left side repeats consecutively after the tree join, so a
+                // one-slot cache hits often.
+                let (big, other_mbr, cache_key) = if pa.vertex_count() >= pb.vertex_count() {
+                    (pa, pb.mbr(), Some(i))
+                } else {
+                    (pb, pa.mbr(), None)
+                };
+                let ub1 = match (&cached_edges, cache_key) {
+                    (Some((k, edges)), Some(key)) if *k == key => {
+                        one_object_upper_bound(big, edges, &other_mbr)
+                    }
+                    _ => {
+                        let edges = sampled(big);
+                        let ub = one_object_upper_bound(big, &edges, &other_mbr);
+                        if let Some(key) = cache_key {
+                            cached_edges = Some((key, edges));
+                        }
+                        ub
+                    }
+                };
+                if ub1 <= d {
+                    confirmed.push((i, j));
+                } else {
+                    rest.push((i, j));
+                }
+            }
+        } else {
+            rest = candidates;
+        }
+        cost.intermediate_filter = t1.elapsed();
+        cost.filter_hits = confirmed.len();
+
+        let t2 = Instant::now();
+        let mut results = confirmed;
+        for (i, j) in rest {
+            if self.within(a.polygon(i), b.polygon(j), d, &mut cost.tests) {
+                results.push((i, j));
+            }
+        }
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::{min_dist_brute, polygons_intersect_brute};
+
+    /// Mean sqrt(MBR area) — a BaseD-like scale for test distances.
+    fn avg_extent(ds: &PreparedDataset) -> f64 {
+        let s: f64 = ds
+            .polygons
+            .iter()
+            .map(|p| (p.mbr().width() * p.mbr().height()).sqrt())
+            .sum();
+        s / ds.len() as f64
+    }
+
+    fn prepare(ds: spatial_datagen::Dataset) -> PreparedDataset {
+        PreparedDataset::new(ds.name, ds.polygons)
+    }
+
+    fn tiny_pair() -> (PreparedDataset, PreparedDataset) {
+        let a = prepare(spatial_datagen::landc(0.002, 7));
+        let b = prepare(spatial_datagen::lando(0.002, 7));
+        (a, b)
+    }
+
+    #[test]
+    fn selection_software_vs_hardware_agree() {
+        let ds = prepare(spatial_datagen::water(0.002, 3));
+        let queries = spatial_datagen::states50(3);
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(8)));
+        for q in queries.polygons.iter().take(5) {
+            let (rs, _) = sw.intersection_selection(&ds, q);
+            let (rh, _) = hw.intersection_selection(&ds, q);
+            assert_eq!(rs, rh);
+        }
+    }
+
+    #[test]
+    fn selection_matches_brute_force() {
+        let ds = prepare(spatial_datagen::water(0.002, 4));
+        let queries = spatial_datagen::states50(4);
+        let q = &queries.polygons[0];
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let (rs, cost) = sw.intersection_selection(&ds, q);
+        let expected: Vec<usize> = ds
+            .polygons
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| polygons_intersect_brute(q, p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rs, expected);
+        assert!(cost.candidates >= rs.len());
+    }
+
+    #[test]
+    fn interior_filter_does_not_change_results() {
+        let ds = prepare(spatial_datagen::water(0.002, 5));
+        let queries = spatial_datagen::states50(5);
+        let mut plain = SpatialEngine::new(EngineConfig::software());
+        let mut filtered = SpatialEngine::new(EngineConfig {
+            interior_filter_level: Some(4),
+            ..EngineConfig::software()
+        });
+        for q in queries.polygons.iter().take(4) {
+            let (r1, _) = plain.intersection_selection(&ds, q);
+            let (r2, c2) = filtered.intersection_selection(&ds, q);
+            assert_eq!(r1, r2);
+            let _ = c2.filter_hits; // may be zero; correctness is the point
+        }
+    }
+
+    #[test]
+    fn join_software_vs_hardware_agree() {
+        let (a, b) = tiny_pair();
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(8)));
+        let (rs, cs) = sw.intersection_join(&a, &b);
+        let (rh, ch) = hw.intersection_join(&a, &b);
+        assert_eq!(rs, rh);
+        assert_eq!(cs.candidates, ch.candidates);
+        assert!(!rs.is_empty(), "coverage datasets must join non-trivially");
+    }
+
+    #[test]
+    fn within_join_agrees_with_oracle_and_hw() {
+        let (a, b) = tiny_pair();
+        let d = avg_extent(&a).min(avg_extent(&b)) * 0.5;
+        let mut sw = SpatialEngine::new(EngineConfig {
+            use_object_filters: true,
+            ..EngineConfig::software()
+        });
+        let mut hw = SpatialEngine::new(EngineConfig {
+            geometry_test: GeometryTest::Hardware,
+            hw: HwConfig::at_resolution(8),
+            interior_filter_level: None,
+            use_object_filters: true,
+        });
+        let (rs, cost_s) = sw.within_distance_join(&a, &b, d);
+        let (rh, _) = hw.within_distance_join(&a, &b, d);
+        assert_eq!(rs, rh);
+        // Oracle spot-check on a subset of candidate pairs.
+        for (i, j) in rs.iter().take(20) {
+            assert!(min_dist_brute(a.polygon(*i), b.polygon(*j)) <= d + 1e-9);
+        }
+        assert!(cost_s.filter_hits + cost_s.tests.software_tests > 0);
+    }
+
+    #[test]
+    fn object_filters_do_not_change_results() {
+        let (a, b) = tiny_pair();
+        let d = avg_extent(&a).max(avg_extent(&b));
+        let mut plain = SpatialEngine::new(EngineConfig::software());
+        let mut filtered = SpatialEngine::new(EngineConfig {
+            use_object_filters: true,
+            ..EngineConfig::software()
+        });
+        let (r1, _) = plain.within_distance_join(&a, &b, d);
+        let (r2, c2) = filtered.within_distance_join(&a, &b, d);
+        assert_eq!(r1, r2);
+        assert!(c2.filter_hits > 0, "BaseD-scale joins should confirm pairs early");
+    }
+
+    #[test]
+    fn containment_selection_sw_hw_agree_and_match_oracle() {
+        let ds = prepare(spatial_datagen::lando(0.002, 8));
+        let queries = spatial_datagen::states50(8);
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(8)));
+        for q in queries.polygons.iter().take(4) {
+            let (rs, _) = sw.containment_selection(&ds, q);
+            let (rh, _) = hw.containment_selection(&ds, q);
+            assert_eq!(rs, rh);
+            // Oracle: strictly contained = vertex inside + boundaries
+            // disjoint (brute force).
+            for &i in &rs {
+                let p = ds.polygon(i);
+                assert!(spatial_geom::point_in_polygon(p.vertices()[0], q));
+                for ep in p.edges() {
+                    for eq in q.edges() {
+                        assert!(!ep.intersects(&eq), "boundaries touch for result {i}");
+                    }
+                }
+            }
+            // Containment results are a subset of intersection results.
+            let (ri, _) = sw.intersection_selection(&ds, q);
+            for &i in &rs {
+                assert!(ri.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn containment_with_interior_filter_is_unchanged() {
+        let ds = prepare(spatial_datagen::lando(0.002, 9));
+        let queries = spatial_datagen::states50(9);
+        let mut plain = SpatialEngine::new(EngineConfig::software());
+        let mut filtered = SpatialEngine::new(EngineConfig {
+            interior_filter_level: Some(4),
+            ..EngineConfig::software()
+        });
+        for q in queries.polygons.iter().take(3) {
+            let (r1, _) = plain.containment_selection(&ds, q);
+            let (r2, _) = filtered.containment_selection(&ds, q);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn reconfiguring_an_engine_reuses_it_correctly() {
+        let ds = prepare(spatial_datagen::water(0.002, 12));
+        let queries = spatial_datagen::states50(12);
+        let q = &queries.polygons[1];
+        let mut e = SpatialEngine::new(EngineConfig::software());
+        let (expected, _) = e.intersection_selection(&ds, q);
+        // Flip the same engine through hardware configs and back.
+        for res in [1usize, 8, 32] {
+            e.set_config(EngineConfig::hardware(HwConfig::at_resolution(res)));
+            let (got, _) = e.intersection_selection(&ds, q);
+            assert_eq!(got, expected, "res {res}");
+        }
+        e.set_config(EngineConfig::software());
+        let (again, _) = e.intersection_selection(&ds, q);
+        assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn cost_breakdown_is_populated() {
+        let (a, b) = tiny_pair();
+        let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(8)));
+        let (_, cost) = hw.intersection_join(&a, &b);
+        assert!(cost.candidates > 0);
+        assert!(cost.geometry_comparison.as_nanos() > 0);
+        assert!(cost.tests.hw_tests + cost.tests.software_tests + cost.tests.decided_by_pip > 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The hardware-assisted within-distance test (§3.1, Figures 5(b)/6).
+//!
+//! To decide whether `dist(P, Q) ≤ D`, each boundary is expanded by `D/2`:
+//! the expansions intersect iff the polygons are within `D`. In hardware,
+//! "calculating a new set of vertices for an expanded polygon is expensive
+//! in software, but performing this operation with graphics hardware is
+//! very efficient using anti-aliased line segments": edges are rendered
+//! with the Equation (1) line width and the vertices with equally wide
+//! smooth points (the discs supply the round caps the line rectangles
+//! miss), so the rendered footprint *contains* the true Minkowski
+//! expansion — conservative, like the intersection filter.
+//!
+//! When the required width exceeds the hardware limit (10 px on the
+//! paper's GeForce4), the test "reverts back to the software algorithm"
+//! (§3.1) — the behaviour behind the Figure 16 margin collapse at large D.
+//!
+//! Projection (§3.2): the expanded MBR of the *smaller* object, uniformly
+//! scaled (Equation (1) presumes an aspect-preserving projection).
+
+use crate::hw_intersect::HwTester;
+use crate::stats::TestStats;
+use spatial_geom::chains::frontier_clipped;
+use spatial_geom::distance::edges_within_pairwise;
+use spatial_geom::pip::point_in_polygon;
+use spatial_geom::{Point, Polygon, Segment};
+use spatial_raster::framebuffer::HALF_GRAY;
+use spatial_raster::{OverlapStrategy, Viewport, WriteMode, MAX_AA_LINE_WIDTH};
+use std::time::Instant;
+
+impl HwTester {
+    /// Hardware-assisted within-distance test: true iff `dist(P, Q) ≤ d`.
+    pub fn within_distance(
+        &mut self,
+        p: &Polygon,
+        q: &Polygon,
+        d: f64,
+        stats: &mut TestStats,
+    ) -> bool {
+        debug_assert!(d >= 0.0);
+        // MBR distance lower-bounds the object distance.
+        if p.mbr().min_dist(&q.mbr()) > d {
+            return false;
+        }
+        // Containment ⇒ distance 0 ≤ d.
+        if point_in_polygon(p.vertices()[0], q) || point_in_polygon(q.vertices()[0], p) {
+            stats.decided_by_pip += 1;
+            return true;
+        }
+
+        let nm = p.vertex_count() + q.vertex_count();
+        if nm <= self.config().sw_threshold {
+            stats.skipped_by_threshold += 1;
+            stats.software_tests += 1;
+            return software_distance_test(p, q, d);
+        }
+
+        // §3.2: project the expanded MBR of the smaller object —
+        // intersected with the other's expansion, since overlap can only
+        // appear where both expanded boundaries are — onto a uniform-scale
+        // window.
+        let (small, large) = if p.mbr().area() <= q.mbr().area() {
+            (p, q)
+        } else {
+            (q, p)
+        };
+        let half = d / 2.0;
+        let region = match small
+            .mbr()
+            .expanded(half)
+            .intersection(&large.mbr().expanded(half))
+        {
+            Some(r) => r,
+            // MBR distance ≤ d guarantees the half-expansions meet.
+            None => unreachable!("expanded MBRs must intersect when MBR distance <= d"),
+        };
+        let res = self.config().resolution;
+        let vp = Viewport::uniform(region, res, res);
+
+        // Equation (1): the pixel width that covers data-space distance d.
+        let width = vp.line_width_for_distance(d.max(f64::MIN_POSITIVE));
+        if width > MAX_AA_LINE_WIDTH {
+            // Hardware limit: revert to software (§3.1).
+            stats.width_limit_fallbacks += 1;
+            stats.software_tests += 1;
+            return software_distance_test(p, q, d);
+        }
+
+        // ALL edges and vertices are submitted; the pipeline clips
+        // primitives outside the projected window at vertex rate (§2.1).
+        // Expanded boundaries that never reach the window render nothing,
+        // so far-apart pairs are rejected by the hardware itself — the
+        // software never scans their edge lists. The collects below stand
+        // in for the driver streaming the vertex arrays and are charged
+        // through the per-primitive model cost (wall-excluded).
+        stats.hw_tests += 1;
+        let strategy = self.config().strategy;
+        let model = self.cost_model();
+        let wall = Instant::now();
+        let collect = |poly: &Polygon| -> (Vec<Segment>, Vec<Point>) {
+            (poly.edges().collect(), poly.vertices().to_vec())
+        };
+        let (ep, vp_pts) = collect(small);
+        let (eq, vq_pts) = collect(large);
+        let gl = self.context_for(vp);
+        let before = gl.stats();
+        gl.enable_antialias(true);
+        gl.set_color(HALF_GRAY);
+        gl.set_line_width(width);
+        gl.set_point_size(width);
+
+        let draw_expanded = |gl: &mut spatial_raster::GlContext,
+                             segs: &[Segment],
+                             pts: &[Point]| {
+            gl.draw_segments(segs);
+            gl.draw_points(pts);
+        };
+
+        let overlap = match strategy {
+            OverlapStrategy::Accumulation | OverlapStrategy::Blending => {
+                // An expanded boundary needs two primitive batches (wide
+                // lines + wide points) per object, and additive blending
+                // would double-count where the two batches overlap — so the
+                // Blending strategy also uses the accumulation choreography
+                // here, exactly as the paper's implementation does.
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.clear_color_buffer();
+                gl.clear_accum_buffer();
+                draw_expanded(gl, &ep, &vp_pts);
+                gl.accum_load();
+                gl.clear_color_buffer();
+                draw_expanded(gl, &eq, &vq_pts);
+                gl.accum_add();
+                gl.accum_return();
+                gl.max_value() >= 1.0
+            }
+            OverlapStrategy::Stencil => {
+                gl.clear_stencil_buffer();
+                gl.set_write_mode(WriteMode::StencilReplace(1));
+                draw_expanded(gl, &ep, &vp_pts);
+                gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
+                draw_expanded(gl, &eq, &vq_pts);
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.stencil_max() >= 2
+            }
+        };
+        let delta = gl.stats().delta_since(&before);
+        stats.hw.add(&delta);
+        stats.gpu_modeled += model.time(&delta);
+        stats.sim_wall += wall.elapsed();
+
+        if !overlap {
+            stats.rejected_by_hw += 1;
+            return false;
+        }
+        stats.software_tests += 1;
+        software_distance_test(p, q, d)
+    }
+}
+
+/// The software back half of the distance test: frontier chains clipped to
+/// extended MBRs, compared pairwise with early exit (§4.1.1). The MBR and
+/// point-in-polygon prologue has already run in `within_distance` above —
+/// repeating it here would bill the hardware path twice for the same work.
+fn software_distance_test(p: &Polygon, q: &Polygon, d: f64) -> bool {
+    let ep = frontier_clipped(p, &q.mbr(), d);
+    let eq = frontier_clipped(q, &p.mbr(), d);
+    edges_within_pairwise(&ep, &eq, d)
+}
+
+/// One-shot convenience wrapper around [`HwTester::within_distance`].
+pub fn hw_within_distance(p: &Polygon, q: &Polygon, d: f64, cfg: crate::HwConfig) -> bool {
+    HwTester::new(cfg).within_distance(p, q, d, &mut TestStats::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HwConfig;
+    use spatial_geom::min_dist_brute;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    #[test]
+    fn agrees_with_oracle_at_various_resolutions_and_distances() {
+        let a = square(0.0, 0.0, 2.0);
+        let cases = [
+            square(5.0, 0.0, 2.0),  // distance 3
+            square(5.0, 5.0, 2.0),  // distance sqrt(18)
+            square(1.0, 1.0, 2.0),  // intersecting
+            square(2.5, 0.0, 1.0),  // distance 0.5
+        ];
+        for res in [1usize, 4, 8, 16] {
+            let mut t = HwTester::new(HwConfig::at_resolution(res));
+            for b in &cases {
+                let true_d = min_dist_brute(&a, b);
+                for d in [0.1, 0.5, 3.0, 4.3, 10.0] {
+                    let mut st = TestStats::default();
+                    assert_eq!(
+                        t.within_distance(&a, b, d, &mut st),
+                        true_d <= d,
+                        "res {res}, true {true_d}, d {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_rejects_far_pairs() {
+        // Distance 30 apart, query d = 5, but MBR-expanded regions still
+        // overlap? No: MBR distance (30) > d, so this rejects at the MBR
+        // level. Use a case where MBR distance ≤ d but true distance > d:
+        // L-shaped arrangement.
+        let l = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (20.0, 0.0),
+            (20.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 20.0),
+            (0.0, 20.0),
+        ]);
+        let b = square(15.0, 15.0, 2.0); // MBRs overlap; true dist ≈ 11.3
+        assert!(l.mbr().min_dist(&b.mbr()) == 0.0);
+        let true_d = min_dist_brute(&l, &b);
+        assert!(true_d > 8.0);
+        let mut t = HwTester::new(HwConfig::at_resolution(32));
+        let mut st = TestStats::default();
+        assert!(!t.within_distance(&l, &b, 2.0, &mut st));
+        assert!(
+            st.rejected_by_hw == 1 || st.width_limit_fallbacks == 1,
+            "expected hardware rejection or explicit fallback, got {st:?}"
+        );
+    }
+
+    #[test]
+    fn width_limit_forces_software_fallback() {
+        // Tiny window + huge distance relative to the region: Equation (1)
+        // exceeds 10 pixels → software.
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(1.5, 0.0, 1.0);
+        let mut t = HwTester::new(HwConfig::at_resolution(32));
+        let mut st = TestStats::default();
+        // Region ≈ 4 units wide at 32 px → 8 px/unit; d = 2 → 16 px > 10.
+        let r = t.within_distance(&a, &b, 2.0, &mut st);
+        assert!(r, "true distance 0.5 <= 2");
+        assert_eq!(st.width_limit_fallbacks, 1, "{st:?}");
+        assert_eq!(st.hw_tests, 0);
+    }
+
+    #[test]
+    fn within_zero_matches_intersection_semantics() {
+        let a = square(0.0, 0.0, 2.0);
+        let touching = square(2.0, 0.0, 2.0);
+        let apart = square(2.1, 0.0, 2.0);
+        let mut t = HwTester::new(HwConfig::at_resolution(8));
+        let mut st = TestStats::default();
+        assert!(t.within_distance(&a, &touching, 0.0, &mut st));
+        assert!(!t.within_distance(&a, &apart, 0.0, &mut st));
+    }
+
+    #[test]
+    fn containment_short_circuits() {
+        let outer = square(0.0, 0.0, 10.0);
+        let inner = square(4.0, 4.0, 1.0);
+        let mut t = HwTester::new(HwConfig::recommended());
+        let mut st = TestStats::default();
+        assert!(t.within_distance(&outer, &inner, 0.0, &mut st));
+        assert_eq!(st.decided_by_pip, 1);
+    }
+
+    #[test]
+    fn threshold_skips_hardware() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(3.0, 0.0, 1.0);
+        let mut t = HwTester::new(HwConfig::at_resolution(8).with_threshold(50));
+        let mut st = TestStats::default();
+        assert!(t.within_distance(&a, &b, 2.5, &mut st));
+        assert_eq!(st.hw_tests, 0);
+        assert_eq!(st.skipped_by_threshold, 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! Algorithm 3.1 — the hardware-assisted intersection test.
+//!
+//! ```text
+//! Given P and Q, return true iff P and Q intersect
+//! 1. Software Point-in-Polygon Test; return true if it succeeds.
+//! 2. Hardware Segment Intersection Test
+//!    2.1 enable anti-aliasing
+//!    2.2 clear the color buffer and the accumulation buffer
+//!    2.3 render the edges of the first polygon with color (.5, .5, .5)
+//!    2.4 copy the color buffer into the accumulation buffer
+//!    2.5 render the edges of the second polygon with color (.5, .5, .5)
+//!    2.6 copy the color buffer into the accumulation buffer
+//!    2.7 load the accumulation buffer back into the color buffer
+//!    2.8 return false if color (1, 1, 1) is not found
+//! 3. Software Segment Intersection Test
+//! ```
+//!
+//! One pipeline nuance the paper leaves implicit: for step 2.6's addition
+//! to mark *overlapping* pixels only, step 2.5 must render into a cleared
+//! color buffer — otherwise the first polygon's pixels would double and
+//! every P pixel would read full white. We clear between the passes (a
+//! per-pixel cost that is charged to the hardware side of the ledger).
+//!
+//! The test is exact: step 2 can only produce false *hits* (two boundaries
+//! sharing a pixel without touching — more common at coarse resolutions),
+//! never false rejections, because the anti-aliased rasterizer colors
+//! every pixel a segment passes through. Step 3 removes the false hits.
+
+use crate::config::HwConfig;
+use crate::stats::TestStats;
+use spatial_geom::intersect::restricted_edges;
+use spatial_geom::pip::point_in_polygon;
+use spatial_geom::sweep::tree_sweep_intersects_stats;
+use spatial_geom::sweep::SweepStats;
+use spatial_geom::{Polygon, Rect, Segment};
+use spatial_raster::framebuffer::HALF_GRAY;
+use spatial_raster::{GlContext, HwCostModel, OverlapStrategy, Viewport, WriteMode};
+use std::time::Instant;
+
+/// A reusable hardware tester: owns the rendering context so repeated
+/// tests (thousands per join) never reallocate the window.
+#[derive(Debug)]
+pub struct HwTester {
+    cfg: HwConfig,
+    gl: Option<GlContext>,
+    model: HwCostModel,
+}
+
+impl HwTester {
+    pub fn new(cfg: HwConfig) -> Self {
+        HwTester {
+            cfg,
+            gl: None,
+            model: HwCostModel::default(),
+        }
+    }
+
+    /// Overrides the simulated-hardware cost model (sensitivity benches).
+    pub fn set_cost_model(&mut self, model: HwCostModel) {
+        self.model = model;
+    }
+
+    pub(crate) fn cost_model(&self) -> HwCostModel {
+        self.model
+    }
+
+    pub fn config(&self) -> HwConfig {
+        self.cfg
+    }
+
+    /// Replaces the configuration (the `sw_threshold` sweep of Figure 13
+    /// retunes a live tester).
+    pub fn set_config(&mut self, cfg: HwConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Borrows (creating on first use) the context targeted at `region`.
+    pub(crate) fn context_for(&mut self, viewport: Viewport) -> &mut GlContext {
+        match self.gl {
+            Some(ref mut gl) => {
+                gl.retarget(viewport);
+                gl
+            }
+            None => self.gl.get_or_insert_with(|| GlContext::new(viewport)),
+        }
+    }
+
+    /// Algorithm 3.1. Exact closed intersection test.
+    pub fn intersects(&mut self, p: &Polygon, q: &Polygon, stats: &mut TestStats) -> bool {
+        let region = match p.mbr().intersection(&q.mbr()) {
+            Some(r) => r,
+            None => return false,
+        };
+
+        // Step 1: software point-in-polygon (either containment order).
+        if point_in_polygon(p.vertices()[0], q) || point_in_polygon(q.vertices()[0], p) {
+            stats.decided_by_pip += 1;
+            return true;
+        }
+
+        // §4.3: simple pairs skip the hardware filter and run the whole
+        // software test (restricted search space + plane sweep).
+        let nm = p.vertex_count() + q.vertex_count();
+        if nm <= self.cfg.sw_threshold {
+            stats.skipped_by_threshold += 1;
+            stats.software_tests += 1;
+            return self.software_segment_test(p, q, &region, stats);
+        }
+
+        // Step 2: hardware segment intersection test. ALL edges are
+        // submitted; clipping to the projected region happens in the
+        // pipeline ("the parts of geometries that are outside the viewing
+        // area are clipped", §2.1) at vertex rate. The hardware therefore
+        // also rejects pairs whose boundaries never reach the shared
+        // region — without the O(n+m) software scan the restricted search
+        // space costs. This is why the paper's Figure 11 finds the
+        // hardware ahead even at a 1×1 window.
+        stats.hw_tests += 1;
+        let overlap = self.hw_segment_test(region, p, q, stats);
+        if !overlap {
+            stats.rejected_by_hw += 1;
+            return false;
+        }
+
+        // Step 3: software segment intersection test.
+        stats.software_tests += 1;
+        self.software_segment_test(p, q, &region, stats)
+    }
+
+    /// Hardware-assisted *strict* containment test: true iff `inner` lies
+    /// entirely in the open interior of `outer` (no boundary contact).
+    /// For connected polygons that is equivalent to "one vertex inside +
+    /// boundaries disjoint", so the hardware segment filter applies
+    /// directly: no pixel overlap proves the boundaries disjoint, and the
+    /// vertex probe settles the rest.
+    ///
+    /// This is the "Containment" predicate the interior filter targets in
+    /// Table 1; the engine's containment selections use it.
+    pub fn contained_in(&mut self, inner: &Polygon, outer: &Polygon, stats: &mut TestStats) -> bool {
+        if !outer.mbr().contains_rect(&inner.mbr()) {
+            return false;
+        }
+        // A vertex outside settles it immediately (also catches the
+        // boundary-on-boundary cases conservatively: closed semantics).
+        if !point_in_polygon(inner.vertices()[0], outer) {
+            stats.decided_by_pip += 1;
+            return false;
+        }
+        let region = inner.mbr(); // boundaries can only meet inside it
+        let nm = inner.vertex_count() + outer.vertex_count();
+        if nm <= self.cfg.sw_threshold {
+            stats.skipped_by_threshold += 1;
+            stats.software_tests += 1;
+            return !self.boundaries_cross(inner, outer, &region);
+        }
+        stats.hw_tests += 1;
+        if !self.hw_segment_test(region, inner, outer, stats) {
+            stats.rejected_by_hw += 1;
+            return true; // no boundary contact + vertex inside = contained
+        }
+        stats.software_tests += 1;
+        !self.boundaries_cross(inner, outer, &region)
+    }
+
+    /// Whether the two boundaries intersect within `region` (closed).
+    fn boundaries_cross(&self, p: &Polygon, q: &Polygon, region: &Rect) -> bool {
+        let ep = restricted_edges(p, region);
+        let eq = restricted_edges(q, region);
+        if ep.is_empty() || eq.is_empty() {
+            return false;
+        }
+        let mut sw = SweepStats::default();
+        tree_sweep_intersects_stats(&ep, &eq, &mut sw)
+    }
+
+    /// The software step-3 path: restricted search space + tree sweep.
+    fn software_segment_test(
+        &self,
+        p: &Polygon,
+        q: &Polygon,
+        region: &Rect,
+        _stats: &mut TestStats,
+    ) -> bool {
+        let ep = restricted_edges(p, region);
+        let eq = restricted_edges(q, region);
+        if ep.is_empty() || eq.is_empty() {
+            return false;
+        }
+        let mut sw = SweepStats::default();
+        tree_sweep_intersects_stats(&ep, &eq, &mut sw)
+    }
+
+    /// The hardware pass: render both boundaries (pipeline-clipped to the
+    /// projected region), detect any shared pixel via the configured
+    /// strategy.
+    fn hw_segment_test(
+        &mut self,
+        region: Rect,
+        p: &Polygon,
+        q: &Polygon,
+        stats: &mut TestStats,
+    ) -> bool {
+        // Everything from here on is the simulated hardware: the edge
+        // Vec-collects stand in for the driver streaming the vertex arrays
+        // (charged via the per-primitive model cost), so the whole section
+        // is wall-excluded and re-charged from the counters.
+        let wall = Instant::now();
+        let ep: Vec<Segment> = p.edges().collect();
+        let eq: Vec<Segment> = q.edges().collect();
+        let (ep, eq) = (&ep[..], &eq[..]);
+        let res = self.cfg.resolution;
+        let strategy = self.cfg.strategy;
+        let model = self.model;
+        let vp = Viewport::new(region, res, res);
+        let gl = self.context_for(vp);
+        let before = gl.stats();
+
+        gl.enable_antialias(true);
+        gl.set_color(HALF_GRAY);
+        gl.set_line_width(spatial_raster::aa_line::DIAGONAL_WIDTH);
+        gl.set_point_size(1.0);
+
+        let overlap = match strategy {
+            OverlapStrategy::Accumulation => {
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.clear_color_buffer();
+                gl.clear_accum_buffer();
+                gl.draw_segments(ep);
+                gl.accum_load();
+                gl.clear_color_buffer();
+                gl.draw_segments(eq);
+                gl.accum_add();
+                gl.accum_return();
+                gl.max_value() >= 1.0
+            }
+            OverlapStrategy::Blending => {
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.clear_color_buffer();
+                gl.draw_segments(ep);
+                gl.set_write_mode(WriteMode::Blend);
+                gl.draw_segments(eq);
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.max_value() >= 1.0
+            }
+            OverlapStrategy::Stencil => {
+                gl.clear_stencil_buffer();
+                gl.set_write_mode(WriteMode::StencilReplace(1));
+                gl.draw_segments(ep);
+                gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
+                gl.draw_segments(eq);
+                gl.set_write_mode(WriteMode::Overwrite);
+                gl.stencil_max() >= 2
+            }
+        };
+        let delta = gl.stats().delta_since(&before);
+        stats.hw.add(&delta);
+        stats.gpu_modeled += model.time(&delta);
+        stats.sim_wall += wall.elapsed();
+        overlap
+    }
+}
+
+/// One-shot convenience wrapper around [`HwTester::intersects`].
+pub fn hw_intersects(p: &Polygon, q: &Polygon, cfg: HwConfig) -> bool {
+    HwTester::new(cfg).intersects(p, q, &mut TestStats::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::polygons_intersect_brute;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    fn c_shape() -> Polygon {
+        Polygon::from_coords(&[
+            (0.0, 0.0),
+            (16.0, 0.0),
+            (16.0, 4.0),
+            (4.0, 4.0),
+            (4.0, 12.0),
+            (16.0, 12.0),
+            (16.0, 16.0),
+            (0.0, 16.0),
+        ])
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_basic_cases() {
+        let cases = [
+            (square(0.0, 0.0, 2.0), square(1.0, 1.0, 2.0)),
+            (square(0.0, 0.0, 1.0), square(5.0, 5.0, 1.0)),
+            (square(0.0, 0.0, 10.0), square(4.0, 4.0, 1.0)),
+            (c_shape(), square(6.0, 6.0, 3.0)), // pocket: MBRs overlap, disjoint
+            (c_shape(), square(0.5, 6.0, 3.0)), // spine: true intersection
+        ];
+        for res in [1usize, 2, 8, 32] {
+            let mut t = HwTester::new(HwConfig::at_resolution(res));
+            for (p, q) in &cases {
+                let mut st = TestStats::default();
+                assert_eq!(
+                    t.intersects(p, q, &mut st),
+                    polygons_intersect_brute(p, q),
+                    "res {res}"
+                );
+            }
+        }
+    }
+
+    /// Two parallel diagonal slabs whose MBRs overlap heavily and whose
+    /// edges cross the shared region without touching — the "closely
+    /// located but not intersecting" pairs the hardware filter exists for
+    /// (§4.2). The restricted-search-space filter cannot reject them.
+    fn parallel_slabs() -> (Polygon, Polygon) {
+        let a = Polygon::from_coords(&[(0.0, 0.0), (2.0, 0.0), (10.0, 8.0), (8.0, 8.0)]);
+        let b = Polygon::from_coords(&[(5.0, 0.0), (7.0, 0.0), (15.0, 8.0), (13.0, 8.0)]);
+        (a, b)
+    }
+
+    #[test]
+    fn slab_rejection_happens_in_hardware_at_fine_resolution() {
+        // At 32×32 the slabs are many pixels apart inside the shared
+        // region, so the hardware filter rejects without a sweep.
+        let (a, b) = parallel_slabs();
+        assert!(!polygons_intersect_brute(&a, &b));
+        let mut t = HwTester::new(HwConfig::at_resolution(32));
+        let mut st = TestStats::default();
+        assert!(!t.intersects(&a, &b, &mut st));
+        assert_eq!(st.rejected_by_hw, 1, "{st:?}");
+        assert_eq!(st.software_tests, 0);
+    }
+
+    #[test]
+    fn false_hits_fall_through_to_software() {
+        // At 1×1 everything in the shared region overlaps: the hardware
+        // cannot reject, software must decide.
+        let (a, b) = parallel_slabs();
+        let mut t = HwTester::new(HwConfig::at_resolution(1));
+        let mut st = TestStats::default();
+        assert!(!t.intersects(&a, &b, &mut st));
+        assert_eq!(st.rejected_by_hw, 0);
+        assert_eq!(st.software_tests, 1, "{st:?}");
+    }
+
+    #[test]
+    fn containment_short_circuits() {
+        let mut t = HwTester::new(HwConfig::recommended());
+        let mut st = TestStats::default();
+        assert!(t.intersects(&square(0.0, 0.0, 10.0), &square(4.0, 4.0, 1.0), &mut st));
+        assert_eq!(st.decided_by_pip, 1);
+        assert_eq!(st.hw_tests, 0);
+    }
+
+    #[test]
+    fn threshold_skips_hardware() {
+        // A plus-sign crossing: boundaries intersect but neither first
+        // vertex is contained, so the test reaches the threshold branch.
+        let horiz = Polygon::from_coords(&[(0.0, 2.0), (6.0, 2.0), (6.0, 4.0), (0.0, 4.0)]);
+        let vert = Polygon::from_coords(&[(2.0, 0.0), (4.0, 0.0), (4.0, 6.0), (2.0, 6.0)]);
+        let mut t = HwTester::new(HwConfig::at_resolution(8).with_threshold(100));
+        let mut st = TestStats::default();
+        // 4 + 4 = 8 vertices <= 100: no hardware.
+        assert!(t.intersects(&horiz, &vert, &mut st));
+        assert_eq!(st.hw_tests, 0);
+        assert_eq!(st.skipped_by_threshold, 1, "{st:?}");
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let cases = [
+            (square(0.0, 0.0, 2.0), square(1.0, 1.0, 2.0)),
+            (c_shape(), square(6.0, 6.0, 3.0)),
+            (square(0.0, 0.0, 1.0), square(1.0, 0.0, 1.0)),
+        ];
+        for strategy in [
+            OverlapStrategy::Accumulation,
+            OverlapStrategy::Blending,
+            OverlapStrategy::Stencil,
+        ] {
+            let cfg = HwConfig {
+                resolution: 16,
+                sw_threshold: 0,
+                strategy,
+            };
+            let mut t = HwTester::new(cfg);
+            for (p, q) in &cases {
+                let mut st = TestStats::default();
+                assert_eq!(
+                    t.intersects(p, q, &mut st),
+                    polygons_intersect_brute(p, q),
+                    "{strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_work_is_accounted() {
+        let (a, b) = parallel_slabs();
+        let mut t = HwTester::new(HwConfig::at_resolution(8));
+        let mut st = TestStats::default();
+        t.intersects(&a, &b, &mut st);
+        assert_eq!(st.hw_tests, 1);
+        assert!(st.hw.pixels_scanned > 0, "clears/accum/minmax must be charged");
+        assert!(st.hw.primitives > 0);
+    }
+
+    #[test]
+    fn disjoint_mbrs_cost_nothing() {
+        let mut t = HwTester::new(HwConfig::recommended());
+        let mut st = TestStats::default();
+        assert!(!t.intersects(&square(0.0, 0.0, 1.0), &square(9.0, 9.0, 1.0), &mut st));
+        assert_eq!(st.hw_tests, 0);
+        assert_eq!(st.software_tests, 0);
+    }
+}

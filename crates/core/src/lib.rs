@@ -1,0 +1,40 @@
+//! The paper's primary contribution: hardware-assisted refinement for
+//! spatial selections and joins.
+//!
+//! * [`hw_intersect`] — **Algorithm 3.1**: software point-in-polygon, then
+//!   a hardware segment-intersection *filter* (anti-aliased boundary
+//!   rendering + accumulation + Minmax), then the software plane sweep only
+//!   for pairs the hardware could not reject;
+//! * [`hw_distance`] — the §3.1 distance extension: boundaries widened by
+//!   `D` via Equation (1), wide points covering the vertex caps, with the
+//!   software fallback when the required width exceeds the hardware line
+//!   width limit;
+//! * [`config`] — window resolution, `sw_threshold` (§4.3), overlap
+//!   strategy;
+//! * [`engine`] — the three-stage query pipelines of Fig. 8 (MBR filter →
+//!   intermediate filter → geometry comparison) for intersection
+//!   selections, intersection joins and within-distance joins, with
+//!   per-stage wall-clock and hardware-counter breakdowns;
+//! * [`ablation`] — the filled-polygon variant (Hoff et al.) that the
+//!   paper rejects: requires triangulation and is *not* exact; kept to
+//!   quantify that design decision.
+//!
+//! The "hardware" is the simulated rasterizer from `spatial-raster`, which
+//! implements the OpenGL rasterization rules the correctness argument
+//! depends on — see DESIGN.md for why this substitution preserves both the
+//! accuracy guarantee and the cost-model shape.
+
+pub mod ablation;
+pub mod config;
+pub mod engine;
+pub mod hw_distance;
+pub mod hw_intersect;
+pub mod nn;
+pub mod stats;
+
+pub use config::HwConfig;
+pub use engine::{EngineConfig, PreparedDataset, SpatialEngine};
+pub use hw_distance::hw_within_distance;
+pub use hw_intersect::hw_intersects;
+pub use nn::{sw_nearest, VoronoiNn};
+pub use stats::{CostBreakdown, TestStats};

@@ -1,0 +1,128 @@
+//! Per-stage cost accounting — the data behind every figure in §4.
+
+use spatial_raster::HwStats;
+use std::time::Duration;
+
+/// Counters for one batch of geometry tests (selection or join refinement).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TestStats {
+    /// Pairs decided by the software point-in-polygon step.
+    pub decided_by_pip: usize,
+    /// Pairs rejected by the hardware filter (the savings).
+    pub rejected_by_hw: usize,
+    /// Pairs that fell through to the software segment/distance test.
+    pub software_tests: usize,
+    /// Pairs that skipped hardware because of `sw_threshold`.
+    pub skipped_by_threshold: usize,
+    /// Distance tests that reverted to software because the required line
+    /// width exceeded the hardware limit (§4.4).
+    pub width_limit_fallbacks: usize,
+    /// Hardware tests actually executed.
+    pub hw_tests: usize,
+    /// Simulated-hardware work counters.
+    pub hw: HwStats,
+    /// GPU time from the calibrated cost model (what a real board would
+    /// have spent on the counted work) — see `spatial_raster::cost_model`.
+    pub gpu_modeled: Duration,
+    /// Wall-clock the *simulation* spent producing that work. Excluded
+    /// from reported geometry time and replaced by `gpu_modeled`: timing a
+    /// CPU pretending to be a GPU would misstate the paper's comparison.
+    pub sim_wall: Duration,
+}
+
+impl TestStats {
+    pub fn add(&mut self, o: &TestStats) {
+        self.decided_by_pip += o.decided_by_pip;
+        self.rejected_by_hw += o.rejected_by_hw;
+        self.software_tests += o.software_tests;
+        self.skipped_by_threshold += o.skipped_by_threshold;
+        self.width_limit_fallbacks += o.width_limit_fallbacks;
+        self.hw_tests += o.hw_tests;
+        self.hw.add(&o.hw);
+        self.gpu_modeled += o.gpu_modeled;
+        self.sim_wall += o.sim_wall;
+    }
+}
+
+/// Wall-clock and cardinality breakdown of one query, by pipeline stage
+/// (Fig. 8): MBR filtering → intermediate filtering → geometry comparison.
+///
+/// `geometry_comparison` is the *reported* cost: measured CPU time of the
+/// refinement stage with the rasterizer-simulation seconds swapped out for
+/// the cost-model GPU time (`tests.sim_wall` → `tests.gpu_modeled`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBreakdown {
+    pub mbr_filter: Duration,
+    pub intermediate_filter: Duration,
+    pub geometry_comparison: Duration,
+    /// Candidates surviving the MBR filter.
+    pub candidates: usize,
+    /// Positives confirmed by the intermediate filter (skip refinement).
+    pub filter_hits: usize,
+    /// Final result count.
+    pub results: usize,
+    /// Refinement-stage counters.
+    pub tests: TestStats,
+}
+
+impl CostBreakdown {
+    /// Total wall-clock across stages.
+    pub fn total(&self) -> Duration {
+        self.mbr_filter + self.intermediate_filter + self.geometry_comparison
+    }
+
+    pub fn add(&mut self, o: &CostBreakdown) {
+        self.mbr_filter += o.mbr_filter;
+        self.intermediate_filter += o.intermediate_filter;
+        self.geometry_comparison += o.geometry_comparison;
+        self.candidates += o.candidates;
+        self.filter_hits += o.filter_hits;
+        self.results += o.results;
+        self.tests.add(&o.tests);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = CostBreakdown {
+            mbr_filter: Duration::from_millis(1),
+            intermediate_filter: Duration::from_millis(2),
+            geometry_comparison: Duration::from_millis(3),
+            candidates: 10,
+            filter_hits: 2,
+            results: 5,
+            tests: TestStats::default(),
+        };
+        assert_eq!(a.total(), Duration::from_millis(6));
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.candidates, 20);
+        assert_eq!(a.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn test_stats_accumulate() {
+        let mut t = TestStats::default();
+        let other = TestStats {
+            decided_by_pip: 1,
+            rejected_by_hw: 2,
+            software_tests: 3,
+            skipped_by_threshold: 4,
+            width_limit_fallbacks: 5,
+            hw_tests: 6,
+            hw: HwStats::default(),
+            gpu_modeled: Duration::from_micros(2),
+            sim_wall: Duration::from_micros(7),
+        };
+        t.add(&other);
+        t.add(&other);
+        assert_eq!(t.rejected_by_hw, 4);
+        assert_eq!(t.hw_tests, 12);
+        assert_eq!(t.gpu_modeled, Duration::from_micros(4));
+        assert_eq!(t.sim_wall, Duration::from_micros(14));
+    }
+}

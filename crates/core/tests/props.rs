@@ -1,0 +1,150 @@
+//! The headline invariants of the paper, property-tested: the
+//! hardware-assisted tests are *exact* — equal to the software oracles —
+//! at every window resolution, every overlap strategy, every threshold
+//! and every query distance (DESIGN.md §5, invariants 1–2).
+
+use hwa_core::hw_intersect::HwTester;
+use hwa_core::{HwConfig, TestStats};
+use proptest::prelude::*;
+use spatial_geom::{min_dist_brute, polygons_intersect_brute, Point, Polygon};
+use spatial_raster::OverlapStrategy;
+
+fn star_polygon(cx: f64, cy: f64, radii: &[f64]) -> Polygon {
+    let n = radii.len();
+    let vertices: Vec<Point> = radii
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let a = (i as f64) * std::f64::consts::TAU / (n as f64);
+            Point::new(cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect();
+    Polygon::new(vertices).expect("star polygons are structurally valid")
+}
+
+prop_compose! {
+    fn arb_star()(
+        cx in -40.0f64..40.0,
+        cy in -40.0f64..40.0,
+        radii in prop::collection::vec(0.5f64..25.0, 3..20),
+    ) -> Polygon {
+        star_polygon(cx, cy, &radii)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Algorithm 3.1 == brute force, across resolutions.
+    #[test]
+    fn hw_intersects_is_exact(
+        p in arb_star(),
+        q in arb_star(),
+        res in 1usize..33,
+    ) {
+        let oracle = polygons_intersect_brute(&p, &q);
+        let mut t = HwTester::new(HwConfig::at_resolution(res));
+        let mut st = TestStats::default();
+        prop_assert_eq!(t.intersects(&p, &q, &mut st), oracle, "res {}", res);
+    }
+
+    /// The software threshold must never change results, only routing.
+    #[test]
+    fn sw_threshold_is_result_invariant(
+        p in arb_star(),
+        q in arb_star(),
+        threshold in 0usize..2000,
+    ) {
+        let oracle = polygons_intersect_brute(&p, &q);
+        let mut t = HwTester::new(HwConfig::at_resolution(8).with_threshold(threshold));
+        let mut st = TestStats::default();
+        prop_assert_eq!(t.intersects(&p, &q, &mut st), oracle);
+    }
+
+    /// All overlap strategies implement the same exact test.
+    #[test]
+    fn strategies_are_equivalent(p in arb_star(), q in arb_star()) {
+        let oracle = polygons_intersect_brute(&p, &q);
+        for strategy in [
+            OverlapStrategy::Accumulation,
+            OverlapStrategy::Blending,
+            OverlapStrategy::Stencil,
+        ] {
+            let cfg = HwConfig { resolution: 8, sw_threshold: 0, strategy };
+            let mut t = HwTester::new(cfg);
+            let mut st = TestStats::default();
+            prop_assert_eq!(t.intersects(&p, &q, &mut st), oracle, "{:?}", strategy);
+        }
+    }
+
+    /// The distance test == oracle, across resolutions and distances,
+    /// including the width-limit software fallback region.
+    #[test]
+    fn hw_within_distance_is_exact(
+        p in arb_star(),
+        q in arb_star(),
+        res in 1usize..33,
+        d in 0.0f64..120.0,
+    ) {
+        let oracle = min_dist_brute(&p, &q) <= d;
+        let mut t = HwTester::new(HwConfig::at_resolution(res));
+        let mut st = TestStats::default();
+        prop_assert_eq!(
+            t.within_distance(&p, &q, d, &mut st),
+            oracle,
+            "res {}, d {}", res, d
+        );
+    }
+
+    /// A reused tester (retargeted context) must not leak state between
+    /// pairs: run three tests back-to-back and compare each to its oracle.
+    #[test]
+    fn tester_reuse_is_stateless(
+        a in arb_star(),
+        b in arb_star(),
+        c in arb_star(),
+    ) {
+        let mut t = HwTester::new(HwConfig::at_resolution(8));
+        let mut st = TestStats::default();
+        for (p, q) in [(&a, &b), (&b, &c), (&a, &c), (&a, &b)] {
+            prop_assert_eq!(
+                t.intersects(p, q, &mut st),
+                polygons_intersect_brute(p, q)
+            );
+        }
+    }
+
+    /// Strict containment (hardware) equals the brute-force definition at
+    /// every resolution: one vertex inside plus all-pairs disjoint edges.
+    #[test]
+    fn hw_containment_is_exact(
+        p in arb_star(),
+        q in arb_star(),
+        res in 1usize..17,
+    ) {
+        let oracle = q.mbr().contains_rect(&p.mbr())
+            && spatial_geom::point_in_polygon(p.vertices()[0], &q)
+            && p.edges().all(|ep| q.edges().all(|eq| !ep.intersects(&eq)));
+        let mut t = HwTester::new(HwConfig::at_resolution(res));
+        let mut st = TestStats::default();
+        prop_assert_eq!(t.contained_in(&p, &q, &mut st), oracle, "res {}", res);
+    }
+
+    /// Hardware rejections really are rejections the software sweep would
+    /// also produce (no lost positives — conservative filtering).
+    #[test]
+    fn hw_rejections_are_true_negatives(
+        p in arb_star(),
+        q in arb_star(),
+        res in 1usize..17,
+    ) {
+        let mut t = HwTester::new(HwConfig::at_resolution(res));
+        let mut st = TestStats::default();
+        let result = t.intersects(&p, &q, &mut st);
+        if st.rejected_by_hw > 0 {
+            prop_assert!(!result);
+            prop_assert!(!polygons_intersect_brute(&p, &q),
+                "hardware rejected a truly intersecting pair");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The 0-object and 1-object filters for within-distance joins (Chan,
+//! §4.1.1): cheap *upper bounds* on the distance between two polygons. A
+//! candidate pair whose upper bound is ≤ D is a confirmed positive and
+//! skips geometry comparison entirely.
+//!
+//! Both bounds exploit the defining property of an MBR: the object touches
+//! all four of its sides.
+//!
+//! * **0-object** (MBRs only): for any side `s1` of `R1` and `s2` of `R2`,
+//!   there are object points on both sides, so
+//!   `dist(A, B) ≤ maxDist(s1, s2)`; minimizing over the 16 side pairs
+//!   gives the bound. `maxDist` of two segments is attained at endpoint
+//!   pairs because the distance is convex in each argument.
+//!
+//! * **1-object** (actual geometry of one object, the paper retrieves the
+//!   *larger* one): `B` touches each side `s2 = q1q2` of `R2` somewhere, and
+//!   `q ↦ dist(A, q)` is 1-Lipschitz, so along the side
+//!   `max_q dist(A, q) ≤ (dist(A, q1) + dist(A, q2) + |q1q2|) / 2`;
+//!   minimizing over the four sides (and capping by the 0-object bound)
+//!   gives a tighter bound. This is a conservative variant of Chan's
+//!   filter — identical contract, simpler geometry.
+
+use spatial_geom::distance::point_boundary_min_dist;
+use spatial_geom::{Point, Polygon, Rect, Segment};
+
+/// Maximum distance between two segments: the farthest endpoint pair.
+fn seg_max_dist(a: (Point, Point), b: (Point, Point)) -> f64 {
+    a.0.dist(b.0)
+        .max(a.0.dist(b.1))
+        .max(a.1.dist(b.0))
+        .max(a.1.dist(b.1))
+}
+
+/// The 0-object upper bound on `dist(A, B)` from the MBRs alone.
+pub fn zero_object_upper_bound(r1: &Rect, r2: &Rect) -> f64 {
+    let mut best = f64::INFINITY;
+    for s1 in r1.sides() {
+        for s2 in r2.sides() {
+            best = best.min(seg_max_dist(s1, s2));
+        }
+    }
+    best
+}
+
+/// The 1-object upper bound: uses the actual boundary of `a` (whose edges
+/// are passed pre-collected, since the engine caches them) against the MBR
+/// of the other object. The Lipschitz cap can exceed the 0-object bound on
+/// skewed sides, so the 0-object bound is applied internally as a floor.
+///
+/// `a_edges` may be any *subset* of `a`'s boundary: distances to a subset
+/// only grow, and the bound stays valid (just weaker). The engine exploits
+/// this by sampling a few hundred edges of huge polygons — an unsampled
+/// 39k-vertex boundary would make the filter cost more than the geometry
+/// comparison it exists to avoid.
+pub fn one_object_upper_bound(a: &Polygon, a_edges: &[Segment], r2: &Rect) -> f64 {
+    let mut best = zero_object_upper_bound(&a.mbr(), r2);
+    for (q1, q2) in r2.sides() {
+        let d1 = point_boundary_min_dist(q1, a_edges);
+        let d2 = point_boundary_min_dist(q2, a_edges);
+        let side = (d1 + d2 + q1.dist(q2)) / 2.0;
+        best = best.min(side);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::min_dist_brute;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    #[test]
+    fn zero_object_on_aligned_squares() {
+        // Unit squares 3 apart in x: facing sides are (1,0)-(1,1) and
+        // (4,0)-(4,1); their max endpoint distance is sqrt(9 + 1).
+        let r1 = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let r2 = Rect::new(4.0, 0.0, 5.0, 1.0);
+        let ub = zero_object_upper_bound(&r1, &r2);
+        assert!((ub - 10.0f64.sqrt()).abs() < 1e-12, "got {ub}");
+    }
+
+    #[test]
+    fn zero_object_is_an_upper_bound() {
+        let a = square(0.0, 0.0, 2.0);
+        let b = square(5.0, 1.0, 3.0);
+        let ub = zero_object_upper_bound(&a.mbr(), &b.mbr());
+        assert!(ub >= min_dist_brute(&a, &b));
+    }
+
+    #[test]
+    fn one_object_tightens_zero_object() {
+        // A spiky polygon whose MBR is mostly empty: the 1-object bound
+        // (which sees the actual boundary) must be no worse.
+        let spiky = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.1, 0.1), // deep concavity: MBR is mostly empty space
+            (0.0, 10.0),
+        ]);
+        let other = square(20.0, 0.0, 2.0);
+        let edges: Vec<Segment> = spiky.edges().collect();
+        let ub0 = zero_object_upper_bound(&spiky.mbr(), &other.mbr());
+        let ub1 = one_object_upper_bound(&spiky, &edges, &other.mbr());
+        assert!(ub1 <= ub0, "1-object {ub1} must not exceed 0-object {ub0}");
+        assert!(ub1 >= min_dist_brute(&spiky, &other), "still an upper bound");
+    }
+
+    #[test]
+    fn bounds_confirm_touching_squares() {
+        // Two adjacent unit squares: distance 0; both bounds stay small
+        // enough to confirm reasonable query distances.
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(1.0, 0.0, 1.0);
+        let ub0 = zero_object_upper_bound(&a.mbr(), &b.mbr());
+        // Shared side: maxDist of the coincident sides is the side length.
+        assert!(ub0 <= 2.0f64.sqrt() + 1e-12);
+        let edges: Vec<Segment> = a.edges().collect();
+        let ub1 = one_object_upper_bound(&a, &edges, &b.mbr());
+        assert!(ub1 <= ub0);
+        assert!(ub1 >= 0.0);
+    }
+
+    #[test]
+    fn upper_bounds_on_battery_of_pairs() {
+        // Deterministic battery: bounds must always dominate the true
+        // distance.
+        let shapes: Vec<Polygon> = (0..6)
+            .map(|i| {
+                let x = i as f64 * 4.0;
+                Polygon::from_coords(&[
+                    (x, 0.0),
+                    (x + 2.0, 0.5),
+                    (x + 3.0, 2.5),
+                    (x + 1.0, 3.0),
+                    (x + 0.2, 1.5),
+                ])
+            })
+            .collect();
+        for i in 0..shapes.len() {
+            for j in (i + 1)..shapes.len() {
+                let (a, b) = (&shapes[i], &shapes[j]);
+                let true_d = min_dist_brute(a, b);
+                let ub0 = zero_object_upper_bound(&a.mbr(), &b.mbr());
+                let edges: Vec<Segment> = a.edges().collect();
+                let ub1 = one_object_upper_bound(a, &edges, &b.mbr());
+                assert!(ub0 + 1e-9 >= true_d, "0-object violated: {ub0} < {true_d}");
+                assert!(ub1 + 1e-9 >= true_d, "1-object violated: {ub1} < {true_d}");
+                assert!(ub1 <= ub0 + 1e-9, "1-object must cap at 0-object");
+            }
+        }
+    }
+}

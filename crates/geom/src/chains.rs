@@ -1,0 +1,250 @@
+//! Frontier chains for the `minDist` algorithm (Chan, §4.1.1 and Fig. 9(c)).
+//!
+//! When two objects' MBRs are separated along an axis, the minimum distance
+//! between the objects is realized on the *frontier chain* of each polygon:
+//! the boundary chain facing the other object. For an x-separated pair with
+//! `Q` to the right of `P`, the frontier of `P` is the chain between its
+//! topmost and bottommost vertices that contains its maximum-x vertex.
+//!
+//! Soundness sketch (for `Q` strictly right of `P`): let `(p*, q*)` realize
+//! the minimum distance. The segment `p*q*` cannot cross `∂P` (a crossing
+//! would be closer to `q*`), and extending it beyond `q*` leaves `P`'s MBR,
+//! so `p*` sees infinity in a direction with positive x-component. Boundary
+//! points with that property all lie on the chain containing the
+//! maximum-x vertex. When the extreme vertex is shared by both chains, or
+//! the MBRs overlap in both axes, we conservatively return the whole
+//! boundary — the reduction is an optimization, never a filter.
+//!
+//! The paper augments Chan's algorithm with a second optimization: clip the
+//! frontier chains to the other MBR *extended by D* (Fig. 9(d)), which
+//! "in practice reduces the computational cost by a factor of 2 to 6".
+//! That clip is [`frontier_clipped`].
+
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// Relative placement of `other` w.r.t. `this` along the separating axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Separation {
+    /// MBRs overlap in both axes: no chain reduction possible.
+    None,
+    /// `other` lies entirely at larger x.
+    Right,
+    Left,
+    Above,
+    Below,
+}
+
+fn classify(this: &Rect, other: &Rect) -> Separation {
+    let gap_right = other.xmin - this.xmax;
+    let gap_left = this.xmin - other.xmax;
+    let gap_above = other.ymin - this.ymax;
+    let gap_below = this.ymin - other.ymax;
+    // Choose the axis with the widest gap; require a strict gap.
+    let mut best = (0.0, Separation::None);
+    if gap_right > best.0 {
+        best = (gap_right, Separation::Right);
+    }
+    if gap_left > best.0 {
+        best = (gap_left, Separation::Left);
+    }
+    if gap_above > best.0 {
+        best = (gap_above, Separation::Above);
+    }
+    if gap_below > best.0 {
+        best = (gap_below, Separation::Below);
+    }
+    best.1
+}
+
+/// Index of the vertex maximizing `key`.
+fn extreme_index(poly: &Polygon, key: impl Fn(crate::point::Point) -> f64) -> usize {
+    let vs = poly.vertices();
+    let mut best = 0;
+    for i in 1..vs.len() {
+        if key(vs[i]) > key(vs[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Edge indices of the cyclic chain from vertex `from` to vertex `to`
+/// (edge `k` joins vertices `k` and `k+1`).
+fn chain_edge_indices(n: usize, from: usize, to: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = from;
+    while i != to {
+        out.push(i);
+        i = (i + 1) % n;
+    }
+    out
+}
+
+/// True when vertex `v` is strictly inside the cyclic chain `from → to`
+/// (excluding both endpoints).
+fn strictly_inside_chain(n: usize, from: usize, to: usize, v: usize) -> bool {
+    if from == to {
+        return false;
+    }
+    let mut i = (from + 1) % n;
+    while i != to {
+        if i == v {
+            return true;
+        }
+        i = (i + 1) % n;
+    }
+    false
+}
+
+/// The frontier-chain edges of `poly` facing `other_mbr`.
+///
+/// Falls back to the full boundary when the MBRs overlap in both axes or
+/// the facing extreme vertex coincides with a chain split point.
+pub fn frontier_edges(poly: &Polygon, other_mbr: &Rect) -> Vec<Segment> {
+    let n = poly.vertex_count();
+    let sep = classify(&poly.mbr(), other_mbr);
+
+    // Split vertices (perpendicular extremes) and the facing extreme.
+    let (split_a, split_b, facing) = match sep {
+        Separation::None => return poly.edges().collect(),
+        Separation::Right | Separation::Left => {
+            let top = extreme_index(poly, |p| p.y);
+            let bottom = extreme_index(poly, |p| -p.y);
+            let facing = match sep {
+                Separation::Right => extreme_index(poly, |p| p.x),
+                _ => extreme_index(poly, |p| -p.x),
+            };
+            (top, bottom, facing)
+        }
+        Separation::Above | Separation::Below => {
+            let right = extreme_index(poly, |p| p.x);
+            let left = extreme_index(poly, |p| -p.x);
+            let facing = match sep {
+                Separation::Above => extreme_index(poly, |p| p.y),
+                _ => extreme_index(poly, |p| -p.y),
+            };
+            (right, left, facing)
+        }
+    };
+
+    if split_a == split_b || facing == split_a || facing == split_b {
+        // Degenerate split: be conservative.
+        return poly.edges().collect();
+    }
+    let indices = if strictly_inside_chain(n, split_a, split_b, facing) {
+        chain_edge_indices(n, split_a, split_b)
+    } else {
+        chain_edge_indices(n, split_b, split_a)
+    };
+    indices.into_iter().map(|i| poly.edge(i)).collect()
+}
+
+/// Frontier chain clipped to the other MBR extended by `d` (the paper's
+/// second `minDist` optimization): only edges whose MBR intersects
+/// `other_mbr.expanded(d)` can participate in a within-distance-`d` pair.
+pub fn frontier_clipped(poly: &Polygon, other_mbr: &Rect, d: f64) -> Vec<Segment> {
+    let ext = other_mbr.expanded(d);
+    frontier_edges(poly, other_mbr)
+        .into_iter()
+        .filter(|e| e.mbr().intersects(&ext))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    #[test]
+    fn overlapping_mbrs_keep_all_edges() {
+        let p = square(0.0, 0.0, 4.0);
+        let q = Rect::new(2.0, 2.0, 6.0, 6.0);
+        assert_eq!(frontier_edges(&p, &q).len(), 4);
+    }
+
+    #[test]
+    fn right_facing_chain_of_square() {
+        let p = square(0.0, 0.0, 4.0);
+        let q = Rect::new(10.0, 0.0, 12.0, 4.0);
+        let chain = frontier_edges(&p, &q);
+        assert!(chain.len() < 4, "chain must be a strict subset");
+        // Every chain edge must touch the right half of the square.
+        for e in &chain {
+            assert!(e.a.x.max(e.b.x) >= 2.0, "edge {e:?} does not face right");
+        }
+        // The true closest edge (x = 4 side) must be present.
+        assert!(chain
+            .iter()
+            .any(|e| e.a.x == 4.0 && e.b.x == 4.0));
+    }
+
+    #[test]
+    fn chain_contains_closest_point_for_l_shape() {
+        // L-shape with its concave pocket facing right; Q far right.
+        let l = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 10.0),
+            (0.0, 10.0),
+        ]);
+        let q = Rect::new(20.0, 0.0, 22.0, 10.0);
+        let chain = frontier_edges(&l, &q);
+        let full: Vec<Segment> = l.edges().collect();
+        let d_chain = crate::distance::edges_min_dist(
+            &chain,
+            &[Segment::new(Point::new(20.0, 5.0), Point::new(20.0, 6.0))],
+            f64::INFINITY,
+        );
+        let d_full = crate::distance::edges_min_dist(
+            &full,
+            &[Segment::new(Point::new(20.0, 5.0), Point::new(20.0, 6.0))],
+            f64::INFINITY,
+        );
+        assert_eq!(d_chain, d_full, "frontier chain must preserve min distance");
+    }
+
+    #[test]
+    fn vertical_separation_uses_horizontal_split() {
+        let p = square(0.0, 0.0, 4.0);
+        let q_above = Rect::new(0.0, 10.0, 4.0, 12.0);
+        let chain = frontier_edges(&p, &q_above);
+        assert!(chain.len() < 4);
+        // The top side (y = 4) must survive.
+        assert!(chain.iter().any(|e| e.a.y == 4.0 && e.b.y == 4.0));
+    }
+
+    #[test]
+    fn clipping_removes_far_edges() {
+        let p = square(0.0, 0.0, 4.0);
+        let q = Rect::new(10.0, 0.0, 12.0, 4.0);
+        // With a small d the left portions of top/bottom edges could drop
+        // out entirely if their MBRs don't reach the extended rectangle.
+        let clipped = frontier_clipped(&p, &q, 1.0);
+        for e in &clipped {
+            assert!(e.mbr().intersects(&q.expanded(1.0)));
+        }
+        // With a huge d everything in the frontier survives.
+        let wide = frontier_clipped(&p, &q, 100.0);
+        assert_eq!(wide.len(), frontier_edges(&p, &q).len());
+    }
+
+    #[test]
+    fn diagonal_separation_is_sound() {
+        // Q up-right of P: x-gap larger, so the x logic is used.
+        let p = square(0.0, 0.0, 4.0);
+        let q = Rect::new(20.0, 10.0, 22.0, 12.0);
+        let chain = frontier_edges(&p, &q);
+        // Closest point of P to (20,10) is corner (4,4); edge (4,0)-(4,4)
+        // or (4,4)-(0,4) must be present.
+        assert!(chain.iter().any(|e| e.a == Point::new(4.0, 4.0)
+            || e.b == Point::new(4.0, 4.0)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Brinkhoff et al.'s geometric filters approximate complex polygons with
+//! convex hulls (§1, Table 1); the dataset generators also use hulls to
+//! validate their output and to derive simple approximations for tests.
+
+use crate::point::Point;
+
+/// The convex hull of a point set, in counter-clockwise order, starting at
+/// the lexicographically smallest point. Collinear points on the hull
+/// boundary are dropped. Returns fewer than 3 points for degenerate input.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_unstable_by(|a, b| a.lex_cmp(b));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            if (b - a).cross(p - a) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            if (b - a).cross(p - a) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is re-added by the upper pass
+    hull
+}
+
+/// True when `points` (in order) form a convex CCW cycle.
+pub fn is_convex_ccw(points: &[Point]) -> bool {
+    let n = points.len();
+    if n < 3 {
+        return false;
+    }
+    for i in 0..n {
+        let a = points[i];
+        let b = points[(i + 1) % n];
+        let c = points[(i + 2) % n];
+        if (b - a).cross(c - b) <= 0.0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+            p(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(is_convex_ccw(&hull));
+        assert_eq!(hull[0], p(0.0, 0.0), "starts at lexicographic minimum");
+    }
+
+    #[test]
+    fn collinear_points_are_dropped() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&p(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(convex_hull(&[]).len(), 0);
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 1.0), p(1.0, 1.0)]).len(), 1, "dedup");
+        assert_eq!(convex_hull(&[p(0.0, 0.0), p(1.0, 1.0)]).len(), 2);
+        // All collinear.
+        let line = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]);
+        assert_eq!(line.len(), 2);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        use crate::polygon::Polygon;
+        let pts: Vec<Point> = (0..30)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                p(a.sin() * (1.0 + (i % 5) as f64), a.cos() * (1.0 + (i % 7) as f64))
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        let hull_poly = Polygon::new(hull).unwrap();
+        for &q in &pts {
+            assert!(
+                crate::pip::point_in_polygon(q, &hull_poly),
+                "point {q} escaped its hull"
+            );
+        }
+    }
+
+    #[test]
+    fn is_convex_rejects_concave() {
+        let l = [p(0.0, 0.0), p(3.0, 0.0), p(3.0, 1.0), p(1.0, 1.0), p(1.0, 3.0), p(0.0, 3.0)];
+        assert!(!is_convex_ccw(&l));
+        let sq = [p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        assert!(is_convex_ccw(&sq));
+        // Clockwise square is "convex" geometrically but not CCW.
+        let cw = [p(0.0, 0.0), p(0.0, 1.0), p(1.0, 1.0), p(1.0, 0.0)];
+        assert!(!is_convex_ccw(&cw));
+    }
+}

@@ -1,0 +1,348 @@
+//! Simple polygons — the data type of every evaluation dataset in the paper.
+//!
+//! A [`Polygon`] is a closed boundary given by its vertices in order (either
+//! winding); the edge from the last vertex back to the first is implicit.
+//! Polygons may be concave — Fig. 1 of the paper shows how irregular real
+//! land-cover shapes are — and the hardware path never needs them convex
+//! because it renders boundaries, not filled interiors (§3.1).
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use std::fmt;
+
+/// Errors raised by [`Polygon::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices.
+    TooFewVertices(usize),
+    /// Two consecutive vertices coincide, producing a zero-length edge.
+    DuplicateConsecutiveVertex(usize),
+    /// A vertex has a non-finite coordinate.
+    NonFiniteVertex(usize),
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            PolygonError::DuplicateConsecutiveVertex(i) => {
+                write!(f, "vertices {i} and {} coincide", i + 1)
+            }
+            PolygonError::NonFiniteVertex(i) => write!(f, "vertex {i} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple polygon with `f64` vertices and a cached MBR.
+///
+/// The MBR is computed once at construction: the filtering step touches MBRs
+/// orders of magnitude more often than actual geometry, so it must be free
+/// to read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Polygon {
+    /// Builds a polygon, validating the structural invariants.
+    ///
+    /// A trailing vertex equal to the first (the WKT closing convention) is
+    /// removed automatically.
+    pub fn new(mut vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        if vertices.len() >= 2 && vertices.first() == vertices.last() {
+            vertices.pop();
+        }
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices(vertices.len()));
+        }
+        for (i, v) in vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(PolygonError::NonFiniteVertex(i));
+            }
+        }
+        for i in 0..vertices.len() {
+            if vertices[i] == vertices[(i + 1) % vertices.len()] {
+                return Err(PolygonError::DuplicateConsecutiveVertex(i));
+            }
+        }
+        let mbr = Rect::of_points(&vertices);
+        Ok(Polygon { vertices, mbr })
+    }
+
+    /// Convenience constructor from coordinate tuples; panics on invalid
+    /// input (intended for tests and examples).
+    pub fn from_coords(coords: &[(f64, f64)]) -> Self {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+            .expect("invalid polygon literal")
+    }
+
+    /// The vertices in order (without the closing duplicate).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices — the paper's measure of geometry complexity
+    /// (Table 2) and the input to the `sw_threshold` heuristic (§4.3).
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The cached minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Iterates over the `n` boundary edges, including the closing edge.
+    #[inline]
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// The `i`-th edge (`i < vertex_count()`).
+    #[inline]
+    pub fn edge(&self, i: usize) -> Segment {
+        let n = self.vertices.len();
+        Segment::new(self.vertices[i], self.vertices[(i + 1) % n])
+    }
+
+    /// Signed area via the shoelace formula: positive for counter-clockwise
+    /// winding.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.vertices[i].cross(self.vertices[(i + 1) % n]);
+        }
+        acc / 2.0
+    }
+
+    /// Absolute enclosed area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// True when the vertices wind counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Returns the polygon with counter-clockwise winding (reversing the
+    /// vertex order if needed). Several algorithms assume a known winding.
+    pub fn ccw(mut self) -> Self {
+        if !self.is_ccw() {
+            self.vertices.reverse();
+        }
+        self
+    }
+
+    /// Total boundary length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.len()).sum()
+    }
+
+    /// Area centroid (assumes non-zero area).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a2 = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a2 += w;
+        }
+        if a2 == 0.0 {
+            // Degenerate (zero-area) polygon: fall back to the vertex mean.
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |s, &v| s + v);
+            return sum / n as f64;
+        }
+        Point::new(cx / (3.0 * a2), cy / (3.0 * a2))
+    }
+
+    /// True when no two non-adjacent edges intersect and no adjacent edges
+    /// overlap — i.e. the polygon is *simple* in the paper's footnote-1
+    /// sense. Runs the Shamos–Hoey sweep from [`crate::sweep`].
+    pub fn is_simple(&self) -> bool {
+        crate::sweep::polygon_is_simple(self)
+    }
+
+    /// The polygon translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        let d = Point::new(dx, dy);
+        let vertices: Vec<Point> = self.vertices.iter().map(|&v| v + d).collect();
+        let mbr = Rect::new(
+            self.mbr.xmin + dx,
+            self.mbr.ymin + dy,
+            self.mbr.xmax + dx,
+            self.mbr.ymax + dy,
+        );
+        Polygon { vertices, mbr }
+    }
+
+    /// The polygon scaled by `s` about a fixed point `c`.
+    pub fn scaled_about(&self, c: Point, s: f64) -> Polygon {
+        let vertices: Vec<Point> = self.vertices.iter().map(|&v| c + (v - c) * s).collect();
+        let mbr = Rect::of_points(&vertices);
+        Polygon { vertices, mbr }
+    }
+
+    /// Returns the boundary point at normalized arc length `t ∈ [0, 1)`;
+    /// useful for sampling-based tests.
+    pub fn boundary_point(&self, t: f64) -> Point {
+        let total = self.perimeter();
+        let mut remaining = (t.rem_euclid(1.0)) * total;
+        for e in self.edges() {
+            let l = e.len();
+            if remaining <= l {
+                return e.a.lerp(e.b, if l == 0.0 { 0.0 } else { remaining / l });
+            }
+            remaining -= l;
+        }
+        self.vertices[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::from_coords(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            Err(PolygonError::TooFewVertices(2))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+            ]),
+            Err(PolygonError::DuplicateConsecutiveVertex(0))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(f64::NAN, 0.0),
+                Point::new(1.0, 1.0),
+            ]),
+            Err(PolygonError::NonFiniteVertex(1))
+        ));
+    }
+
+    #[test]
+    fn closing_vertex_is_dropped() {
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0), // WKT-style closure
+        ])
+        .unwrap();
+        assert_eq!(p.vertex_count(), 3);
+    }
+
+    #[test]
+    fn area_and_winding() {
+        let sq = unit_square();
+        assert_eq!(sq.signed_area(), 1.0);
+        assert!(sq.is_ccw());
+        let cw = Polygon::from_coords(&[(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)]);
+        assert_eq!(cw.signed_area(), -1.0);
+        assert!(!cw.is_ccw());
+        assert_eq!(cw.area(), 1.0);
+        assert!(cw.ccw().is_ccw());
+    }
+
+    #[test]
+    fn mbr_cached() {
+        let p = Polygon::from_coords(&[(1.0, 2.0), (5.0, 1.0), (3.0, 7.0)]);
+        assert_eq!(p.mbr(), Rect::new(1.0, 1.0, 5.0, 7.0));
+    }
+
+    #[test]
+    fn edges_close_the_boundary() {
+        let sq = unit_square();
+        let edges: Vec<Segment> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, edges[0].a, "last edge returns to first vertex");
+        assert_eq!(sq.edge(3), edges[3]);
+    }
+
+    #[test]
+    fn perimeter_and_centroid() {
+        let sq = unit_square();
+        assert_eq!(sq.perimeter(), 4.0);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_is_winding_invariant() {
+        let ccw = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 2.0), (0.0, 2.0)]);
+        let cw = Polygon::from_coords(&[(0.0, 0.0), (0.0, 2.0), (4.0, 2.0), (4.0, 0.0)]);
+        assert!(ccw.centroid().dist(cw.centroid()) < 1e-12);
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(unit_square().is_simple());
+        // Bowtie: self-intersecting.
+        let bowtie = Polygon::from_coords(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        assert!(!bowtie.is_simple());
+    }
+
+    #[test]
+    fn concave_polygon_simple() {
+        // An L-shape is concave but simple.
+        let l = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (3.0, 0.0),
+            (3.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (0.0, 3.0),
+        ]);
+        assert!(l.is_simple());
+        assert_eq!(l.area(), 5.0);
+    }
+
+    #[test]
+    fn transforms() {
+        let sq = unit_square();
+        let t = sq.translated(2.0, 3.0);
+        assert_eq!(t.mbr(), Rect::new(2.0, 3.0, 3.0, 4.0));
+        let s = sq.scaled_about(Point::new(0.0, 0.0), 2.0);
+        assert_eq!(s.mbr(), Rect::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(s.area(), 4.0);
+    }
+
+    #[test]
+    fn boundary_point_walks_edges() {
+        let sq = unit_square();
+        assert_eq!(sq.boundary_point(0.0), Point::new(0.0, 0.0));
+        assert_eq!(sq.boundary_point(0.25), Point::new(1.0, 0.0));
+        assert_eq!(sq.boundary_point(0.5), Point::new(1.0, 1.0));
+        let p = sq.boundary_point(0.125);
+        assert!((p.x - 0.5).abs() < 1e-12 && p.y == 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the geometry kernel: every optimized algorithm
+//! must agree with its brute-force oracle on randomized concave polygons.
+
+use proptest::prelude::*;
+use spatial_geom::intersect::{polygons_intersect_with, IntersectStats, SweepAlgo};
+use spatial_geom::pip::{locate_point, PointLocation};
+use spatial_geom::{
+    min_dist, min_dist_brute, point_in_polygon, polygons_intersect, polygons_intersect_brute,
+    within_distance, Point, Polygon,
+};
+
+/// A star-shaped (hence simple) polygon around `(cx, cy)`: one vertex per
+/// angular step at a radius drawn from `radii`. Star-shaped polygons can be
+/// deeply concave, which is what exercises the pocket cases.
+fn star_polygon(cx: f64, cy: f64, radii: &[f64]) -> Polygon {
+    let n = radii.len();
+    let vertices: Vec<Point> = radii
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let a = (i as f64) * std::f64::consts::TAU / (n as f64);
+            Point::new(cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect();
+    Polygon::new(vertices).expect("star polygons are structurally valid")
+}
+
+prop_compose! {
+    fn arb_star()(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        radii in prop::collection::vec(0.5f64..20.0, 3..24),
+    ) -> Polygon {
+        star_polygon(cx, cy, &radii)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tree sweep, the forward sweep and the brute-force oracle must
+    /// return identical intersection verdicts.
+    #[test]
+    fn intersection_implementations_agree(p in arb_star(), q in arb_star()) {
+        let oracle = polygons_intersect_brute(&p, &q);
+        let mut s1 = IntersectStats::default();
+        let mut s2 = IntersectStats::default();
+        let tree = polygons_intersect_with(&p, &q, SweepAlgo::Tree, &mut s1);
+        let fwd = polygons_intersect_with(&p, &q, SweepAlgo::Forward, &mut s2);
+        prop_assert_eq!(tree, oracle, "tree sweep vs brute force");
+        prop_assert_eq!(fwd, oracle, "forward sweep vs brute force");
+    }
+
+    /// Intersection is symmetric.
+    #[test]
+    fn intersection_is_symmetric(p in arb_star(), q in arb_star()) {
+        prop_assert_eq!(polygons_intersect(&p, &q), polygons_intersect(&q, &p));
+    }
+
+    /// `min_dist` equals the brute-force oracle and is 0 iff intersecting.
+    #[test]
+    fn min_dist_matches_oracle(p in arb_star(), q in arb_star()) {
+        let exact = min_dist(&p, &q);
+        let oracle = min_dist_brute(&p, &q);
+        prop_assert!((exact - oracle).abs() <= 1e-9 * (1.0 + oracle),
+            "min_dist {} vs oracle {}", exact, oracle);
+        prop_assert_eq!(oracle == 0.0, polygons_intersect_brute(&p, &q));
+    }
+
+    /// `within_distance` (frontier chains + clipping + sweep) must agree
+    /// with a direct comparison against the oracle distance.
+    #[test]
+    fn within_distance_matches_oracle(
+        p in arb_star(),
+        q in arb_star(),
+        d in 0.0f64..80.0,
+    ) {
+        let oracle = min_dist_brute(&p, &q);
+        prop_assert_eq!(
+            within_distance(&p, &q, d),
+            oracle <= d,
+            "within_distance({}) vs oracle distance {}", d, oracle
+        );
+    }
+
+    /// Within-distance at d = 0 coincides with intersection.
+    #[test]
+    fn within_zero_is_intersection(p in arb_star(), q in arb_star()) {
+        prop_assert_eq!(within_distance(&p, &q, 0.0), polygons_intersect_brute(&p, &q));
+    }
+
+    /// The sweep kernel and the paper's pairwise kernel agree everywhere.
+    #[test]
+    fn within_sweep_matches_pairwise(
+        p in arb_star(),
+        q in arb_star(),
+        d in 0.0f64..80.0,
+    ) {
+        prop_assert_eq!(
+            spatial_geom::within_distance_sweep(&p, &q, d),
+            within_distance(&p, &q, d)
+        );
+    }
+
+    /// The centroid of a star polygon is inside it only if... not always
+    /// (concave shapes), but the generating center always is: every star
+    /// vertex is visible from it.
+    #[test]
+    fn star_center_is_inside(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        radii in prop::collection::vec(0.5f64..20.0, 3..24),
+    ) {
+        let p = star_polygon(cx, cy, &radii);
+        prop_assert!(point_in_polygon(Point::new(cx, cy), &p));
+    }
+
+    /// Boundary sample points must be classified OnBoundary or very close
+    /// to it; points far outside the MBR are Outside.
+    #[test]
+    fn pip_boundary_and_outside(p in arb_star(), t in 0.0f64..1.0) {
+        let b = p.boundary_point(t);
+        // Floating-point walking can land epsilon off the edge, so accept
+        // any classification for the sampled point but require that a point
+        // far outside is Outside.
+        let _ = locate_point(b, &p);
+        let far = Point::new(p.mbr().xmax + 1000.0, p.mbr().ymax + 1000.0);
+        prop_assert_eq!(locate_point(far, &p), PointLocation::Outside);
+    }
+
+    /// Vertices themselves are always on the boundary.
+    #[test]
+    fn pip_vertices_on_boundary(p in arb_star()) {
+        for &v in p.vertices() {
+            prop_assert_eq!(locate_point(v, &p), PointLocation::OnBoundary);
+        }
+    }
+
+    /// Star polygons are simple; the Shamos–Hoey-style checker must agree.
+    #[test]
+    fn stars_are_simple(p in arb_star()) {
+        prop_assert!(p.is_simple());
+    }
+
+    /// Triangulation of a simple polygon covers exactly its area.
+    #[test]
+    fn triangulation_preserves_area(p in arb_star()) {
+        let tris = spatial_geom::triangulate::triangulate(&p)
+            .expect("star polygons must triangulate");
+        prop_assert_eq!(tris.len(), p.vertex_count() - 2);
+        let ta = spatial_geom::triangulate::triangulation_area(&p, &tris);
+        prop_assert!((ta - p.area()).abs() <= 1e-9 * (1.0 + p.area()));
+    }
+
+    /// Convex hull contains all input points.
+    #[test]
+    fn hull_contains_inputs(pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..64)) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let hull = spatial_geom::hull::convex_hull(&points);
+        if hull.len() >= 3 {
+            let hp = Polygon::new(hull).unwrap();
+            for &pt in &points {
+                prop_assert!(point_in_polygon(pt, &hp));
+            }
+        }
+    }
+
+    /// WKT round-trips exactly (f64 Display is lossless for these values).
+    #[test]
+    fn wkt_round_trip(p in arb_star()) {
+        let s = spatial_geom::wkt::format_polygon(&p);
+        let q = spatial_geom::wkt::parse_polygon(&s).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// MBR distance lower-bounds true distance; expanded MBRs intersect iff
+    /// MBR distance ≤ 2d is *implied* (one-way check).
+    #[test]
+    fn mbr_distance_is_lower_bound(p in arb_star(), q in arb_star()) {
+        let lb = p.mbr().min_dist(&q.mbr());
+        let d = min_dist_brute(&p, &q);
+        prop_assert!(lb <= d + 1e-9, "MBR lower bound {} exceeds distance {}", lb, d);
+    }
+
+    /// The WKT parser must never panic, whatever bytes arrive (fuzz-style:
+    /// errors are fine, crashes are not).
+    #[test]
+    fn wkt_parser_never_panics(s in ".{0,200}") {
+        let _ = spatial_geom::wkt::parse_polygon(&s);
+    }
+
+    /// ...including near-miss inputs that start like real WKT.
+    #[test]
+    fn wkt_parser_survives_mangled_polygons(
+        body in r"[0-9 .,()-]{0,120}",
+    ) {
+        let _ = spatial_geom::wkt::parse_polygon(&format!("POLYGON ({body})"));
+        let _ = spatial_geom::wkt::parse_polygon(&format!("POLYGON (({body}))"));
+    }
+
+    /// Translation and scaling commute with area the way affine maps must.
+    #[test]
+    fn transforms_respect_area(
+        p in arb_star(),
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+        s in 0.1f64..5.0,
+    ) {
+        let area = p.area();
+        let t = p.translated(dx, dy);
+        prop_assert!((t.area() - area).abs() <= 1e-6 * (1.0 + area));
+        let z = p.scaled_about(Point::new(0.0, 0.0), s);
+        prop_assert!((z.area() - area * s * s).abs() <= 1e-6 * (1.0 + area * s * s));
+    }
+
+    /// `polygons_intersect` must agree with the *distance* oracle's notion
+    /// of contact: distance 0 ⟺ intersecting.
+    #[test]
+    fn intersection_iff_zero_distance(p in arb_star(), q in arb_star()) {
+        prop_assert_eq!(polygons_intersect(&p, &q), min_dist_brute(&p, &q) == 0.0);
+    }
+}

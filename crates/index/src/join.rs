@@ -1,0 +1,223 @@
+//! Synchronized-traversal R-tree spatial join — the MBR filtering stage of
+//! the paper's join pipelines (§4.1.1): "For intersection join, the
+//! candidates are the object pairs whose MBRs intersect each other. For
+//! within-distance join, the candidates are object pairs whose MBRs are
+//! within distance D."
+
+use crate::rtree::{visit_child, RTree, Visit};
+use spatial_geom::Rect;
+
+/// All payload pairs whose MBRs intersect, by descending both trees in
+/// lock-step and pruning subtree pairs with disjoint MBRs.
+pub fn join_intersecting<'a, A: Clone, B: Clone>(
+    left: &'a RTree<A>,
+    right: &'a RTree<B>,
+) -> Vec<(&'a A, &'a B)> {
+    join_predicate(left, right, &|a, b| a.intersects(b))
+}
+
+/// All payload pairs whose MBRs are within distance `d`.
+pub fn join_within_distance<'a, A: Clone, B: Clone>(
+    left: &'a RTree<A>,
+    right: &'a RTree<B>,
+    d: f64,
+) -> Vec<(&'a A, &'a B)> {
+    join_predicate(left, right, &|a, b| a.min_dist(b) <= d)
+}
+
+/// Generic MBR join: `pred` must be monotone (true for child rectangles ⇒
+/// true for their covering parents) for pruning to be lossless — both
+/// intersection and within-distance are.
+fn join_predicate<'a, A: Clone, B: Clone>(
+    left: &'a RTree<A>,
+    right: &'a RTree<B>,
+    pred: &dyn Fn(&Rect, &Rect) -> bool,
+) -> Vec<(&'a A, &'a B)> {
+    let mut out = Vec::new();
+    if let (Some(l), Some(r)) = (left.visit_root(), right.visit_root()) {
+        join_rec(l, r, pred, &mut out);
+    }
+    out
+}
+
+fn join_rec<'a, A, B>(
+    left: Visit<'a, A>,
+    right: Visit<'a, B>,
+    pred: &dyn Fn(&Rect, &Rect) -> bool,
+    out: &mut Vec<(&'a A, &'a B)>,
+) {
+    match (left, right) {
+        (Visit::Leaf(ls), Visit::Leaf(rs)) => {
+            for (lr, lv) in ls {
+                for (rr, rv) in rs {
+                    if pred(lr, rr) {
+                        out.push((lv, rv));
+                    }
+                }
+            }
+        }
+        (Visit::Leaf(ls), Visit::Internal(rcs)) => {
+            for rc in rcs {
+                let (rr, rv) = visit_child(rc);
+                // Prune against the leaf's combined extent first.
+                if ls.iter().any(|(lr, _)| pred(lr, &rr)) {
+                    join_rec(Visit::Leaf(ls), rv, pred, out);
+                }
+            }
+        }
+        (Visit::Internal(lcs), Visit::Leaf(rs)) => {
+            for lc in lcs {
+                let (lr, lv) = visit_child(lc);
+                if rs.iter().any(|(rr, _)| pred(&lr, rr)) {
+                    join_rec(lv, Visit::Leaf(rs), pred, out);
+                }
+            }
+        }
+        (Visit::Internal(lcs), Visit::Internal(rcs)) => {
+            for lc in lcs {
+                let (lr, lv) = visit_child(lc);
+                for rc in rcs {
+                    let (rr, rv) = visit_child(rc);
+                    if pred(&lr, &rr) {
+                        join_rec(clone_visit(&lv), rv, pred, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Visit` is a pair of shared references; re-borrowing it is free but it
+/// cannot derive `Copy` because of the unsized slices — this shim clones
+/// the (reference-only) enum.
+fn clone_visit<'a, T>(v: &Visit<'a, T>) -> Visit<'a, T> {
+    match v {
+        Visit::Leaf(s) => Visit::Leaf(s),
+        Visit::Internal(s) => Visit::Internal(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x: f64, y: f64, s: f64) -> Rect {
+        Rect::new(x, y, x + s, y + s)
+    }
+
+    /// Brute-force reference join.
+    #[allow(clippy::type_complexity)]
+    fn brute(
+        a: &[(Rect, usize)],
+        b: &[(Rect, usize)],
+        pred: impl Fn(&Rect, &Rect) -> bool,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (ra, va) in a {
+            for (rb, vb) in b {
+                if pred(ra, rb) {
+                    out.push((*va, *vb));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sorted(pairs: Vec<(&usize, &usize)>) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = pairs.into_iter().map(|(a, b)| (*a, *b)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn grids() -> (Vec<(Rect, usize)>, Vec<(Rect, usize)>) {
+        let a: Vec<(Rect, usize)> = (0..150)
+            .map(|i| (rect((i % 15) as f64 * 4.0, (i / 15) as f64 * 4.0, 3.0), i))
+            .collect();
+        let b: Vec<(Rect, usize)> = (0..120)
+            .map(|i| (rect((i % 12) as f64 * 5.0 + 1.5, (i / 12) as f64 * 5.0 + 1.5, 2.5), i))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn intersection_join_matches_brute_force() {
+        let (a, b) = grids();
+        let ta = RTree::bulk_load(a.clone());
+        let tb = RTree::bulk_load(b.clone());
+        let got = sorted(join_intersecting(&ta, &tb));
+        let expected = brute(&a, &b, |x, y| x.intersects(y));
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "test data must produce candidates");
+    }
+
+    #[test]
+    fn within_join_matches_brute_force() {
+        let (a, b) = grids();
+        let ta = RTree::bulk_load(a.clone());
+        let tb = RTree::bulk_load(b.clone());
+        for d in [0.0, 1.0, 3.0, 10.0] {
+            let got = sorted(join_within_distance(&ta, &tb, d));
+            let expected = brute(&a, &b, |x, y| x.min_dist(y) <= d);
+            assert_eq!(got, expected, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn join_with_inserted_trees() {
+        let (a, b) = grids();
+        let mut ta = RTree::new();
+        for (r, v) in a.clone() {
+            ta.insert(r, v);
+        }
+        let mut tb = RTree::new();
+        for (r, v) in b.clone() {
+            tb.insert(r, v);
+        }
+        let got = sorted(join_intersecting(&ta, &tb));
+        assert_eq!(got, brute(&a, &b, |x, y| x.intersects(y)));
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let empty: RTree<usize> = RTree::new();
+        let single = RTree::bulk_load(vec![(rect(0.0, 0.0, 1.0), 7usize)]);
+        assert!(join_intersecting(&empty, &single).is_empty());
+        assert!(join_intersecting(&single, &empty).is_empty());
+        let other = RTree::bulk_load(vec![(rect(0.5, 0.5, 1.0), 9usize)]);
+        assert_eq!(sorted(join_intersecting(&single, &other)), vec![(7, 9)]);
+        let far = RTree::bulk_load(vec![(rect(100.0, 0.0, 1.0), 1usize)]);
+        assert!(join_intersecting(&single, &far).is_empty());
+        assert_eq!(sorted(join_within_distance(&single, &far, 99.5)), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn within_distance_zero_equals_intersection() {
+        let (a, b) = grids();
+        let ta = RTree::bulk_load(a);
+        let tb = RTree::bulk_load(b);
+        assert_eq!(
+            sorted(join_within_distance(&ta, &tb, 0.0)),
+            sorted(join_intersecting(&ta, &tb))
+        );
+    }
+
+    #[test]
+    fn unbalanced_heights_join_correctly() {
+        // A big tree against a tiny one exercises the Leaf×Internal arms.
+        let (a, _) = grids();
+        let ta = RTree::bulk_load(a.clone());
+        let tiny = RTree::bulk_load(vec![(rect(10.0, 10.0, 3.0), 0usize)]);
+        let got = sorted(join_intersecting(&ta, &tiny));
+        let expected = brute(&a, &[(rect(10.0, 10.0, 3.0), 0usize)], |x, y| x.intersects(y));
+        assert_eq!(got, expected);
+        // And the mirrored orientation.
+        let mut got_rev: Vec<(usize, usize)> = join_intersecting(&tiny, &ta)
+            .into_iter()
+            .map(|(x, y)| (*y, *x))
+            .collect();
+        got_rev.sort_unstable();
+        assert_eq!(got_rev, expected);
+    }
+}

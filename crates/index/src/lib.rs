@@ -1,0 +1,20 @@
+//! R-tree spatial index — the MBR filtering stage of the paper's query
+//! pipeline (Fig. 8).
+//!
+//! The paper deliberately leaves indexing untouched ("does not require ...
+//! changes to existing storage and index structures"), so this crate
+//! provides a textbook Guttman R-tree: quadratic-split insertion,
+//! Sort-Tile-Recursive bulk loading, window queries for selections, and a
+//! synchronized-traversal spatial join producing the candidate pairs for
+//! intersection and within-distance joins.
+//!
+//! The MBR filter's cost is reported separately by the engine (it is the
+//! flat-near-zero curve of Figure 10); candidates are identified by opaque
+//! payloads (dataset indices in the engine).
+
+pub mod join;
+pub mod nearest;
+pub mod rtree;
+
+pub use join::{join_intersecting, join_within_distance};
+pub use rtree::RTree;

@@ -1,0 +1,175 @@
+//! Best-first nearest-neighbor search over the R-tree — the software
+//! baseline for the paper's §5 future-work item ("nearest neighbor queries
+//! using hardware calculated Voronoi diagrams").
+//!
+//! Classic Hjaltason–Samet incremental search: a priority queue over tree
+//! nodes and entries ordered by MBR distance to the query point. Since MBR
+//! distance lower-bounds object distance, popping in order yields
+//! candidates whose true distances need only be refined by the caller.
+
+use crate::rtree::{visit_child, RTree, Visit};
+use spatial_geom::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap item: candidate (leaf entry) or node, keyed by MBR distance.
+struct HeapItem<'a, T> {
+    dist: f64,
+    kind: ItemKind<'a, T>,
+}
+
+enum ItemKind<'a, T> {
+    Node(Visit<'a, T>),
+    Entry(&'a T),
+}
+
+impl<T> PartialEq for HeapItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T> Eq for HeapItem<'_, T> {}
+impl<T> PartialOrd for HeapItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// Iterates entries in non-decreasing order of MBR distance to `q`.
+    ///
+    /// The caller refines: because MBR distance is a lower bound, once the
+    /// caller has an object whose *true* distance is ≤ the next yielded
+    /// MBR distance, the search can stop.
+    pub fn nearest_iter<'a>(&'a self, q: Point) -> NearestIter<'a, T> {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = self.visit_root() {
+            heap.push(HeapItem {
+                dist: 0.0,
+                kind: ItemKind::Node(root),
+            });
+        }
+        NearestIter { q, heap }
+    }
+
+    /// The `k` entries with smallest MBR distance to `q` (ties arbitrary).
+    /// A convenience built on [`RTree::nearest_iter`].
+    pub fn nearest_k(&self, q: Point, k: usize) -> Vec<(&T, f64)> {
+        self.nearest_iter(q).take(k).collect()
+    }
+}
+
+/// Incremental nearest iterator (see [`RTree::nearest_iter`]).
+pub struct NearestIter<'a, T> {
+    q: Point,
+    heap: BinaryHeap<HeapItem<'a, T>>,
+}
+
+impl<'a, T> Iterator for NearestIter<'a, T> {
+    type Item = (&'a T, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(item) = self.heap.pop() {
+            match item.kind {
+                ItemKind::Entry(v) => return Some((v, item.dist)),
+                ItemKind::Node(Visit::Leaf(entries)) => {
+                    for (r, v) in entries {
+                        self.heap.push(HeapItem {
+                            dist: r.min_dist_point(self.q),
+                            kind: ItemKind::Entry(v),
+                        });
+                    }
+                }
+                ItemKind::Node(Visit::Internal(children)) => {
+                    for c in children {
+                        let (r, visit) = visit_child(c);
+                        self.heap.push(HeapItem {
+                            dist: r.min_dist_point(self.q),
+                            kind: ItemKind::Node(visit),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::Rect;
+
+    fn rect(x: f64, y: f64, s: f64) -> Rect {
+        Rect::new(x, y, x + s, y + s)
+    }
+
+    fn grid_tree(n: usize) -> (RTree<usize>, Vec<(Rect, usize)>) {
+        let items: Vec<(Rect, usize)> = (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64 * 5.0;
+                let y = (i / 20) as f64 * 5.0;
+                (rect(x, y, 2.0), i)
+            })
+            .collect();
+        (RTree::bulk_load(items.clone()), items)
+    }
+
+    #[test]
+    fn nearest_order_is_nondecreasing() {
+        let (tree, _) = grid_tree(300);
+        let q = Point::new(37.0, 23.0);
+        let mut prev = 0.0;
+        for (_, d) in tree.nearest_iter(q).take(50) {
+            assert!(d >= prev, "distance order violated: {d} < {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let (tree, items) = grid_tree(300);
+        let q = Point::new(11.0, 48.0);
+        let got: Vec<usize> = tree.nearest_k(q, 10).into_iter().map(|(v, _)| *v).collect();
+        let mut expected: Vec<(f64, usize)> = items
+            .iter()
+            .map(|(r, v)| (r.min_dist_point(q), *v))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Compare distances (payload ties can reorder arbitrarily).
+        let exp_d: Vec<f64> = expected.iter().take(10).map(|(d, _)| *d).collect();
+        let got_d: Vec<f64> = tree.nearest_k(q, 10).into_iter().map(|(_, d)| d).collect();
+        assert_eq!(got.len(), 10);
+        for (g, e) in got_d.iter().zip(exp_d.iter()) {
+            assert!((g - e).abs() < 1e-12, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn query_inside_an_entry_has_distance_zero() {
+        let (tree, _) = grid_tree(100);
+        let q = Point::new(1.0, 1.0); // inside entry 0's rect
+        let (_, d) = tree.nearest_iter(q).next().unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn exhausts_all_entries() {
+        let (tree, _) = grid_tree(137);
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(tree.nearest_iter(q).count(), 137);
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let tree: RTree<usize> = RTree::new();
+        assert!(tree.nearest_iter(Point::new(0.0, 0.0)).next().is_none());
+        assert!(tree.nearest_k(Point::new(0.0, 0.0), 5).is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Anti-aliased wide-line rasterization (§2.2.2, Fig. 4) — the load-bearing
+//! primitive of the hardware segment test.
+//!
+//! An anti-aliased line of width `w` is rasterized through its *bounding
+//! rectangle*: two edges parallel to the segment at distance `w/2`, two
+//! perpendicular edges through the end points. Real hardware assigns each
+//! touched pixel an alpha equal to its coverage fraction; with **blending
+//! disabled** (the paper's configuration) the alpha is ignored and every
+//! pixel with non-zero coverage receives the full line color.
+//!
+//! That yields the conservativeness guarantee of Algorithm 3.1: "with
+//! anti-aliasing enabled, every pixel that intersects the line segment is
+//! colored, therefore if two line segments intersect, there exists at least
+//! one pixel that is colored twice." We implement coverage exactly as
+//! "pixel square ∩ oriented rectangle ≠ ∅" (closed), decided by a
+//! separating-axis test.
+//!
+//! The per-pixel test is the inner loop of every hardware-assisted query,
+//! so it is kept lean: the candidate loop bounds already guarantee overlap
+//! on the window axes, leaving only the rectangle's two edge normals to
+//! check, with all rectangle projections hoisted out of the loop. (This is
+//! the simulation's stand-in for the GPU's parallel coverage evaluation.)
+
+use crate::stats::HwStats;
+use spatial_geom::Point;
+
+/// The paper's default width for intersection tests: the pixel diagonal.
+pub const DIAGONAL_WIDTH: f64 = std::f64::consts::SQRT_2;
+
+/// The four corners of the width-`w` bounding rectangle of segment `a→b`.
+/// Returns `None` for a degenerate (zero-length) segment — callers render a
+/// wide point instead.
+pub fn bounding_rectangle(a: Point, b: Point, w: f64) -> Option<[Point; 4]> {
+    let dir = (b - a).normalized()?;
+    let n = dir.perp() * (w / 2.0);
+    Some([a + n, b + n, b - n, a - n])
+}
+
+/// Rasterizes the anti-aliased line `a→b` of width `w` (window
+/// coordinates), emitting every pixel whose square intersects the bounding
+/// rectangle. Degenerate segments emit nothing.
+#[inline]
+pub fn rasterize_aa_line(
+    a: Point,
+    b: Point,
+    w: f64,
+    width: usize,
+    height: usize,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
+    debug_assert!(w > 0.0);
+    let dir = match (b - a).normalized() {
+        Some(d) => d,
+        None => return,
+    };
+    let n = dir.perp() * (w / 2.0);
+    let corners = [a + n, b + n, b - n, a - n];
+
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for p in &corners {
+        xmin = xmin.min(p.x);
+        xmax = xmax.max(p.x);
+        ymin = ymin.min(p.y);
+        ymax = ymax.max(p.y);
+    }
+    let x_lo = (xmin.floor() as i64).max(0);
+    let x_hi = (xmax.floor() as i64).min(width as i64 - 1);
+    let y_lo = (ymin.floor() as i64).max(0);
+    let y_hi = (ymax.floor() as i64).min(height as i64 - 1);
+    if x_lo > x_hi || y_lo > y_hi {
+        return;
+    }
+
+    // Separating axes. The candidate loop below only visits pixels whose
+    // square overlaps the rectangle's AABB, so the window axes (1,0)/(0,1)
+    // can never separate; only the rectangle's own edge normals remain:
+    // `dir` (separates beyond the end caps) and `perp` (beyond the sides).
+    //
+    // Projections of the rectangle onto each axis, hoisted: onto `dir` the
+    // rectangle spans [a·dir, b·dir] (a before b by construction); onto
+    // `perp` it spans (a·perp) ± w/2.
+    let perp = dir.perp();
+    let rect_d_lo = a.x * dir.x + a.y * dir.y;
+    let rect_d_hi = b.x * dir.x + b.y * dir.y;
+    let (rect_d_lo, rect_d_hi) = if rect_d_lo <= rect_d_hi {
+        (rect_d_lo, rect_d_hi)
+    } else {
+        (rect_d_hi, rect_d_lo)
+    };
+    let center_p = a.x * perp.x + a.y * perp.y; // b projects identically
+    let rect_p_lo = center_p - w / 2.0;
+    let rect_p_hi = center_p + w / 2.0;
+    // A unit square centered at c projects onto axis n as
+    // c·n ± (|n.x| + |n.y|) / 2.
+    let half_d = (dir.x.abs() + dir.y.abs()) / 2.0;
+    let half_p = (perp.x.abs() + perp.y.abs()) / 2.0;
+
+    for j in y_lo..=y_hi {
+        let cy = j as f64 + 0.5;
+        for i in x_lo..=x_hi {
+            stats.fragments_tested += 1;
+            let cx = i as f64 + 0.5;
+            let c_d = cx * dir.x + cy * dir.y;
+            if c_d + half_d < rect_d_lo || c_d - half_d > rect_d_hi {
+                continue;
+            }
+            let c_p = cx * perp.x + cy * perp.y;
+            if c_p + half_p < rect_p_lo || c_p - half_p > rect_p_hi {
+                continue;
+            }
+            sink(i as usize, j as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(a: Point, b: Point, w: f64, win: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut st = HwStats::default();
+        rasterize_aa_line(a, b, w, win, win, &mut st, &mut |x, y| out.push((x, y)));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Reference implementation: full 4-axis SAT against the quad, over
+    /// the same candidate-pixel range the production rasterizer enumerates
+    /// (pixels only *grazed* by the rectangle boundary are latitude — see
+    /// `boundary_touch_latitude` — so the ranges must match for the SAT
+    /// math to be comparable).
+    fn collect_reference(a: Point, b: Point, w: f64, win: usize) -> Vec<(usize, usize)> {
+        let quad = match bounding_rectangle(a, b, w) {
+            Some(q) => q,
+            None => return Vec::new(),
+        };
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &quad {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        let x_lo = (xmin.floor().max(0.0)) as usize;
+        let x_hi = ((xmax.floor() as i64).min(win as i64 - 1)).max(0) as usize;
+        let y_lo = (ymin.floor().max(0.0)) as usize;
+        let y_hi = ((ymax.floor() as i64).min(win as i64 - 1)).max(0) as usize;
+        let mut out = Vec::new();
+        for j in y_lo..=y_hi {
+            for i in x_lo..=x_hi {
+                let sq = [
+                    Point::new(i as f64, j as f64),
+                    Point::new(i as f64 + 1.0, j as f64),
+                    Point::new(i as f64 + 1.0, j as f64 + 1.0),
+                    Point::new(i as f64, j as f64 + 1.0),
+                ];
+                let e0 = quad[1] - quad[0];
+                let e1 = quad[2] - quad[1];
+                let axes = [Point::new(1.0, 0.0), Point::new(0.0, 1.0), e0.perp(), e1.perp()];
+                let mut overlap = true;
+                for axis in axes {
+                    if axis.x == 0.0 && axis.y == 0.0 {
+                        continue;
+                    }
+                    let proj =
+                        |pts: &[Point]| -> (f64, f64) {
+                            let mut lo = f64::INFINITY;
+                            let mut hi = f64::NEG_INFINITY;
+                            for p in pts {
+                                let v = p.dot(axis);
+                                lo = lo.min(v);
+                                hi = hi.max(v);
+                            }
+                            (lo, hi)
+                        };
+                    let (alo, ahi) = proj(&quad);
+                    let (blo, bhi) = proj(&sq);
+                    if ahi < blo || bhi < alo {
+                        overlap = false;
+                        break;
+                    }
+                }
+                if overlap {
+                    out.push((i, j));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn optimized_matches_reference_sat() {
+        let cases = [
+            (Point::new(0.3, 0.7), Point::new(7.6, 5.2), DIAGONAL_WIDTH),
+            (Point::new(2.0, 0.0), Point::new(2.0, 8.0), 1.0),
+            (Point::new(0.0, 4.0), Point::new(8.0, 4.0), 4.0),
+            // Endpoints exactly on pixel corners are latitude (zero-area
+            // grazing can flip on f64 rounding), so keep endpoints off the
+            // lattice here.
+            (Point::new(6.97, 7.03), Point::new(1.0, 2.0), 2.5),
+            (Point::new(-3.0, -3.0), Point::new(12.0, 9.0), DIAGONAL_WIDTH),
+            (Point::new(0.1, 0.1), Point::new(0.2, 0.15), 0.5),
+        ];
+        for (a, b, w) in cases {
+            assert_eq!(
+                collect(a, b, w, 8),
+                collect_reference(a, b, w, 8),
+                "a={a} b={b} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounding_rectangle_geometry() {
+        let q = bounding_rectangle(Point::new(0.0, 0.0), Point::new(4.0, 0.0), 2.0).unwrap();
+        // Horizontal segment: rectangle spans y ∈ [-1, 1], x ∈ [0, 4].
+        let ys: Vec<f64> = q.iter().map(|p| p.y).collect();
+        assert!(ys.contains(&1.0) && ys.contains(&-1.0));
+        let xs: Vec<f64> = q.iter().map(|p| p.x).collect();
+        assert_eq!(xs.iter().cloned().fold(f64::INFINITY, f64::min), 0.0);
+        assert_eq!(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 4.0);
+        assert!(bounding_rectangle(Point::new(1.0, 1.0), Point::new(1.0, 1.0), 2.0).is_none());
+    }
+
+    #[test]
+    fn no_pixel_touched_by_segment_is_missed() {
+        // The conservativeness property: every pixel whose square the raw
+        // segment passes through must be emitted (width arbitrary > 0).
+        let a = Point::new(0.3, 0.7);
+        let b = Point::new(7.6, 5.2);
+        let px = collect(a, b, DIAGONAL_WIDTH, 8);
+        for k in 0..=200 {
+            let t = k as f64 / 200.0;
+            let p = a.lerp(b, t);
+            let cell = (p.x.floor() as usize, p.y.floor() as usize);
+            assert!(px.contains(&cell), "pixel {cell:?} under the segment missing");
+        }
+    }
+
+    #[test]
+    fn crossing_segments_share_a_pixel() {
+        // The Algorithm 3.1 invariant at the rasterizer level.
+        let p1 = collect(Point::new(0.0, 0.0), Point::new(8.0, 8.0), DIAGONAL_WIDTH, 8);
+        let p2 = collect(Point::new(0.0, 8.0), Point::new(8.0, 0.0), DIAGONAL_WIDTH, 8);
+        assert!(p1.iter().any(|c| p2.contains(c)));
+    }
+
+    #[test]
+    fn disjoint_far_segments_share_nothing_at_high_resolution() {
+        let p1 = collect(Point::new(1.0, 1.0), Point::new(1.0, 30.0), DIAGONAL_WIDTH, 32);
+        let p2 = collect(Point::new(30.0, 1.0), Point::new(30.0, 30.0), DIAGONAL_WIDTH, 32);
+        assert!(!p1.iter().any(|c| p2.contains(c)));
+    }
+
+    #[test]
+    fn close_segments_merge_at_low_resolution() {
+        // At 1×1 everything overlaps — the resolution-dependent false-hit
+        // behaviour of Figure 11's left edge.
+        let p1 = collect(Point::new(0.1, 0.1), Point::new(0.1, 0.9), DIAGONAL_WIDTH, 1);
+        let p2 = collect(Point::new(0.9, 0.1), Point::new(0.9, 0.9), DIAGONAL_WIDTH, 1);
+        assert_eq!(p1, vec![(0, 0)]);
+        assert_eq!(p2, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn wide_line_covers_expanded_band() {
+        // Width 4 horizontal line through the middle of an 8×8 window.
+        let px = collect(Point::new(0.0, 4.0), Point::new(8.0, 4.0), 4.0, 8);
+        // Band y ∈ [2, 6] → pixel rows 2..6 contain band points.
+        for row in 2..6 {
+            assert!(px.contains(&(4, row)), "row {row} missing");
+        }
+        assert!(!px.contains(&(4, 0)));
+        assert!(!px.contains(&(4, 7)));
+    }
+
+    #[test]
+    fn boundary_touch_latitude() {
+        // Rectangle band y ∈ [1, 3]. Pixels *containing* band points (rows
+        // 1 and 2) must be colored — that is the conservativeness
+        // guarantee. Pixels only grazed by the band boundary (zero-area
+        // coverage: rows 0 and 3) may or may not be colored, mirroring the
+        // spec's latitude for boundary pixels; they must never be required.
+        let px = collect(Point::new(0.0, 2.0), Point::new(4.0, 2.0), 2.0, 4);
+        assert!(px.contains(&(2, 1)));
+        assert!(px.contains(&(2, 2)));
+        // Interior band points in every column.
+        for col in 0..4 {
+            assert!(px.contains(&(col, 1)), "column {col} row 1 missing");
+        }
+    }
+
+    #[test]
+    fn steep_line_coverage_is_symmetric() {
+        let p1 = collect(Point::new(2.0, 0.0), Point::new(2.0, 8.0), DIAGONAL_WIDTH, 8);
+        let p2 = collect(Point::new(0.0, 2.0), Point::new(8.0, 2.0), DIAGONAL_WIDTH, 8);
+        let flipped: Vec<(usize, usize)> = p2.iter().map(|&(x, y)| (y, x)).collect();
+        let mut flipped_sorted = flipped;
+        flipped_sorted.sort_unstable();
+        assert_eq!(p1, flipped_sorted);
+    }
+}

@@ -1,0 +1,546 @@
+//! An OpenGL-style stateful rendering context over the simulated hardware,
+//! so the hardware-assisted algorithms read like the paper's pseudo-code
+//! (Algorithm 3.1: set color, render edges, accumulate, minmax).
+
+use crate::aa_line::rasterize_aa_line;
+use crate::framebuffer::{Color, FrameBuffer, BLACK};
+use crate::line_raster::rasterize_line_diamond_exit;
+use crate::point_raster::{rasterize_point, rasterize_wide_point};
+use crate::polygon_raster::rasterize_polygon;
+use crate::stats::HwStats;
+use crate::viewport::Viewport;
+use spatial_geom::{Point, Segment};
+
+/// Maximum anti-aliased line width, in pixels. The paper reports a 10-pixel
+/// limit on its GeForce4 platform (§4.4); exceeding it forces the software
+/// fallback.
+pub const MAX_AA_LINE_WIDTH: f64 = 10.0;
+
+/// Maximum (smooth) point size, in pixels — same platform limit.
+pub const MAX_POINT_SIZE: f64 = 10.0;
+
+/// How overlapping fragments are detected — the implementation variants
+/// Hoff et al. suggest (§3). The paper's Algorithm 3.1 uses the
+/// accumulation buffer; the others exist for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapStrategy {
+    /// Render both at half intensity, add via the accumulation buffer,
+    /// search for full white (the paper's choice).
+    #[default]
+    Accumulation,
+    /// Additive color blending directly in the color buffer.
+    Blending,
+    /// Count overdraw per pixel in the stencil buffer.
+    Stencil,
+}
+
+/// Where fragments land and how they combine — the write half of the
+/// OpenGL state Algorithm 3.1 and the Hoff variants manipulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Color buffer, overwrite (blending disabled — the paper's setting).
+    #[default]
+    Overwrite,
+    /// Color buffer, additive blending. Fragments of one *draw call* are
+    /// deduplicated first, mirroring GL's rule that a primitive batch
+    /// writes each covered pixel once per pass.
+    Blend,
+    /// Stencil plane, `GL_REPLACE` with this reference value.
+    StencilReplace(u8),
+    /// Stencil plane, increment where the current value equals the
+    /// reference (`glStencilFunc(GL_EQUAL, ref)` + `GL_INCR`).
+    StencilIncrIfEq(u8),
+}
+
+/// A rendering window plus the pipeline state Algorithm 3.1 manipulates.
+#[derive(Debug)]
+pub struct GlContext {
+    fb: FrameBuffer,
+    viewport: Viewport,
+    stats: HwStats,
+    color: Color,
+    line_width: f64,
+    point_size: f64,
+    antialias: bool,
+    write_mode: WriteMode,
+}
+
+impl GlContext {
+    /// A context rendering through `viewport` into a matching window.
+    pub fn new(viewport: Viewport) -> Self {
+        GlContext {
+            fb: FrameBuffer::new(viewport.width(), viewport.height()),
+            viewport,
+            stats: HwStats::default(),
+            color: crate::framebuffer::HALF_GRAY,
+            line_width: crate::aa_line::DIAGONAL_WIDTH,
+            point_size: 1.0,
+            antialias: true,
+            write_mode: WriteMode::Overwrite,
+        }
+    }
+
+    /// Re-targets the context at a new viewport, keeping the accumulated
+    /// statistics and reusing the pixel allocation when the window size is
+    /// unchanged — a per-candidate-pair reallocation would dominate at
+    /// small resolutions. Buffers are **not** cleared: every overlap
+    /// choreography starts with its own explicit clears (Algorithm 3.1
+    /// step 2.2), exactly like the GL program would.
+    pub fn retarget(&mut self, viewport: Viewport) {
+        if viewport.width() != self.fb.width() || viewport.height() != self.fb.height() {
+            self.fb = FrameBuffer::new(viewport.width(), viewport.height());
+        }
+        self.viewport = viewport;
+    }
+
+    #[inline]
+    pub fn viewport(&self) -> &Viewport {
+        &self.viewport
+    }
+
+    #[inline]
+    pub fn frame_buffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    #[inline]
+    pub fn stats(&self) -> HwStats {
+        self.stats
+    }
+
+    // -- pipeline state ----------------------------------------------------
+
+    pub fn set_color(&mut self, c: Color) {
+        self.color = c;
+    }
+
+    /// Sets the line width in pixels; clamped to [`MAX_AA_LINE_WIDTH`] like
+    /// real hardware clamps `glLineWidth`. Returns the effective width so
+    /// callers can detect clamping and fall back to software.
+    pub fn set_line_width(&mut self, w: f64) -> f64 {
+        self.line_width = w.clamp(1.0, MAX_AA_LINE_WIDTH);
+        self.line_width
+    }
+
+    /// Sets the point size in pixels; clamped to [`MAX_POINT_SIZE`].
+    pub fn set_point_size(&mut self, s: f64) -> f64 {
+        self.point_size = s.clamp(1.0, MAX_POINT_SIZE);
+        self.point_size
+    }
+
+    pub fn enable_antialias(&mut self, on: bool) {
+        self.antialias = on;
+    }
+
+    /// Convenience for the common on/off blending toggle.
+    pub fn enable_blending(&mut self, on: bool) {
+        self.write_mode = if on { WriteMode::Blend } else { WriteMode::Overwrite };
+    }
+
+    /// Full write-mode control (stencil strategies need it).
+    pub fn set_write_mode(&mut self, mode: WriteMode) {
+        self.write_mode = mode;
+    }
+
+    // -- clears and accumulation ops ----------------------------------------
+
+    pub fn clear_color_buffer(&mut self) {
+        self.fb.clear_color(BLACK, &mut self.stats);
+    }
+
+    pub fn clear_accum_buffer(&mut self) {
+        self.fb.clear_accum(&mut self.stats);
+    }
+
+    pub fn clear_stencil_buffer(&mut self) {
+        self.fb.clear_stencil(&mut self.stats);
+    }
+
+    /// `glAccum(GL_LOAD)`: accumulation ← color.
+    pub fn accum_load(&mut self) {
+        self.fb.accum_load(&mut self.stats);
+    }
+
+    /// `glAccum(GL_ACCUM)`: accumulation += color.
+    pub fn accum_add(&mut self) {
+        self.fb.accum_add(&mut self.stats);
+    }
+
+    /// `glAccum(GL_RETURN)`: color ← accumulation.
+    pub fn accum_return(&mut self) {
+        self.fb.accum_return(&mut self.stats);
+    }
+
+    // -- drawing -------------------------------------------------------------
+
+    /// Draws a batch of segments (data coordinates) with the current line
+    /// state; vertices are *not* widened — call [`GlContext::draw_points`]
+    /// for end-cap coverage when the line width exceeds one pixel.
+    pub fn draw_segments(&mut self, segments: &[Segment]) {
+        self.stats.draw_calls += 1;
+        let (w, h) = (self.fb.width(), self.fb.height());
+        if self.write_mode == WriteMode::Overwrite {
+            // Hot path (Algorithm 3.1 renders everything in this mode):
+            // fragments go straight into the color buffer, no collection.
+            let GlContext {
+                ref mut fb,
+                ref mut stats,
+                ref viewport,
+                color,
+                line_width,
+                antialias,
+                ..
+            } = *self;
+            let mut written = 0usize;
+            for seg in segments {
+                stats.primitives += 1;
+                let a = viewport.to_window(seg.a);
+                let b = viewport.to_window(seg.b);
+                let mut sink = |x: usize, y: usize| {
+                    fb.write_pixel_uncounted(x, y, color);
+                    written += 1;
+                };
+                if antialias {
+                    rasterize_aa_line(a, b, line_width, w, h, stats, &mut sink);
+                    if a == b {
+                        // Degenerate after projection: keep coverage with a
+                        // point.
+                        rasterize_wide_point(a, line_width, w, h, stats, &mut sink);
+                    }
+                } else {
+                    rasterize_line_diamond_exit(a, b, w, h, stats, &mut sink);
+                }
+            }
+            self.stats.pixels_written += written;
+            return;
+        }
+        // Fragments are collected for the whole batch and written once:
+        // blending must not double-add where a boundary's own edges share
+        // vertex pixels within one draw call.
+        let mut frags: Vec<(usize, usize)> = Vec::new();
+        for seg in segments {
+            self.stats.primitives += 1;
+            let a = self.viewport.to_window(seg.a);
+            let b = self.viewport.to_window(seg.b);
+            if self.antialias {
+                rasterize_aa_line(a, b, self.line_width, w, h, &mut self.stats, &mut |x, y| {
+                    frags.push((x, y))
+                });
+                if a == b {
+                    // Degenerate after projection: keep coverage with a point.
+                    rasterize_wide_point(
+                        a,
+                        self.line_width,
+                        w,
+                        h,
+                        &mut self.stats,
+                        &mut |x, y| frags.push((x, y)),
+                    );
+                }
+            } else {
+                rasterize_line_diamond_exit(a, b, w, h, &mut self.stats, &mut |x, y| {
+                    frags.push((x, y))
+                });
+            }
+        }
+        self.write_fragments(&frags);
+    }
+
+    /// Draws points (data coordinates) with the current point size. With
+    /// anti-aliasing enabled (`GL_POINT_SMOOTH`) a point is a *disc* of the
+    /// given diameter at any size — including 1.0, where the disc can bleed
+    /// into up to four pixels. The distance test's conservativeness depends
+    /// on this: a vertex cap centered just outside the window must still
+    /// color the window pixels its disc reaches. Without anti-aliasing the
+    /// truncation rule of §2.2.1 applies.
+    pub fn draw_points(&mut self, points: &[Point]) {
+        self.stats.draw_calls += 1;
+        let (w, h) = (self.fb.width(), self.fb.height());
+        if self.write_mode == WriteMode::Overwrite {
+            let GlContext {
+                ref mut fb,
+                ref mut stats,
+                ref viewport,
+                color,
+                point_size,
+                antialias,
+                ..
+            } = *self;
+            let mut written = 0usize;
+            for &p in points {
+                stats.primitives += 1;
+                let wp = viewport.to_window(p);
+                let mut sink = |x: usize, y: usize| {
+                    fb.write_pixel_uncounted(x, y, color);
+                    written += 1;
+                };
+                if antialias {
+                    rasterize_wide_point(wp, point_size, w, h, stats, &mut sink);
+                } else {
+                    rasterize_point(wp, w, h, stats, &mut sink);
+                }
+            }
+            self.stats.pixels_written += written;
+            return;
+        }
+        let mut frags: Vec<(usize, usize)> = Vec::new();
+        for &p in points {
+            self.stats.primitives += 1;
+            let wp = self.viewport.to_window(p);
+            if self.antialias {
+                rasterize_wide_point(wp, self.point_size, w, h, &mut self.stats, &mut |x, y| {
+                    frags.push((x, y))
+                });
+            } else {
+                rasterize_point(wp, w, h, &mut self.stats, &mut |x, y| frags.push((x, y)));
+            }
+        }
+        self.write_fragments(&frags);
+    }
+
+    /// Fills a polygon (data coordinates, must be convex for "hardware"
+    /// fidelity — the ablation triangulates concave input first).
+    pub fn draw_filled_polygon(&mut self, vertices: &[Point]) {
+        self.stats.draw_calls += 1;
+        self.stats.primitives += 1;
+        let win: Vec<Point> = vertices.iter().map(|&p| self.viewport.to_window(p)).collect();
+        let (w, h) = (self.fb.width(), self.fb.height());
+        let mut frags: Vec<(usize, usize)> = Vec::new();
+        rasterize_polygon(&win, w, h, &mut self.stats, &mut |x, y| frags.push((x, y)));
+        self.write_fragments(&frags);
+    }
+
+    fn write_fragments(&mut self, frags: &[(usize, usize)]) {
+        match self.write_mode {
+            WriteMode::Overwrite => {
+                for &(x, y) in frags {
+                    self.fb.write_pixel(x, y, self.color, &mut self.stats);
+                }
+            }
+            WriteMode::Blend => {
+                // One blend per covered pixel per batch: a boundary's own
+                // edges share vertex pixels, and double-adding them would
+                // fake an overlap.
+                let mut sorted: Vec<(usize, usize)> = frags.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                for &(x, y) in &sorted {
+                    self.fb.blend_pixel(x, y, self.color, &mut self.stats);
+                }
+            }
+            WriteMode::StencilReplace(v) => {
+                for &(x, y) in frags {
+                    self.fb.stencil_replace(x, y, v, &mut self.stats);
+                }
+            }
+            WriteMode::StencilIncrIfEq(r) => {
+                let mut sorted: Vec<(usize, usize)> = frags.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                for &(x, y) in &sorted {
+                    self.fb.stencil_incr_if_eq(x, y, r, &mut self.stats);
+                }
+            }
+        }
+    }
+
+    // -- queries -------------------------------------------------------------
+
+    /// The hardware Minmax query over the color buffer.
+    pub fn minmax(&mut self) -> (Color, Color) {
+        self.stats.minmax_queries += 1;
+        self.fb.minmax(&mut self.stats)
+    }
+
+    /// Convenience: the maximum red-channel value (all our draws are gray).
+    pub fn max_value(&mut self) -> f32 {
+        self.minmax().1[0]
+    }
+
+    /// Maximum stencil count.
+    pub fn stencil_max(&mut self) -> u8 {
+        self.stats.minmax_queries += 1;
+        self.fb.stencil_max(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::Rect;
+
+    fn ctx(n: usize) -> GlContext {
+        GlContext::new(Viewport::new(Rect::new(0.0, 0.0, n as f64, n as f64), n, n))
+    }
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn algorithm_31_choreography_detects_overlap() {
+        let mut gl = ctx(8);
+        gl.enable_antialias(true);
+        gl.enable_blending(false);
+        gl.set_color(crate::framebuffer::HALF_GRAY);
+        gl.clear_color_buffer();
+        gl.clear_accum_buffer();
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        gl.accum_load();
+        gl.clear_color_buffer();
+        gl.draw_segments(&[seg(0.0, 8.0, 8.0, 0.0)]);
+        gl.accum_add();
+        gl.accum_return();
+        assert_eq!(gl.max_value(), 1.0, "crossing segments must reach white");
+    }
+
+    #[test]
+    fn algorithm_31_choreography_no_overlap() {
+        let mut gl = ctx(8);
+        gl.clear_color_buffer();
+        gl.clear_accum_buffer();
+        gl.draw_segments(&[seg(0.5, 0.5, 0.5, 7.5)]);
+        gl.accum_load();
+        gl.clear_color_buffer();
+        gl.draw_segments(&[seg(7.5, 0.5, 7.5, 7.5)]);
+        gl.accum_add();
+        gl.accum_return();
+        assert_eq!(gl.max_value(), 0.5, "disjoint segments stay half gray");
+    }
+
+    #[test]
+    fn blending_strategy_detects_overlap_in_one_pass() {
+        let mut gl = ctx(8);
+        gl.enable_blending(true);
+        gl.set_color(crate::framebuffer::HALF_GRAY);
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        gl.draw_segments(&[seg(0.0, 8.0, 8.0, 0.0)]);
+        assert_eq!(gl.max_value(), 1.0);
+    }
+
+    #[test]
+    fn blending_single_primitive_does_not_self_overlap() {
+        let mut gl = ctx(8);
+        gl.enable_blending(true);
+        gl.set_color(crate::framebuffer::HALF_GRAY);
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        assert_eq!(gl.max_value(), 0.5);
+    }
+
+    #[test]
+    fn stencil_strategy_counts_overdraw() {
+        let mut gl = ctx(8);
+        gl.set_write_mode(WriteMode::StencilReplace(1));
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
+        gl.draw_segments(&[seg(0.0, 8.0, 8.0, 0.0)]);
+        assert_eq!(gl.stencil_max(), 2);
+        gl.clear_stencil_buffer();
+        assert_eq!(gl.stencil_max(), 0);
+    }
+
+    #[test]
+    fn stencil_incr_if_eq_ignores_self_overlap() {
+        // The second object's own edges share vertex pixels; EQUAL+INCR
+        // must count each marked pixel at most once per draw call.
+        let mut gl = ctx(8);
+        gl.set_write_mode(WriteMode::StencilReplace(1));
+        gl.draw_segments(&[seg(0.0, 4.0, 8.0, 4.0)]);
+        gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
+        // A chain of two touching segments far from the first object.
+        gl.draw_segments(&[seg(0.0, 7.5, 4.0, 7.5), seg(4.0, 7.5, 8.0, 7.5)]);
+        assert!(gl.stencil_max() < 2, "self-touching chain faked an overlap");
+    }
+
+    #[test]
+    fn line_width_clamps_at_hardware_limit() {
+        let mut gl = ctx(4);
+        assert_eq!(gl.set_line_width(25.0), MAX_AA_LINE_WIDTH);
+        assert_eq!(gl.set_line_width(3.0), 3.0);
+        assert_eq!(gl.set_point_size(99.0), MAX_POINT_SIZE);
+    }
+
+    #[test]
+    fn retarget_keeps_buffers_for_explicit_clears() {
+        let mut gl = ctx(8);
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        assert!(gl.max_value() > 0.0);
+        // Retarget does NOT clear (Algorithm 3.1 clears explicitly)...
+        gl.retarget(Viewport::new(Rect::new(10.0, 10.0, 20.0, 20.0), 8, 8));
+        assert!(gl.max_value() > 0.0, "stale pixels remain until cleared");
+        // ...and the explicit clear wipes them.
+        gl.clear_color_buffer();
+        assert_eq!(gl.max_value(), 0.0);
+        // Different size reallocates (fresh buffers start clear).
+        gl.retarget(Viewport::new(Rect::new(0.0, 0.0, 1.0, 1.0), 16, 16));
+        assert_eq!(gl.frame_buffer().width(), 16);
+        assert_eq!(gl.max_value(), 0.0);
+    }
+
+    #[test]
+    fn stats_grow_monotonically() {
+        let mut gl = ctx(8);
+        let s0 = gl.stats();
+        gl.draw_segments(&[seg(0.0, 0.0, 8.0, 8.0)]);
+        let s1 = gl.stats();
+        assert!(s1.pixels_written > s0.pixels_written);
+        assert!(s1.primitives == s0.primitives + 1);
+        gl.minmax();
+        let s2 = gl.stats();
+        assert_eq!(s2.minmax_queries, s1.minmax_queries + 1);
+        assert_eq!(s2.pixels_scanned, s1.pixels_scanned + 64);
+    }
+
+    #[test]
+    fn smooth_point_disc_bleeds_across_pixel_rows() {
+        // Regression: a size-1 smooth point centered just below the window
+        // must still color row 0 (its disc reaches 0.09 into the window).
+        // The aliased truncation rule would clip it entirely — and that
+        // once caused the distance test to drop a vertex cap and reject a
+        // truly-within-distance pair.
+        let vp = Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        let mut gl = GlContext::new(vp);
+        gl.enable_antialias(true);
+        gl.set_point_size(1.0);
+        // Window coords = data coords here; y = -0.41 is outside.
+        gl.draw_points(&[Point::new(3.5, -0.41)]);
+        assert!(
+            gl.frame_buffer().read_pixel(3, 0)[0] > 0.0,
+            "disc must bleed into row 0"
+        );
+        // Aliased: same point colors nothing.
+        let mut gl2 = GlContext::new(vp);
+        gl2.enable_antialias(false);
+        gl2.set_point_size(1.0);
+        gl2.draw_points(&[Point::new(3.5, -0.41)]);
+        assert_eq!(gl2.frame_buffer().read_pixel(3, 0)[0], 0.0);
+    }
+
+    #[test]
+    fn wide_points_cover_vertices() {
+        let mut gl = ctx(8);
+        gl.set_point_size(4.0);
+        gl.draw_points(&[Point::new(4.0, 4.0)]);
+        // A 4-pixel disc around window (4,4) must cover several pixels.
+        let covered = gl
+            .frame_buffer()
+            .pixels()
+            .filter(|&(_, _, c)| c[0] > 0.0)
+            .count();
+        assert!(covered >= 4, "got {covered}");
+    }
+
+    #[test]
+    fn data_space_projection_applies() {
+        // Viewport over [100, 200]²: a segment at data x = 150 lands mid-window.
+        let vp = Viewport::new(Rect::new(100.0, 100.0, 200.0, 200.0), 8, 8);
+        let mut gl = GlContext::new(vp);
+        gl.draw_segments(&[seg(150.0, 100.0, 150.0, 200.0)]);
+        let mid_col_covered = gl
+            .frame_buffer()
+            .pixels()
+            .filter(|&(x, _, c)| c[0] > 0.0 && (x == 3 || x == 4))
+            .count();
+        assert!(mid_col_covered > 0);
+    }
+}

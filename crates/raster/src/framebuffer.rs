@@ -1,0 +1,368 @@
+//! The frame buffer: color, accumulation, depth and stencil planes, with
+//! the buffer-level operations the paper and Hoff et al. use (§2.1).
+//!
+//! Colors are RGB `f32` triples. The paper's Algorithm 3.1 renders both
+//! polygons at `(0.5, 0.5, 0.5)` and searches for `(1, 1, 1)` after
+//! accumulation, so half-intensity values must add exactly — `f32` holds
+//! 0.5 and 1.0 exactly, as 2003-era 8-bit-per-channel buffers held 128 and
+//! 255.
+
+use crate::stats::HwStats;
+
+/// An RGB color.
+pub type Color = [f32; 3];
+
+/// Pure black — the clear color.
+pub const BLACK: Color = [0.0, 0.0, 0.0];
+/// The half-intensity gray Algorithm 3.1 renders with.
+pub const HALF_GRAY: Color = [0.5, 0.5, 0.5];
+/// Full white — the overlap signature Algorithm 3.1 searches for.
+pub const WHITE: Color = [1.0, 1.0, 1.0];
+
+/// A rectangular array of pixels with all four buffer planes.
+#[derive(Debug, Clone)]
+pub struct FrameBuffer {
+    width: usize,
+    height: usize,
+    color: Vec<Color>,
+    accum: Vec<Color>,
+    depth: Vec<f32>,
+    stencil: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// Allocates a cleared `width × height` frame buffer.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "window must have at least one pixel");
+        FrameBuffer {
+            width,
+            height,
+            color: vec![BLACK; width * height],
+            accum: vec![BLACK; width * height],
+            depth: vec![1.0; width * height],
+            stencil: vec![0; width * height],
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.color.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a frame buffer always has ≥ 1 pixel
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Writes a color fragment (no blending: overwrite).
+    #[inline]
+    pub fn write_pixel(&mut self, x: usize, y: usize, c: Color, stats: &mut HwStats) {
+        let i = self.idx(x, y);
+        self.color[i] = c;
+        stats.pixels_written += 1;
+    }
+
+    /// Overwrite without touching counters — the hot rasterization path
+    /// counts written pixels in bulk instead of per fragment.
+    #[inline]
+    pub(crate) fn write_pixel_uncounted(&mut self, x: usize, y: usize, c: Color) {
+        let i = self.idx(x, y);
+        self.color[i] = c;
+    }
+
+    /// Additive-blend a color fragment (`glBlendFunc(GL_ONE, GL_ONE)`),
+    /// one of Hoff et al.'s overlap-detection variants.
+    #[inline]
+    pub fn blend_pixel(&mut self, x: usize, y: usize, c: Color, stats: &mut HwStats) {
+        let i = self.idx(x, y);
+        for (dst, src) in self.color[i].iter_mut().zip(c.iter()) {
+            *dst = (*dst + src).min(1.0);
+        }
+        stats.pixels_written += 1;
+    }
+
+    /// Increments the stencil value of a pixel (saturating), the
+    /// stencil-buffer overlap-counting variant.
+    #[inline]
+    pub fn stencil_incr(&mut self, x: usize, y: usize, stats: &mut HwStats) {
+        let i = self.idx(x, y);
+        self.stencil[i] = self.stencil[i].saturating_add(1);
+        stats.pixels_written += 1;
+    }
+
+    /// `glStencilOp(GL_REPLACE)`: writes `val` into the stencil plane.
+    #[inline]
+    pub fn stencil_replace(&mut self, x: usize, y: usize, val: u8, stats: &mut HwStats) {
+        let i = self.idx(x, y);
+        self.stencil[i] = val;
+        stats.pixels_written += 1;
+    }
+
+    /// `glStencilFunc(GL_EQUAL, reference)` + `GL_INCR`: increments only
+    /// where the current value equals `reference`. This is what makes the
+    /// stencil overlap strategy immune to a boundary's self-overlap at
+    /// shared vertices: the second object's fragments only count on pixels
+    /// the *first* object marked, and only once.
+    #[inline]
+    pub fn stencil_incr_if_eq(&mut self, x: usize, y: usize, reference: u8, stats: &mut HwStats) {
+        let i = self.idx(x, y);
+        if self.stencil[i] == reference {
+            self.stencil[i] = self.stencil[i].saturating_add(1);
+        }
+        stats.pixels_written += 1;
+    }
+
+    /// Writes a depth fragment with `GL_LESS` testing; returns whether the
+    /// fragment passed. The depth-buffer overlap variant draws the second
+    /// object at a nearer depth and checks for surviving fragments.
+    #[inline]
+    pub fn depth_test_write(
+        &mut self,
+        x: usize,
+        y: usize,
+        z: f32,
+        stats: &mut HwStats,
+    ) -> bool {
+        let i = self.idx(x, y);
+        if z < self.depth[i] {
+            self.depth[i] = z;
+            stats.pixels_written += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads one pixel's color (CPU-side debug path; real readback is what
+    /// the Minmax function exists to avoid).
+    #[inline]
+    pub fn read_pixel(&self, x: usize, y: usize) -> Color {
+        self.color[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn read_stencil(&self, x: usize, y: usize) -> u8 {
+        self.stencil[self.idx(x, y)]
+    }
+
+    /// Clears the color buffer to `c`.
+    pub fn clear_color(&mut self, c: Color, stats: &mut HwStats) {
+        self.color.fill(c);
+        stats.pixels_scanned += self.len();
+    }
+
+    /// Clears the accumulation buffer to black.
+    pub fn clear_accum(&mut self, stats: &mut HwStats) {
+        self.accum.fill(BLACK);
+        stats.pixels_scanned += self.len();
+    }
+
+    /// Clears the depth buffer to the far plane (1.0).
+    pub fn clear_depth(&mut self, stats: &mut HwStats) {
+        self.depth.fill(1.0);
+        stats.pixels_scanned += self.len();
+    }
+
+    /// Clears the stencil buffer to zero.
+    pub fn clear_stencil(&mut self, stats: &mut HwStats) {
+        self.stencil.fill(0);
+        stats.pixels_scanned += self.len();
+    }
+
+    /// `glAccum(GL_LOAD, 1.0)`: accum ← color.
+    pub fn accum_load(&mut self, stats: &mut HwStats) {
+        self.accum.copy_from_slice(&self.color);
+        stats.pixels_scanned += self.len();
+    }
+
+    /// `glAccum(GL_ACCUM, 1.0)`: accum ← accum + color.
+    pub fn accum_add(&mut self, stats: &mut HwStats) {
+        for (a, c) in self.accum.iter_mut().zip(self.color.iter()) {
+            for ch in 0..3 {
+                a[ch] += c[ch];
+            }
+        }
+        stats.pixels_scanned += self.len();
+    }
+
+    /// `glAccum(GL_RETURN, 1.0)`: color ← accum (clamped to [0, 1]).
+    pub fn accum_return(&mut self, stats: &mut HwStats) {
+        for (c, a) in self.color.iter_mut().zip(self.accum.iter()) {
+            for ch in 0..3 {
+                c[ch] = a[ch].clamp(0.0, 1.0);
+            }
+        }
+        stats.pixels_scanned += self.len();
+    }
+
+    /// The hardware Minmax query (§3.2): per-channel minimum and maximum of
+    /// the color buffer, computed "on the card" — i.e. without transferring
+    /// pixels back — at the cost of one scan over the window.
+    pub fn minmax(&self, stats: &mut HwStats) -> (Color, Color) {
+        let mut mn = [f32::INFINITY; 3];
+        let mut mx = [f32::NEG_INFINITY; 3];
+        for c in &self.color {
+            for ch in 0..3 {
+                mn[ch] = mn[ch].min(c[ch]);
+                mx[ch] = mx[ch].max(c[ch]);
+            }
+        }
+        stats.pixels_scanned += self.len();
+        (mn, mx)
+    }
+
+    /// Maximum stencil value (for the stencil overlap strategy).
+    pub fn stencil_max(&self, stats: &mut HwStats) -> u8 {
+        stats.pixels_scanned += self.len();
+        self.stencil.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over `(x, y, color)` for all pixels — used by the PPM dump.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize, Color)> + '_ {
+        (0..self.height).flat_map(move |y| {
+            (0..self.width).map(move |x| (x, y, self.color[y * self.width + x]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one pixel")]
+    fn zero_size_panics() {
+        let _ = FrameBuffer::new(0, 4);
+    }
+
+    #[test]
+    fn write_and_read() {
+        let mut fb = FrameBuffer::new(4, 3);
+        let mut st = HwStats::default();
+        fb.write_pixel(2, 1, HALF_GRAY, &mut st);
+        assert_eq!(fb.read_pixel(2, 1), HALF_GRAY);
+        assert_eq!(fb.read_pixel(0, 0), BLACK);
+        assert_eq!(st.pixels_written, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fb = FrameBuffer::new(2, 2);
+        let mut st = HwStats::default();
+        fb.write_pixel(0, 0, WHITE, &mut st);
+        fb.clear_color(BLACK, &mut st);
+        assert_eq!(fb.read_pixel(0, 0), BLACK);
+        assert_eq!(st.pixels_scanned, 4);
+    }
+
+    #[test]
+    fn accumulation_pipeline_finds_overlap() {
+        // The exact buffer choreography of Algorithm 3.1 steps 2.2–2.8.
+        let mut fb = FrameBuffer::new(4, 4);
+        let mut st = HwStats::default();
+        fb.clear_color(BLACK, &mut st);
+        fb.clear_accum(&mut st);
+        // "Polygon 1" covers pixels (0..2, 0..2).
+        for y in 0..2 {
+            for x in 0..2 {
+                fb.write_pixel(x, y, HALF_GRAY, &mut st);
+            }
+        }
+        fb.accum_load(&mut st);
+        fb.clear_color(BLACK, &mut st);
+        // "Polygon 2" covers pixels (1..3, 1..3): overlap at (1,1).
+        for y in 1..3 {
+            for x in 1..3 {
+                fb.write_pixel(x, y, HALF_GRAY, &mut st);
+            }
+        }
+        fb.accum_add(&mut st);
+        fb.accum_return(&mut st);
+        let (_, mx) = fb.minmax(&mut st);
+        assert_eq!(mx, [1.0, 1.0, 1.0], "overlap pixel must reach full white");
+        assert_eq!(fb.read_pixel(1, 1), WHITE);
+        assert_eq!(fb.read_pixel(0, 0), HALF_GRAY);
+        assert_eq!(st.minmax_queries, 0, "minmax counter belongs to GlContext");
+    }
+
+    #[test]
+    fn accumulation_no_overlap_stays_gray() {
+        let mut fb = FrameBuffer::new(4, 1);
+        let mut st = HwStats::default();
+        fb.write_pixel(0, 0, HALF_GRAY, &mut st);
+        fb.accum_load(&mut st);
+        fb.clear_color(BLACK, &mut st);
+        fb.write_pixel(3, 0, HALF_GRAY, &mut st);
+        fb.accum_add(&mut st);
+        fb.accum_return(&mut st);
+        let (_, mx) = fb.minmax(&mut st);
+        assert_eq!(mx, [0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn blending_saturates() {
+        let mut fb = FrameBuffer::new(1, 1);
+        let mut st = HwStats::default();
+        fb.blend_pixel(0, 0, [0.7, 0.7, 0.7], &mut st);
+        fb.blend_pixel(0, 0, [0.7, 0.7, 0.7], &mut st);
+        assert_eq!(fb.read_pixel(0, 0), [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stencil_counts_overdraw() {
+        let mut fb = FrameBuffer::new(2, 1);
+        let mut st = HwStats::default();
+        fb.stencil_incr(0, 0, &mut st);
+        fb.stencil_incr(0, 0, &mut st);
+        fb.stencil_incr(1, 0, &mut st);
+        assert_eq!(fb.read_stencil(0, 0), 2);
+        assert_eq!(fb.stencil_max(&mut st), 2);
+        fb.clear_stencil(&mut st);
+        assert_eq!(fb.stencil_max(&mut st), 0);
+    }
+
+    #[test]
+    fn depth_test_less() {
+        let mut fb = FrameBuffer::new(1, 1);
+        let mut st = HwStats::default();
+        assert!(fb.depth_test_write(0, 0, 0.5, &mut st));
+        assert!(!fb.depth_test_write(0, 0, 0.7, &mut st), "farther fragment fails");
+        assert!(fb.depth_test_write(0, 0, 0.2, &mut st));
+        fb.clear_depth(&mut st);
+        assert!(fb.depth_test_write(0, 0, 0.99, &mut st));
+    }
+
+    #[test]
+    fn accum_return_clamps() {
+        let mut fb = FrameBuffer::new(1, 1);
+        let mut st = HwStats::default();
+        fb.write_pixel(0, 0, WHITE, &mut st);
+        fb.accum_load(&mut st);
+        fb.accum_add(&mut st); // accum = 2.0
+        fb.accum_return(&mut st);
+        assert_eq!(fb.read_pixel(0, 0), WHITE, "clamped to 1.0");
+    }
+
+    #[test]
+    fn pixels_iterator_covers_window() {
+        let fb = FrameBuffer::new(3, 2);
+        assert_eq!(fb.pixels().count(), 6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Software simulation of the graphics hardware the paper runs on.
+//!
+//! The paper's accuracy guarantee (§2.2) rests entirely on the *OpenGL
+//! specification rasterization rules*, not on any particular GPU:
+//!
+//! * **point rasterization** — window coordinates are truncated to the
+//!   containing pixel ([`point_raster`]);
+//! * **line rasterization** — the diamond-exit rule, including the
+//!   "disappearing segment" behaviour the paper rejects for its purposes
+//!   ([`line_raster`]);
+//! * **anti-aliased line rasterization** — a width-`w` bounding rectangle;
+//!   with blending disabled, every pixel the rectangle touches receives the
+//!   full line color ([`aa_line`]). This is the load-bearing rule: it makes
+//!   the hardware segment test conservative (no false "disjoint" answers);
+//! * **polygon rasterization** — pixel-center rule with shared edges
+//!   rendered exactly once ([`polygon_raster`]);
+//! * **frame buffers** — color, accumulation, depth and stencil buffers
+//!   with the operations Hoff et al. enumerate for overlap detection, plus
+//!   the Minmax query the paper uses to avoid pixel readback (§3.2)
+//!   ([`framebuffer`]).
+//!
+//! [`context::GlContext`] is a stateful OpenGL-style façade over all of the
+//! above, so the hardware-assisted algorithms in `hwa-core` read like the
+//! paper's pseudo-code. [`stats::HwStats`] counts pixels written, fragments
+//! tested and buffer scans — the deterministic cost model that stands in
+//! for GPU time and makes the resolution/overhead trade-off of Figures
+//! 11–13 reproducible on any host.
+
+pub mod aa_line;
+pub mod context;
+pub mod cost_model;
+pub mod framebuffer;
+pub mod line_raster;
+pub mod point_raster;
+pub mod polygon_raster;
+pub mod ppm;
+pub mod stats;
+pub mod viewport;
+pub mod voronoi;
+
+pub use context::{GlContext, OverlapStrategy, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
+pub use cost_model::HwCostModel;
+pub use framebuffer::FrameBuffer;
+pub use stats::HwStats;
+pub use voronoi::VoronoiField;
+pub use viewport::Viewport;

@@ -1,0 +1,159 @@
+//! Basic (aliased) line rasterization with the diamond-exit rule (§2.2.2).
+//!
+//! This rasterizer exists to demonstrate *why the paper cannot use it*: a
+//! segment that never exits a pixel diamond simply disappears (the paper's
+//! Figure 3(d)), which would make the hardware segment test lossy. The
+//! anti-aliased rasterizer in [`crate::aa_line`] is the one Algorithm 3.1
+//! uses; this one is kept for spec fidelity, tests and the ablation bench.
+
+use crate::stats::HwStats;
+use spatial_geom::Point;
+
+/// Minimum L1 distance from the point set of segment `a→b` to `c`,
+/// exploiting that `t ↦ |x(t) − cx| + |y(t) − cy|` is piecewise-linear and
+/// convex: the minimum is attained at an endpoint or where a term vanishes.
+fn min_l1_dist_to_segment(a: Point, b: Point, c: Point) -> f64 {
+    let d = b - a;
+    let mut best = f64::INFINITY;
+    let mut candidates = [0.0f64, 1.0, f64::NAN, f64::NAN];
+    if d.x != 0.0 {
+        candidates[2] = ((c.x - a.x) / d.x).clamp(0.0, 1.0);
+    }
+    if d.y != 0.0 {
+        candidates[3] = ((c.y - a.y) / d.y).clamp(0.0, 1.0);
+    }
+    for &t in &candidates {
+        if t.is_nan() {
+            continue;
+        }
+        let p = a + d * t;
+        best = best.min((p.x - c.x).abs() + (p.y - c.y).abs());
+    }
+    best
+}
+
+/// True when the segment intersects the open diamond `R_f` of the pixel
+/// whose lower-left corner is `(i, j)`: `R_f = {p : ‖p − center‖₁ < ½}`
+/// with center `(i + ½, j + ½)`.
+pub fn segment_enters_diamond(a: Point, b: Point, i: i64, j: i64) -> bool {
+    let c = Point::new(i as f64 + 0.5, j as f64 + 0.5);
+    min_l1_dist_to_segment(a, b, c) < 0.5
+}
+
+/// Rasterizes the segment `a→b` (window coordinates) under the diamond-exit
+/// rule: every pixel whose diamond the segment intersects is emitted,
+/// *except* the pixel whose diamond contains the end point `b`.
+pub fn rasterize_line_diamond_exit(
+    a: Point,
+    b: Point,
+    width: usize,
+    height: usize,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
+    let x_lo = (a.x.min(b.x).floor() as i64 - 1).max(0);
+    let x_hi = (a.x.max(b.x).floor() as i64 + 1).min(width as i64 - 1);
+    let y_lo = (a.y.min(b.y).floor() as i64 - 1).max(0);
+    let y_hi = (a.y.max(b.y).floor() as i64 + 1).min(height as i64 - 1);
+    for j in y_lo..=y_hi {
+        for i in x_lo..=x_hi {
+            stats.fragments_tested += 1;
+            if !segment_enters_diamond(a, b, i, j) {
+                continue;
+            }
+            // Diamond-exit: skip the pixel whose diamond holds the endpoint.
+            let c = Point::new(i as f64 + 0.5, j as f64 + 0.5);
+            if (b.x - c.x).abs() + (b.y - c.y).abs() < 0.5 {
+                continue;
+            }
+            sink(i as usize, j as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(a: Point, b: Point, w: usize, h: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut st = HwStats::default();
+        rasterize_line_diamond_exit(a, b, w, h, &mut st, &mut |x, y| out.push((x, y)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn horizontal_line_drops_tail_pixel() {
+        // Segment along the pixel-center row from (0.5, 0.5) to (3.5, 0.5):
+        // enters diamonds of pixels 0..3, but ends inside pixel 3's diamond.
+        let px = collect(Point::new(0.5, 0.5), Point::new(3.5, 0.5), 5, 1);
+        assert_eq!(px, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn connected_segments_color_each_pixel_once() {
+        // The motivation for the rule (§2.2.2): chaining segments does not
+        // double-color the joints.
+        let a = Point::new(0.5, 0.5);
+        let m = Point::new(3.5, 0.5);
+        let b = Point::new(6.5, 0.5);
+        let mut all = collect(a, m, 8, 1);
+        all.extend(collect(m, b, 8, 1));
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "no pixel colored twice");
+    }
+
+    #[test]
+    fn short_segment_disappears() {
+        // Figure 3(d): a segment that intersects no diamond, or only the
+        // diamond containing its endpoint, produces nothing.
+        // Wholly inside one diamond:
+        let px = collect(Point::new(1.4, 1.5), Point::new(1.6, 1.5), 3, 3);
+        assert!(px.is_empty(), "got {px:?}");
+        // Along a pixel corner region, missing all diamonds:
+        let px = collect(Point::new(0.9, 0.95), Point::new(1.1, 0.95), 3, 3);
+        assert!(px.is_empty(), "got {px:?}");
+    }
+
+    #[test]
+    fn diagonal_line() {
+        let px = collect(Point::new(0.5, 0.5), Point::new(3.5, 3.5), 4, 4);
+        // Diagonal through pixel centers: all diamonds on the diagonal are
+        // entered; the final one contains the endpoint.
+        assert!(px.contains(&(0, 0)));
+        assert!(px.contains(&(1, 1)));
+        assert!(px.contains(&(2, 2)));
+        assert!(!px.contains(&(3, 3)));
+    }
+
+    #[test]
+    fn vertical_segment() {
+        let px = collect(Point::new(1.5, 0.5), Point::new(1.5, 2.5), 3, 3);
+        assert_eq!(px, vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn clipping_to_window() {
+        let px = collect(Point::new(-5.5, 0.5), Point::new(2.5, 0.5), 3, 1);
+        assert!(px.iter().all(|&(x, _)| x < 3));
+        assert!(px.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn l1_distance_kernel() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        assert_eq!(min_l1_dist_to_segment(a, b, Point::new(2.0, 1.0)), 1.0);
+        assert_eq!(min_l1_dist_to_segment(a, b, Point::new(6.0, 0.0)), 2.0);
+        assert_eq!(min_l1_dist_to_segment(a, b, Point::new(2.0, 0.0)), 0.0);
+        // Degenerate segment.
+        assert_eq!(
+            min_l1_dist_to_segment(a, a, Point::new(1.0, 1.0)),
+            2.0,
+            "L1 distance from a point"
+        );
+    }
+}

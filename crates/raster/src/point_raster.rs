@@ -1,0 +1,149 @@
+//! Point rasterization (§2.2.1) — plain and wide (smooth) points.
+
+use crate::stats::HwStats;
+use spatial_geom::Point;
+
+/// Rasterizes a point at window coordinates `p`: the window coordinates are
+/// truncated and the containing pixel is emitted (if inside the window).
+///
+/// Matches §2.2.1 exactly: "the window coordinates are then truncated to
+/// integers, and the pixel (⌊xw⌋, ⌊yw⌋) is colored" — so distinct data
+/// points may land on the same pixel.
+pub fn rasterize_point(
+    p: Point,
+    width: usize,
+    height: usize,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
+    stats.fragments_tested += 1;
+    let x = p.x.floor();
+    let y = p.y.floor();
+    if x >= 0.0 && y >= 0.0 && (x as usize) < width && (y as usize) < height {
+        sink(x as usize, y as usize);
+    }
+}
+
+/// Rasterizes an anti-aliased ("smooth") point of diameter `size` at window
+/// coordinates `p`: every pixel whose unit square intersects the disc of
+/// diameter `size` centered at `p` is emitted.
+///
+/// The distance test widens polygon vertices with these points so that the
+/// union of wide lines and wide points covers the full Minkowski expansion
+/// of the boundary — the square end caps of the line rectangles miss the
+/// round corners, the point discs supply them.
+pub fn rasterize_wide_point(
+    p: Point,
+    size: f64,
+    width: usize,
+    height: usize,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
+    debug_assert!(size > 0.0);
+    let r = size / 2.0;
+    let r2 = r * r;
+    let x_lo = ((p.x - r).floor() as i64).max(0);
+    let x_hi = ((p.x + r).floor() as i64).min(width as i64 - 1);
+    let y_lo = ((p.y - r).floor() as i64).max(0);
+    let y_hi = ((p.y + r).floor() as i64).min(height as i64 - 1);
+    for j in y_lo..=y_hi {
+        for i in x_lo..=x_hi {
+            stats.fragments_tested += 1;
+            // Closest point of the pixel square to the disc center.
+            let cx = p.x.clamp(i as f64, i as f64 + 1.0);
+            let cy = p.y.clamp(j as f64, j as f64 + 1.0);
+            let dx = cx - p.x;
+            let dy = cy - p.y;
+            if dx * dx + dy * dy <= r2 {
+                sink(i as usize, j as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_point(p: Point, w: usize, h: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut st = HwStats::default();
+        rasterize_point(p, w, h, &mut st, &mut |x, y| out.push((x, y)));
+        out
+    }
+
+    fn collect_wide(p: Point, size: f64, w: usize, h: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut st = HwStats::default();
+        rasterize_wide_point(p, size, w, h, &mut st, &mut |x, y| out.push((x, y)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn truncation_rule_from_figure_3b() {
+        // Both (1.1, 1.1) and (1.9, 1.9) color the center pixel of a 3×3
+        // window — the paper's Figure 3(b).
+        assert_eq!(collect_point(Point::new(1.1, 1.1), 3, 3), vec![(1, 1)]);
+        assert_eq!(collect_point(Point::new(1.9, 1.9), 3, 3), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn outside_window_is_clipped() {
+        assert!(collect_point(Point::new(-0.1, 1.0), 3, 3).is_empty());
+        assert!(collect_point(Point::new(3.0, 1.0), 3, 3).is_empty());
+        assert!(collect_point(Point::new(1.0, 5.0), 3, 3).is_empty());
+    }
+
+    #[test]
+    fn wide_point_covers_disc() {
+        // Diameter 2 disc centered mid-pixel (2.5, 2.5) reaches into all
+        // four-neighbours but not the diagonal-only corners at distance
+        // > 1 from the disc.
+        let px = collect_wide(Point::new(2.5, 2.5), 2.0, 6, 6);
+        assert!(px.contains(&(2, 2)));
+        assert!(px.contains(&(1, 2)));
+        assert!(px.contains(&(3, 2)));
+        assert!(px.contains(&(2, 1)));
+        assert!(px.contains(&(2, 3)));
+        // Corner pixel (1,1): its nearest square point (2,2) is at distance
+        // sqrt(0.5) < 1, so the conservative coverage includes it.
+        assert!(px.contains(&(1, 1)));
+        // (0,0) is far outside.
+        assert!(!px.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn wide_point_at_corner_is_clipped() {
+        let px = collect_wide(Point::new(0.0, 0.0), 4.0, 3, 3);
+        assert!(px.contains(&(0, 0)));
+        assert!(px.iter().all(|&(x, y)| x < 3 && y < 3));
+    }
+
+    #[test]
+    fn tiny_point_covers_containing_pixel() {
+        let px = collect_wide(Point::new(1.5, 1.5), 0.1, 3, 3);
+        assert_eq!(px, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn wide_point_covers_minkowski_disc() {
+        // Every sample point within r of the center must land in an emitted
+        // pixel (the conservativeness the distance test relies on).
+        let c = Point::new(3.3, 2.7);
+        let size = 3.0;
+        let px = collect_wide(c, size, 8, 8);
+        for k in 0..64 {
+            let ang = k as f64 * std::f64::consts::TAU / 64.0;
+            for &f in &[0.0, 0.5, 0.99] {
+                let q = Point::new(
+                    c.x + f * size / 2.0 * ang.cos(),
+                    c.y + f * size / 2.0 * ang.sin(),
+                );
+                let cell = (q.x.floor() as usize, q.y.floor() as usize);
+                assert!(px.contains(&cell), "sample {q} in pixel {cell:?} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic hardware work counters.
+//!
+//! Wall-clock time of the simulated rasterizer depends on the host CPU; the
+//! counters below do not. They measure exactly the quantities the paper's
+//! analysis reasons about — "the finer the window resolution, the more
+//! pixels have to be searched, which leads to a larger overhead" (§4.3) —
+//! so the resolution/overhead trade-off can be asserted in tests and
+//! reported next to wall-clock numbers in the benches.
+
+/// Counters accumulated by a [`crate::GlContext`] over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwStats {
+    /// Fragments written to the color buffer.
+    pub pixels_written: usize,
+    /// Candidate fragments examined by the rasterizers (including ones that
+    /// failed a coverage test).
+    pub fragments_tested: usize,
+    /// Pixels scanned by whole-buffer operations: clears, accumulation
+    /// copies and Minmax queries. The per-test fixed overhead that grows
+    /// with window resolution.
+    pub pixels_scanned: usize,
+    /// Primitives submitted (lines, points, polygons).
+    pub primitives: usize,
+    /// Draw calls (begin/end batches).
+    pub draw_calls: usize,
+    /// Minmax queries executed.
+    pub minmax_queries: usize,
+}
+
+impl HwStats {
+    /// Difference of two snapshots (`later - earlier`), for measuring one
+    /// operation within a longer-lived context.
+    pub fn delta_since(&self, earlier: &HwStats) -> HwStats {
+        HwStats {
+            pixels_written: self.pixels_written - earlier.pixels_written,
+            fragments_tested: self.fragments_tested - earlier.fragments_tested,
+            pixels_scanned: self.pixels_scanned - earlier.pixels_scanned,
+            primitives: self.primitives - earlier.primitives,
+            draw_calls: self.draw_calls - earlier.draw_calls,
+            minmax_queries: self.minmax_queries - earlier.minmax_queries,
+        }
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn add(&mut self, other: &HwStats) {
+        self.pixels_written += other.pixels_written;
+        self.fragments_tested += other.fragments_tested;
+        self.pixels_scanned += other.pixels_scanned;
+        self.primitives += other.primitives;
+        self.draw_calls += other.draw_calls;
+        self.minmax_queries += other.minmax_queries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_add_are_inverse() {
+        let a = HwStats {
+            pixels_written: 10,
+            fragments_tested: 20,
+            pixels_scanned: 30,
+            primitives: 4,
+            draw_calls: 2,
+            minmax_queries: 1,
+        };
+        let mut b = a;
+        let extra = HwStats {
+            pixels_written: 1,
+            fragments_tested: 2,
+            pixels_scanned: 3,
+            primitives: 1,
+            draw_calls: 1,
+            minmax_queries: 0,
+        };
+        b.add(&extra);
+        assert_eq!(b.delta_since(&a), extra);
+    }
+}

@@ -1,0 +1,204 @@
+//! Hardware-computed (generalized) Voronoi fields — the §5 future-work
+//! item: "we also plan to explore other spatial operations such as nearest
+//! neighbor queries using hardware calculated Voronoi diagrams \[12\]".
+//!
+//! Hoff et al. (reference 12 of the paper) render one distance *cone* per point site (one *tent*
+//! per edge) into the depth buffer with the site id as color; the depth
+//! test leaves each pixel holding the id of its nearest site and the
+//! distance to it. We simulate exactly that: for every site primitive,
+//! every pixel evaluates its distance and the depth test keeps the
+//! minimum — the same O(sites × pixels) fill work the GPU performs, billed
+//! through the fragment counter.
+//!
+//! The field is *approximate* (pixel-center sampling), so exact queries
+//! refine through the R-tree — see `hwa_core::nn`.
+
+use crate::stats::HwStats;
+use crate::viewport::Viewport;
+use spatial_geom::{Point, Segment};
+
+/// A rendered distance/ownership field over a window.
+#[derive(Debug, Clone)]
+pub struct VoronoiField {
+    width: usize,
+    height: usize,
+    viewport: Viewport,
+    /// Per pixel: id of the nearest site (u32::MAX where nothing rendered).
+    nearest: Vec<u32>,
+    /// Per pixel: distance (in *data* units) to that site.
+    depth: Vec<f64>,
+}
+
+impl VoronoiField {
+    /// An empty (far-plane) field over the viewport's window.
+    pub fn new(viewport: Viewport) -> Self {
+        let (w, h) = (viewport.width(), viewport.height());
+        VoronoiField {
+            width: w,
+            height: h,
+            viewport,
+            nearest: vec![u32::MAX; w * h],
+            depth: vec![f64::INFINITY; w * h],
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Renders one site consisting of point and segment primitives (a
+    /// polygon boundary is one site made of its edges). Every pixel tests
+    /// its distance against the site (the cone/tent evaluation) and the
+    /// depth test keeps the minimum.
+    pub fn render_site(&mut self, id: u32, segments: &[Segment], stats: &mut HwStats) {
+        debug_assert_ne!(id, u32::MAX, "u32::MAX is the empty-pixel sentinel");
+        stats.draw_calls += 1;
+        stats.primitives += segments.len();
+        // The site's MBR gives an O(1) lower bound on any pixel's distance
+        // to it; pixels whose current depth already beats that bound skip
+        // the cone evaluation entirely — this is the early-z rejection a
+        // real depth-tested cone render performs, so the fragment counter
+        // still bills the test.
+        let site_mbr = segments
+            .iter()
+            .fold(spatial_geom::Rect::EMPTY, |r, s| r.union(&s.mbr()));
+        for j in 0..self.height {
+            for i in 0..self.width {
+                stats.fragments_tested += 1;
+                let center = self.data_point(i, j);
+                let idx = j * self.width + i;
+                if site_mbr.min_dist_point(center) >= self.depth[idx] {
+                    continue; // early-z: cannot win this pixel
+                }
+                let mut d = f64::INFINITY;
+                for s in segments {
+                    d = d.min(s.dist_point(center));
+                    if d == 0.0 {
+                        break;
+                    }
+                }
+                if d < self.depth[idx] {
+                    self.depth[idx] = d;
+                    self.nearest[idx] = id;
+                    stats.pixels_written += 1;
+                }
+            }
+        }
+    }
+
+    /// The data-space location of a pixel center.
+    fn data_point(&self, i: usize, j: usize) -> Point {
+        let r = self.viewport.region();
+        Point::new(
+            r.xmin + (i as f64 + 0.5) / self.viewport.scale_x(),
+            r.ymin + (j as f64 + 0.5) / self.viewport.scale_y(),
+        )
+    }
+
+    /// Looks up the field at a data-space point: `(site id, distance from
+    /// the *pixel center* to that site)`. `None` outside the window or on
+    /// never-written pixels.
+    pub fn lookup(&self, p: Point) -> Option<(u32, f64)> {
+        let w = self.viewport.to_window(p);
+        if w.x < 0.0 || w.y < 0.0 {
+            return None;
+        }
+        let (i, j) = (w.x.floor() as usize, w.y.floor() as usize);
+        if i >= self.width || j >= self.height {
+            return None;
+        }
+        let idx = j * self.width + i;
+        if self.nearest[idx] == u32::MAX {
+            return None;
+        }
+        Some((self.nearest[idx], self.depth[idx]))
+    }
+
+    /// Upper bound on how far a point inside a pixel can be from its pixel
+    /// center, in data units — the field's discretization error: the true
+    /// nearest site of `p` is within `lookup(p).1 + 2 * cell_radius()` of
+    /// `p` (one hop from `p` to its pixel center, one back).
+    pub fn cell_radius(&self) -> f64 {
+        let dx = 0.5 / self.viewport.scale_x();
+        let dy = 0.5 / self.viewport.scale_y();
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::Rect;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    fn field_with_two_sites() -> VoronoiField {
+        let vp = Viewport::new(Rect::new(0.0, 0.0, 32.0, 32.0), 32, 32);
+        let mut f = VoronoiField::new(vp);
+        let mut st = HwStats::default();
+        // Site 0: left vertical wall; site 1: right vertical wall.
+        f.render_site(0, &[seg(2.0, 0.0, 2.0, 32.0)], &mut st);
+        f.render_site(1, &[seg(30.0, 0.0, 30.0, 32.0)], &mut st);
+        f
+    }
+
+    #[test]
+    fn ownership_splits_at_the_bisector() {
+        let f = field_with_two_sites();
+        let (left, _) = f.lookup(Point::new(5.0, 16.0)).unwrap();
+        let (right, _) = f.lookup(Point::new(28.0, 16.0)).unwrap();
+        assert_eq!(left, 0);
+        assert_eq!(right, 1);
+    }
+
+    #[test]
+    fn depth_is_distance_to_nearest_site() {
+        let f = field_with_two_sites();
+        let (_, d) = f.lookup(Point::new(6.5, 16.5)).unwrap();
+        // Pixel center (6.5, 16.5); distance to x = 2 wall is 4.5.
+        assert!((d - 4.5).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn lookup_outside_window_is_none() {
+        let f = field_with_two_sites();
+        assert!(f.lookup(Point::new(-1.0, 5.0)).is_none());
+        assert!(f.lookup(Point::new(33.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn empty_field_yields_none() {
+        let vp = Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        let f = VoronoiField::new(vp);
+        assert!(f.lookup(Point::new(4.0, 4.0)).is_none());
+    }
+
+    #[test]
+    fn cell_radius_bounds_discretization() {
+        let vp = Viewport::new(Rect::new(0.0, 0.0, 32.0, 32.0), 32, 32);
+        let f = VoronoiField::new(vp);
+        // 1-unit pixels: half-diagonal = sqrt(2)/2.
+        assert!((f.cell_radius() - std::f64::consts::SQRT_2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_count_fill_work() {
+        let vp = Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        let mut f = VoronoiField::new(vp);
+        let mut st = HwStats::default();
+        f.render_site(0, &[seg(0.0, 0.0, 8.0, 8.0)], &mut st);
+        assert_eq!(st.fragments_tested, 64, "every pixel evaluates the cone");
+        assert_eq!(st.pixels_written, 64, "first site wins everywhere");
+        f.render_site(1, &[seg(100.0, 100.0, 101.0, 101.0)], &mut st);
+        assert_eq!(st.fragments_tested, 128);
+        assert_eq!(st.pixels_written, 64, "far site loses every depth test");
+    }
+}

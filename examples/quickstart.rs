@@ -1,0 +1,62 @@
+//! Quickstart: the paper's Algorithm 3.1 on two polygons, then a full
+//! selection pipeline on a small generated dataset.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hwspatial::core::engine::{EngineConfig, PreparedDataset, SpatialEngine};
+use hwspatial::core::hw_intersect::HwTester;
+use hwspatial::core::{HwConfig, TestStats};
+use hwspatial::geom::{within_distance, Polygon};
+
+fn main() {
+    // --- 1. One hardware-assisted intersection test --------------------
+    // Two interlocking parallel slabs: their MBRs overlap heavily, so the
+    // MBR filter cannot separate them — the expensive case the paper
+    // targets.
+    let a = Polygon::from_coords(&[(0.0, 0.0), (2.0, 0.0), (10.0, 8.0), (8.0, 8.0)]);
+    let b = Polygon::from_coords(&[(5.0, 0.0), (7.0, 0.0), (15.0, 8.0), (13.0, 8.0)]);
+
+    let mut tester = HwTester::new(HwConfig::recommended()); // 8×8, threshold 500
+    let mut tester_raw = HwTester::new(HwConfig::at_resolution(32)); // pure hardware
+    let mut stats = TestStats::default();
+
+    println!("slabs intersect (exact): {}", tester.intersects(&a, &b, &mut stats));
+    let mut st2 = TestStats::default();
+    tester_raw.intersects(&a, &b, &mut st2);
+    println!(
+        "at 32x32 the hardware filter rejected the pair outright: {}",
+        st2.rejected_by_hw == 1
+    );
+
+    // Distance predicate, same machinery (§3.1 extension).
+    println!("slabs within distance 3.0: {}", within_distance(&a, &b, 3.0));
+    let mut st3 = TestStats::default();
+    println!(
+        "  hardware says the same: {}",
+        tester.within_distance(&a, &b, 3.0, &mut st3)
+    );
+
+    // --- 2. A full query pipeline --------------------------------------
+    // Generate a small land-cover-like dataset and run an intersection
+    // selection with one state-boundary-like query polygon.
+    let data = hwspatial::datagen::water(0.005, 7);
+    let queries = hwspatial::datagen::states50(7);
+    let ds = PreparedDataset::new(data.name, data.polygons);
+
+    let mut engine = SpatialEngine::new(EngineConfig::hardware(HwConfig::recommended()));
+    let query = &queries.polygons[0];
+    let (results, cost) = engine.intersection_selection(&ds, query);
+
+    println!("\nselection over {} ({} polygons):", ds.name, ds.len());
+    println!("  MBR candidates:       {}", cost.candidates);
+    println!("  results:              {}", results.len());
+    println!("  rejected by hardware: {}", cost.tests.rejected_by_hw);
+    println!("  software sweeps run:  {}", cost.tests.software_tests);
+    println!(
+        "  geometry time:        {:.2} ms (modeled GPU share {:.2} ms)",
+        cost.geometry_comparison.as_secs_f64() * 1e3,
+        cost.tests.gpu_modeled.as_secs_f64() * 1e3,
+    );
+}
