@@ -4,7 +4,6 @@
 //! count) so `cargo bench --workspace` finishes in minutes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hwa_core::hw_intersect::HwTester;
 use hwa_core::{HwConfig, TestStats};
 use rand::rngs::StdRng;
@@ -16,6 +15,7 @@ use spatial_index::RTree;
 use spatial_raster::aa_line::{rasterize_aa_line, DIAGONAL_WIDTH};
 use spatial_raster::HwStats;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn star(n: usize, seed: u64, cx: f64, cy: f64) -> Polygon {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the staged executor's two scheduling
+//! knobs on the Fig. 12 workload (LANDC ⋈ LANDO): per-pair vs batched
+//! hardware submission, and refinement thread scaling. Small scale and
+//! sample counts keep `cargo bench --workspace` in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwa_core::{EngineConfig, HwConfig, PreparedDataset, SpatialEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+fn fig12_pair() -> (PreparedDataset, PreparedDataset) {
+    let a = spatial_datagen::landc(SCALE, SEED);
+    let b = spatial_datagen::lando(SCALE, SEED);
+    (
+        PreparedDataset::new(a.name, a.polygons),
+        PreparedDataset::new(b.name, b.polygons),
+    )
+}
+
+fn hw_base() -> EngineConfig {
+    EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(500))
+}
+
+/// Per-pair choreography vs atlas batching at several batch sizes. The
+/// interesting figure is the submission count (the modeled fixed costs);
+/// the wall clock here is dominated by the simulated rasterizer.
+fn bench_batched_submission(c: &mut Criterion) {
+    let (a, b) = fig12_pair();
+    let mut g = c.benchmark_group("staged_join_batch");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for batch in [1usize, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bch, &batch| {
+            let mut e = SpatialEngine::new(EngineConfig {
+                hw_batch: batch,
+                ..hw_base()
+            });
+            bch.iter(|| {
+                let (results, cost) = e.intersection_join(black_box(&a), black_box(&b));
+                (results.len(), cost.tests.hw.submissions())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Refinement thread scaling at the recommended batch size.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let (a, b) = fig12_pair();
+    let mut g = c.benchmark_group("staged_join_threads");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bch, &threads| {
+                let mut e = SpatialEngine::new(EngineConfig {
+                    hw_batch: 64,
+                    refine_threads: threads,
+                    ..hw_base()
+                });
+                bch.iter(|| {
+                    let (results, _) = e.intersection_join(black_box(&a), black_box(&b));
+                    results.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_submission, bench_thread_scaling);
+criterion_main!(benches);

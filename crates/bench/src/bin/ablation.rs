@@ -56,11 +56,10 @@ fn filled_vs_boundary(w: &Workloads) {
     // verdicts and time the triangulation-burdened path.
     let a = &w.landc;
     let b = &w.lando;
-    let candidates: Vec<(usize, usize)> =
-        spatial_index::join_intersecting(&a.tree, &b.tree)
-            .into_iter()
-            .map(|(x, y)| (*x, *y))
-            .collect();
+    let candidates: Vec<(usize, usize)> = spatial_index::join_intersecting(&a.tree, &b.tree)
+        .into_iter()
+        .map(|(x, y)| (*x, *y))
+        .collect();
     let sample: Vec<(usize, usize)> = candidates.into_iter().take(400).collect();
 
     let t0 = Instant::now();
@@ -74,8 +73,12 @@ fn filled_vs_boundary(w: &Workloads) {
             SweepAlgo::Tree,
             &mut IntersectStats::default(),
         );
-        match filled_intersects_approx(a.polygon(i), b.polygon(j), HwConfig::at_resolution(8), &mut st)
-        {
+        match filled_intersects_approx(
+            a.polygon(i),
+            b.polygon(j),
+            HwConfig::at_resolution(8),
+            &mut st,
+        ) {
             FilledResult::OverlapFound => {
                 if !truth {
                     wrong += 1;
@@ -158,12 +161,11 @@ fn mindist_optimizations(w: &Workloads) {
     let a = &w.water;
     let b = &w.prism;
     let d = w.base_d_water_prism;
-    let candidates: Vec<(usize, usize)> =
-        spatial_index::join_within_distance(&a.tree, &b.tree, d)
-            .into_iter()
-            .map(|(x, y)| (*x, *y))
-            .take(300)
-            .collect();
+    let candidates: Vec<(usize, usize)> = spatial_index::join_within_distance(&a.tree, &b.tree, d)
+        .into_iter()
+        .map(|(x, y)| (*x, *y))
+        .take(300)
+        .collect();
 
     let t0 = Instant::now();
     for &(i, j) in &candidates {
@@ -197,7 +199,11 @@ fn mindist_optimizations(w: &Workloads) {
 
 fn main() {
     let opts = BenchOpts::from_args();
-    header("Ablations", "design-decision benches (strategies, filled vs boundary, RSS, minDist)", opts);
+    header(
+        "Ablations",
+        "design-decision benches (strategies, filled vs boundary, RSS, minDist)",
+        opts,
+    );
     let w = Workloads::generate(opts);
     strategies(&w);
     filled_vs_boundary(&w);

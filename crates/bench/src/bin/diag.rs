@@ -4,13 +4,19 @@
 //! share of near-miss negatives that finer windows can reject.
 
 use spatial_bench::{header, BenchOpts, Workloads};
-use spatial_geom::intersect::{polygons_intersect_with, restricted_edges, IntersectStats, SweepAlgo};
+use spatial_geom::intersect::{
+    polygons_intersect_with, restricted_edges, IntersectStats, SweepAlgo,
+};
 use spatial_geom::point_in_polygon;
 use std::time::Instant;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    header("Diagnostic", "candidate composition of the intersection joins", opts);
+    header(
+        "Diagnostic",
+        "candidate composition of the intersection joins",
+        opts,
+    );
     let w = Workloads::generate(opts);
 
     for (a, b) in [(&w.landc, &w.lando), (&w.water, &w.prism)] {
@@ -58,7 +64,8 @@ fn main() {
             };
             edge_hist[bucket] += 1;
             let t = Instant::now();
-            let hit = polygons_intersect_with(p, q, SweepAlgo::Tree, &mut IntersectStats::default());
+            let hit =
+                polygons_intersect_with(p, q, SweepAlgo::Tree, &mut IntersectStats::default());
             let dt = t.elapsed().as_secs_f64() * 1e6;
             if hit {
                 sweep_pos += 1;

@@ -14,9 +14,7 @@ use spatial_raster::{GlContext, Viewport};
 
 fn render(ds: &Dataset, take: usize, path: &str) -> std::io::Result<()> {
     let polys: Vec<_> = ds.polygons.iter().take(take).collect();
-    let bbox = polys
-        .iter()
-        .fold(Rect::EMPTY, |r, p| r.union(&p.mbr()));
+    let bbox = polys.iter().fold(Rect::EMPTY, |r, p| r.union(&p.mbr()));
     let mut gl = GlContext::new(Viewport::uniform(bbox, 1024, 1024));
     gl.set_color(HALF_GRAY);
     for p in &polys {
@@ -28,7 +26,11 @@ fn render(ds: &Dataset, take: usize, path: &str) -> std::io::Result<()> {
 
 fn main() -> std::io::Result<()> {
     let opts = BenchOpts::from_args();
-    header("Figure 1", "sample objects from two datasets (PPM renderings)", opts);
+    header(
+        "Figure 1",
+        "sample objects from two datasets (PPM renderings)",
+        opts,
+    );
     let landc = spatial_datagen::landc(opts.scale, opts.seed);
     let lando = spatial_datagen::lando(opts.scale, opts.seed);
     render(&landc, 100, "fig1_landc.ppm")?;

@@ -22,7 +22,10 @@ fn main() {
     let w = Workloads::generate(opts);
 
     for ds in [&w.water, &w.prism] {
-        println!("\n--- dataset {} | queries STATES50, avg cost per query (ms) ---", ds.name);
+        println!(
+            "\n--- dataset {} | queries STATES50, avg cost per query (ms) ---",
+            ds.name
+        );
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
             "level", "mbr", "interior", "geometry", "total", "flt hits", "results"

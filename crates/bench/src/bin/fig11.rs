@@ -23,7 +23,10 @@ fn main() {
     let w = Workloads::generate(opts);
 
     for ds in [&w.water, &w.prism] {
-        println!("\n--- dataset {} | queries STATES50, avg geometry cost per query (ms) ---", ds.name);
+        println!(
+            "\n--- dataset {} | queries STATES50, avg geometry cost per query (ms) ---",
+            ds.name
+        );
         let mut sw = software_engine();
         let (n, sw_cost, sw_results) = run_selection_set(&mut sw, ds, &w.states50, opts.queries);
         let nq = n as f64;

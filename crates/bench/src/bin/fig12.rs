@@ -8,10 +8,15 @@
 //! — the observation that motivates the `sw_threshold` of Figure 13.
 
 use hwa_core::engine::PreparedDataset;
-use spatial_bench::{hardware_engine, header, ms, software_engine, BenchOpts, Workloads, RESOLUTIONS};
+use spatial_bench::{
+    hardware_engine, header, ms, software_engine, BenchOpts, Workloads, RESOLUTIONS,
+};
 
 fn run_join(a: &PreparedDataset, b: &PreparedDataset, opts: BenchOpts) {
-    println!("\n--- join {} ⋈ {} | geometry-comparison cost (ms total) ---", a.name, b.name);
+    println!(
+        "\n--- join {} ⋈ {} | geometry-comparison cost (ms total) ---",
+        a.name, b.name
+    );
     let mut sw = software_engine();
     let (sw_results, sw_cost) = sw.intersection_join(a, b);
     let sw_ms = ms(sw_cost.geometry_comparison);

@@ -23,12 +23,7 @@ fn run(a: &PreparedDataset, b: &PreparedDataset, base_d: f64) {
     );
     for f in DISTANCE_FACTORS {
         let d = f * base_d;
-        let mut engine = engine_with(
-            GeometryTest::Software,
-            HwConfig::recommended(),
-            None,
-            true,
-        );
+        let mut engine = engine_with(GeometryTest::Software, HwConfig::recommended(), None, true);
         let (results, cost) = engine.within_distance_join(a, b, d);
         println!(
             "{:>6.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>9} {:>8}",

@@ -29,7 +29,15 @@ fn run(a: &PreparedDataset, b: &PreparedDataset, base_d: f64) {
     );
     println!(
         "{:>6} {:>12} {:>9} {:>11} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "res", "hw ms", "vs sw", "hw rejects", "sw tests", "wid.fall", "hw tests", "gpu ms", "sim ms"
+        "res",
+        "hw ms",
+        "vs sw",
+        "hw rejects",
+        "sw tests",
+        "wid.fall",
+        "hw tests",
+        "gpu ms",
+        "sim ms"
     );
     for res in RESOLUTIONS {
         let mut hw = engine_with(

@@ -32,7 +32,10 @@ fn run(a: &PreparedDataset, b: &PreparedDataset, base_d: f64) {
         );
         let (hw_results, hw_cost) = hw.within_distance_join(a, b, d);
         assert_eq!(sw_results, hw_results);
-        let (s, h) = (ms(sw_cost.geometry_comparison), ms(hw_cost.geometry_comparison));
+        let (s, h) = (
+            ms(sw_cost.geometry_comparison),
+            ms(hw_cost.geometry_comparison),
+        );
         println!(
             "{:>7.1} {:>11.1} {:>11.1} {:>7.0}% {:>11} {:>10} {:>8}",
             f,

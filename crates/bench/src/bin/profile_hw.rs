@@ -22,8 +22,26 @@ fn main() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     // A near-miss pair, ~512 vertices each.
-    let p = harmonic_star(Point::new(0.0, 0.0), 50.0, 512, 0.5, 0.3, 1.0, 0.0, &mut rng);
-    let q = harmonic_star(Point::new(103.0, 0.0), 50.0, 512, 0.5, 0.3, 1.0, 0.0, &mut rng);
+    let p = harmonic_star(
+        Point::new(0.0, 0.0),
+        50.0,
+        512,
+        0.5,
+        0.3,
+        1.0,
+        0.0,
+        &mut rng,
+    );
+    let q = harmonic_star(
+        Point::new(103.0, 0.0),
+        50.0,
+        512,
+        0.5,
+        0.3,
+        1.0,
+        0.0,
+        &mut rng,
+    );
     let region = p.mbr().intersection(&q.mbr()).unwrap();
     let ep = restricted_edges(&p, &region);
     let eq = restricted_edges(&q, &region);
@@ -75,5 +93,8 @@ fn main() {
     let mut gl = GlContext::new(vp);
     gl.set_color(HALF_GRAY);
     let t = time_us(100, || gl.draw_segments(&segs));
-    println!("edge throughput at 8x8: {:.1} ns/edge", t * 1000.0 / segs.len() as f64);
+    println!(
+        "edge throughput at 8x8: {:.1} ns/edge",
+        t * 1000.0 / segs.len() as f64
+    );
 }

@@ -52,13 +52,20 @@ fn best_distance_speedup(a: &PreparedDataset, b: &PreparedDataset, d: f64) -> (f
 
 fn main() {
     let opts = BenchOpts::from_args();
-    header("Summary (§5)", "best-case hardware speedups over the software baseline", opts);
+    header(
+        "Summary (§5)",
+        "best-case hardware speedups over the software baseline",
+        opts,
+    );
     let w = Workloads::generate(opts);
 
     println!("\nintersection joins (paper: up to 4.8x):");
     for (a, b) in [(&w.landc, &w.lando), (&w.water, &w.prism)] {
         let (s, res, t) = best_intersection_speedup(a, b);
-        println!("  {} ⋈ {}: {:.2}x  (window {}x{}, threshold {})", a.name, b.name, s, res, res, t);
+        println!(
+            "  {} ⋈ {}: {:.2}x  (window {}x{}, threshold {})",
+            a.name, b.name, s, res, res, t
+        );
     }
 
     println!("\nwithin-distance joins at D = 0.5×BaseD (paper: up to 5.9x):");
@@ -67,6 +74,9 @@ fn main() {
         (&w.water, &w.prism, 0.5 * w.base_d_water_prism),
     ] {
         let (s, res, t) = best_distance_speedup(a, b, d);
-        println!("  {} ⋈dist {}: {:.2}x  (window {}x{}, threshold {})", a.name, b.name, s, res, res, t);
+        println!(
+            "  {} ⋈dist {}: {:.2}x  (window {}x{}, threshold {})",
+            a.name, b.name, s, res, res, t
+        );
     }
 }

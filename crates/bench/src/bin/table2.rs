@@ -30,8 +30,10 @@ fn main() {
         "{:<10} {:>8} {:>6} {:>8} {:>8} | {:>8} {:>6} {:>8} {:>8}",
         "Dataset", "N", "min", "max", "avg", "paper N", "min", "max", "avg"
     );
-    println!("{:-<10} {:-<8} {:-<6} {:-<8} {:-<8}-+-{:-<7} {:-<6} {:-<8} {:-<8}",
-        "", "", "", "", "", "", "", "", "");
+    println!(
+        "{:-<10} {:-<8} {:-<6} {:-<8} {:-<8}-+-{:-<7} {:-<6} {:-<8} {:-<8}",
+        "", "", "", "", "", "", "", "", ""
+    );
     for (ds, (pn, pmin, pmax, pavg)) in datasets.iter().zip(paper.iter()) {
         let s = ds.stats();
         println!(

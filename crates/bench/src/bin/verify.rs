@@ -4,14 +4,18 @@
 //! disagreement. This is the "the hardware path is a pure optimization"
 //! guarantee, checked at workload scale rather than per-pair.
 
-use hwa_core::engine::{EngineConfig, GeometryTest};
+use hwa_core::engine::{EngineConfig, GeometryTest, SpatialEngine};
 use hwa_core::HwConfig;
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
 use spatial_raster::OverlapStrategy;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    header("Verify", "software vs hardware result equality across all pipelines", opts);
+    header(
+        "Verify",
+        "software vs hardware result equality across all pipelines",
+        opts,
+    );
     let w = Workloads::generate(opts);
     let mut failures = 0usize;
 
@@ -64,11 +68,19 @@ fn main() {
             );
             let (got, _) = hw.intersection_join(a, b);
             if got != expected {
-                println!("FAIL intersection_join {} ⋈ {} {strategy:?}", a.name, b.name);
+                println!(
+                    "FAIL intersection_join {} ⋈ {} {strategy:?}",
+                    a.name, b.name
+                );
                 failures += 1;
             }
         }
-        println!("intersection join {} ⋈ {} verified ({} results)", a.name, b.name, expected.len());
+        println!(
+            "intersection join {} ⋈ {} verified ({} results)",
+            a.name,
+            b.name,
+            expected.len()
+        );
     }
 
     // Within-distance joins across the distance sweep.
@@ -88,7 +100,10 @@ fn main() {
             );
             let (got, _) = hw.within_distance_join(a, b, d);
             if got != expected {
-                println!("FAIL within_distance_join {} ⋈ {} D={f}×BaseD", a.name, b.name);
+                println!(
+                    "FAIL within_distance_join {} ⋈ {} D={f}×BaseD",
+                    a.name, b.name
+                );
                 failures += 1;
             }
         }
@@ -112,6 +127,82 @@ fn main() {
             failures += 1;
         }
         let _ = EngineConfig::default();
+    }
+
+    // Staged-executor cross-check: every backend × submission mode ×
+    // thread count must agree on the Fig. 12 workload (LANDC ⋈ LANDO),
+    // and batching must strictly reduce the draw-call-equivalent
+    // submissions (draw calls + Minmax queries) of the hardware path.
+    {
+        let hw = HwConfig::at_resolution(8).with_threshold(500);
+        let mut sw = software_engine();
+        let (expected, _) = sw.intersection_join(&w.landc, &w.lando);
+        let mut per_pair = SpatialEngine::new(EngineConfig::hardware(hw));
+        let (pp_results, pp_cost) = per_pair.intersection_join(&w.landc, &w.lando);
+        if pp_results != expected {
+            println!("FAIL per-pair hardware intersection join vs software");
+            failures += 1;
+        }
+        let pp_submissions = pp_cost.tests.hw.draw_calls + pp_cost.tests.hw.minmax_queries;
+        let mut batched_submissions = usize::MAX;
+        for base in [
+            EngineConfig::hardware(hw),
+            EngineConfig::hybrid(hw, 40),
+            EngineConfig::software(),
+        ] {
+            for (batch, threads) in [(1, 2), (1, 4), (64, 1), (64, 2), (64, 4)] {
+                let mut e = SpatialEngine::new(EngineConfig {
+                    hw_batch: batch,
+                    refine_threads: threads,
+                    ..base
+                });
+                let (got, cost) = e.intersection_join(&w.landc, &w.lando);
+                if got != expected {
+                    println!(
+                        "FAIL staged executor {:?} batch {batch} threads {threads}",
+                        base.geometry_test
+                    );
+                    failures += 1;
+                }
+                if base.geometry_test == GeometryTest::Hardware && batch > 1 {
+                    batched_submissions = batched_submissions
+                        .min(cost.tests.hw.draw_calls + cost.tests.hw.minmax_queries);
+                }
+            }
+        }
+        if pp_cost.tests.hw_tests > 0 && batched_submissions >= pp_submissions {
+            println!(
+                "FAIL batching did not reduce submissions: batched {batched_submissions} >= per-pair {pp_submissions}"
+            );
+            failures += 1;
+        }
+        println!(
+            "staged executor verified on {} ⋈ {}: submissions {} (batched) vs {} (per-pair)",
+            w.landc.name, w.lando.name, batched_submissions, pp_submissions
+        );
+    }
+
+    // Same cross-check for the within-distance join at BaseD.
+    {
+        let d = w.base_d_landc_lando;
+        let mut sw = engine_with(GeometryTest::Software, HwConfig::recommended(), None, true);
+        let (expected, _) = sw.within_distance_join(&w.landc, &w.lando, d);
+        for (batch, threads) in [(1, 4), (32, 1), (32, 4)] {
+            let mut e = SpatialEngine::new(EngineConfig {
+                use_object_filters: true,
+                hw_batch: batch,
+                refine_threads: threads,
+                ..EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(500))
+            });
+            let (got, _) = e.within_distance_join(&w.landc, &w.lando, d);
+            if got != expected {
+                println!(
+                    "FAIL batched/threaded within-distance join batch {batch} threads {threads}"
+                );
+                failures += 1;
+            }
+        }
+        println!("staged within-distance join verified at BaseD");
     }
 
     if failures == 0 {

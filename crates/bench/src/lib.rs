@@ -153,6 +153,7 @@ pub fn engine_with(
         hw,
         interior_filter_level: interior_level,
         use_object_filters: object_filters,
+        ..EngineConfig::default()
     })
 }
 

@@ -1,19 +1,25 @@
-//! The three query pipelines of Fig. 8: **MBR filtering → intermediate
-//! filtering → geometry comparison**, with per-stage cost accounting.
+//! The query engine: a thin wrapper that instantiates the unified
+//! [`StagedExecutor`] for each of the paper's four pipelines — intersection
+//! selection, containment selection, intersection join, within-distance
+//! join (Fig. 8's **MBR filtering → intermediate filtering → geometry
+//! comparison**, with per-stage cost accounting).
 //!
-//! The engine is what the benches drive: each figure of §4 is one of these
-//! pipelines swept over a knob (tiling level, window resolution,
-//! `sw_threshold`, query distance).
+//! The engine's job is declarative: pick the stage-1 candidate enumeration,
+//! the intermediate filter chain and the predicate, then hand the loop to
+//! the executor. The refinement backend (software sweep, hardware
+//! Algorithm 3.1, or the hybrid threshold mix), batched hardware
+//! submission and parallel refinement all live behind
+//! [`crate::pipeline`]; the benches drive each figure of §4 by sweeping
+//! one [`EngineConfig`] knob.
 
 use crate::config::HwConfig;
-use crate::hw_intersect::HwTester;
-use crate::stats::{CostBreakdown, TestStats};
-use spatial_filters::{one_object_upper_bound, zero_object_upper_bound, InteriorFilter};
-use spatial_geom::intersect::{polygons_intersect_with, IntersectStats, SweepAlgo};
-use spatial_geom::mindist::within_distance_with;
-use spatial_geom::{MinDistStats, Polygon, Segment};
+use crate::pipeline::{
+    CandidateFilter, HardwareBackend, HybridBackend, InteriorFilterStage, ObjectFilterStage,
+    Predicate, RefinementBackend, SoftwareBackend, StagedExecutor,
+};
+use crate::stats::CostBreakdown;
+use spatial_geom::Polygon;
 use spatial_index::{join_intersecting, join_within_distance, RTree};
-use std::time::Instant;
 
 /// How the geometry-comparison stage decides candidate pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,12 +28,18 @@ pub enum GeometryTest {
     /// baseline curves).
     #[default]
     Software,
-    /// Hardware-assisted (Algorithm 3.1 / §3.1 distance test).
+    /// Hardware-assisted (Algorithm 3.1 / §3.1 distance test), honoring
+    /// the `sw_threshold` of the engine's [`HwConfig`] (§4.3).
     Hardware,
+    /// Hardware-assisted with an engine-level threshold override: pairs
+    /// with combined vertex count ≤ `sw_threshold` take the software
+    /// test, the rest take the hardware filter. Generalizes the §4.3 mix
+    /// without editing the hardware configuration.
+    Hybrid { sw_threshold: usize },
 }
 
-/// Engine configuration: which refinement path plus the filters in front
-/// of it.
+/// Engine configuration: which refinement path, the filters in front of
+/// it, and how stage 3 is scheduled.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     pub geometry_test: GeometryTest,
@@ -37,6 +49,16 @@ pub struct EngineConfig {
     pub interior_filter_level: Option<u32>,
     /// Enable the 0/1-object filters for within-distance joins (Fig. 14).
     pub use_object_filters: bool,
+    /// Candidate pairs per hardware submission round. `1` (the default)
+    /// is the paper-faithful per-pair choreography; larger values render
+    /// many pairs as cells of one atlas batch, amortizing the per-pair
+    /// draw-call and Minmax fixed costs without changing any result.
+    pub hw_batch: usize,
+    /// Worker threads for the geometry-comparison stage. `1` (the
+    /// default, and the paper's setting) refines sequentially; more
+    /// threads partition the surviving candidates deterministically —
+    /// results and merged counters are bit-identical to sequential.
+    pub refine_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +68,8 @@ impl Default for EngineConfig {
             hw: HwConfig::recommended(),
             interior_filter_level: None,
             use_object_filters: false,
+            hw_batch: 1,
+            refine_threads: 1,
         }
     }
 }
@@ -58,6 +82,14 @@ impl EngineConfig {
     pub fn hardware(hw: HwConfig) -> Self {
         EngineConfig {
             geometry_test: GeometryTest::Hardware,
+            hw,
+            ..Self::default()
+        }
+    }
+
+    pub fn hybrid(hw: HwConfig, sw_threshold: usize) -> Self {
+        EngineConfig {
+            geometry_test: GeometryTest::Hybrid { sw_threshold },
             hw,
             ..Self::default()
         }
@@ -102,45 +134,28 @@ impl PreparedDataset {
     }
 }
 
-/// Software strict-containment test: one vertex inside plus disjoint
-/// boundaries (restricted search space + tree sweep).
-fn sw_contained_in(inner: &Polygon, outer: &Polygon) -> bool {
-    use spatial_geom::intersect::restricted_edges;
-    use spatial_geom::sweep::tree_sweep_intersects;
-    if !outer.mbr().contains_rect(&inner.mbr()) {
-        return false;
+fn build_backend(config: &EngineConfig) -> Box<dyn RefinementBackend> {
+    match config.geometry_test {
+        GeometryTest::Software => Box::new(SoftwareBackend),
+        GeometryTest::Hardware => Box::new(HardwareBackend::new(config.hw)),
+        GeometryTest::Hybrid { sw_threshold } => {
+            Box::new(HybridBackend::new(config.hw, sw_threshold))
+        }
     }
-    if !spatial_geom::point_in_polygon(inner.vertices()[0], outer) {
-        return false;
-    }
-    let region = inner.mbr();
-    let ep = restricted_edges(inner, &region);
-    let eq = restricted_edges(outer, &region);
-    if ep.is_empty() || eq.is_empty() {
-        return true;
-    }
-    !tree_sweep_intersects(&ep, &eq)
-}
-
-/// Measured stage time with the simulation seconds swapped for modeled
-/// GPU seconds. Saturating: on a fast host the measured slice attributable
-/// to simulation can exceed the stage's own timer resolution.
-fn adjusted(measured: std::time::Duration, tests: &crate::stats::TestStats) -> std::time::Duration {
-    measured.saturating_sub(tests.sim_wall) + tests.gpu_modeled
 }
 
 /// The query engine.
 #[derive(Debug)]
 pub struct SpatialEngine {
     config: EngineConfig,
-    tester: HwTester,
+    backend: Box<dyn RefinementBackend>,
 }
 
 impl SpatialEngine {
     pub fn new(config: EngineConfig) -> Self {
         SpatialEngine {
             config,
-            tester: HwTester::new(config.hw),
+            backend: build_backend(&config),
         }
     }
 
@@ -148,33 +163,17 @@ impl SpatialEngine {
         &self.config
     }
 
-    /// Reconfigures in place (knob sweeps reuse the rendering context).
+    /// Reconfigures in place: the backend is rebuilt to match (knob
+    /// sweeps flip the same engine through configurations).
     pub fn set_config(&mut self, config: EngineConfig) {
         self.config = config;
-        self.tester.set_config(config.hw);
+        self.backend = build_backend(&config);
     }
 
-    fn intersects(&mut self, p: &Polygon, q: &Polygon, tests: &mut TestStats) -> bool {
-        match self.config.geometry_test {
-            GeometryTest::Software => {
-                tests.software_tests += 1;
-                let mut st = IntersectStats::default();
-                let r = polygons_intersect_with(p, q, SweepAlgo::Tree, &mut st);
-                tests.decided_by_pip += st.decided_by_pip;
-                r
-            }
-            GeometryTest::Hardware => self.tester.intersects(p, q, tests),
-        }
-    }
-
-    fn within(&mut self, p: &Polygon, q: &Polygon, d: f64, tests: &mut TestStats) -> bool {
-        match self.config.geometry_test {
-            GeometryTest::Software => {
-                tests.software_tests += 1;
-                let mut st = MinDistStats::default();
-                within_distance_with(p, q, d, &mut st)
-            }
-            GeometryTest::Hardware => self.tester.within_distance(p, q, d, tests),
+    fn executor(&self) -> StagedExecutor {
+        StagedExecutor {
+            batch: self.config.hw_batch,
+            threads: self.config.refine_threads,
         }
     }
 
@@ -184,53 +183,24 @@ impl SpatialEngine {
         ds: &PreparedDataset,
         query: &Polygon,
     ) -> (Vec<usize>, CostBreakdown) {
-        let mut cost = CostBreakdown::default();
-
-        // Stage 1: MBR filter via the R-tree.
-        let t0 = Instant::now();
-        let candidates: Vec<usize> = ds
-            .tree
-            .search_intersects(&query.mbr())
-            .into_iter()
-            .copied()
-            .collect();
-        cost.mbr_filter = t0.elapsed();
-        cost.candidates = candidates.len();
-
-        // Stage 2: interior filter (positives skip refinement).
-        let t1 = Instant::now();
-        let mut confirmed: Vec<usize> = Vec::new();
-        let mut rest: Vec<usize> = Vec::new();
-        match self.config.interior_filter_level {
-            Some(level) => {
-                let filter = InteriorFilter::build(query, level);
-                for i in candidates {
-                    if filter.covers(&ds.polygon(i).mbr()) {
-                        confirmed.push(i);
-                    } else {
-                        rest.push(i);
-                    }
-                }
-            }
-            None => rest = candidates,
-        }
-        cost.intermediate_filter = t1.elapsed();
-        cost.filter_hits = confirmed.len();
-
-        // Stage 3: geometry comparison. Reported time = measured CPU time
-        // with the rasterizer-simulation seconds replaced by modeled GPU
-        // time (see `stats::CostBreakdown`).
-        let t2 = Instant::now();
-        let mut results = confirmed;
-        for i in rest {
-            if self.intersects(query, ds.polygon(i), &mut cost.tests) {
-                results.push(i);
-            }
-        }
-        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
-        results.sort_unstable();
-        cost.results = results.len();
-        (results, cost)
+        let filters: Vec<Box<dyn CandidateFilter<usize>>> = match self.config.interior_filter_level
+        {
+            Some(level) => vec![Box::new(InteriorFilterStage::new(query, level, ds))],
+            None => Vec::new(),
+        };
+        self.executor().run(
+            self.backend.as_mut(),
+            Predicate::Intersects,
+            || {
+                ds.tree
+                    .search_intersects(&query.mbr())
+                    .into_iter()
+                    .copied()
+                    .collect()
+            },
+            filters,
+            |i| (query, ds.polygon(i)),
+        )
     }
 
     /// Containment selection: all objects of `ds` lying strictly inside
@@ -242,59 +212,27 @@ impl SpatialEngine {
         ds: &PreparedDataset,
         query: &Polygon,
     ) -> (Vec<usize>, CostBreakdown) {
-        let mut cost = CostBreakdown::default();
-
-        let t0 = Instant::now();
-        // Only objects whose MBR lies inside the query MBR can qualify.
-        let candidates: Vec<usize> = ds
-            .tree
-            .search_intersects(&query.mbr())
-            .into_iter()
-            .copied()
-            .filter(|&i| query.mbr().contains_rect(&ds.polygon(i).mbr()))
-            .collect();
-        cost.mbr_filter = t0.elapsed();
-        cost.candidates = candidates.len();
-
-        let t1 = Instant::now();
-        let mut confirmed: Vec<usize> = Vec::new();
-        let mut rest: Vec<usize> = Vec::new();
-        match self.config.interior_filter_level {
-            Some(level) => {
-                let filter = InteriorFilter::build(query, level);
-                for i in candidates {
-                    if filter.covers(&ds.polygon(i).mbr()) {
-                        confirmed.push(i);
-                    } else {
-                        rest.push(i);
-                    }
-                }
-            }
-            None => rest = candidates,
-        }
-        cost.intermediate_filter = t1.elapsed();
-        cost.filter_hits = confirmed.len();
-
-        let t2 = Instant::now();
-        let mut results = confirmed;
-        for i in rest {
-            let inside = match self.config.geometry_test {
-                GeometryTest::Software => {
-                    cost.tests.software_tests += 1;
-                    sw_contained_in(ds.polygon(i), query)
-                }
-                GeometryTest::Hardware => {
-                    self.tester.contained_in(ds.polygon(i), query, &mut cost.tests)
-                }
-            };
-            if inside {
-                results.push(i);
-            }
-        }
-        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
-        results.sort_unstable();
-        cost.results = results.len();
-        (results, cost)
+        let filters: Vec<Box<dyn CandidateFilter<usize>>> = match self.config.interior_filter_level
+        {
+            Some(level) => vec![Box::new(InteriorFilterStage::new(query, level, ds))],
+            None => Vec::new(),
+        };
+        self.executor().run(
+            self.backend.as_mut(),
+            Predicate::ContainedIn,
+            || {
+                // Only objects whose MBR lies inside the query MBR can
+                // qualify.
+                ds.tree
+                    .search_intersects(&query.mbr())
+                    .into_iter()
+                    .copied()
+                    .filter(|&i| query.mbr().contains_rect(&ds.polygon(i).mbr()))
+                    .collect()
+            },
+            filters,
+            |i| (ds.polygon(i), query),
+        )
     }
 
     /// Intersection join: all pairs `(i, j)` with `a[i]` intersecting `b[j]`.
@@ -303,27 +241,18 @@ impl SpatialEngine {
         a: &PreparedDataset,
         b: &PreparedDataset,
     ) -> (Vec<(usize, usize)>, CostBreakdown) {
-        let mut cost = CostBreakdown::default();
-
-        let t0 = Instant::now();
-        let candidates: Vec<(usize, usize)> = join_intersecting(&a.tree, &b.tree)
-            .into_iter()
-            .map(|(x, y)| (*x, *y))
-            .collect();
-        cost.mbr_filter = t0.elapsed();
-        cost.candidates = candidates.len();
-
-        let t2 = Instant::now();
-        let mut results = Vec::new();
-        for (i, j) in candidates {
-            if self.intersects(a.polygon(i), b.polygon(j), &mut cost.tests) {
-                results.push((i, j));
-            }
-        }
-        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
-        results.sort_unstable();
-        cost.results = results.len();
-        (results, cost)
+        self.executor().run(
+            self.backend.as_mut(),
+            Predicate::Intersects,
+            || {
+                join_intersecting(&a.tree, &b.tree)
+                    .into_iter()
+                    .map(|(x, y)| (*x, *y))
+                    .collect()
+            },
+            Vec::new(),
+            |(i, j)| (a.polygon(i), b.polygon(j)),
+        )
     }
 
     /// Within-distance join (buffer query): pairs within distance `d`.
@@ -333,85 +262,24 @@ impl SpatialEngine {
         b: &PreparedDataset,
         d: f64,
     ) -> (Vec<(usize, usize)>, CostBreakdown) {
-        let mut cost = CostBreakdown::default();
-
-        let t0 = Instant::now();
-        let candidates: Vec<(usize, usize)> = join_within_distance(&a.tree, &b.tree, d)
-            .into_iter()
-            .map(|(x, y)| (*x, *y))
-            .collect();
-        cost.mbr_filter = t0.elapsed();
-        cost.candidates = candidates.len();
-
-        // Stage 2: the 0-object then 1-object filters confirm positives.
-        // The paper's 1-object filter retrieves the larger object's actual
-        // geometry; we cache its edge list per left object.
-        let t1 = Instant::now();
-        let mut confirmed: Vec<(usize, usize)> = Vec::new();
-        let mut rest: Vec<(usize, usize)> = Vec::new();
-        if self.config.use_object_filters {
-            // The 1-object bound stays valid on any boundary *subset*
-            // (distances to fewer edges only grow), so huge boundaries are
-            // sampled down — otherwise the filter would scan a 39k-vertex
-            // river once per candidate pair and cost more than the
-            // geometry comparison it is meant to avoid.
-            const MAX_FILTER_EDGES: usize = 64;
-            let sampled = |poly: &Polygon| -> Vec<Segment> {
-                let step = poly.vertex_count().div_ceil(MAX_FILTER_EDGES).max(1);
-                poly.edges().step_by(step).collect()
+        let filters: Vec<Box<dyn CandidateFilter<(usize, usize)>>> =
+            if self.config.use_object_filters {
+                vec![Box::new(ObjectFilterStage::new(a, b, d))]
+            } else {
+                Vec::new()
             };
-            let mut cached_edges: Option<(usize, Vec<Segment>)> = None;
-            for (i, j) in candidates {
-                let (pa, pb) = (a.polygon(i), b.polygon(j));
-                let ub0 = zero_object_upper_bound(&pa.mbr(), &pb.mbr());
-                if ub0 <= d {
-                    confirmed.push((i, j));
-                    continue;
-                }
-                // 1-object filter on the larger polygon of the pair; the
-                // left side repeats consecutively after the tree join, so a
-                // one-slot cache hits often.
-                let (big, other_mbr, cache_key) = if pa.vertex_count() >= pb.vertex_count() {
-                    (pa, pb.mbr(), Some(i))
-                } else {
-                    (pb, pa.mbr(), None)
-                };
-                let ub1 = match (&cached_edges, cache_key) {
-                    (Some((k, edges)), Some(key)) if *k == key => {
-                        one_object_upper_bound(big, edges, &other_mbr)
-                    }
-                    _ => {
-                        let edges = sampled(big);
-                        let ub = one_object_upper_bound(big, &edges, &other_mbr);
-                        if let Some(key) = cache_key {
-                            cached_edges = Some((key, edges));
-                        }
-                        ub
-                    }
-                };
-                if ub1 <= d {
-                    confirmed.push((i, j));
-                } else {
-                    rest.push((i, j));
-                }
-            }
-        } else {
-            rest = candidates;
-        }
-        cost.intermediate_filter = t1.elapsed();
-        cost.filter_hits = confirmed.len();
-
-        let t2 = Instant::now();
-        let mut results = confirmed;
-        for (i, j) in rest {
-            if self.within(a.polygon(i), b.polygon(j), d, &mut cost.tests) {
-                results.push((i, j));
-            }
-        }
-        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
-        results.sort_unstable();
-        cost.results = results.len();
-        (results, cost)
+        self.executor().run(
+            self.backend.as_mut(),
+            Predicate::WithinDistance(d),
+            || {
+                join_within_distance(&a.tree, &b.tree, d)
+                    .into_iter()
+                    .map(|(x, y)| (*x, *y))
+                    .collect()
+            },
+            filters,
+            |(i, j)| (a.polygon(i), b.polygon(j)),
+        )
     }
 }
 
@@ -509,10 +377,8 @@ mod tests {
             ..EngineConfig::software()
         });
         let mut hw = SpatialEngine::new(EngineConfig {
-            geometry_test: GeometryTest::Hardware,
-            hw: HwConfig::at_resolution(8),
-            interior_filter_level: None,
             use_object_filters: true,
+            ..EngineConfig::hardware(HwConfig::at_resolution(8))
         });
         let (rs, cost_s) = sw.within_distance_join(&a, &b, d);
         let (rh, _) = hw.within_distance_join(&a, &b, d);
@@ -536,7 +402,10 @@ mod tests {
         let (r1, _) = plain.within_distance_join(&a, &b, d);
         let (r2, c2) = filtered.within_distance_join(&a, &b, d);
         assert_eq!(r1, r2);
-        assert!(c2.filter_hits > 0, "BaseD-scale joins should confirm pairs early");
+        assert!(
+            c2.filter_hits > 0,
+            "BaseD-scale joins should confirm pairs early"
+        );
     }
 
     #[test]
@@ -610,5 +479,59 @@ mod tests {
         assert!(cost.candidates > 0);
         assert!(cost.geometry_comparison.as_nanos() > 0);
         assert!(cost.tests.hw_tests + cost.tests.software_tests + cost.tests.decided_by_pip > 0);
+    }
+
+    /// Every pipeline, every backend, batched + threaded: identical
+    /// results to the paper-faithful per-pair sequential engine.
+    #[test]
+    fn batched_parallel_engine_matches_default_on_all_pipelines() {
+        let (a, b) = tiny_pair();
+        let queries = spatial_datagen::states50(13);
+        let q = &queries.polygons[0];
+        let d = avg_extent(&a).min(avg_extent(&b)) * 0.5;
+        for base in [
+            EngineConfig::software(),
+            EngineConfig::hardware(HwConfig::at_resolution(8)),
+            EngineConfig::hybrid(HwConfig::at_resolution(8), 40),
+        ] {
+            let mut plain = SpatialEngine::new(base);
+            let mut tuned = SpatialEngine::new(EngineConfig {
+                hw_batch: 32,
+                refine_threads: 4,
+                ..base
+            });
+            let (s1, _) = plain.intersection_selection(&a, q);
+            let (s2, _) = tuned.intersection_selection(&a, q);
+            assert_eq!(s1, s2);
+            let (c1, _) = plain.containment_selection(&a, q);
+            let (c2, _) = tuned.containment_selection(&a, q);
+            assert_eq!(c1, c2);
+            let (j1, cost1) = plain.intersection_join(&a, &b);
+            let (j2, cost2) = tuned.intersection_join(&a, &b);
+            assert_eq!(j1, j2);
+            assert_eq!(cost1.tests.hw_tests, cost2.tests.hw_tests);
+            assert_eq!(cost1.tests.software_tests, cost2.tests.software_tests);
+            let (w1, _) = plain.within_distance_join(&a, &b, d);
+            let (w2, _) = tuned.within_distance_join(&a, &b, d);
+            assert_eq!(w1, w2);
+        }
+    }
+
+    /// The hybrid backend sweeps the §4.3 threshold spectrum without
+    /// changing any result.
+    #[test]
+    fn hybrid_engine_is_exact_across_thresholds() {
+        let (a, b) = tiny_pair();
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let (expected, _) = sw.intersection_join(&a, &b);
+        let mut e = SpatialEngine::new(EngineConfig::software());
+        for t in [0, 40, 500, usize::MAX] {
+            e.set_config(EngineConfig::hybrid(HwConfig::at_resolution(8), t));
+            let (got, cost) = e.intersection_join(&a, &b);
+            assert_eq!(got, expected, "threshold {t}");
+            if t == usize::MAX {
+                assert_eq!(cost.tests.hw_tests, 0);
+            }
+        }
     }
 }

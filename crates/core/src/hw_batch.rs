@@ -1,0 +1,295 @@
+//! Batched hardware submission for Algorithm 3.1 and the §3.1 distance
+//! test: many candidate pairs per rendering round.
+//!
+//! The per-pair choreography pays two draw calls and one Minmax query per
+//! candidate — fixed costs that dominate at the paper's recommended 8×8
+//! window (§4.3). These methods run the *software* prologue of each test
+//! unchanged (MBR check, point-in-polygon, `sw_threshold` routing, the
+//! Equation 1 width limit), collect every pair that actually needs the
+//! hardware filter, and render them all as cells of one
+//! [`AtlasContext`] batch: two draw calls, one reduction scan, one
+//! command-buffer flush for the whole group. Pairs the batch cannot
+//! reject run the same software step 3 as the per-pair path.
+//!
+//! Results are bit-identical to the per-pair methods: the atlas rasterizes
+//! each cell through the same cell-local window the per-pair test uses, so
+//! every per-cell verdict equals the per-pair verdict (see
+//! `spatial_raster::atlas`). Counters differ only in the submission
+//! figures — `draw_calls`, `minmax_queries`, `pixels_scanned` (the atlas
+//! scans include gutters) and the new `batches`/`hw_batches` — and are a
+//! pure function of the batch contents, which is what makes the parallel
+//! refinement's merged statistics independent of the thread count.
+//!
+//! Batches always use the accumulation-buffer choreography (the paper's
+//! strategy); the per-pair path remains the place where the
+//! blending/stencil ablations run.
+
+use crate::hw_distance::software_distance_test;
+use crate::hw_intersect::HwTester;
+use crate::stats::TestStats;
+use spatial_geom::pip::point_in_polygon;
+use spatial_geom::{Point, Polygon, Rect};
+use spatial_raster::aa_line::DIAGONAL_WIDTH;
+use spatial_raster::{AtlasJob, Viewport, MAX_AA_LINE_WIDTH};
+use std::time::Instant;
+
+/// What the software prologue decided for one pair of a batch.
+enum Routed {
+    /// Decided without hardware (PiP, MBR, threshold, width fallback).
+    Done(bool),
+    /// Needs the hardware filter over this shared region, at this line
+    /// width (integral pixels; `DIAGONAL_WIDTH` for intersection tests).
+    Hw { region: Rect, width: f64 },
+}
+
+impl HwTester {
+    /// Batched Algorithm 3.1 over candidate pairs. Same booleans as
+    /// calling [`HwTester::intersects`] per pair; one atlas round instead
+    /// of per-pair submissions for every pair that reaches step 2.
+    pub fn intersects_batch(
+        &mut self,
+        pairs: &[(&Polygon, &Polygon)],
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        let routed: Vec<Routed> = pairs
+            .iter()
+            .map(|&(p, q)| {
+                let region = match p.mbr().intersection(&q.mbr()) {
+                    Some(r) => r,
+                    None => return Routed::Done(false),
+                };
+                if point_in_polygon(p.vertices()[0], q) || point_in_polygon(q.vertices()[0], p) {
+                    stats.decided_by_pip += 1;
+                    return Routed::Done(true);
+                }
+                let nm = p.vertex_count() + q.vertex_count();
+                if nm <= self.config().sw_threshold {
+                    stats.skipped_by_threshold += 1;
+                    stats.software_tests += 1;
+                    return Routed::Done(self.software_segment_test(p, q, &region, stats));
+                }
+                stats.hw_tests += 1;
+                Routed::Hw {
+                    region,
+                    width: DIAGONAL_WIDTH,
+                }
+            })
+            .collect();
+
+        self.finish_batch_with(
+            pairs,
+            routed,
+            stats,
+            false,
+            false,
+            |tester, (p, q), region, stats| {
+                stats.software_tests += 1;
+                tester.software_segment_test(p, q, region, stats)
+            },
+        )
+    }
+
+    /// Batched strict containment (`pairs` are `(inner, outer)`), matching
+    /// [`HwTester::contained_in`] pair for pair.
+    pub fn contained_in_batch(
+        &mut self,
+        pairs: &[(&Polygon, &Polygon)],
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        let routed: Vec<Routed> = pairs
+            .iter()
+            .map(|&(inner, outer)| {
+                if !outer.mbr().contains_rect(&inner.mbr()) {
+                    return Routed::Done(false);
+                }
+                if !point_in_polygon(inner.vertices()[0], outer) {
+                    stats.decided_by_pip += 1;
+                    return Routed::Done(false);
+                }
+                let region = inner.mbr();
+                let nm = inner.vertex_count() + outer.vertex_count();
+                if nm <= self.config().sw_threshold {
+                    stats.skipped_by_threshold += 1;
+                    stats.software_tests += 1;
+                    return Routed::Done(!self.boundaries_cross(inner, outer, &region));
+                }
+                stats.hw_tests += 1;
+                Routed::Hw {
+                    region,
+                    width: DIAGONAL_WIDTH,
+                }
+            })
+            .collect();
+
+        // Containment inverts the hardware signal: no shared pixel proves
+        // the boundaries disjoint, which (with the vertex inside) proves
+        // containment — so the hardware-reject answer is `true`.
+        self.finish_batch_with(
+            pairs,
+            routed,
+            stats,
+            true,
+            false,
+            |tester, (inner, outer), region, stats| {
+                stats.software_tests += 1;
+                !tester.boundaries_cross(inner, outer, region)
+            },
+        )
+    }
+
+    /// Batched §3.1 within-distance test, matching
+    /// [`HwTester::within_distance`] pair for pair. Jobs are grouped by
+    /// their Equation (1) line width — one draw call renders at one line
+    /// width, so each distinct (integral) width becomes its own atlas
+    /// round; for a fixed query distance the widths of all pairs agree
+    /// except across differently-shaped projection regions.
+    pub fn within_distance_batch(
+        &mut self,
+        pairs: &[(&Polygon, &Polygon)],
+        d: f64,
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        debug_assert!(d >= 0.0);
+        let routed: Vec<Routed> = pairs
+            .iter()
+            .map(|&(p, q)| {
+                if p.mbr().min_dist(&q.mbr()) > d {
+                    return Routed::Done(false);
+                }
+                if point_in_polygon(p.vertices()[0], q) || point_in_polygon(q.vertices()[0], p) {
+                    stats.decided_by_pip += 1;
+                    return Routed::Done(true);
+                }
+                let nm = p.vertex_count() + q.vertex_count();
+                if nm <= self.config().sw_threshold {
+                    stats.skipped_by_threshold += 1;
+                    stats.software_tests += 1;
+                    return Routed::Done(software_distance_test(p, q, d));
+                }
+                let (small, large) = if p.mbr().area() <= q.mbr().area() {
+                    (p, q)
+                } else {
+                    (q, p)
+                };
+                let half = d / 2.0;
+                let region = match small
+                    .mbr()
+                    .expanded(half)
+                    .intersection(&large.mbr().expanded(half))
+                {
+                    Some(r) => r,
+                    None => unreachable!("expanded MBRs must intersect when MBR distance <= d"),
+                };
+                let res = self.config().resolution;
+                let vp = Viewport::uniform(region, res, res);
+                let width = vp.line_width_for_distance(d.max(f64::MIN_POSITIVE));
+                if width > MAX_AA_LINE_WIDTH {
+                    stats.width_limit_fallbacks += 1;
+                    stats.software_tests += 1;
+                    return Routed::Done(software_distance_test(p, q, d));
+                }
+                stats.hw_tests += 1;
+                Routed::Hw { region, width }
+            })
+            .collect();
+
+        self.finish_batch_with(pairs, routed, stats, false, true, |_, (p, q), _, stats| {
+            stats.software_tests += 1;
+            software_distance_test(p, q, d)
+        })
+    }
+
+    /// Runs the atlas rounds for every `Routed::Hw` pair and resolves the
+    /// unrejected ones with `confirm` (the software step 3).
+    /// `hw_reject_value` is the predicate's answer when the hardware
+    /// proves the boundaries pixel-disjoint: `false` for intersection and
+    /// distance, `true` for containment. `expanded` selects the distance
+    /// test's rendering — uniform-scale projection (Equation 1 presumes
+    /// it) plus smooth-point vertex caps — versus the plain segment test.
+    fn finish_batch_with(
+        &mut self,
+        pairs: &[(&Polygon, &Polygon)],
+        routed: Vec<Routed>,
+        stats: &mut TestStats,
+        hw_reject_value: bool,
+        expanded: bool,
+        confirm: impl Fn(&mut Self, (&Polygon, &Polygon), &Rect, &mut TestStats) -> bool,
+    ) -> Vec<bool> {
+        let mut results = vec![false; pairs.len()];
+        let mut hw_pairs: Vec<(usize, Rect, f64)> = Vec::new();
+        for (k, r) in routed.into_iter().enumerate() {
+            match r {
+                Routed::Done(v) => results[k] = v,
+                Routed::Hw { region, width } => hw_pairs.push((k, region, width)),
+            }
+        }
+        if hw_pairs.is_empty() {
+            return results;
+        }
+
+        // One atlas round per distinct line width, in ascending width
+        // order — a deterministic grouping that depends only on the batch
+        // contents. Equation (1) widths are whole pixels in [1, 10] and
+        // the intersection width is the single DIAGONAL_WIDTH constant, so
+        // the number of rounds is tiny (usually one).
+        let mut widths: Vec<u64> = hw_pairs.iter().map(|&(_, _, w)| w.to_bits()).collect();
+        widths.sort_unstable();
+        widths.dedup();
+
+        let res = self.config().resolution;
+        let model = self.cost_model();
+        for wbits in widths {
+            let width = f64::from_bits(wbits);
+            // The edge/vertex collects and the rendering are simulated
+            // hardware: wall-excluded and recharged through the model.
+            let wall = Instant::now();
+            let group: Vec<&(usize, Rect, f64)> = hw_pairs
+                .iter()
+                .filter(|&&(_, _, w)| w.to_bits() == wbits)
+                .collect();
+            let jobs: Vec<AtlasJob> = group
+                .iter()
+                .map(|&&(k, region, _)| {
+                    let (p, q) = pairs[k];
+                    let vp = if expanded {
+                        Viewport::uniform(region, res, res)
+                    } else {
+                        Viewport::new(region, res, res)
+                    };
+                    let points = |poly: &Polygon| -> Vec<Point> {
+                        if expanded {
+                            poly.vertices().to_vec()
+                        } else {
+                            Vec::new()
+                        }
+                    };
+                    AtlasJob {
+                        viewport: vp,
+                        first_segments: p.edges().collect(),
+                        first_points: points(p),
+                        second_segments: q.edges().collect(),
+                        second_points: points(q),
+                    }
+                })
+                .collect();
+            let atlas = self.atlas_for();
+            let before = atlas.stats();
+            let flags = atlas.run_batch(&jobs, width, width);
+            let delta = atlas.stats().delta_since(&before);
+            stats.hw_batches += 1;
+            stats.hw.add(&delta);
+            stats.gpu_modeled += model.time(&delta);
+            stats.sim_wall += wall.elapsed();
+
+            for (&&(k, region, _), overlap) in group.iter().zip(flags) {
+                if !overlap {
+                    stats.rejected_by_hw += 1;
+                    results[k] = hw_reject_value;
+                } else {
+                    results[k] = confirm(self, pairs[k], &region, stats);
+                }
+            }
+        }
+        results
+    }
+}

@@ -108,12 +108,11 @@ impl HwTester {
         gl.set_line_width(width);
         gl.set_point_size(width);
 
-        let draw_expanded = |gl: &mut spatial_raster::GlContext,
-                             segs: &[Segment],
-                             pts: &[Point]| {
-            gl.draw_segments(segs);
-            gl.draw_points(pts);
-        };
+        let draw_expanded =
+            |gl: &mut spatial_raster::GlContext, segs: &[Segment], pts: &[Point]| {
+                gl.draw_segments(segs);
+                gl.draw_points(pts);
+            };
 
         let overlap = match strategy {
             OverlapStrategy::Accumulation | OverlapStrategy::Blending => {
@@ -161,7 +160,7 @@ impl HwTester {
 /// extended MBRs, compared pairwise with early exit (§4.1.1). The MBR and
 /// point-in-polygon prologue has already run in `within_distance` above —
 /// repeating it here would bill the hardware path twice for the same work.
-fn software_distance_test(p: &Polygon, q: &Polygon, d: f64) -> bool {
+pub(crate) fn software_distance_test(p: &Polygon, q: &Polygon, d: f64) -> bool {
     let ep = frontier_clipped(p, &q.mbr(), d);
     let eq = frontier_clipped(q, &p.mbr(), d);
     edges_within_pairwise(&ep, &eq, d)
@@ -186,10 +185,10 @@ mod tests {
     fn agrees_with_oracle_at_various_resolutions_and_distances() {
         let a = square(0.0, 0.0, 2.0);
         let cases = [
-            square(5.0, 0.0, 2.0),  // distance 3
-            square(5.0, 5.0, 2.0),  // distance sqrt(18)
-            square(1.0, 1.0, 2.0),  // intersecting
-            square(2.5, 0.0, 1.0),  // distance 0.5
+            square(5.0, 0.0, 2.0), // distance 3
+            square(5.0, 5.0, 2.0), // distance sqrt(18)
+            square(1.0, 1.0, 2.0), // intersecting
+            square(2.5, 0.0, 1.0), // distance 0.5
         ];
         for res in [1usize, 4, 8, 16] {
             let mut t = HwTester::new(HwConfig::at_resolution(res));

@@ -34,7 +34,7 @@ use spatial_geom::sweep::tree_sweep_intersects_stats;
 use spatial_geom::sweep::SweepStats;
 use spatial_geom::{Polygon, Rect, Segment};
 use spatial_raster::framebuffer::HALF_GRAY;
-use spatial_raster::{GlContext, HwCostModel, OverlapStrategy, Viewport, WriteMode};
+use spatial_raster::{AtlasContext, GlContext, HwCostModel, OverlapStrategy, Viewport, WriteMode};
 use std::time::Instant;
 
 /// A reusable hardware tester: owns the rendering context so repeated
@@ -43,6 +43,7 @@ use std::time::Instant;
 pub struct HwTester {
     cfg: HwConfig,
     gl: Option<GlContext>,
+    atlas: Option<AtlasContext>,
     model: HwCostModel,
 }
 
@@ -51,6 +52,7 @@ impl HwTester {
         HwTester {
             cfg,
             gl: None,
+            atlas: None,
             model: HwCostModel::default(),
         }
     }
@@ -82,6 +84,21 @@ impl HwTester {
                 gl
             }
             None => self.gl.get_or_insert_with(|| GlContext::new(viewport)),
+        }
+    }
+
+    /// Borrows (creating on first use) the batched-submission context at
+    /// the configured cell resolution. The atlas frame buffer persists
+    /// across batches — cleared, never reallocated, while the resolution
+    /// and batch population stay stable.
+    pub(crate) fn atlas_for(&mut self) -> &mut AtlasContext {
+        let res = self.cfg.resolution;
+        match self.atlas {
+            Some(ref mut atlas) => {
+                atlas.set_cell_resolution(res);
+                atlas
+            }
+            None => self.atlas.get_or_insert_with(|| AtlasContext::new(res)),
         }
     }
 
@@ -136,7 +153,12 @@ impl HwTester {
     ///
     /// This is the "Containment" predicate the interior filter targets in
     /// Table 1; the engine's containment selections use it.
-    pub fn contained_in(&mut self, inner: &Polygon, outer: &Polygon, stats: &mut TestStats) -> bool {
+    pub fn contained_in(
+        &mut self,
+        inner: &Polygon,
+        outer: &Polygon,
+        stats: &mut TestStats,
+    ) -> bool {
         if !outer.mbr().contains_rect(&inner.mbr()) {
             return false;
         }
@@ -163,7 +185,7 @@ impl HwTester {
     }
 
     /// Whether the two boundaries intersect within `region` (closed).
-    fn boundaries_cross(&self, p: &Polygon, q: &Polygon, region: &Rect) -> bool {
+    pub(crate) fn boundaries_cross(&self, p: &Polygon, q: &Polygon, region: &Rect) -> bool {
         let ep = restricted_edges(p, region);
         let eq = restricted_edges(q, region);
         if ep.is_empty() || eq.is_empty() {
@@ -174,7 +196,7 @@ impl HwTester {
     }
 
     /// The software step-3 path: restricted search space + tree sweep.
-    fn software_segment_test(
+    pub(crate) fn software_segment_test(
         &self,
         p: &Polygon,
         q: &Polygon,
@@ -403,7 +425,10 @@ mod tests {
         let mut st = TestStats::default();
         t.intersects(&a, &b, &mut st);
         assert_eq!(st.hw_tests, 1);
-        assert!(st.hw.pixels_scanned > 0, "clears/accum/minmax must be charged");
+        assert!(
+            st.hw.pixels_scanned > 0,
+            "clears/accum/minmax must be charged"
+        );
         assert!(st.hw.primitives > 0);
     }
 

@@ -27,14 +27,20 @@
 pub mod ablation;
 pub mod config;
 pub mod engine;
+pub mod hw_batch;
 pub mod hw_distance;
 pub mod hw_intersect;
 pub mod nn;
+pub mod pipeline;
 pub mod stats;
 
 pub use config::HwConfig;
-pub use engine::{EngineConfig, PreparedDataset, SpatialEngine};
+pub use engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;
 pub use nn::{sw_nearest, VoronoiNn};
+pub use pipeline::{
+    CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RefinementBackend,
+    SoftwareBackend, StagedExecutor,
+};
 pub use stats::{CostBreakdown, TestStats};

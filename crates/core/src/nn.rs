@@ -78,12 +78,18 @@ impl VoronoiNn {
     }
 
     /// Exact nearest neighbor of `q`, using the field as a pruning oracle.
-    pub fn nearest(&self, ds: &PreparedDataset, q: Point, stats: &mut TestStats) -> Option<(usize, f64)> {
+    pub fn nearest(
+        &self,
+        ds: &PreparedDataset,
+        q: Point,
+        stats: &mut TestStats,
+    ) -> Option<(usize, f64)> {
         // One texel read: candidate site + distance from the pixel center.
         // Discretization can be off by one cell hop each way.
-        let hint = self.field.lookup(q).map(|(id, d)| {
-            (id as usize, d + 2.0 * self.field.cell_radius())
-        });
+        let hint = self
+            .field
+            .lookup(q)
+            .map(|(id, d)| (id as usize, d + 2.0 * self.field.cell_radius()));
         let mut best: Option<(usize, f64)> = match hint {
             Some((id, _)) => {
                 stats.hw_tests += 1;
@@ -138,10 +144,7 @@ mod tests {
     fn software_nearest_matches_brute_force() {
         let ds = dataset();
         for k in 0..25 {
-            let q = Point::new(
-                (k * 4391 % 100_000) as f64,
-                (k * 7919 % 100_000) as f64,
-            );
+            let q = Point::new((k * 4391 % 100_000) as f64, (k * 7919 % 100_000) as f64);
             let (gi, gd) = sw_nearest(&ds, q).unwrap();
             let (bi, bd) = brute_nearest(&ds, q);
             assert!(
@@ -160,10 +163,7 @@ mod tests {
         let ds = dataset();
         let nn = VoronoiNn::build(&ds, 24);
         for k in 0..25 {
-            let q = Point::new(
-                (k * 2741 % 100_000) as f64,
-                (k * 6133 % 100_000) as f64,
-            );
+            let q = Point::new((k * 2741 % 100_000) as f64, (k * 6133 % 100_000) as f64);
             let mut st = TestStats::default();
             let hw = nn.nearest(&ds, q, &mut st).unwrap();
             let sw = sw_nearest(&ds, q).unwrap();

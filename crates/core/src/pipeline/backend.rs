@@ -1,0 +1,284 @@
+//! Pluggable refinement backends: who decides the candidates the filters
+//! could not.
+//!
+//! All three backends answer the same [`Predicate`] exactly — the paper's
+//! exactness invariant — and differ only in *how*: which pairs touch the
+//! simulated hardware and what that costs. `fork` hands each parallel
+//! refinement worker an independent instance (its own rendering context),
+//! so workers never contend and per-worker counters merge deterministically.
+
+use super::Predicate;
+use crate::config::HwConfig;
+use crate::hw_intersect::HwTester;
+use crate::stats::TestStats;
+use spatial_geom::intersect::{polygons_intersect_with, IntersectStats, SweepAlgo};
+use spatial_geom::mindist::within_distance_with;
+use spatial_geom::{MinDistStats, Polygon};
+
+/// A refinement strategy: decides single pairs and (optionally) batches.
+///
+/// Implementations must be deterministic: the booleans and every counter
+/// they record may depend only on the arguments, never on call order or
+/// shared mutable state — that is what makes `threads = N` refinement
+/// bit-identical to sequential.
+pub trait RefinementBackend: Send + std::fmt::Debug {
+    /// Decides one candidate pair.
+    fn test(&mut self, pred: Predicate, p: &Polygon, q: &Polygon, stats: &mut TestStats) -> bool;
+
+    /// Decides a group of candidate pairs in one submission round where
+    /// the backend supports it. The default is the per-pair loop;
+    /// hardware backends override it with atlas-batched rendering.
+    fn test_batch(
+        &mut self,
+        pred: Predicate,
+        pairs: &[(&Polygon, &Polygon)],
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(p, q)| self.test(pred, p, q, stats))
+            .collect()
+    }
+
+    /// An independent backend with the same configuration, for a parallel
+    /// refinement worker.
+    fn fork(&self) -> Box<dyn RefinementBackend>;
+}
+
+/// Pure software refinement: the paper's baseline curves. Plane sweep with
+/// the restricted search space for intersection, the modified `minDist`
+/// for distance, the sweep-based containment test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareBackend;
+
+impl RefinementBackend for SoftwareBackend {
+    fn test(&mut self, pred: Predicate, p: &Polygon, q: &Polygon, stats: &mut TestStats) -> bool {
+        stats.software_tests += 1;
+        match pred {
+            Predicate::Intersects => {
+                let mut st = IntersectStats::default();
+                let r = polygons_intersect_with(p, q, SweepAlgo::Tree, &mut st);
+                stats.decided_by_pip += st.decided_by_pip;
+                r
+            }
+            Predicate::ContainedIn => spatial_geom::polygon_contained_in(p, q),
+            Predicate::WithinDistance(d) => {
+                let mut st = MinDistStats::default();
+                within_distance_with(p, q, d, &mut st)
+            }
+        }
+    }
+
+    fn fork(&self) -> Box<dyn RefinementBackend> {
+        Box::new(SoftwareBackend)
+    }
+}
+
+/// Hardware-assisted refinement: Algorithm 3.1 and the §3.1 distance test,
+/// honoring the `sw_threshold` of its [`HwConfig`] (§4.3 treats the
+/// threshold as part of the algorithm). Owns the rendering contexts.
+#[derive(Debug)]
+pub struct HardwareBackend {
+    tester: HwTester,
+}
+
+impl HardwareBackend {
+    pub fn new(hw: HwConfig) -> Self {
+        HardwareBackend {
+            tester: HwTester::new(hw),
+        }
+    }
+
+    /// Overrides the simulated-hardware cost model (sensitivity benches).
+    pub fn set_cost_model(&mut self, model: spatial_raster::HwCostModel) {
+        self.tester.set_cost_model(model);
+    }
+}
+
+impl RefinementBackend for HardwareBackend {
+    fn test(&mut self, pred: Predicate, p: &Polygon, q: &Polygon, stats: &mut TestStats) -> bool {
+        match pred {
+            Predicate::Intersects => self.tester.intersects(p, q, stats),
+            Predicate::ContainedIn => self.tester.contained_in(p, q, stats),
+            Predicate::WithinDistance(d) => self.tester.within_distance(p, q, d, stats),
+        }
+    }
+
+    fn test_batch(
+        &mut self,
+        pred: Predicate,
+        pairs: &[(&Polygon, &Polygon)],
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        match pred {
+            Predicate::Intersects => self.tester.intersects_batch(pairs, stats),
+            Predicate::ContainedIn => self.tester.contained_in_batch(pairs, stats),
+            Predicate::WithinDistance(d) => self.tester.within_distance_batch(pairs, d, stats),
+        }
+    }
+
+    fn fork(&self) -> Box<dyn RefinementBackend> {
+        let mut b = HardwareBackend::new(self.tester.config());
+        b.tester.set_cost_model(self.tester.cost_model());
+        Box::new(b)
+    }
+}
+
+/// The generalized `sw_threshold` mix: hardware refinement with an
+/// *engine-level* threshold override. §4.3 ties the threshold to the
+/// hardware configuration; the hybrid backend lifts it to a pipeline knob,
+/// so one engine can express the whole spectrum — `0` is pure hardware
+/// routing, `usize::MAX` degenerates to all-software testing (with the
+/// hardware path's prologue), and anything between splits pairs by
+/// combined vertex count exactly like [`HardwareBackend`] does.
+#[derive(Debug)]
+pub struct HybridBackend {
+    inner: HardwareBackend,
+}
+
+impl HybridBackend {
+    pub fn new(hw: HwConfig, sw_threshold: usize) -> Self {
+        HybridBackend {
+            inner: HardwareBackend::new(HwConfig { sw_threshold, ..hw }),
+        }
+    }
+}
+
+impl RefinementBackend for HybridBackend {
+    fn test(&mut self, pred: Predicate, p: &Polygon, q: &Polygon, stats: &mut TestStats) -> bool {
+        self.inner.test(pred, p, q, stats)
+    }
+
+    fn test_batch(
+        &mut self,
+        pred: Predicate,
+        pairs: &[(&Polygon, &Polygon)],
+        stats: &mut TestStats,
+    ) -> Vec<bool> {
+        self.inner.test_batch(pred, pairs, stats)
+    }
+
+    fn fork(&self) -> Box<dyn RefinementBackend> {
+        let hw = self.inner.tester.config();
+        Box::new(HybridBackend::new(hw, hw.sw_threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::{min_dist_brute, polygons_intersect_brute};
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    fn backends() -> Vec<Box<dyn RefinementBackend>> {
+        vec![
+            Box::new(SoftwareBackend),
+            Box::new(HardwareBackend::new(HwConfig::at_resolution(8))),
+            Box::new(HybridBackend::new(HwConfig::at_resolution(8), 6)),
+            Box::new(HybridBackend::new(HwConfig::at_resolution(8), usize::MAX)),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_all_predicates() {
+        let cases = [
+            (square(0.0, 0.0, 2.0), square(1.0, 1.0, 2.0)),
+            (square(0.0, 0.0, 1.0), square(5.0, 5.0, 1.0)),
+            (square(0.0, 0.0, 10.0), square(4.0, 4.0, 1.0)),
+            (square(0.0, 0.0, 2.0), square(2.5, 0.0, 2.0)),
+        ];
+        for b in backends().iter_mut() {
+            for (p, q) in &cases {
+                let mut st = TestStats::default();
+                assert_eq!(
+                    b.test(Predicate::Intersects, p, q, &mut st),
+                    polygons_intersect_brute(p, q),
+                    "{b:?}"
+                );
+                assert_eq!(
+                    b.test(Predicate::ContainedIn, p, q, &mut st),
+                    spatial_geom::polygon_contained_in(p, q),
+                    "{b:?}"
+                );
+                for d in [0.2, 1.0, 3.0] {
+                    assert_eq!(
+                        b.test(Predicate::WithinDistance(d), p, q, &mut st),
+                        min_dist_brute(p, q) <= d,
+                        "{b:?} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_per_pair_for_every_backend() {
+        let polys: Vec<Polygon> = (0..6)
+            .map(|i| square(i as f64 * 1.3, (i % 3) as f64, 2.0))
+            .collect();
+        let pairs: Vec<(&Polygon, &Polygon)> = (0..polys.len())
+            .flat_map(|i| (0..polys.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| (&polys[i], &polys[j]))
+            .collect();
+        for pred in [
+            Predicate::Intersects,
+            Predicate::ContainedIn,
+            Predicate::WithinDistance(0.9),
+        ] {
+            for b in backends().iter_mut() {
+                let mut st1 = TestStats::default();
+                let per_pair: Vec<bool> = pairs
+                    .iter()
+                    .map(|&(p, q)| b.test(pred, p, q, &mut st1))
+                    .collect();
+                let mut st2 = TestStats::default();
+                let batched = b.test_batch(pred, &pairs, &mut st2);
+                assert_eq!(per_pair, batched, "{b:?} {pred:?}");
+                // Routing counters are identical; only submission counters
+                // may differ between the two paths.
+                assert_eq!(st1.decided_by_pip, st2.decided_by_pip);
+                assert_eq!(st1.rejected_by_hw, st2.rejected_by_hw);
+                assert_eq!(st1.software_tests, st2.software_tests);
+                assert_eq!(st1.hw_tests, st2.hw_tests);
+            }
+        }
+    }
+
+    #[test]
+    fn forked_backend_behaves_identically() {
+        let polys: Vec<Polygon> = (0..4).map(|i| square(i as f64, 0.0, 1.4)).collect();
+        let pairs: Vec<(&Polygon, &Polygon)> =
+            (1..polys.len()).map(|i| (&polys[0], &polys[i])).collect();
+        let mut orig: Box<dyn RefinementBackend> =
+            Box::new(HardwareBackend::new(HwConfig::at_resolution(8)));
+        let mut forked = orig.fork();
+        let mut s1 = TestStats::default();
+        let mut s2 = TestStats::default();
+        let r1 = orig.test_batch(Predicate::Intersects, &pairs, &mut s1);
+        let r2 = forked.test_batch(Predicate::Intersects, &pairs, &mut s2);
+        assert_eq!(r1, r2);
+        assert_eq!(s1.hw.draw_calls, s2.hw.draw_calls);
+        assert_eq!(s1.hw.fragments_tested, s2.hw.fragments_tested);
+    }
+
+    #[test]
+    fn hybrid_threshold_routes_pairs() {
+        // A crossing pair whose first vertices are outside each other, so
+        // the test reaches the threshold branch.
+        let horiz = Polygon::from_coords(&[(0.0, 2.0), (6.0, 2.0), (6.0, 4.0), (0.0, 4.0)]);
+        let vert = Polygon::from_coords(&[(2.0, 0.0), (4.0, 0.0), (4.0, 6.0), (2.0, 6.0)]);
+        let mut all_sw = HybridBackend::new(HwConfig::at_resolution(8), usize::MAX);
+        let mut st = TestStats::default();
+        assert!(all_sw.test(Predicate::Intersects, &horiz, &vert, &mut st));
+        assert_eq!(st.hw_tests, 0);
+        assert_eq!(st.skipped_by_threshold, 1);
+        let mut all_hw = HybridBackend::new(HwConfig::at_resolution(8), 0);
+        let mut st = TestStats::default();
+        assert!(all_hw.test(Predicate::Intersects, &horiz, &vert, &mut st));
+        assert_eq!(st.hw_tests, 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The staged executor: one implementation of Fig. 8's three-stage loop,
+//! generic over candidate type, filter chain and refinement backend.
+//!
+//! Every pipeline is the same shape:
+//!
+//! ```text
+//! stage 1   MBR filtering          R-tree search / tree join
+//! stage 2   intermediate filtering chain of CandidateFilters, sequential
+//! stage 3   geometry comparison    RefinementBackend, batched and/or parallel
+//! ```
+//!
+//! The executor owns the timers and the [`CostBreakdown`]; stage 3's
+//! reported time swaps the rasterizer-simulation seconds for modeled GPU
+//! seconds, exactly as the per-pipeline loops used to.
+//!
+//! # Determinism under batching and threads
+//!
+//! Stage 3 first partitions the undecided candidates into *submission
+//! units* — chunks of `batch` candidates (or per-worker spans when
+//! `batch ≤ 1`) — and only then assigns whole units to workers
+//! round-robin. The partition is a pure function of the candidate list and
+//! `batch`, never of `threads`; every backend's counters are a pure
+//! function of the unit contents; counter merging is integer addition.
+//! Hence results *and* merged statistics are bit-identical across thread
+//! counts (`sim_wall` aside, which measures the simulation's own wall
+//! clock and is excluded from all reported times).
+
+use super::backend::RefinementBackend;
+use super::filter::{CandidateFilter, Decision};
+use super::Predicate;
+use crate::stats::{CostBreakdown, TestStats};
+use spatial_geom::Polygon;
+use std::time::{Duration, Instant};
+
+/// Measured stage time with the simulation seconds swapped for modeled
+/// GPU seconds. Saturating: on a fast host the measured slice attributable
+/// to simulation can exceed the stage's own timer resolution, and under
+/// parallel refinement the per-worker simulation seconds sum past the
+/// stage's wall clock.
+pub(crate) fn adjusted(measured: Duration, tests: &TestStats) -> Duration {
+    measured.saturating_sub(tests.sim_wall) + tests.gpu_modeled
+}
+
+/// Stage-3 execution parameters, copied from the engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedExecutor {
+    /// Candidate pairs per hardware submission round; ≤ 1 keeps the
+    /// paper-faithful per-pair choreography.
+    pub batch: usize,
+    /// Refinement worker threads; ≤ 1 runs sequentially.
+    pub threads: usize,
+}
+
+impl StagedExecutor {
+    /// Runs one query: `stage1` enumerates candidates, the `filters` chain
+    /// settles what it can, the backend refines the rest.
+    pub fn run<'p, C, R>(
+        &self,
+        backend: &mut dyn RefinementBackend,
+        predicate: Predicate,
+        stage1: impl FnOnce() -> Vec<C>,
+        mut filters: Vec<Box<dyn CandidateFilter<C> + '_>>,
+        resolve: R,
+    ) -> (Vec<C>, CostBreakdown)
+    where
+        C: Copy + Ord + Send + Sync,
+        R: Fn(C) -> (&'p Polygon, &'p Polygon) + Sync,
+    {
+        let mut cost = CostBreakdown::default();
+
+        let t0 = Instant::now();
+        let candidates = stage1();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+
+        let t1 = Instant::now();
+        let mut confirmed: Vec<C> = Vec::new();
+        let mut rest: Vec<C> = Vec::new();
+        'candidates: for c in candidates {
+            for f in filters.iter_mut() {
+                match f.examine(&c) {
+                    Decision::Confirm => {
+                        confirmed.push(c);
+                        continue 'candidates;
+                    }
+                    Decision::Reject => continue 'candidates,
+                    Decision::Refine => {}
+                }
+            }
+            rest.push(c);
+        }
+        cost.intermediate_filter = t1.elapsed();
+        cost.filter_hits = confirmed.len();
+
+        let t2 = Instant::now();
+        let mut results = confirmed;
+        self.refine(
+            backend,
+            predicate,
+            &rest,
+            &resolve,
+            &mut results,
+            &mut cost.tests,
+        );
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+
+    /// Stage 3: decide `rest` with the backend, honoring `batch` and
+    /// `threads`.
+    fn refine<'p, C, R>(
+        &self,
+        backend: &mut dyn RefinementBackend,
+        predicate: Predicate,
+        rest: &[C],
+        resolve: &R,
+        out: &mut Vec<C>,
+        tests: &mut TestStats,
+    ) where
+        C: Copy + Ord + Send + Sync,
+        R: Fn(C) -> (&'p Polygon, &'p Polygon) + Sync,
+    {
+        let threads = self.threads.max(1);
+        if threads <= 1 || rest.len() < 2 {
+            self.refine_span(backend, predicate, rest, resolve, out, tests);
+            return;
+        }
+
+        // Units are batch-aligned so a unit's counters cannot depend on
+        // which worker runs it; with batch ≤ 1 any split works, so use
+        // near-equal spans. Units go to workers round-robin.
+        let unit = if self.batch > 1 {
+            self.batch
+        } else {
+            rest.len().div_ceil(threads).max(1)
+        };
+        let units: Vec<&[C]> = rest.chunks(unit).collect();
+        let workers = threads.min(units.len());
+        let per_worker: Vec<(Vec<C>, TestStats)> = std::thread::scope(|scope| {
+            let units = &units;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let mut wb = backend.fork();
+                    scope.spawn(move || {
+                        let mut res = Vec::new();
+                        let mut st = TestStats::default();
+                        for u in (w..units.len()).step_by(workers) {
+                            self.refine_span(
+                                wb.as_mut(),
+                                predicate,
+                                units[u],
+                                resolve,
+                                &mut res,
+                                &mut st,
+                            );
+                        }
+                        (res, st)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("refinement worker panicked"))
+                .collect()
+        });
+        // Merge in worker order: counter addition commutes exactly, so the
+        // totals equal the sequential run's; the fixed order keeps even
+        // the intermediate states reproducible.
+        for (res, st) in per_worker {
+            out.extend(res);
+            tests.add(&st);
+        }
+    }
+
+    /// Decides one contiguous span, batching submissions when configured.
+    fn refine_span<'p, C, R>(
+        &self,
+        backend: &mut dyn RefinementBackend,
+        predicate: Predicate,
+        span: &[C],
+        resolve: &R,
+        out: &mut Vec<C>,
+        tests: &mut TestStats,
+    ) where
+        C: Copy + Ord + Send + Sync,
+        R: Fn(C) -> (&'p Polygon, &'p Polygon) + Sync,
+    {
+        if self.batch > 1 {
+            for group in span.chunks(self.batch) {
+                let pairs: Vec<(&Polygon, &Polygon)> = group.iter().map(|&c| resolve(c)).collect();
+                let verdicts = backend.test_batch(predicate, &pairs, tests);
+                debug_assert_eq!(verdicts.len(), group.len());
+                for (&c, keep) in group.iter().zip(verdicts) {
+                    if keep {
+                        out.push(c);
+                    }
+                }
+            }
+        } else {
+            for &c in span {
+                let (p, q) = resolve(c);
+                if backend.test(predicate, p, q, tests) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+    use crate::pipeline::backend::{HardwareBackend, SoftwareBackend};
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    /// A filter stage that confirms even indices and rejects multiples of
+    /// five — exercises every `Decision` arm, including `Reject`, which no
+    /// built-in paper filter uses (the paper's filters are one-sided).
+    struct ParityFilter;
+    impl CandidateFilter<usize> for ParityFilter {
+        fn examine(&mut self, &i: &usize) -> Decision {
+            if i % 5 == 0 {
+                Decision::Reject
+            } else if i % 2 == 0 {
+                Decision::Confirm
+            } else {
+                Decision::Refine
+            }
+        }
+    }
+
+    #[test]
+    fn filter_chain_routes_all_three_decisions() {
+        let polys: Vec<Polygon> = (0..10).map(|i| square(i as f64 * 3.0, 0.0, 1.0)).collect();
+        let query = square(0.0, 0.0, 1.0); // intersects only polygon 0 (rejected by filter)
+        let exec = StagedExecutor {
+            batch: 1,
+            threads: 1,
+        };
+        let mut backend = SoftwareBackend;
+        let (results, cost) = exec.run(
+            &mut backend,
+            Predicate::Intersects,
+            || (0..10).collect(),
+            vec![Box::new(ParityFilter)],
+            |i| (&query, &polys[i]),
+        );
+        // Confirmed: even non-multiples-of-5 {2,4,6,8}. Refined {1,3,7,9}:
+        // none intersects the query. Rejected {0,5} — including the one
+        // true geometric intersection, proving Reject short-circuits.
+        assert_eq!(results, vec![2, 4, 6, 8]);
+        assert_eq!(cost.filter_hits, 4);
+        assert_eq!(cost.candidates, 10);
+        assert_eq!(cost.results, 4);
+        assert_eq!(cost.tests.software_tests, 4);
+    }
+
+    /// Horizontal bars crossed by tall vertical bars: for the crossing
+    /// pairs the MBRs overlap but no vertex of either polygon lies inside
+    /// the other, so (at `sw_threshold = 0`) they genuinely reach the
+    /// hardware filter; shifted verticals add PiP- and MBR-decided pairs
+    /// for routing variety.
+    fn bars() -> (Vec<Polygon>, Vec<Polygon>) {
+        let horiz: Vec<Polygon> = (0..6)
+            .map(|i| {
+                let y = 10.0 * i as f64 + 2.0;
+                Polygon::from_coords(&[(0.0, y), (6.0, y), (6.0, y + 2.0), (0.0, y + 2.0)])
+            })
+            .collect();
+        let vert: Vec<Polygon> = (0..6)
+            .map(|j| {
+                let x = 1.0 + 4.0 * j as f64;
+                Polygon::from_coords(&[(x, -1.0), (x + 2.0, -1.0), (x + 2.0, 61.0), (x, 61.0)])
+            })
+            .collect();
+        (horiz, vert)
+    }
+
+    /// The full cross-product: batch × threads must all give the same
+    /// results and the same deterministic counters.
+    #[test]
+    fn batch_and_threads_preserve_results_and_counters() {
+        let (left, right) = bars();
+        let cands: Vec<(usize, usize)> = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
+
+        let run = |batch: usize, threads: usize| {
+            let exec = StagedExecutor { batch, threads };
+            let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
+            exec.run(
+                &mut backend,
+                Predicate::Intersects,
+                || cands.clone(),
+                Vec::new(),
+                |(i, j)| (&left[i], &right[j]),
+            )
+        };
+
+        let (base_results, base_cost) = run(1, 1);
+        assert!(!base_results.is_empty());
+        assert!(
+            base_cost.tests.hw_tests > 0,
+            "workload must exercise the hardware"
+        );
+        for (batch, threads) in [(1, 2), (1, 4), (4, 1), (4, 2), (4, 3), (64, 4)] {
+            let (r, c) = run(batch, threads);
+            assert_eq!(r, base_results, "batch={batch} threads={threads}");
+            let (t, bt) = (&c.tests, &base_cost.tests);
+            assert_eq!(t.decided_by_pip, bt.decided_by_pip);
+            assert_eq!(t.rejected_by_hw, bt.rejected_by_hw);
+            assert_eq!(t.software_tests, bt.software_tests);
+            assert_eq!(t.hw_tests, bt.hw_tests);
+            // Same-batch configs have identical submission counters too.
+            let (rr, cc) = run(batch, 1);
+            assert_eq!(rr, base_results);
+            assert_eq!(
+                cc.tests.hw_batches, t.hw_batches,
+                "batch={batch} threads={threads}"
+            );
+            assert_eq!(cc.tests.hw, t.hw, "batch={batch} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batching_reduces_submission_rounds() {
+        let (left, right) = bars();
+        let cands: Vec<(usize, usize)> = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
+        let run = |batch: usize| {
+            let exec = StagedExecutor { batch, threads: 1 };
+            let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
+            exec.run(
+                &mut backend,
+                Predicate::Intersects,
+                || cands.clone(),
+                Vec::new(),
+                |(i, j)| (&left[i], &right[j]),
+            )
+        };
+        let (r1, c1) = run(1);
+        let (r2, c2) = run(64);
+        assert_eq!(r1, r2);
+        assert!(c2.tests.hw_tests > 0, "workload must exercise the hardware");
+        assert!(
+            c2.tests.hw.submissions() < c1.tests.hw.submissions(),
+            "batched {} !< per-pair {}",
+            c2.tests.hw.submissions(),
+            c1.tests.hw.submissions()
+        );
+        assert_eq!(c1.tests.hw_batches, 0);
+        assert!(c2.tests.hw_batches > 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The declarative intermediate-filter chain (stage 2 of Fig. 8).
+//!
+//! The paper uses two very different intermediate filters — the interior
+//! (tiling) filter for selections (Table 1) and the 0/1-object distance
+//! filters for within-distance joins (Fig. 14) — but both do the same job:
+//! look at a candidate cheaply and either settle it or pass it on. The
+//! [`CandidateFilter`] trait captures that contract; the executor runs
+//! candidates through a chain of them, so pipelines declare their filters
+//! instead of inlining filter loops.
+
+use crate::engine::PreparedDataset;
+use spatial_filters::{one_object_upper_bound, zero_object_upper_bound, InteriorFilter};
+use spatial_geom::{Polygon, Segment};
+
+/// What a filter concluded about one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Provably a result: skip refinement (a *filter hit*).
+    Confirm,
+    /// Provably not a result: drop without refinement.
+    Reject,
+    /// Undecided: pass to the next filter, ultimately to the backend.
+    Refine,
+}
+
+/// One intermediate filter over candidates of type `C` (`usize` for
+/// selections, `(usize, usize)` for joins).
+///
+/// `examine` takes `&mut self` because real filters keep state (the
+/// 1-object filter's edge cache); implementations must stay deterministic
+/// in candidate order, which the executor keeps identical across
+/// configurations — filtering always runs sequentially, before candidates
+/// are partitioned for parallel refinement.
+pub trait CandidateFilter<C> {
+    fn examine(&mut self, candidate: &C) -> Decision;
+}
+
+/// The interior (tiling) filter as a chain stage: candidates whose MBR
+/// lies in a fully-interior tile of the query are confirmed — for the
+/// intersection *and* containment predicates alike (Table 1's double
+/// duty). Never rejects: an MBR outside every interior tile proves
+/// nothing.
+pub struct InteriorFilterStage<'a> {
+    filter: InteriorFilter,
+    ds: &'a PreparedDataset,
+}
+
+impl<'a> InteriorFilterStage<'a> {
+    pub fn new(query: &Polygon, level: u32, ds: &'a PreparedDataset) -> Self {
+        InteriorFilterStage {
+            filter: InteriorFilter::build(query, level),
+            ds,
+        }
+    }
+}
+
+impl CandidateFilter<usize> for InteriorFilterStage<'_> {
+    fn examine(&mut self, &i: &usize) -> Decision {
+        if self.filter.covers(&self.ds.polygon(i).mbr()) {
+            Decision::Confirm
+        } else {
+            Decision::Refine
+        }
+    }
+}
+
+/// The 0-object and 1-object distance filters as one chain stage
+/// (Fig. 14): upper-bound the pair distance from MBRs alone, then from
+/// one object's (sampled) real boundary against the other's MBR; a bound
+/// `≤ d` confirms the pair. Never rejects: these are upper bounds.
+pub struct ObjectFilterStage<'a> {
+    a: &'a PreparedDataset,
+    b: &'a PreparedDataset,
+    d: f64,
+    /// One-slot edge cache keyed on the left object: the tree join emits
+    /// left-consecutive pairs, so consecutive candidates usually reuse it.
+    cached_edges: Option<(usize, Vec<Segment>)>,
+}
+
+/// The 1-object bound stays valid on any boundary *subset* (distances to
+/// fewer edges only grow), so huge boundaries are sampled down — otherwise
+/// the filter would scan a 39k-vertex river once per candidate pair and
+/// cost more than the geometry comparison it is meant to avoid.
+const MAX_FILTER_EDGES: usize = 64;
+
+impl<'a> ObjectFilterStage<'a> {
+    pub fn new(a: &'a PreparedDataset, b: &'a PreparedDataset, d: f64) -> Self {
+        ObjectFilterStage {
+            a,
+            b,
+            d,
+            cached_edges: None,
+        }
+    }
+
+    fn sampled(poly: &Polygon) -> Vec<Segment> {
+        let step = poly.vertex_count().div_ceil(MAX_FILTER_EDGES).max(1);
+        poly.edges().step_by(step).collect()
+    }
+}
+
+impl CandidateFilter<(usize, usize)> for ObjectFilterStage<'_> {
+    fn examine(&mut self, &(i, j): &(usize, usize)) -> Decision {
+        let (pa, pb) = (self.a.polygon(i), self.b.polygon(j));
+        let ub0 = zero_object_upper_bound(&pa.mbr(), &pb.mbr());
+        if ub0 <= self.d {
+            return Decision::Confirm;
+        }
+        // 1-object filter on the larger polygon of the pair; only the left
+        // side repeats consecutively after the tree join, so only left
+        // polygons are worth caching.
+        let (big, other_mbr, cache_key) = if pa.vertex_count() >= pb.vertex_count() {
+            (pa, pb.mbr(), Some(i))
+        } else {
+            (pb, pa.mbr(), None)
+        };
+        let ub1 = match (&self.cached_edges, cache_key) {
+            (Some((k, edges)), Some(key)) if *k == key => {
+                one_object_upper_bound(big, edges, &other_mbr)
+            }
+            _ => {
+                let edges = Self::sampled(big);
+                let ub = one_object_upper_bound(big, &edges, &other_mbr);
+                if let Some(key) = cache_key {
+                    self.cached_edges = Some((key, edges));
+                }
+                ub
+            }
+        };
+        if ub1 <= self.d {
+            Decision::Confirm
+        } else {
+            Decision::Refine
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    fn dataset(polys: Vec<Polygon>) -> PreparedDataset {
+        PreparedDataset::new("test", polys)
+    }
+
+    #[test]
+    fn interior_stage_confirms_deep_candidates() {
+        let query = square(0.0, 0.0, 16.0);
+        let ds = dataset(vec![square(7.0, 7.0, 1.0), square(-5.0, -5.0, 1.0)]);
+        let mut stage = InteriorFilterStage::new(&query, 4, &ds);
+        assert_eq!(stage.examine(&0), Decision::Confirm, "deep-interior MBR");
+        assert_eq!(
+            stage.examine(&1),
+            Decision::Refine,
+            "outside MBR proves nothing"
+        );
+    }
+
+    #[test]
+    fn object_stage_confirms_close_pairs_and_caches() {
+        let a = dataset(vec![square(0.0, 0.0, 4.0)]);
+        let b = dataset(vec![square(4.5, 0.0, 4.0), square(100.0, 0.0, 1.0)]);
+        let mut stage = ObjectFilterStage::new(&a, &b, 10.0);
+        // MBR diameters bound the close pair's distance below d.
+        assert_eq!(stage.examine(&(0, 0)), Decision::Confirm);
+        // The far pair cannot be confirmed by upper bounds at d=10.
+        let far = stage.examine(&(0, 1));
+        assert_eq!(far, Decision::Refine);
+    }
+}

@@ -1,0 +1,41 @@
+//! The unified staged query executor.
+//!
+//! Fig. 8's three-stage pipeline — **MBR filtering → intermediate
+//! filtering → geometry comparison** — is the same loop for every query
+//! the paper evaluates; only three things vary:
+//!
+//! * the *predicate* being refined ([`Predicate`]: intersects, strict
+//!   containment, within-distance);
+//! * the *intermediate filters* in front of refinement ([`CandidateFilter`]:
+//!   the interior/tiling filter for selections, the 0/1-object filters for
+//!   distance joins);
+//! * the *refinement backend* deciding survivors ([`RefinementBackend`]:
+//!   pure software, hardware-assisted Algorithm 3.1, or the hybrid
+//!   `sw_threshold` mix of §4.3).
+//!
+//! [`StagedExecutor`] owns the loop once: stage timing, the
+//! [`CostBreakdown`](crate::stats::CostBreakdown) accounting, batched
+//! hardware submission (`hw_batch` pairs per rendering round) and parallel
+//! candidate refinement (`refine_threads` workers over deterministic,
+//! batch-aligned partitions — results and merged counters are bit-identical
+//! to the sequential run). `SpatialEngine` instantiates it four times.
+
+pub mod backend;
+pub mod executor;
+pub mod filter;
+
+pub use backend::{HardwareBackend, HybridBackend, RefinementBackend, SoftwareBackend};
+pub use executor::StagedExecutor;
+pub use filter::{CandidateFilter, Decision, InteriorFilterStage, ObjectFilterStage};
+
+/// The spatial predicate a pipeline refines. Carried by value into the
+/// backend so one backend serves every pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Closed polygon intersection (Algorithm 3.1).
+    Intersects,
+    /// Strict containment: first polygon entirely inside the second.
+    ContainedIn,
+    /// `dist(P, Q) ≤ d` (§3.1 distance test).
+    WithinDistance(f64),
+}

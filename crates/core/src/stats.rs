@@ -19,6 +19,9 @@ pub struct TestStats {
     pub width_limit_fallbacks: usize,
     /// Hardware tests actually executed.
     pub hw_tests: usize,
+    /// Batched submission rounds: each groups many hardware tests behind
+    /// one pair of draw calls and one Minmax scan (0 on the per-pair path).
+    pub hw_batches: usize,
     /// Simulated-hardware work counters.
     pub hw: HwStats,
     /// GPU time from the calibrated cost model (what a real board would
@@ -38,6 +41,7 @@ impl TestStats {
         self.skipped_by_threshold += o.skipped_by_threshold;
         self.width_limit_fallbacks += o.width_limit_fallbacks;
         self.hw_tests += o.hw_tests;
+        self.hw_batches += o.hw_batches;
         self.hw.add(&o.hw);
         self.gpu_modeled += o.gpu_modeled;
         self.sim_wall += o.sim_wall;
@@ -114,6 +118,7 @@ mod tests {
             skipped_by_threshold: 4,
             width_limit_fallbacks: 5,
             hw_tests: 6,
+            hw_batches: 1,
             hw: HwStats::default(),
             gpu_modeled: Duration::from_micros(2),
             sim_wall: Duration::from_micros(7),

@@ -4,7 +4,7 @@
 //! and every query distance (DESIGN.md §5, invariants 1–2).
 
 use hwa_core::hw_intersect::HwTester;
-use hwa_core::{HwConfig, TestStats};
+use hwa_core::{HardwareBackend, HwConfig, Predicate, StagedExecutor, TestStats};
 use proptest::prelude::*;
 use spatial_geom::{min_dist_brute, polygons_intersect_brute, Point, Polygon};
 use spatial_raster::OverlapStrategy;
@@ -146,5 +146,108 @@ proptest! {
             prop_assert!(!polygons_intersect_brute(&p, &q),
                 "hardware rejected a truly intersecting pair");
         }
+    }
+
+    /// Batched atlas submission == per-pair choreography == software
+    /// oracle for the intersection test, across resolutions; routing
+    /// counters are a pure function of the pairs, not the submission mode.
+    #[test]
+    fn batched_intersects_is_exact(
+        polys in prop::collection::vec(arb_star(), 2..7),
+        res in 1usize..17,
+    ) {
+        let pairs: Vec<(&Polygon, &Polygon)> = (0..polys.len())
+            .flat_map(|i| (0..polys.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i < j)
+            .map(|(i, j)| (&polys[i], &polys[j]))
+            .collect();
+        let mut tb = HwTester::new(HwConfig::at_resolution(res));
+        let mut sb = TestStats::default();
+        let batched = tb.intersects_batch(&pairs, &mut sb);
+        let mut tp = HwTester::new(HwConfig::at_resolution(res));
+        let mut sp = TestStats::default();
+        let per_pair: Vec<bool> = pairs
+            .iter()
+            .map(|&(p, q)| tp.intersects(p, q, &mut sp))
+            .collect();
+        let oracle: Vec<bool> = pairs
+            .iter()
+            .map(|&(p, q)| polygons_intersect_brute(p, q))
+            .collect();
+        prop_assert_eq!(&batched, &per_pair, "res {}", res);
+        prop_assert_eq!(&batched, &oracle, "res {}", res);
+        prop_assert_eq!(sb.hw_tests, sp.hw_tests);
+        prop_assert_eq!(sb.rejected_by_hw, sp.rejected_by_hw);
+        prop_assert_eq!(sb.decided_by_pip, sp.decided_by_pip);
+        prop_assert_eq!(sb.software_tests, sp.software_tests);
+    }
+
+    /// Same exactness for the batched §3.1 within-distance test, whose
+    /// atlas rounds also group pairs by Equation (1) line width.
+    #[test]
+    fn batched_within_distance_is_exact(
+        polys in prop::collection::vec(arb_star(), 2..6),
+        res in 1usize..17,
+        d in 0.0f64..90.0,
+    ) {
+        let pairs: Vec<(&Polygon, &Polygon)> = (0..polys.len())
+            .flat_map(|i| (0..polys.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i < j)
+            .map(|(i, j)| (&polys[i], &polys[j]))
+            .collect();
+        let mut tb = HwTester::new(HwConfig::at_resolution(res));
+        let mut sb = TestStats::default();
+        let batched = tb.within_distance_batch(&pairs, d, &mut sb);
+        let mut tp = HwTester::new(HwConfig::at_resolution(res));
+        let mut sp = TestStats::default();
+        let per_pair: Vec<bool> = pairs
+            .iter()
+            .map(|&(p, q)| tp.within_distance(p, q, d, &mut sp))
+            .collect();
+        let oracle: Vec<bool> = pairs
+            .iter()
+            .map(|&(p, q)| min_dist_brute(p, q) <= d)
+            .collect();
+        prop_assert_eq!(&batched, &per_pair, "res {}, d {}", res, d);
+        prop_assert_eq!(&batched, &oracle, "res {}, d {}", res, d);
+        prop_assert_eq!(sb.hw_tests, sp.hw_tests);
+        prop_assert_eq!(sb.rejected_by_hw, sp.rejected_by_hw);
+        prop_assert_eq!(sb.width_limit_fallbacks, sp.width_limit_fallbacks);
+    }
+
+    /// Parallel refinement is bit-identical to sequential: same results,
+    /// same merged counters (and hence the same modeled GPU time), for
+    /// any thread count and either submission mode.
+    #[test]
+    fn parallel_refinement_is_bit_identical(
+        polys in prop::collection::vec(arb_star(), 3..8),
+        threads in 2usize..6,
+        batch in 1usize..5,
+    ) {
+        let cands: Vec<(usize, usize)> = (0..polys.len())
+            .flat_map(|i| (0..polys.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i < j)
+            .collect();
+        let run = |threads: usize| {
+            let exec = StagedExecutor { batch, threads };
+            let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
+            exec.run(
+                &mut backend,
+                Predicate::Intersects,
+                || cands.clone(),
+                Vec::new(),
+                |(i, j)| (&polys[i], &polys[j]),
+            )
+        };
+        let (r1, c1) = run(1);
+        let (rn, cn) = run(threads);
+        prop_assert_eq!(r1, rn, "threads {}", threads);
+        prop_assert_eq!(c1.tests.hw_tests, cn.tests.hw_tests);
+        prop_assert_eq!(c1.tests.rejected_by_hw, cn.tests.rejected_by_hw);
+        prop_assert_eq!(c1.tests.software_tests, cn.tests.software_tests);
+        prop_assert_eq!(c1.tests.decided_by_pip, cn.tests.decided_by_pip);
+        prop_assert_eq!(c1.tests.hw_batches, cn.tests.hw_batches);
+        prop_assert_eq!(c1.tests.hw, cn.tests.hw);
+        prop_assert_eq!(c1.tests.gpu_modeled, cn.tests.gpu_modeled);
     }
 }

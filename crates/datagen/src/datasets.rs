@@ -93,8 +93,7 @@ impl Dataset {
 pub fn base_distance(a: &Dataset, b: &Dataset) -> f64 {
     let sa = a.stats();
     let sb = b.stats();
-    ((sa.avg_mbr_width * sa.avg_mbr_height).sqrt()
-        + (sb.avg_mbr_width * sb.avg_mbr_height).sqrt())
+    ((sa.avg_mbr_width * sa.avg_mbr_height).sqrt() + (sb.avg_mbr_width * sb.avg_mbr_height).sqrt())
         / 2.0
 }
 
@@ -139,7 +138,9 @@ fn blob_dataset(
         .iter()
         .zip(weights.iter())
         .map(|(&v, &w)| {
-            let area = (total_area * w / weight_sum).min(cap).max(total_area * 1e-6);
+            let area = (total_area * w / weight_sum)
+                .min(cap)
+                .max(total_area * 1e-6);
             let aspect = rng.gen_range(aspect_range.0..=aspect_range.1);
             let radius = (area / (std::f64::consts::PI * aspect)).sqrt();
             let radius = radius.min(DATA_EXTENT / 3.0);
@@ -148,7 +149,9 @@ fn blob_dataset(
                 rng.gen_range(0.0..DATA_EXTENT),
             );
             let rotation = rng.gen_range(rotation_range.0..=rotation_range.1);
-            harmonic_star(center, radius, v, roughness, detail, aspect, rotation, &mut rng)
+            harmonic_star(
+                center, radius, v, roughness, detail, aspect, rotation, &mut rng,
+            )
         })
         .collect();
     Dataset { name, polygons }
@@ -238,7 +241,10 @@ pub fn prism(scale: f64, seed: u64) -> Dataset {
             )
         })
         .collect();
-    Dataset { name: "PRISM", polygons }
+    Dataset {
+        name: "PRISM",
+        polygons,
+    }
 }
 
 /// STATES50 — the selection query set: 31 large state-boundary patches on
@@ -262,10 +268,22 @@ pub fn states50(seed: u64) -> Dataset {
                 (c as f64 + 0.5) * cell + rng.gen_range(-0.1..0.1) * cell,
                 (r as f64 + 0.5) * cell + rng.gen_range(-0.1..0.1) * cell,
             );
-            harmonic_star(center, cell * 0.62, v.max(4), 0.35, 0.25, 1.0, 0.0, &mut rng)
+            harmonic_star(
+                center,
+                cell * 0.62,
+                v.max(4),
+                0.35,
+                0.25,
+                1.0,
+                0.0,
+                &mut rng,
+            )
         })
         .collect();
-    Dataset { name: "STATES50", polygons }
+    Dataset {
+        name: "STATES50",
+        polygons,
+    }
 }
 
 #[cfg(test)]
@@ -283,13 +301,17 @@ mod tests {
             (water(TEST_SCALE, 1), 3, 39_360, 91.0),
         ] {
             let s = ds.stats();
-            assert_eq!(s.min_vertices, min.max(if ds.name == "PRISM" { 4 } else { min }), "{}", ds.name);
+            assert_eq!(
+                s.min_vertices,
+                min.max(if ds.name == "PRISM" { 4 } else { min }),
+                "{}",
+                ds.name
+            );
             assert_eq!(s.max_vertices, max, "{}", ds.name);
             // Judge the average with the single pinned-max polygon
             // excluded: at test scale (tens of objects) that one outlier
             // legitimately dominates the mean — at bench scale it doesn't.
-            let mut counts: Vec<usize> =
-                ds.polygons.iter().map(|p| p.vertex_count()).collect();
+            let mut counts: Vec<usize> = ds.polygons.iter().map(|p| p.vertex_count()).collect();
             counts.sort_unstable();
             counts.pop();
             let trimmed = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
@@ -313,7 +335,11 @@ mod tests {
 
     #[test]
     fn all_polygons_are_simple_at_small_scale() {
-        for ds in [landc(TEST_SCALE, 2), lando(TEST_SCALE, 2), prism(TEST_SCALE, 2)] {
+        for ds in [
+            landc(TEST_SCALE, 2),
+            lando(TEST_SCALE, 2),
+            prism(TEST_SCALE, 2),
+        ] {
             for (i, p) in ds.polygons.iter().enumerate() {
                 assert!(p.is_simple(), "{} polygon {i} not simple", ds.name);
             }

@@ -37,8 +37,14 @@ pub fn harmonic_star(
     rng: &mut impl Rng,
 ) -> Polygon {
     assert!(n >= 3);
-    assert!((0.0..=0.85).contains(&roughness), "roughness {roughness} out of range");
-    assert!(detail >= 0.0 && roughness + detail <= 0.9, "amplitude budget exceeded");
+    assert!(
+        (0.0..=0.85).contains(&roughness),
+        "roughness {roughness} out of range"
+    );
+    assert!(
+        detail >= 0.0 && roughness + detail <= 0.9,
+        "amplitude budget exceeded"
+    );
     assert!(mean_radius > 0.0 && aspect > 0.0);
 
     // Random harmonics k = 2..=7 with amplitudes summing to `roughness`.
@@ -228,8 +234,26 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = harmonic_star(Point::ORIGIN, 5.0, 40, 0.5, 0.2, 1.0, 0.0, &mut StdRng::seed_from_u64(11));
-        let b = harmonic_star(Point::ORIGIN, 5.0, 40, 0.5, 0.2, 1.0, 0.0, &mut StdRng::seed_from_u64(11));
+        let a = harmonic_star(
+            Point::ORIGIN,
+            5.0,
+            40,
+            0.5,
+            0.2,
+            1.0,
+            0.0,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let b = harmonic_star(
+            Point::ORIGIN,
+            5.0,
+            40,
+            0.5,
+            0.2,
+            1.0,
+            0.0,
+            &mut StdRng::seed_from_u64(11),
+        );
         assert_eq!(a, b);
     }
 }

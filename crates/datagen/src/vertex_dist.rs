@@ -38,13 +38,23 @@ impl VertexDist {
         assert!(min >= 3, "polygons need 3 vertices");
         assert!(min <= avg && avg <= max, "min <= avg <= max violated");
         if avg == min || max == avg {
-            return VertexDist { min, avg, max, mu: 0.0, sigma: 0.0 };
+            return VertexDist {
+                min,
+                avg,
+                max,
+                mu: 0.0,
+                sigma: 0.0,
+            };
         }
         let q = (((max - min) as f64) / ((avg - min) as f64)).ln();
         // Solve z·σ − σ²/2 = q for the smaller root; fall back to the
         // stationary point when q exceeds the attainable range.
         let disc = Z_MAX * Z_MAX - 2.0 * q;
-        let sigma = if disc > 0.0 { Z_MAX - disc.sqrt() } else { Z_MAX };
+        let sigma = if disc > 0.0 {
+            Z_MAX - disc.sqrt()
+        } else {
+            Z_MAX
+        };
         // Initial μ from the unclamped log-normal mean, then correct for
         // the clamp at `max` on a fixed quantile grid (deterministic).
         let target = (avg - min) as f64;
@@ -58,7 +68,13 @@ impl VertexDist {
             }
             mu += err.ln();
         }
-        VertexDist { min, avg, max, mu, sigma }
+        VertexDist {
+            min,
+            avg,
+            max,
+            mu,
+            sigma,
+        }
     }
 
     /// One draw: `min + clamp(lognormal(μ, σ), ..max)`.

@@ -113,10 +113,14 @@ impl InteriorFilter {
         let tw = self.mbr.width().max(f64::MIN_POSITIVE) / n as f64;
         let th = self.mbr.height().max(f64::MIN_POSITIVE) / n as f64;
         // Every tile the candidate MBR overlaps must be interior.
-        let c0 = (((candidate_mbr.xmin - self.mbr.xmin) / tw).floor() as i64).clamp(0, n as i64 - 1);
-        let c1 = (((candidate_mbr.xmax - self.mbr.xmin) / tw).floor() as i64).clamp(0, n as i64 - 1);
-        let r0 = (((candidate_mbr.ymin - self.mbr.ymin) / th).floor() as i64).clamp(0, n as i64 - 1);
-        let r1 = (((candidate_mbr.ymax - self.mbr.ymin) / th).floor() as i64).clamp(0, n as i64 - 1);
+        let c0 =
+            (((candidate_mbr.xmin - self.mbr.xmin) / tw).floor() as i64).clamp(0, n as i64 - 1);
+        let c1 =
+            (((candidate_mbr.xmax - self.mbr.xmin) / tw).floor() as i64).clamp(0, n as i64 - 1);
+        let r0 =
+            (((candidate_mbr.ymin - self.mbr.ymin) / th).floor() as i64).clamp(0, n as i64 - 1);
+        let r1 =
+            (((candidate_mbr.ymax - self.mbr.ymin) / th).floor() as i64).clamp(0, n as i64 - 1);
         for r in r0..=r1 {
             for c in c0..=c1 {
                 if !self.interior[r as usize * n + c as usize] {
@@ -171,7 +175,10 @@ mod tests {
     fn boundary_straddling_candidate_is_not_confirmed() {
         let f = InteriorFilter::build(&big_square(), 4);
         assert!(!f.covers(&Rect::new(-1.0, 6.0, 3.0, 10.0)), "sticks out");
-        assert!(!f.covers(&Rect::new(0.1, 0.1, 2.0, 2.0)), "touches boundary tiles");
+        assert!(
+            !f.covers(&Rect::new(0.1, 0.1, 2.0, 2.0)),
+            "touches boundary tiles"
+        );
     }
 
     #[test]

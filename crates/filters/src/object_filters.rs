@@ -105,7 +105,10 @@ mod tests {
         let ub0 = zero_object_upper_bound(&spiky.mbr(), &other.mbr());
         let ub1 = one_object_upper_bound(&spiky, &edges, &other.mbr());
         assert!(ub1 <= ub0, "1-object {ub1} must not exceed 0-object {ub0}");
-        assert!(ub1 >= min_dist_brute(&spiky, &other), "still an upper bound");
+        assert!(
+            ub1 >= min_dist_brute(&spiky, &other),
+            "still an upper bound"
+        );
     }
 
     #[test]

@@ -179,9 +179,7 @@ mod tests {
             assert!(e.a.x.max(e.b.x) >= 2.0, "edge {e:?} does not face right");
         }
         // The true closest edge (x = 4 side) must be present.
-        assert!(chain
-            .iter()
-            .any(|e| e.a.x == 4.0 && e.b.x == 4.0));
+        assert!(chain.iter().any(|e| e.a.x == 4.0 && e.b.x == 4.0));
     }
 
     #[test]
@@ -244,7 +242,8 @@ mod tests {
         let chain = frontier_edges(&p, &q);
         // Closest point of P to (20,10) is corner (4,4); edge (4,0)-(4,4)
         // or (4,4)-(0,4) must be present.
-        assert!(chain.iter().any(|e| e.a == Point::new(4.0, 4.0)
-            || e.b == Point::new(4.0, 4.0)));
+        assert!(chain
+            .iter()
+            .any(|e| e.a == Point::new(4.0, 4.0) || e.b == Point::new(4.0, 4.0)));
     }
 }

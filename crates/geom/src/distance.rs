@@ -145,10 +145,12 @@ pub fn edges_within_sweep(ep: &[Segment], eq: &[Segment], d: f64) -> bool {
         // Expire opposite-set edges that ended more than d before the front.
         other_set.retain(|e| e.xmax >= x - d);
         for e in other_set.iter() {
-            if e.ymin - d <= ymax && ymin <= e.ymax + d
-                && seg.dist_segment(&others[e.idx as usize]) <= d {
-                    return true;
-                }
+            if e.ymin - d <= ymax
+                && ymin <= e.ymax + d
+                && seg.dist_segment(&others[e.idx as usize]) <= d
+            {
+                return true;
+            }
         }
         own.push(Entry {
             xmax: seg.a.x.max(seg.b.x),

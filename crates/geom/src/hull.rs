@@ -93,7 +93,13 @@ mod tests {
 
     #[test]
     fn collinear_points_are_dropped() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+        ];
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 4);
         assert!(!hull.contains(&p(1.0, 0.0)));
@@ -116,7 +122,10 @@ mod tests {
         let pts: Vec<Point> = (0..30)
             .map(|i| {
                 let a = i as f64 * 0.7;
-                p(a.sin() * (1.0 + (i % 5) as f64), a.cos() * (1.0 + (i % 7) as f64))
+                p(
+                    a.sin() * (1.0 + (i % 5) as f64),
+                    a.cos() * (1.0 + (i % 7) as f64),
+                )
             })
             .collect();
         let hull = convex_hull(&pts);
@@ -132,7 +141,14 @@ mod tests {
 
     #[test]
     fn is_convex_rejects_concave() {
-        let l = [p(0.0, 0.0), p(3.0, 0.0), p(3.0, 1.0), p(1.0, 1.0), p(1.0, 3.0), p(0.0, 3.0)];
+        let l = [
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ];
         assert!(!is_convex_ccw(&l));
         let sq = [p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
         assert!(is_convex_ccw(&sq));

@@ -6,9 +6,7 @@ use crate::pip::point_in_polygon;
 use crate::polygon::Polygon;
 use crate::rect::Rect;
 use crate::segment::Segment;
-use crate::sweep::{
-    forward_sweep_intersects_stats, tree_sweep_intersects_stats, SweepStats,
-};
+use crate::sweep::{forward_sweep_intersects_stats, tree_sweep_intersects_stats, SweepStats};
 
 /// Which sweep implementation performs the segment-intersection step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,7 +40,9 @@ pub struct IntersectStats {
 /// both polygons' MBRs, hence in their intersection, hence on edges this
 /// filter keeps; the reduction is therefore lossless.
 pub fn restricted_edges(poly: &Polygon, region: &Rect) -> Vec<Segment> {
-    poly.edges().filter(|e| e.mbr().intersects(region)).collect()
+    poly.edges()
+        .filter(|e| e.mbr().intersects(region))
+        .collect()
 }
 
 /// The complete software intersection test between two simple polygons,
@@ -90,6 +90,31 @@ pub fn polygons_intersect_with(
         SweepAlgo::Tree => tree_sweep_intersects_stats(&ep, &eq, &mut stats.sweep),
         SweepAlgo::Forward => forward_sweep_intersects_stats(&ep, &eq, &mut stats.sweep),
     }
+}
+
+/// Software strict-containment test: `inner` lies entirely inside `outer`.
+///
+/// One vertex of `inner` inside `outer` plus disjoint boundaries implies
+/// full containment (the boundary of a simple polygon cannot leave another
+/// simple polygon without crossing its boundary). Steps: MBR containment,
+/// point-in-polygon on the first vertex, then a plane sweep over the
+/// restricted search space — `inner`'s MBR, since any boundary crossing
+/// involves an edge of `inner`.
+pub fn polygon_contained_in(inner: &Polygon, outer: &Polygon) -> bool {
+    use crate::sweep::tree_sweep_intersects;
+    if !outer.mbr().contains_rect(&inner.mbr()) {
+        return false;
+    }
+    if !point_in_polygon(inner.vertices()[0], outer) {
+        return false;
+    }
+    let region = inner.mbr();
+    let ep = restricted_edges(inner, &region);
+    let eq = restricted_edges(outer, &region);
+    if ep.is_empty() || eq.is_empty() {
+        return true;
+    }
+    !tree_sweep_intersects(&ep, &eq)
 }
 
 /// Brute-force oracle: point-in-polygon both ways plus all-pairs edge
@@ -154,7 +179,12 @@ mod tests {
         let outer = square(0.0, 0.0, 10.0);
         let inner = square(4.0, 4.0, 1.0);
         let mut st = IntersectStats::default();
-        assert!(polygons_intersect_with(&outer, &inner, SweepAlgo::Tree, &mut st));
+        assert!(polygons_intersect_with(
+            &outer,
+            &inner,
+            SweepAlgo::Tree,
+            &mut st
+        ));
         assert_eq!(st.decided_by_pip, 1, "containment must not reach the sweep");
         assert!(polygons_intersect(&inner, &outer), "order must not matter");
     }
@@ -209,6 +239,30 @@ mod tests {
         // top and bottom edges span it, plus the right edge.
         assert!(ea.len() < 4 || ea.len() == 3, "got {}", ea.len());
         assert!(polygons_intersect(&a, &b));
+    }
+
+    #[test]
+    fn containment_basic_cases() {
+        let outer = square(0.0, 0.0, 10.0);
+        let inner = square(4.0, 4.0, 1.0);
+        assert!(polygon_contained_in(&inner, &outer));
+        assert!(!polygon_contained_in(&outer, &inner));
+        // Overlap without containment.
+        let straddling = square(9.0, 9.0, 3.0);
+        assert!(!polygon_contained_in(&straddling, &outer));
+        // Inside the MBR but in the pocket of the C — not contained.
+        let c = c_shape();
+        let pocket = square(2.0, 1.5, 1.0);
+        assert!(!polygon_contained_in(&pocket, &c));
+    }
+
+    #[test]
+    fn containment_is_strict_about_boundaries() {
+        // Sharing a boundary edge means boundaries intersect → not strictly
+        // contained under this test's semantics.
+        let outer = square(0.0, 0.0, 4.0);
+        let flush = square(0.0, 1.0, 2.0);
+        assert!(!polygon_contained_in(&flush, &outer));
     }
 
     #[test]

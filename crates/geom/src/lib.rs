@@ -38,7 +38,9 @@ pub mod sweep;
 pub mod triangulate;
 pub mod wkt;
 
-pub use intersect::{polygons_intersect, polygons_intersect_brute, IntersectStats};
+pub use intersect::{
+    polygon_contained_in, polygons_intersect, polygons_intersect_brute, IntersectStats,
+};
 pub use mindist::{min_dist, min_dist_brute, within_distance, within_distance_sweep, MinDistStats};
 pub use pip::point_in_polygon;
 pub use point::Point;

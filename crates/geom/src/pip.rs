@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn center_is_inside() {
-        assert_eq!(locate_point(Point::new(2.0, 2.0), &square()), PointLocation::Inside);
+        assert_eq!(
+            locate_point(Point::new(2.0, 2.0), &square()),
+            PointLocation::Inside
+        );
     }
 
     #[test]
@@ -122,12 +125,24 @@ mod tests {
     fn concave_pocket_is_outside() {
         let c = c_shape();
         // The pocket (right middle) is outside the polygon...
-        assert_eq!(locate_point(Point::new(3.0, 2.0), &c), PointLocation::Outside);
+        assert_eq!(
+            locate_point(Point::new(3.0, 2.0), &c),
+            PointLocation::Outside
+        );
         // ...but the spine (left) is inside.
-        assert_eq!(locate_point(Point::new(0.5, 2.0), &c), PointLocation::Inside);
+        assert_eq!(
+            locate_point(Point::new(0.5, 2.0), &c),
+            PointLocation::Inside
+        );
         // And the arms are inside.
-        assert_eq!(locate_point(Point::new(3.0, 0.5), &c), PointLocation::Inside);
-        assert_eq!(locate_point(Point::new(3.0, 3.5), &c), PointLocation::Inside);
+        assert_eq!(
+            locate_point(Point::new(3.0, 0.5), &c),
+            PointLocation::Inside
+        );
+        assert_eq!(
+            locate_point(Point::new(3.0, 3.5), &c),
+            PointLocation::Inside
+        );
     }
 
     #[test]

@@ -95,12 +95,7 @@ pub fn segments_intersect_properly(p1: Point, p2: Point, q1: Point, q2: Point) -
 ///
 /// Returns `None` for parallel or collinear segments, or when the
 /// intersection parameter falls outside either segment.
-pub fn segment_intersection_point(
-    p1: Point,
-    p2: Point,
-    q1: Point,
-    q2: Point,
-) -> Option<Point> {
+pub fn segment_intersection_point(p1: Point, p2: Point, q1: Point, q2: Point) -> Option<Point> {
     let r = p2 - p1;
     let s = q2 - q1;
     let denom = r.cross(s);
@@ -143,14 +138,28 @@ mod tests {
     #[test]
     fn on_segment_checks_bounds() {
         assert!(on_segment(p(0.0, 0.0), p(2.0, 2.0), p(1.0, 1.0)));
-        assert!(on_segment(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 0.0)), "endpoint counts");
-        assert!(!on_segment(p(0.0, 0.0), p(2.0, 2.0), p(3.0, 3.0)), "beyond the end");
-        assert!(!on_segment(p(0.0, 0.0), p(2.0, 2.0), p(1.0, 0.0)), "off the line");
+        assert!(
+            on_segment(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 0.0)),
+            "endpoint counts"
+        );
+        assert!(
+            !on_segment(p(0.0, 0.0), p(2.0, 2.0), p(3.0, 3.0)),
+            "beyond the end"
+        );
+        assert!(
+            !on_segment(p(0.0, 0.0), p(2.0, 2.0), p(1.0, 0.0)),
+            "off the line"
+        );
     }
 
     #[test]
     fn proper_crossing() {
-        assert!(segments_intersect(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(2.0, 0.0)
+        ));
         assert!(segments_intersect_properly(
             p(0.0, 0.0),
             p(2.0, 2.0),
@@ -161,7 +170,12 @@ mod tests {
 
     #[test]
     fn disjoint_segments() {
-        assert!(!segments_intersect(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(1.0, 1.0)));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(0.0, 1.0),
+            p(1.0, 1.0)
+        ));
         assert!(!segments_intersect_properly(
             p(0.0, 0.0),
             p(1.0, 0.0),
@@ -180,7 +194,12 @@ mod tests {
     #[test]
     fn t_junction_touch() {
         // q1 lies in the interior of segment p1-p2.
-        assert!(segments_intersect(p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0)
+        ));
         assert!(!segments_intersect_properly(
             p(0.0, 0.0),
             p(2.0, 0.0),
@@ -191,33 +210,37 @@ mod tests {
 
     #[test]
     fn collinear_overlap_and_gap() {
-        assert!(segments_intersect(p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(3.0, 0.0)));
-        assert!(!segments_intersect(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.0),
+            p(3.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(3.0, 0.0)
+        ));
     }
 
     #[test]
     fn intersection_point_of_crossing() {
-        let got = segment_intersection_point(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0))
-            .unwrap();
+        let got =
+            segment_intersection_point(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0)).unwrap();
         assert!((got.x - 1.0).abs() < 1e-12 && (got.y - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn intersection_point_none_for_parallel() {
-        assert!(segment_intersection_point(
-            p(0.0, 0.0),
-            p(1.0, 0.0),
-            p(0.0, 1.0),
-            p(1.0, 1.0)
-        )
-        .is_none());
+        assert!(
+            segment_intersection_point(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(1.0, 1.0))
+                .is_none()
+        );
         // Crossing lines but outside the segments.
-        assert!(segment_intersection_point(
-            p(0.0, 0.0),
-            p(1.0, 1.0),
-            p(3.0, 0.0),
-            p(4.0, -1.0)
-        )
-        .is_none());
+        assert!(
+            segment_intersection_point(p(0.0, 0.0), p(1.0, 1.0), p(3.0, 0.0), p(4.0, -1.0))
+                .is_none()
+        );
     }
 }

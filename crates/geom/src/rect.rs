@@ -22,7 +22,12 @@ impl Rect {
     /// `xmin <= xmax` and `ymin <= ymax` unless constructing a sentinel.
     #[inline]
     pub const fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
-        Rect { xmin, ymin, xmax, ymax }
+        Rect {
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+        }
     }
 
     /// The empty rectangle: identity element for [`Rect::union`], intersects
@@ -169,8 +174,12 @@ impl Rect {
     /// bound of the distance between two objects" (§4.1.1).
     #[inline]
     pub fn min_dist(&self, other: &Rect) -> f64 {
-        let dx = (other.xmin - self.xmax).max(self.xmin - other.xmax).max(0.0);
-        let dy = (other.ymin - self.ymax).max(self.ymin - other.ymax).max(0.0);
+        let dx = (other.xmin - self.xmax)
+            .max(self.xmin - other.xmax)
+            .max(0.0);
+        let dy = (other.ymin - self.ymax)
+            .max(self.ymin - other.ymax)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -178,8 +187,12 @@ impl Rect {
     /// of `other` (the diameter bound used by the 0-object filter analysis).
     #[inline]
     pub fn max_dist(&self, other: &Rect) -> f64 {
-        let dx = (self.xmax - other.xmin).abs().max((other.xmax - self.xmin).abs());
-        let dy = (self.ymax - other.ymin).abs().max((other.ymax - self.ymin).abs());
+        let dx = (self.xmax - other.xmin)
+            .abs()
+            .max((other.xmax - self.xmin).abs());
+        let dy = (self.ymax - other.ymin)
+            .abs()
+            .max((other.ymax - self.ymin).abs());
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -271,7 +284,10 @@ mod tests {
         assert!(outer.contains_rect(&inner));
         assert!(!inner.contains_rect(&outer));
         assert!(outer.contains_rect(&outer), "containment is reflexive");
-        assert!(outer.contains_point(Point::new(0.0, 0.0)), "boundary is inside");
+        assert!(
+            outer.contains_point(Point::new(0.0, 0.0)),
+            "boundary is inside"
+        );
         assert!(!outer.contains_point(Point::new(-0.1, 5.0)));
     }
 

@@ -134,15 +134,27 @@ mod tests {
     #[test]
     fn closest_point_projection() {
         let seg = s(0.0, 0.0, 10.0, 0.0);
-        assert_eq!(seg.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
-        assert_eq!(seg.closest_point(Point::new(-2.0, 3.0)), Point::new(0.0, 0.0));
-        assert_eq!(seg.closest_point(Point::new(12.0, -1.0)), Point::new(10.0, 0.0));
+        assert_eq!(
+            seg.closest_point(Point::new(5.0, 3.0)),
+            Point::new(5.0, 0.0)
+        );
+        assert_eq!(
+            seg.closest_point(Point::new(-2.0, 3.0)),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            seg.closest_point(Point::new(12.0, -1.0)),
+            Point::new(10.0, 0.0)
+        );
     }
 
     #[test]
     fn closest_point_degenerate() {
         let seg = s(1.0, 1.0, 1.0, 1.0);
-        assert_eq!(seg.closest_point(Point::new(5.0, 5.0)), Point::new(1.0, 1.0));
+        assert_eq!(
+            seg.closest_point(Point::new(5.0, 5.0)),
+            Point::new(1.0, 1.0)
+        );
     }
 
     #[test]
@@ -155,18 +167,27 @@ mod tests {
 
     #[test]
     fn dist_segment_intersecting_is_zero() {
-        assert_eq!(s(0.0, 0.0, 2.0, 2.0).dist_segment(&s(0.0, 2.0, 2.0, 0.0)), 0.0);
+        assert_eq!(
+            s(0.0, 0.0, 2.0, 2.0).dist_segment(&s(0.0, 2.0, 2.0, 0.0)),
+            0.0
+        );
     }
 
     #[test]
     fn dist_segment_parallel() {
-        assert_eq!(s(0.0, 0.0, 10.0, 0.0).dist_segment(&s(0.0, 2.0, 10.0, 2.0)), 2.0);
+        assert_eq!(
+            s(0.0, 0.0, 10.0, 0.0).dist_segment(&s(0.0, 2.0, 10.0, 2.0)),
+            2.0
+        );
     }
 
     #[test]
     fn dist_segment_endpoint_to_interior() {
         // Vertical segment above the middle of a horizontal one.
-        assert_eq!(s(0.0, 0.0, 10.0, 0.0).dist_segment(&s(5.0, 1.0, 5.0, 4.0)), 1.0);
+        assert_eq!(
+            s(0.0, 0.0, 10.0, 0.0).dist_segment(&s(5.0, 1.0, 5.0, 4.0)),
+            1.0
+        );
     }
 
     #[test]

@@ -133,7 +133,12 @@ impl SweepSeg {
         } else {
             (seg.a, seg.b)
         };
-        SweepSeg { seg, color, left, right }
+        SweepSeg {
+            seg,
+            color,
+            left,
+            right,
+        }
     }
 
     /// y-coordinate of the segment at sweep position `x` (clamped into the

@@ -151,9 +151,15 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(parse_polygon("LINESTRING (0 0, 1 1)"), Err(WktError::NotAPolygon));
+        assert_eq!(
+            parse_polygon("LINESTRING (0 0, 1 1)"),
+            Err(WktError::NotAPolygon)
+        );
         assert_eq!(parse_polygon("POLYGON 0 0, 1 1"), Err(WktError::BadParens));
-        assert_eq!(parse_polygon("POLYGON ((0 0, 1 1"), Err(WktError::BadParens));
+        assert_eq!(
+            parse_polygon("POLYGON ((0 0, 1 1"),
+            Err(WktError::BadParens)
+        );
         assert!(matches!(
             parse_polygon("POLYGON ((0 0, 1 x, 2 2))"),
             Err(WktError::BadNumber(_))

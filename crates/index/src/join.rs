@@ -136,7 +136,16 @@ mod tests {
             .map(|i| (rect((i % 15) as f64 * 4.0, (i / 15) as f64 * 4.0, 3.0), i))
             .collect();
         let b: Vec<(Rect, usize)> = (0..120)
-            .map(|i| (rect((i % 12) as f64 * 5.0 + 1.5, (i / 12) as f64 * 5.0 + 1.5, 2.5), i))
+            .map(|i| {
+                (
+                    rect(
+                        (i % 12) as f64 * 5.0 + 1.5,
+                        (i / 12) as f64 * 5.0 + 1.5,
+                        2.5,
+                    ),
+                    i,
+                )
+            })
             .collect();
         (a, b)
     }
@@ -189,7 +198,10 @@ mod tests {
         assert_eq!(sorted(join_intersecting(&single, &other)), vec![(7, 9)]);
         let far = RTree::bulk_load(vec![(rect(100.0, 0.0, 1.0), 1usize)]);
         assert!(join_intersecting(&single, &far).is_empty());
-        assert_eq!(sorted(join_within_distance(&single, &far, 99.5)), vec![(7, 1)]);
+        assert_eq!(
+            sorted(join_within_distance(&single, &far, 99.5)),
+            vec![(7, 1)]
+        );
     }
 
     #[test]
@@ -210,7 +222,9 @@ mod tests {
         let ta = RTree::bulk_load(a.clone());
         let tiny = RTree::bulk_load(vec![(rect(10.0, 10.0, 3.0), 0usize)]);
         let got = sorted(join_intersecting(&ta, &tiny));
-        let expected = brute(&a, &[(rect(10.0, 10.0, 3.0), 0usize)], |x, y| x.intersects(y));
+        let expected = brute(&a, &[(rect(10.0, 10.0, 3.0), 0usize)], |x, y| {
+            x.intersects(y)
+        });
         assert_eq!(got, expected);
         // And the mirrored orientation.
         let mut got_rev: Vec<(usize, usize)> = join_intersecting(&tiny, &ta)

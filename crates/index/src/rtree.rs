@@ -232,8 +232,9 @@ fn quadratic_split<E>(entries: Vec<(Rect, E)>) -> SplitHalves<E> {
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..n {
         for j in (i + 1)..n {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 s1 = i;
@@ -430,7 +431,11 @@ mod tests {
         let t = RTree::bulk_load(items.clone());
         assert_eq!(t.len(), 1000);
         t.check_invariants();
-        for window in [rect(10.0, 10.0, 15.0), rect(50.0, 0.0, 30.0), rect(200.0, 200.0, 5.0)] {
+        for window in [
+            rect(10.0, 10.0, 15.0),
+            rect(50.0, 0.0, 30.0),
+            rect(200.0, 200.0, 5.0),
+        ] {
             let mut expected: Vec<usize> = items
                 .iter()
                 .filter(|(r, _)| r.intersects(&window))

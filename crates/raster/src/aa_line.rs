@@ -163,23 +163,27 @@ mod tests {
                 ];
                 let e0 = quad[1] - quad[0];
                 let e1 = quad[2] - quad[1];
-                let axes = [Point::new(1.0, 0.0), Point::new(0.0, 1.0), e0.perp(), e1.perp()];
+                let axes = [
+                    Point::new(1.0, 0.0),
+                    Point::new(0.0, 1.0),
+                    e0.perp(),
+                    e1.perp(),
+                ];
                 let mut overlap = true;
                 for axis in axes {
                     if axis.x == 0.0 && axis.y == 0.0 {
                         continue;
                     }
-                    let proj =
-                        |pts: &[Point]| -> (f64, f64) {
-                            let mut lo = f64::INFINITY;
-                            let mut hi = f64::NEG_INFINITY;
-                            for p in pts {
-                                let v = p.dot(axis);
-                                lo = lo.min(v);
-                                hi = hi.max(v);
-                            }
-                            (lo, hi)
-                        };
+                    let proj = |pts: &[Point]| -> (f64, f64) {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        for p in pts {
+                            let v = p.dot(axis);
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (lo, hi)
+                    };
                     let (alo, ahi) = proj(&quad);
                     let (blo, bhi) = proj(&sq);
                     if ahi < blo || bhi < alo {
@@ -206,7 +210,11 @@ mod tests {
             // grazing can flip on f64 rounding), so keep endpoints off the
             // lattice here.
             (Point::new(6.97, 7.03), Point::new(1.0, 2.0), 2.5),
-            (Point::new(-3.0, -3.0), Point::new(12.0, 9.0), DIAGONAL_WIDTH),
+            (
+                Point::new(-3.0, -3.0),
+                Point::new(12.0, 9.0),
+                DIAGONAL_WIDTH,
+            ),
             (Point::new(0.1, 0.1), Point::new(0.2, 0.15), 0.5),
         ];
         for (a, b, w) in cases {
@@ -241,22 +249,45 @@ mod tests {
             let t = k as f64 / 200.0;
             let p = a.lerp(b, t);
             let cell = (p.x.floor() as usize, p.y.floor() as usize);
-            assert!(px.contains(&cell), "pixel {cell:?} under the segment missing");
+            assert!(
+                px.contains(&cell),
+                "pixel {cell:?} under the segment missing"
+            );
         }
     }
 
     #[test]
     fn crossing_segments_share_a_pixel() {
         // The Algorithm 3.1 invariant at the rasterizer level.
-        let p1 = collect(Point::new(0.0, 0.0), Point::new(8.0, 8.0), DIAGONAL_WIDTH, 8);
-        let p2 = collect(Point::new(0.0, 8.0), Point::new(8.0, 0.0), DIAGONAL_WIDTH, 8);
+        let p1 = collect(
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 8.0),
+            DIAGONAL_WIDTH,
+            8,
+        );
+        let p2 = collect(
+            Point::new(0.0, 8.0),
+            Point::new(8.0, 0.0),
+            DIAGONAL_WIDTH,
+            8,
+        );
         assert!(p1.iter().any(|c| p2.contains(c)));
     }
 
     #[test]
     fn disjoint_far_segments_share_nothing_at_high_resolution() {
-        let p1 = collect(Point::new(1.0, 1.0), Point::new(1.0, 30.0), DIAGONAL_WIDTH, 32);
-        let p2 = collect(Point::new(30.0, 1.0), Point::new(30.0, 30.0), DIAGONAL_WIDTH, 32);
+        let p1 = collect(
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 30.0),
+            DIAGONAL_WIDTH,
+            32,
+        );
+        let p2 = collect(
+            Point::new(30.0, 1.0),
+            Point::new(30.0, 30.0),
+            DIAGONAL_WIDTH,
+            32,
+        );
         assert!(!p1.iter().any(|c| p2.contains(c)));
     }
 
@@ -264,8 +295,18 @@ mod tests {
     fn close_segments_merge_at_low_resolution() {
         // At 1×1 everything overlaps — the resolution-dependent false-hit
         // behaviour of Figure 11's left edge.
-        let p1 = collect(Point::new(0.1, 0.1), Point::new(0.1, 0.9), DIAGONAL_WIDTH, 1);
-        let p2 = collect(Point::new(0.9, 0.1), Point::new(0.9, 0.9), DIAGONAL_WIDTH, 1);
+        let p1 = collect(
+            Point::new(0.1, 0.1),
+            Point::new(0.1, 0.9),
+            DIAGONAL_WIDTH,
+            1,
+        );
+        let p2 = collect(
+            Point::new(0.9, 0.1),
+            Point::new(0.9, 0.9),
+            DIAGONAL_WIDTH,
+            1,
+        );
         assert_eq!(p1, vec![(0, 0)]);
         assert_eq!(p2, vec![(0, 0)]);
     }
@@ -300,8 +341,18 @@ mod tests {
 
     #[test]
     fn steep_line_coverage_is_symmetric() {
-        let p1 = collect(Point::new(2.0, 0.0), Point::new(2.0, 8.0), DIAGONAL_WIDTH, 8);
-        let p2 = collect(Point::new(0.0, 2.0), Point::new(8.0, 2.0), DIAGONAL_WIDTH, 8);
+        let p1 = collect(
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 8.0),
+            DIAGONAL_WIDTH,
+            8,
+        );
+        let p2 = collect(
+            Point::new(0.0, 2.0),
+            Point::new(8.0, 2.0),
+            DIAGONAL_WIDTH,
+            8,
+        );
         let flipped: Vec<(usize, usize)> = p2.iter().map(|&(x, y)| (y, x)).collect();
         let mut flipped_sorted = flipped;
         flipped_sorted.sort_unstable();

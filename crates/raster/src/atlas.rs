@@ -1,0 +1,509 @@
+//! Batched hardware submission: many segment-overlap tests rendered into
+//! one frame buffer as a grid of cells ("texture atlas" style), sharing
+//! the per-submission fixed costs.
+//!
+//! The per-pair choreography (Algorithm 3.1) pays two draw calls and one
+//! Minmax query per candidate pair — fixed costs that dominate at small
+//! window resolutions (§4.3: the 8×8 window's cost is almost entirely
+//! submission overhead). A batch of `k` pairs rendered as `k` cells of one
+//! window needs **two draw calls and one Minmax scan for the whole batch**:
+//! all first-polygon boundaries in one submission, one whole-buffer
+//! accumulation round, all second-polygon boundaries in a second
+//! submission, then a single scan that reduces each cell to its own max.
+//!
+//! Exactness is inherited, not re-proved: every cell is rasterized through
+//! its **own cell-local window** — the same `res × res` coordinate system
+//! the per-pair test uses — and fragments are scissored to that cell, so
+//! the pixels colored inside a cell are *bit-identical* to the per-pair
+//! rendering of the same pair. A cell's max therefore equals the per-pair
+//! max, and the batched test returns exactly the per-pair booleans. Cells
+//! are additionally separated by a gutter at least as wide as the line
+//! footprint's bleed radius (`width/2 + 1`), so even geometry drawn at the
+//! very edge of a cell cannot reach a neighbouring cell's pixels.
+//!
+//! Cost accounting stays honest both ways: per-primitive and per-fragment
+//! work is identical to the per-pair path (same windows, same rasterizer),
+//! while the whole-buffer operations (clears, accumulation, the scan) are
+//! charged over the *atlas* area — which includes the gutters, so batching
+//! pays a real per-pixel overhead in exchange for the amortized fixed
+//! costs. All counters are a pure function of the batch contents, never of
+//! which thread or in which order batches run.
+
+use crate::aa_line::rasterize_aa_line;
+use crate::framebuffer::{FrameBuffer, BLACK, HALF_GRAY};
+use crate::point_raster::rasterize_wide_point;
+use crate::stats::HwStats;
+use crate::viewport::Viewport;
+use spatial_geom::{Point, Segment};
+
+/// One candidate pair's rendering work within a batch.
+#[derive(Debug, Clone)]
+pub struct AtlasJob {
+    /// Cell-local projection: data space onto a `cell × cell` window. Must
+    /// match the atlas cell resolution.
+    pub viewport: Viewport,
+    /// First boundary: wide anti-aliased segments plus (for the distance
+    /// test's Minkowski expansion) smooth vertex points. Intersection
+    /// tests leave the point lists empty.
+    pub first_segments: Vec<Segment>,
+    pub first_points: Vec<Point>,
+    /// Second boundary.
+    pub second_segments: Vec<Segment>,
+    pub second_points: Vec<Point>,
+}
+
+/// A reusable batched-submission context. Owns one frame buffer, grown to
+/// fit the largest batch seen and reused (cleared, not reallocated) across
+/// batches.
+#[derive(Debug)]
+pub struct AtlasContext {
+    fb: Option<FrameBuffer>,
+    stats: HwStats,
+    cell: usize,
+}
+
+/// Geometry of one batch's grid layout.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    cell: usize,
+    gutter: usize,
+    grid: usize,
+}
+
+impl Layout {
+    fn new(cell: usize, jobs: usize, max_width: f64) -> Layout {
+        // Gutter ≥ the widened line's bleed radius: geometry at a cell
+        // edge stays out of the neighbouring cell even without the
+        // scissor. (The scissor makes this a second line of defense.)
+        let gutter = (max_width / 2.0).ceil() as usize + 1;
+        let grid = (jobs as f64).sqrt().ceil() as usize;
+        Layout { cell, gutter, grid }
+    }
+
+    /// Pixel origin of cell `i` (row-major).
+    fn origin(&self, i: usize) -> (usize, usize) {
+        let pitch = self.cell + self.gutter;
+        let (row, col) = (i / self.grid, i % self.grid);
+        (self.gutter + col * pitch, self.gutter + row * pitch)
+    }
+
+    /// Whole-atlas side length in pixels.
+    fn side(&self) -> usize {
+        self.grid * (self.cell + self.gutter) + self.gutter
+    }
+}
+
+impl AtlasContext {
+    /// A context for batches of `cell_resolution × cell_resolution` tests.
+    pub fn new(cell_resolution: usize) -> Self {
+        assert!(cell_resolution > 0, "cells need at least one pixel");
+        AtlasContext {
+            fb: None,
+            stats: HwStats::default(),
+            cell: cell_resolution,
+        }
+    }
+
+    /// Changes the cell resolution (knob sweeps); the buffer regrows lazily.
+    pub fn set_cell_resolution(&mut self, res: usize) {
+        assert!(res > 0, "cells need at least one pixel");
+        if res != self.cell {
+            self.cell = res;
+            self.fb = None;
+        }
+    }
+
+    #[inline]
+    pub fn cell_resolution(&self) -> usize {
+        self.cell
+    }
+
+    /// Lifetime work counters (same convention as `GlContext::stats`).
+    #[inline]
+    pub fn stats(&self) -> HwStats {
+        self.stats
+    }
+
+    /// Runs one batched accumulation round over `jobs` and returns, per
+    /// job, whether the two renderings share a pixel (the Algorithm 3.1
+    /// "full white found" signal). All segments are drawn at `line_width`
+    /// and all points at `point_size` — callers group jobs so that one
+    /// batch shares one line state, exactly as one GL draw call must.
+    pub fn run_batch(&mut self, jobs: &[AtlasJob], line_width: f64, point_size: f64) -> Vec<bool> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let layout = Layout::new(self.cell, jobs.len(), line_width.max(point_size));
+        for job in jobs {
+            assert_eq!(
+                (job.viewport.width(), job.viewport.height()),
+                (self.cell, self.cell),
+                "job viewport must match the atlas cell resolution"
+            );
+        }
+        let side = layout.side();
+        match self.fb {
+            Some(ref fb) if fb.width() == side && fb.height() == side => {}
+            _ => self.fb = Some(FrameBuffer::new(side, side)),
+        }
+        let fb = self.fb.as_mut().expect("buffer allocated above");
+        let stats = &mut self.stats;
+        stats.batches += 1;
+
+        // Algorithm 3.1 choreography, whole-buffer ops over the atlas.
+        fb.clear_color(BLACK, stats);
+        fb.clear_accum(stats);
+        draw_pass(
+            fb,
+            stats,
+            jobs,
+            &layout,
+            line_width,
+            point_size,
+            Pass::First,
+        );
+        fb.accum_load(stats);
+        fb.clear_color(BLACK, stats);
+        draw_pass(
+            fb,
+            stats,
+            jobs,
+            &layout,
+            line_width,
+            point_size,
+            Pass::Second,
+        );
+        fb.accum_add(stats);
+        fb.accum_return(stats);
+
+        // One scan reduces every cell to its own maximum — the batched
+        // stand-in for per-pair Minmax queries (a histogram/reduction pass
+        // over the full buffer).
+        stats.minmax_queries += 1;
+        stats.pixels_scanned += fb.len();
+        jobs.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (ox, oy) = layout.origin(i);
+                let mut max = 0.0f32;
+                for y in oy..oy + layout.cell {
+                    for x in ox..ox + layout.cell {
+                        max = max.max(fb.read_pixel(x, y)[0]);
+                    }
+                }
+                max >= 1.0
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pass {
+    First,
+    Second,
+}
+
+/// Renders one side of every job in (at most) two draw calls: all segment
+/// lists in one submission, all point lists in another. Each job rasterizes
+/// through its own cell-local window — identical fragments to the per-pair
+/// path — and the sink translates them to the job's cell.
+fn draw_pass(
+    fb: &mut FrameBuffer,
+    stats: &mut HwStats,
+    jobs: &[AtlasJob],
+    layout: &Layout,
+    line_width: f64,
+    point_size: f64,
+    pass: Pass,
+) {
+    let cell = layout.cell;
+    let mut written = 0usize;
+
+    stats.draw_calls += 1;
+    for (i, job) in jobs.iter().enumerate() {
+        let (ox, oy) = layout.origin(i);
+        let segments = match pass {
+            Pass::First => &job.first_segments,
+            Pass::Second => &job.second_segments,
+        };
+        let mut sink = |x: usize, y: usize| {
+            fb.write_pixel_uncounted(ox + x, oy + y, HALF_GRAY);
+            written += 1;
+        };
+        for seg in segments {
+            stats.primitives += 1;
+            let a = job.viewport.to_window(seg.a);
+            let b = job.viewport.to_window(seg.b);
+            rasterize_aa_line(a, b, line_width, cell, cell, stats, &mut sink);
+            if a == b {
+                // Degenerate after projection: keep coverage with a point
+                // (same rule as GlContext::draw_segments).
+                rasterize_wide_point(a, line_width, cell, cell, stats, &mut sink);
+            }
+        }
+    }
+
+    let any_points = jobs.iter().any(|j| match pass {
+        Pass::First => !j.first_points.is_empty(),
+        Pass::Second => !j.second_points.is_empty(),
+    });
+    if any_points {
+        stats.draw_calls += 1;
+        for (i, job) in jobs.iter().enumerate() {
+            let (ox, oy) = layout.origin(i);
+            let points = match pass {
+                Pass::First => &job.first_points,
+                Pass::Second => &job.second_points,
+            };
+            let mut sink = |x: usize, y: usize| {
+                fb.write_pixel_uncounted(ox + x, oy + y, HALF_GRAY);
+                written += 1;
+            };
+            for &p in points {
+                stats.primitives += 1;
+                let wp = job.viewport.to_window(p);
+                rasterize_wide_point(wp, point_size, cell, cell, stats, &mut sink);
+            }
+        }
+    }
+    stats.pixels_written += written;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aa_line::DIAGONAL_WIDTH;
+    use crate::context::GlContext;
+    use spatial_geom::Rect;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    fn job(region: Rect, res: usize, first: Vec<Segment>, second: Vec<Segment>) -> AtlasJob {
+        AtlasJob {
+            viewport: Viewport::new(region, res, res),
+            first_segments: first,
+            first_points: Vec::new(),
+            second_segments: second,
+            second_points: Vec::new(),
+        }
+    }
+
+    /// The per-pair reference: the exact GlContext accumulation
+    /// choreography of Algorithm 3.1.
+    fn per_pair_overlap(j: &AtlasJob, width: f64) -> bool {
+        let mut gl = GlContext::new(j.viewport);
+        gl.enable_antialias(true);
+        gl.set_color(HALF_GRAY);
+        gl.set_line_width(width);
+        gl.set_point_size(width);
+        gl.clear_color_buffer();
+        gl.clear_accum_buffer();
+        gl.draw_segments(&j.first_segments);
+        if !j.first_points.is_empty() {
+            gl.draw_points(&j.first_points);
+        }
+        gl.accum_load();
+        gl.clear_color_buffer();
+        gl.draw_segments(&j.second_segments);
+        if !j.second_points.is_empty() {
+            gl.draw_points(&j.second_points);
+        }
+        gl.accum_add();
+        gl.accum_return();
+        gl.max_value() >= 1.0
+    }
+
+    fn mixed_jobs(res: usize) -> Vec<AtlasJob> {
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        vec![
+            // Crossing diagonals: overlap.
+            job(
+                r,
+                res,
+                vec![seg(0.0, 0.0, 8.0, 8.0)],
+                vec![seg(0.0, 8.0, 8.0, 0.0)],
+            ),
+            // Far-apart verticals: no overlap (at fine resolutions).
+            job(
+                r,
+                res,
+                vec![seg(0.5, 0.5, 0.5, 7.5)],
+                vec![seg(7.5, 0.5, 7.5, 7.5)],
+            ),
+            // Touching at a corner.
+            job(
+                r,
+                res,
+                vec![seg(0.0, 0.0, 4.0, 4.0)],
+                vec![seg(4.0, 4.0, 8.0, 8.0)],
+            ),
+            // Parallel and close.
+            job(
+                r,
+                res,
+                vec![seg(1.0, 0.0, 1.0, 8.0)],
+                vec![seg(1.6, 0.0, 1.6, 8.0)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_flags_equal_per_pair_flags() {
+        for res in [1usize, 4, 8, 32] {
+            let jobs = mixed_jobs(res);
+            let mut atlas = AtlasContext::new(res);
+            let flags = atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+            for (i, j) in jobs.iter().enumerate() {
+                assert_eq!(
+                    flags[i],
+                    per_pair_overlap(j, DIAGONAL_WIDTH),
+                    "job {i} at res {res}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lines_and_points_match_per_pair() {
+        let r = Rect::new(0.0, 0.0, 16.0, 16.0);
+        let res = 16;
+        let mk =
+            |first: Vec<Segment>, fp: Vec<Point>, second: Vec<Segment>, sp: Vec<Point>| AtlasJob {
+                viewport: Viewport::uniform(r, res, res),
+                first_segments: first,
+                first_points: fp,
+                second_segments: second,
+                second_points: sp,
+            };
+        let jobs = vec![
+            mk(
+                vec![seg(2.0, 2.0, 2.0, 14.0)],
+                vec![Point::new(2.0, 2.0), Point::new(2.0, 14.0)],
+                vec![seg(6.0, 2.0, 6.0, 14.0)],
+                vec![Point::new(6.0, 2.0), Point::new(6.0, 14.0)],
+            ),
+            mk(
+                vec![seg(2.0, 2.0, 2.0, 14.0)],
+                vec![Point::new(2.0, 2.0)],
+                vec![seg(13.0, 2.0, 13.0, 14.0)],
+                vec![Point::new(13.0, 2.0)],
+            ),
+        ];
+        for width in [2.0, 4.0, 6.0] {
+            let mut atlas = AtlasContext::new(res);
+            let flags = atlas.run_batch(&jobs, width, width);
+            for (i, j) in jobs.iter().enumerate() {
+                assert_eq!(
+                    flags[i],
+                    per_pair_overlap(j, width),
+                    "job {i} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_do_not_contaminate_each_other() {
+        // Two jobs with geometry hugging the cell edges: job 0 overlaps,
+        // job 1 is empty on one side and must stay non-overlapping no
+        // matter what its neighbours drew.
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let jobs = vec![
+            job(
+                r,
+                8,
+                vec![seg(0.0, 0.0, 8.0, 8.0)],
+                vec![seg(0.0, 8.0, 8.0, 0.0)],
+            ),
+            job(r, 8, vec![seg(7.9, 0.0, 7.9, 8.0)], vec![]),
+            job(r, 8, vec![], vec![seg(0.1, 0.0, 0.1, 8.0)]),
+            job(
+                r,
+                8,
+                vec![seg(0.0, 7.9, 8.0, 7.9)],
+                vec![seg(0.0, 0.1, 8.0, 0.1)],
+            ),
+        ];
+        let mut atlas = AtlasContext::new(8);
+        let flags = atlas.run_batch(&jobs, 10.0, 10.0); // maximum width: worst bleed
+        assert!(flags[0]);
+        assert!(!flags[1], "one-sided cell faked an overlap");
+        assert!(!flags[2], "one-sided cell faked an overlap");
+        // Job 3's wide lines genuinely overlap inside the cell; the point
+        // is that the batched answer matches per-pair exactly.
+        assert_eq!(flags[3], per_pair_overlap(&jobs[3], 10.0));
+    }
+
+    #[test]
+    fn batch_amortizes_draw_calls_and_minmax() {
+        let jobs = mixed_jobs(8);
+        let mut atlas = AtlasContext::new(8);
+        atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        let s = atlas.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.draw_calls, 2, "one submission per pass, not per pair");
+        assert_eq!(s.minmax_queries, 1, "one reduction scan per batch");
+        // Per-pair would be 2 draw calls + 1 minmax per job.
+        assert!(s.draw_calls + s.minmax_queries < 3 * jobs.len());
+    }
+
+    #[test]
+    fn per_fragment_work_matches_per_pair() {
+        // Batching amortizes submissions; it must not change the rasterized
+        // work. Fragments and primitives are counted per cell-local window,
+        // so they equal the per-pair totals exactly.
+        let jobs = mixed_jobs(8);
+        let mut atlas = AtlasContext::new(8);
+        atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        let batched = atlas.stats();
+        let mut per_pair = HwStats::default();
+        for j in &jobs {
+            let mut gl = GlContext::new(j.viewport);
+            gl.enable_antialias(true);
+            gl.set_color(HALF_GRAY);
+            gl.set_line_width(DIAGONAL_WIDTH);
+            gl.clear_color_buffer();
+            gl.clear_accum_buffer();
+            gl.draw_segments(&j.first_segments);
+            gl.accum_load();
+            gl.clear_color_buffer();
+            gl.draw_segments(&j.second_segments);
+            gl.accum_add();
+            gl.accum_return();
+            gl.max_value();
+            per_pair.add(&gl.stats());
+        }
+        assert_eq!(batched.fragments_tested, per_pair.fragments_tested);
+        assert_eq!(batched.primitives, per_pair.primitives);
+        assert_eq!(batched.pixels_written, per_pair.pixels_written);
+    }
+
+    #[test]
+    fn buffer_is_reused_across_same_shape_batches() {
+        let jobs = mixed_jobs(8);
+        let mut atlas = AtlasContext::new(8);
+        let f1 = atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        let f2 = atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        assert_eq!(f1, f2, "stale pixels leaked between batches");
+        assert_eq!(atlas.stats().batches, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut atlas = AtlasContext::new(8);
+        assert!(atlas.run_batch(&[], 1.0, 1.0).is_empty());
+        assert_eq!(atlas.stats(), HwStats::default());
+    }
+
+    #[test]
+    fn counters_are_a_pure_function_of_batch_content() {
+        let jobs = mixed_jobs(16);
+        let mut a = AtlasContext::new(16);
+        a.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        let mut b = AtlasContext::new(16);
+        b.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -134,7 +134,11 @@ impl GlContext {
 
     /// Convenience for the common on/off blending toggle.
     pub fn enable_blending(&mut self, on: bool) {
-        self.write_mode = if on { WriteMode::Blend } else { WriteMode::Overwrite };
+        self.write_mode = if on {
+            WriteMode::Blend
+        } else {
+            WriteMode::Overwrite
+        };
     }
 
     /// Full write-mode control (stencil strategies need it).
@@ -228,14 +232,9 @@ impl GlContext {
                 });
                 if a == b {
                     // Degenerate after projection: keep coverage with a point.
-                    rasterize_wide_point(
-                        a,
-                        self.line_width,
-                        w,
-                        h,
-                        &mut self.stats,
-                        &mut |x, y| frags.push((x, y)),
-                    );
+                    rasterize_wide_point(a, self.line_width, w, h, &mut self.stats, &mut |x, y| {
+                        frags.push((x, y))
+                    });
                 }
             } else {
                 rasterize_line_diamond_exit(a, b, w, h, &mut self.stats, &mut |x, y| {
@@ -303,7 +302,10 @@ impl GlContext {
     pub fn draw_filled_polygon(&mut self, vertices: &[Point]) {
         self.stats.draw_calls += 1;
         self.stats.primitives += 1;
-        let win: Vec<Point> = vertices.iter().map(|&p| self.viewport.to_window(p)).collect();
+        let win: Vec<Point> = vertices
+            .iter()
+            .map(|&p| self.viewport.to_window(p))
+            .collect();
         let (w, h) = (self.fb.width(), self.fb.height());
         let mut frags: Vec<(usize, usize)> = Vec::new();
         rasterize_polygon(&win, w, h, &mut self.stats, &mut |x, y| frags.push((x, y)));

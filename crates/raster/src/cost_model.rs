@@ -22,6 +22,7 @@
 //! |---|---|---|
 //! | draw-call submit | 10 µs | AGP command buffer + state validation |
 //! | minmax query | 30 µs | pipeline flush + 2-color readback latency |
+//! | batch round | 20 µs | viewport/scissor grid setup + command-buffer flush for one atlas submission |
 //! | buffer-scan pixel | 16 ns | `GL_ACCUM` ops ran in the driver, not the GPU, on consumer boards of that era |
 //! | fragment | 4 ns | AA-line coverage evaluation (fill-rate bound) |
 //! | primitive | 8 ns | vertex transform + setup at ~136 M vertices/s |
@@ -46,6 +47,10 @@ pub struct HwCostModel {
     pub scanned_pixel_ns: f64,
     pub fragment_ns: f64,
     pub primitive_ns: f64,
+    /// Fixed cost of one batched (atlas) submission round, on top of its
+    /// draw calls: per-cell viewport/scissor setup and the command-buffer
+    /// flush. Paid once per batch, amortized over every pair in it.
+    pub batch_ns: f64,
 }
 
 /// The CPU-generation rescaling applied to the 2003 constants.
@@ -59,6 +64,7 @@ impl Default for HwCostModel {
             scanned_pixel_ns: 16.0 / CPU_SPEEDUP_FACTOR,
             fragment_ns: 4.0 / CPU_SPEEDUP_FACTOR,
             primitive_ns: 8.0 / CPU_SPEEDUP_FACTOR,
+            batch_ns: 20_000.0 / CPU_SPEEDUP_FACTOR,
         }
     }
 }
@@ -74,6 +80,7 @@ impl HwCostModel {
             scanned_pixel_ns: 16.0 / factor,
             fragment_ns: 4.0 / factor,
             primitive_ns: 8.0 / factor,
+            batch_ns: 20_000.0 / factor,
         }
     }
 
@@ -83,7 +90,8 @@ impl HwCostModel {
             + self.minmax_ns * stats.minmax_queries as f64
             + self.scanned_pixel_ns * stats.pixels_scanned as f64
             + self.fragment_ns * stats.fragments_tested as f64
-            + self.primitive_ns * stats.primitives as f64;
+            + self.primitive_ns * stats.primitives as f64
+            + self.batch_ns * stats.batches as f64;
         Duration::from_nanos(ns.max(0.0) as u64)
     }
 }
@@ -106,6 +114,23 @@ mod tests {
             primitives: prims,
             draw_calls,
             minmax_queries: minmax,
+            batches: 0,
+        }
+    }
+
+    #[test]
+    fn batching_beats_per_pair_fixed_costs() {
+        // k pairs per-pair: k × (2 draws + 1 minmax). Batched: 2 draws +
+        // 1 minmax + 1 batch round for all k. The batch round costs less
+        // than one per-pair test's fixed overhead, so batching wins from
+        // k = 2 and the gap grows linearly.
+        let m = HwCostModel::default();
+        for k in [2usize, 8, 64] {
+            let per_pair = m.time(&stats(2 * k, k, 0, 0, 0));
+            let mut batched_stats = stats(2, 1, 0, 0, 0);
+            batched_stats.batches = 1;
+            let batched = m.time(&batched_stats);
+            assert!(batched < per_pair, "k={k}: {batched:?} !< {per_pair:?}");
         }
     }
 
@@ -121,7 +146,10 @@ mod tests {
         let m = HwCostModel::default();
         let t = m.time(&stats(2, 1, 384, 400, 200));
         // 2×250 + 750 + 384×0.4 + 400×0.1 + 200×0.2 ≈ 1.5 µs.
-        assert!(t > Duration::from_nanos(1_200) && t < Duration::from_nanos(2_000), "{t:?}");
+        assert!(
+            t > Duration::from_nanos(1_200) && t < Duration::from_nanos(2_000),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -155,7 +183,10 @@ mod tests {
         // A 300-vertex pair at 8×8: ~300 primitives, ~900 fragments,
         // 6×64 scanned, 2 draws + 1 minmax.
         let t8 = m.time(&stats(2, 1, 384, 900, 300));
-        assert!(t8 > Duration::from_nanos(1_000) && t8 < Duration::from_nanos(4_000), "{t8:?}");
+        assert!(
+            t8 > Duration::from_nanos(1_000) && t8 < Duration::from_nanos(4_000),
+            "{t8:?}"
+        );
         // At 16×16 the scans quadruple and fragments roughly double.
         let t16 = m.time(&stats(2, 1, 1536, 1800, 300));
         assert!(t16 > t8);

@@ -33,7 +33,10 @@ pub struct FrameBuffer {
 impl FrameBuffer {
     /// Allocates a cleared `width × height` frame buffer.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "window must have at least one pixel");
+        assert!(
+            width > 0 && height > 0,
+            "window must have at least one pixel"
+        );
         FrameBuffer {
             width,
             height,
@@ -133,13 +136,7 @@ impl FrameBuffer {
     /// fragment passed. The depth-buffer overlap variant draws the second
     /// object at a nearer depth and checks for surviving fragments.
     #[inline]
-    pub fn depth_test_write(
-        &mut self,
-        x: usize,
-        y: usize,
-        z: f32,
-        stats: &mut HwStats,
-    ) -> bool {
+    pub fn depth_test_write(&mut self, x: usize, y: usize, z: f32, stats: &mut HwStats) -> bool {
         let i = self.idx(x, y);
         if z < self.depth[i] {
             self.depth[i] = z;
@@ -236,9 +233,8 @@ impl FrameBuffer {
 
     /// Iterates over `(x, y, color)` for all pixels — used by the PPM dump.
     pub fn pixels(&self) -> impl Iterator<Item = (usize, usize, Color)> + '_ {
-        (0..self.height).flat_map(move |y| {
-            (0..self.width).map(move |x| (x, y, self.color[y * self.width + x]))
-        })
+        (0..self.height)
+            .flat_map(move |y| (0..self.width).map(move |x| (x, y, self.color[y * self.width + x])))
     }
 }
 
@@ -343,7 +339,10 @@ mod tests {
         let mut fb = FrameBuffer::new(1, 1);
         let mut st = HwStats::default();
         assert!(fb.depth_test_write(0, 0, 0.5, &mut st));
-        assert!(!fb.depth_test_write(0, 0, 0.7, &mut st), "farther fragment fails");
+        assert!(
+            !fb.depth_test_write(0, 0, 0.7, &mut st),
+            "farther fragment fails"
+        );
         assert!(fb.depth_test_write(0, 0, 0.2, &mut st));
         fb.clear_depth(&mut st);
         assert!(fb.depth_test_write(0, 0, 0.99, &mut st));

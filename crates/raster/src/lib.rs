@@ -27,6 +27,7 @@
 //! 11–13 reproducible on any host.
 
 pub mod aa_line;
+pub mod atlas;
 pub mod context;
 pub mod cost_model;
 pub mod framebuffer;
@@ -38,9 +39,10 @@ pub mod stats;
 pub mod viewport;
 pub mod voronoi;
 
+pub use atlas::{AtlasContext, AtlasJob};
 pub use context::{GlContext, OverlapStrategy, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
 pub use cost_model::HwCostModel;
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;
-pub use voronoi::VoronoiField;
 pub use viewport::Viewport;
+pub use voronoi::VoronoiField;

@@ -25,6 +25,9 @@ pub struct HwStats {
     pub draw_calls: usize,
     /// Minmax queries executed.
     pub minmax_queries: usize,
+    /// Batched submission rounds (atlas batches): state setup + command
+    /// buffer flush amortized over many candidate pairs.
+    pub batches: usize,
 }
 
 impl HwStats {
@@ -38,6 +41,7 @@ impl HwStats {
             primitives: self.primitives - earlier.primitives,
             draw_calls: self.draw_calls - earlier.draw_calls,
             minmax_queries: self.minmax_queries - earlier.minmax_queries,
+            batches: self.batches - earlier.batches,
         }
     }
 
@@ -49,6 +53,14 @@ impl HwStats {
         self.primitives += other.primitives;
         self.draw_calls += other.draw_calls;
         self.minmax_queries += other.minmax_queries;
+        self.batches += other.batches;
+    }
+
+    /// Submission-overhead events: the quantity batching exists to shrink.
+    /// Each draw call and each Minmax query is one host↔device round of
+    /// fixed cost; each batch adds one state-setup round of its own.
+    pub fn submissions(&self) -> usize {
+        self.draw_calls + self.minmax_queries + self.batches
     }
 }
 
@@ -65,6 +77,7 @@ mod tests {
             primitives: 4,
             draw_calls: 2,
             minmax_queries: 1,
+            batches: 1,
         };
         let mut b = a;
         let extra = HwStats {
@@ -74,8 +87,20 @@ mod tests {
             primitives: 1,
             draw_calls: 1,
             minmax_queries: 0,
+            batches: 1,
         };
         b.add(&extra);
         assert_eq!(b.delta_since(&a), extra);
+    }
+
+    #[test]
+    fn submissions_counts_fixed_cost_rounds() {
+        let s = HwStats {
+            draw_calls: 2,
+            minmax_queries: 1,
+            batches: 1,
+            ..HwStats::default()
+        };
+        assert_eq!(s.submissions(), 4);
     }
 }

@@ -30,7 +30,10 @@ impl Viewport {
     /// axis-aligned sliver) are inflated to a tiny positive extent so the
     /// transform stays finite.
     pub fn new(region: Rect, width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "window must have at least one pixel");
+        assert!(
+            width > 0 && height > 0,
+            "window must have at least one pixel"
+        );
         assert!(!region.is_empty(), "cannot project an empty region");
         let mut region = region;
         const MIN_EXTENT: f64 = 1e-12;

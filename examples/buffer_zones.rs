@@ -11,7 +11,7 @@
 //! cargo run --release --example buffer_zones -- [scale]
 //! ```
 
-use hwspatial::core::engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+use hwspatial::core::engine::{EngineConfig, PreparedDataset, SpatialEngine};
 use hwspatial::core::HwConfig;
 use hwspatial::datagen;
 
@@ -37,10 +37,8 @@ fn main() {
         ..EngineConfig::software()
     });
     let mut hw = SpatialEngine::new(EngineConfig {
-        geometry_test: GeometryTest::Hardware,
-        hw: HwConfig::recommended(),
-        interior_filter_level: None,
         use_object_filters: true,
+        ..EngineConfig::hardware(HwConfig::recommended())
     });
 
     println!(

@@ -16,9 +16,15 @@ use hwspatial::core::{CostBreakdown, HwConfig};
 
 fn report(label: &str, cost: &CostBreakdown, pairs: usize) {
     println!("\n[{label}]");
-    println!("  MBR filter:        {:>9.2} ms ({} candidate pairs)",
-        cost.mbr_filter.as_secs_f64() * 1e3, cost.candidates);
-    println!("  geometry compare:  {:>9.2} ms", cost.geometry_comparison.as_secs_f64() * 1e3);
+    println!(
+        "  MBR filter:        {:>9.2} ms ({} candidate pairs)",
+        cost.mbr_filter.as_secs_f64() * 1e3,
+        cost.candidates
+    );
+    println!(
+        "  geometry compare:  {:>9.2} ms",
+        cost.geometry_comparison.as_secs_f64() * 1e3
+    );
     println!("  join results:      {pairs}");
     println!("  decided by PiP:    {}", cost.tests.decided_by_pip);
     println!("  hardware rejects:  {}", cost.tests.rejected_by_hw);
@@ -36,7 +42,13 @@ fn main() {
     let lando = hwspatial::datagen::lando(scale, 42);
     let a = PreparedDataset::new(landc.name, landc.polygons);
     let b = PreparedDataset::new(lando.name, lando.polygons);
-    println!("{}: {} polygons | {}: {} polygons", a.name, a.len(), b.name, b.len());
+    println!(
+        "{}: {} polygons | {}: {} polygons",
+        a.name,
+        a.len(),
+        b.name,
+        b.len()
+    );
 
     let mut sw = SpatialEngine::new(EngineConfig::software());
     let (r_sw, c_sw) = sw.intersection_join(&a, &b);
@@ -49,12 +61,20 @@ fn main() {
     });
     let (r_hw, c_hw) = hw8.intersection_join(&a, &b);
     assert_eq!(r_sw, r_hw, "hardware assistance never changes results");
-    report("hardware 8x8, threshold 500 (paper's operating point)", &c_hw, r_hw.len());
+    report(
+        "hardware 8x8, threshold 500 (paper's operating point)",
+        &c_hw,
+        r_hw.len(),
+    );
 
     let mut hw32 = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(32)));
     let (r_32, c_32) = hw32.intersection_join(&a, &b);
     assert_eq!(r_sw, r_32);
-    report("hardware 32x32, threshold 0 (overhead-bound regime)", &c_32, r_32.len());
+    report(
+        "hardware 32x32, threshold 0 (overhead-bound regime)",
+        &c_32,
+        r_32.len(),
+    );
 
     let g = |c: &CostBreakdown| c.geometry_comparison.as_secs_f64() * 1e3;
     println!(

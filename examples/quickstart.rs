@@ -22,7 +22,10 @@ fn main() {
     let mut tester_raw = HwTester::new(HwConfig::at_resolution(32)); // pure hardware
     let mut stats = TestStats::default();
 
-    println!("slabs intersect (exact): {}", tester.intersects(&a, &b, &mut stats));
+    println!(
+        "slabs intersect (exact): {}",
+        tester.intersects(&a, &b, &mut stats)
+    );
     let mut st2 = TestStats::default();
     tester_raw.intersects(&a, &b, &mut st2);
     println!(
@@ -31,7 +34,10 @@ fn main() {
     );
 
     // Distance predicate, same machinery (§3.1 extension).
-    println!("slabs within distance 3.0: {}", within_distance(&a, &b, 3.0));
+    println!(
+        "slabs within distance 3.0: {}",
+        within_distance(&a, &b, 3.0)
+    );
     let mut st3 = TestStats::default();
     println!(
         "  hardware says the same: {}",

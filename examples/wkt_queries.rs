@@ -37,10 +37,7 @@ fn main() {
     let ds = PreparedDataset::new("parcels", polygons);
     println!("loaded {} parcels from WKT", ds.len());
 
-    let query = parse_polygon(
-        "POLYGON ((25 25, 75 20, 80 75, 20 80, 25 25))",
-    )
-    .unwrap();
+    let query = parse_polygon("POLYGON ((25 25, 75 20, 80 75, 20 80, 25 25))").unwrap();
     let mut engine = SpatialEngine::new(EngineConfig::hardware(HwConfig::recommended()));
 
     let (intersecting, _) = engine.intersection_selection(&ds, &query);

@@ -64,13 +64,17 @@ fn cost_model_linear_and_scalable() {
         primitives: 50,
         draw_calls: 2,
         minmax_queries: 1,
+        batches: 1,
     };
     let mut s2 = s1;
     s2.add(&s1);
     let t1 = model.time(&s1);
     let t2 = model.time(&s2);
     let ratio = t2.as_nanos() as f64 / t1.as_nanos() as f64;
-    assert!((ratio - 2.0).abs() < 0.01, "doubling work doubles time: {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 0.01,
+        "doubling work doubles time: {ratio}"
+    );
 
     let slow = HwCostModel::with_speedup(10.0);
     let fast = HwCostModel::with_speedup(100.0);
@@ -98,7 +102,10 @@ fn reported_time_includes_modeled_gpu() {
     let b = prepare(datagen::lando(SCALE, 24));
     let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(16)));
     let (_, cost) = hw.intersection_join(&a, &b);
-    assert!(cost.tests.hw_tests > 0, "workload must exercise the hardware");
+    assert!(
+        cost.tests.hw_tests > 0,
+        "workload must exercise the hardware"
+    );
     assert!(cost.geometry_comparison >= cost.tests.gpu_modeled);
     assert!(cost.tests.sim_wall > std::time::Duration::ZERO);
 }

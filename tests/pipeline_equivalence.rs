@@ -2,7 +2,7 @@
 //! produce exactly the software pipeline's results, over freshly generated
 //! workloads with multiple seeds, resolutions, thresholds and strategies.
 
-use hwspatial::core::engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+use hwspatial::core::engine::{EngineConfig, PreparedDataset, SpatialEngine};
 use hwspatial::core::HwConfig;
 use hwspatial::datagen;
 use hwspatial::raster::OverlapStrategy;
@@ -70,10 +70,8 @@ fn within_distance_equivalence_across_distances() {
             ..EngineConfig::software()
         });
         let mut hw = SpatialEngine::new(EngineConfig {
-            geometry_test: GeometryTest::Hardware,
-            hw: HwConfig::recommended(),
-            interior_filter_level: None,
             use_object_filters: true,
+            ..EngineConfig::hardware(HwConfig::recommended())
         });
         let (rs, _) = sw.within_distance_join(&a, &b, d);
         let (rh, _) = hw.within_distance_join(&a, &b, d);
@@ -109,7 +107,10 @@ fn containment_is_subset_of_intersection() {
         let (inter, _) = e.intersection_selection(&ds, q);
         let (cont, _) = e.containment_selection(&ds, q);
         for i in &cont {
-            assert!(inter.contains(i), "contained object {i} missing from intersection");
+            assert!(
+                inter.contains(i),
+                "contained object {i} missing from intersection"
+            );
         }
     }
 }

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the subset of proptest the workspace's property
+//! tests use: the `proptest!` / `prop_compose!` macros, `prop_assert*` /
+//! `prop_assume!`, range and tuple strategies, `prop::collection::vec`,
+//! and a simplified regex string strategy. Differences from the real
+//! crate:
+//!
+//! * **No shrinking.** A failing case reports the exact inputs (Debug
+//!   formatted) but does not minimize them.
+//! * **Deterministic by default.** Cases derive from a fixed seed, so a
+//!   failure reproduces by re-running the test. Set `PROPTEST_SEED` to
+//!   explore a different stream.
+//! * The string strategy understands character classes (`[a-z0-9-]`),
+//!   `.`, literals, and `{m,n}` / `*` / `+` / `?` quantifiers — enough
+//!   for the patterns in this repository, not general regex.
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec<T>` with lengths drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset of the real `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one `proptest!` test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5EED_CAFE_F00D_D15C);
+            TestRunner { config, seed }
+        }
+
+        /// Runs `f` until `config.cases` successes. `f` receives a fresh
+        /// deterministic RNG per attempt plus a buffer it fills with
+        /// Debug renderings of the sampled inputs (reported on failure).
+        pub fn run<F>(&mut self, name: &str, mut f: F)
+        where
+            F: FnMut(&mut StdRng, &mut Vec<String>) -> TestCaseResult,
+        {
+            let mut successes = 0u32;
+            let mut rejects = 0u32;
+            let mut attempt = 0u64;
+            while successes < self.config.cases {
+                let mut inputs = Vec::new();
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                attempt += 1;
+                match f(&mut rng, &mut inputs) {
+                    Ok(()) => successes += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            panic!(
+                                "{name}: too many prop_assume! rejections \
+                                 ({rejects}) after {successes} successful cases"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{name}: property failed at attempt {attempt} (seed {:#x}): {msg}\n\
+                             inputs:\n  {}",
+                            self.seed,
+                            inputs.join("\n  ")
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+
+    /// Mirror of `proptest::prelude::prop`, for `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. See the crate docs for supported syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0.0f64..1.0, v in prop::collection::vec(0usize..9, 1..4)) {
+///         prop_assert!(x < 1.0, "x = {}", x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+            __runner.run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng, __inputs| -> $crate::test_runner::TestCaseResult {
+                    $(
+                        let __value = $crate::strategy::Strategy::sample(&($strat), __rng);
+                        __inputs.push(format!(
+                            concat!(stringify!($pat), " = {:?}"),
+                            &__value
+                        ));
+                        let $pat = __value;
+                    )+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Composes strategies into a named strategy-returning function:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point(max: f64)(x in 0.0..max, y in 0.0..max) -> Point {
+///         Point::new(x, y)
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $aty:ty),* $(,)?)
+            ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $aty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case without failing the test (retried with fresh
+/// inputs, bounded by `max_global_rejects`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair(scale: f64)(a in 0.0f64..1.0, b in 0.0f64..1.0) -> (f64, f64) {
+            (a * scale, b * scale)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -3.0f64..9.0, n in 1usize..17) {
+            prop_assert!((-3.0..9.0).contains(&x));
+            prop_assert!((1..17).contains(&n));
+        }
+
+        #[test]
+        fn composed_strategies_apply_args(p in arb_pair(10.0)) {
+            prop_assert!(p.0 >= 0.0 && p.0 < 10.0, "p = {:?}", p);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0usize..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn tuple_strategies(pt in (0.0f64..1.0, 0.0f64..1.0)) {
+            prop_assert!(pt.0 < 1.0 && pt.1 < 1.0);
+        }
+
+        #[test]
+        fn string_patterns(s in "[ab]{2,4}", t in ".{0,8}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'), "s = {:?}", s);
+            prop_assert!(t.chars().count() <= 8);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,332 @@
+//! Strategies: deterministic random value generators (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests. Unlike the real proptest
+/// `Strategy` (which builds shrinkable value trees), this stand-in samples
+/// values directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+// Strategies compose by reference too (`&strat` is a strategy).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Wraps a sampling closure into a [`Strategy`] (used by `prop_compose!`).
+pub fn from_fn<T, F: Fn(&mut StdRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Length distribution for [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec length range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let n = rng.gen_range(self.len.lo..=self.len.hi);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simplified regex string strategy: `&str` patterns generate `String`s.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable character (occasionally beyond ASCII).
+    Any,
+    /// `[...]` — one of an explicit character set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' => {
+                // Range if both endpoints exist; literal '-' otherwise.
+                match (prev, chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        for v in (lo as u32 + 1)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+            }
+            c => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    if set.is_empty() {
+        set.push('?');
+    }
+    set
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            let parts: Vec<&str> = body.splitn(2, ',').collect();
+            let lo: usize = parts[0].trim().parse().unwrap_or(0);
+            let hi: usize = if parts.len() == 2 {
+                parts[1].trim().parse().unwrap_or(lo.max(8))
+            } else {
+                lo
+            };
+            (lo, hi.max(lo))
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Term> {
+    let mut chars = pattern.chars().peekable();
+    let mut terms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            // Anchors carry no width; generation ignores them.
+            '^' | '$' => continue,
+            c => Atom::Literal(c),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        terms.push(Term { atom, min, max });
+    }
+    terms
+}
+
+/// Characters `.` samples from: mostly printable ASCII, with a spice of
+/// multi-byte and control characters so parser tests see hostile input.
+fn any_char(rng: &mut StdRng) -> char {
+    match rng.gen_range(0usize..20) {
+        0 => ['\u{0}', '\t', '\n', 'é', '中', '🦀', '\u{7f}', '\u{2028}'][rng.gen_range(0usize..8)],
+        _ => char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap(),
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for term in parse_pattern(self) {
+            let n = rng.gen_range(term.min..=term.max);
+            for _ in 0..n {
+                match &term.atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_ranges_expand() {
+        let terms = parse_pattern("[0-9 .,()-]{0,120}");
+        assert_eq!(terms.len(), 1);
+        match &terms[0].atom {
+            Atom::Class(set) => {
+                for d in '0'..='9' {
+                    assert!(set.contains(&d));
+                }
+                for c in [' ', '.', ',', '(', ')', '-'] {
+                    assert!(set.contains(&c), "missing {c:?}");
+                }
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+        assert_eq!((terms[0].min, terms[0].max), (0, 120));
+    }
+
+    #[test]
+    fn dot_pattern_lengths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = ".{0,200}".sample(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = "ab{3}c?".sample(&mut rng);
+        assert!(s.starts_with("abbb"), "{s}");
+    }
+}
