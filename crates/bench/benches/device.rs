@@ -1,0 +1,89 @@
+//! Criterion microbenchmark for the retained device layer: one
+//! atlas-scale command list executed by the single-threaded reference
+//! replay vs the tiled multi-threaded executor. The acceptance figure for
+//! the device layer is this wall-clock gap — results, readbacks and
+//! counters are bit-identical by contract (property-tested in
+//! `spatial-raster`), so the only thing left to measure is time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_geom::{Point, Rect, Segment};
+use spatial_raster::{AtlasJob, CommandList, DeviceKind, Viewport};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// An atlas-scale list: many cells of dense random boundary work, the
+/// shape one batched `hw_batch` round submits on a real join.
+fn atlas_scale_list(jobs: usize, segments_per_side: usize, cell: usize) -> CommandList {
+    let mut rng = StdRng::seed_from_u64(7);
+    let seg = |rng: &mut StdRng| {
+        let p = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
+        let q = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
+        Segment::new(p, q)
+    };
+    let jobs: Vec<AtlasJob> = (0..jobs)
+        .map(|_| AtlasJob {
+            viewport: Viewport::new(Rect::new(0.0, 0.0, 16.0, 16.0), cell, cell),
+            first_segments: (0..segments_per_side).map(|_| seg(&mut rng)).collect(),
+            first_points: Vec::new(),
+            second_segments: (0..segments_per_side).map(|_| seg(&mut rng)).collect(),
+            second_points: Vec::new(),
+        })
+        .collect();
+    let (list, _) =
+        spatial_raster::atlas::record_batch(&jobs, spatial_raster::aa_line::DIAGONAL_WIDTH, 1.0);
+    list
+}
+
+fn bench_devices(c: &mut Criterion) {
+    // 256 cells of 32×32 with 48 segments per boundary: a ~600×600 window
+    // with enough fragment and scan work for banding to pay.
+    let list = atlas_scale_list(256, 48, 32);
+    let mut group = c.benchmark_group("device_execute");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    // `tiled_8x1` isolates the banding win itself (L2-resident bands
+    // across the list's full-window clear/accum/scan passes, scissored
+    // draws skipped per band); the threaded configs add parallel speedup
+    // on multi-core hosts.
+    let kinds = [
+        ("reference", DeviceKind::Reference),
+        (
+            "tiled_8x1",
+            DeviceKind::Tiled {
+                tiles: 8,
+                threads: 1,
+            },
+        ),
+        (
+            "tiled_8x4",
+            DeviceKind::Tiled {
+                tiles: 8,
+                threads: 4,
+            },
+        ),
+        (
+            "tiled_16x8",
+            DeviceKind::Tiled {
+                tiles: 16,
+                threads: 8,
+            },
+        ),
+    ];
+    for (name, kind) in kinds {
+        let mut device = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &list, |b, list| {
+            b.iter(|| {
+                let exec = device.execute(black_box(list));
+                (exec.stats.fragments_tested, exec.readbacks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_devices);
+criterion_main!(benches);

@@ -50,14 +50,36 @@ fn best_distance_speedup(a: &PreparedDataset, b: &PreparedDataset, d: f64) -> (f
     best
 }
 
+/// One best-operating-point row, shared by the text and JSON outputs.
+struct Row {
+    kind: &'static str,
+    left: String,
+    right: String,
+    speedup: f64,
+    resolution: usize,
+    threshold: usize,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\": \"{}\", \"left\": \"{}\", \"right\": \"{}\", \
+             \"speedup\": {:.4}, \"resolution\": {}, \"threshold\": {}}}",
+            self.kind, self.left, self.right, self.speedup, self.resolution, self.threshold
+        )
+    }
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
+    let json = std::env::args().any(|a| a == "--json");
     header(
         "Summary (§5)",
         "best-case hardware speedups over the software baseline",
         opts,
     );
     let w = Workloads::generate(opts);
+    let mut rows: Vec<Row> = Vec::new();
 
     println!("\nintersection joins (paper: up to 4.8x):");
     for (a, b) in [(&w.landc, &w.lando), (&w.water, &w.prism)] {
@@ -66,6 +88,14 @@ fn main() {
             "  {} ⋈ {}: {:.2}x  (window {}x{}, threshold {})",
             a.name, b.name, s, res, res, t
         );
+        rows.push(Row {
+            kind: "intersection",
+            left: a.name.clone(),
+            right: b.name.clone(),
+            speedup: s,
+            resolution: res,
+            threshold: t,
+        });
     }
 
     println!("\nwithin-distance joins at D = 0.5×BaseD (paper: up to 5.9x):");
@@ -78,5 +108,29 @@ fn main() {
             "  {} ⋈dist {}: {:.2}x  (window {}x{}, threshold {})",
             a.name, b.name, s, res, res, t
         );
+        rows.push(Row {
+            kind: "within_distance",
+            left: a.name.clone(),
+            right: b.name.clone(),
+            speedup: s,
+            resolution: res,
+            threshold: t,
+        });
+    }
+
+    if json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        let doc = format!(
+            "{{\n  \"bench\": \"summary\",\n  \"scale\": {},\n  \"seed\": {},\n  \"joins\": [\n{}\n  ]\n}}\n",
+            opts.scale,
+            opts.seed,
+            body.join(",\n")
+        );
+        let path = "BENCH_summary.json";
+        std::fs::write(path, doc).expect("write JSON output");
+        println!("\nwrote {path}");
     }
 }

@@ -5,9 +5,46 @@
 //! guarantee, checked at workload scale rather than per-pair.
 
 use hwa_core::engine::{EngineConfig, GeometryTest, SpatialEngine};
-use hwa_core::HwConfig;
+use hwa_core::{CostBreakdown, DeviceKind, HwConfig};
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
 use spatial_raster::OverlapStrategy;
+
+/// Asserts a reference-device run and a tiled-device run of the same query
+/// agree on results and on every hardware counter (the whole `HwStats`
+/// plus test/batch tallies and the modeled GPU time derived from them).
+fn check_device_pair<R: PartialEq>(
+    label: &str,
+    reference: (R, CostBreakdown),
+    tiled: (R, CostBreakdown),
+    failures: &mut usize,
+) {
+    if reference.0 != tiled.0 {
+        println!("FAIL device cross-check {label}: results differ");
+        *failures += 1;
+    }
+    let (r, t) = (&reference.1.tests, &tiled.1.tests);
+    if r.hw != t.hw
+        || r.hw_tests != t.hw_tests
+        || r.hw_batches != t.hw_batches
+        || r.width_limit_fallbacks != t.width_limit_fallbacks
+        || r.gpu_modeled != t.gpu_modeled
+    {
+        println!(
+            "FAIL device cross-check {label}: counters diverged\n  \
+             reference: {:?} tests {} batches {} modeled {:?}\n  \
+             tiled:     {:?} tests {} batches {} modeled {:?}",
+            r.hw,
+            r.hw_tests,
+            r.hw_batches,
+            r.gpu_modeled,
+            t.hw,
+            t.hw_tests,
+            t.hw_batches,
+            t.gpu_modeled
+        );
+        *failures += 1;
+    }
+}
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -203,6 +240,63 @@ fn main() {
             }
         }
         println!("staged within-distance join verified at BaseD");
+    }
+
+    // Device cross-check: the tiled executor must be indistinguishable
+    // from the reference replay — identical result sets AND identical
+    // values in every hardware counter — on all four pipelines, both
+    // per-pair and batched+threaded (the threaded path forks per-worker
+    // devices, exercising fork's device-kind preservation).
+    {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |device, batch: usize, threads: usize| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                hw_batch: batch,
+                refine_threads: threads,
+                use_object_filters: true,
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        for (batch, threads) in [(1usize, 1usize), (64, 2)] {
+            let mut r = make(DeviceKind::Reference, batch, threads);
+            let mut t = make(
+                DeviceKind::Tiled {
+                    tiles: 5,
+                    threads: 3,
+                },
+                batch,
+                threads,
+            );
+            let label = format!("batch {batch} threads {threads}");
+            check_device_pair(
+                &format!("intersection_selection {label}"),
+                r.intersection_selection(&w.water, q),
+                t.intersection_selection(&w.water, q),
+                &mut failures,
+            );
+            check_device_pair(
+                &format!("containment_selection {label}"),
+                r.containment_selection(&w.water, q),
+                t.containment_selection(&w.water, q),
+                &mut failures,
+            );
+            check_device_pair(
+                &format!("intersection_join {label}"),
+                r.intersection_join(&w.landc, &w.lando),
+                t.intersection_join(&w.landc, &w.lando),
+                &mut failures,
+            );
+            check_device_pair(
+                &format!("within_distance_join {label}"),
+                r.within_distance_join(&w.landc, &w.lando, d),
+                t.within_distance_join(&w.landc, &w.lando, d),
+                &mut failures,
+            );
+        }
+        println!("device cross-check verified: tiled ≡ reference on all pipelines");
     }
 
     if failures == 0 {

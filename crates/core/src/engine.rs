@@ -20,6 +20,7 @@ use crate::pipeline::{
 use crate::stats::CostBreakdown;
 use spatial_geom::Polygon;
 use spatial_index::{join_intersecting, join_within_distance, RTree};
+use spatial_raster::DeviceKind;
 
 /// How the geometry-comparison stage decides candidate pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +60,12 @@ pub struct EngineConfig {
     /// threads partition the surviving candidates deterministically —
     /// results and merged counters are bit-identical to sequential.
     pub refine_threads: usize,
+    /// Which raster device executes the recorded command lists:
+    /// [`DeviceKind::Reference`] (the default, single-threaded replay) or
+    /// [`DeviceKind::Tiled`] (banded multi-threaded execution). Results,
+    /// readbacks and hardware counters are bit-identical across devices —
+    /// the knob only moves wall-clock time.
+    pub device: DeviceKind,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +77,7 @@ impl Default for EngineConfig {
             use_object_filters: false,
             hw_batch: 1,
             refine_threads: 1,
+            device: DeviceKind::Reference,
         }
     }
 }
@@ -137,10 +145,12 @@ impl PreparedDataset {
 fn build_backend(config: &EngineConfig) -> Box<dyn RefinementBackend> {
     match config.geometry_test {
         GeometryTest::Software => Box::new(SoftwareBackend),
-        GeometryTest::Hardware => Box::new(HardwareBackend::new(config.hw)),
-        GeometryTest::Hybrid { sw_threshold } => {
-            Box::new(HybridBackend::new(config.hw, sw_threshold))
-        }
+        GeometryTest::Hardware => Box::new(HardwareBackend::with_device(config.hw, config.device)),
+        GeometryTest::Hybrid { sw_threshold } => Box::new(HybridBackend::with_device(
+            config.hw,
+            sw_threshold,
+            config.device,
+        )),
     }
 }
 

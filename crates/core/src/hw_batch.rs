@@ -6,10 +6,11 @@
 //! window (§4.3). These methods run the *software* prologue of each test
 //! unchanged (MBR check, point-in-polygon, `sw_threshold` routing, the
 //! Equation 1 width limit), collect every pair that actually needs the
-//! hardware filter, and render them all as cells of one
-//! [`AtlasContext`] batch: two draw calls, one reduction scan, one
-//! command-buffer flush for the whole group. Pairs the batch cannot
-//! reject run the same software step 3 as the per-pair path.
+//! hardware filter, and record them all as cells of one atlas command
+//! list (`spatial_raster::atlas::record_batch`) — batching is just a
+//! longer command list: two draw calls, one reduction scan, one
+//! submission to the tester's device for the whole group. Pairs the batch
+//! cannot reject run the same software step 3 as the per-pair path.
 //!
 //! Results are bit-identical to the per-pair methods: the atlas rasterizes
 //! each cell through the same cell-local window the per-pair test uses, so
@@ -272,13 +273,12 @@ impl HwTester {
                     }
                 })
                 .collect();
-            let atlas = self.atlas_for();
-            let before = atlas.stats();
-            let flags = atlas.run_batch(&jobs, width, width);
-            let delta = atlas.stats().delta_since(&before);
+            let (list, slot) = spatial_raster::atlas::record_batch(&jobs, width, width);
+            let exec = self.execute_list(&list);
+            let flags: Vec<bool> = exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect();
             stats.hw_batches += 1;
-            stats.hw.add(&delta);
-            stats.gpu_modeled += model.time(&delta);
+            stats.hw.add(&exec.stats);
+            stats.gpu_modeled += model.time(&exec.stats);
             stats.sim_wall += wall.elapsed();
 
             for (&&(k, region, _), overlap) in group.iter().zip(flags) {

@@ -22,12 +22,73 @@ use crate::stats::TestStats;
 use spatial_geom::chains::frontier_clipped;
 use spatial_geom::distance::edges_within_pairwise;
 use spatial_geom::pip::point_in_polygon;
-use spatial_geom::{Point, Polygon, Segment};
+use spatial_geom::{Polygon, Rect};
 use spatial_raster::framebuffer::HALF_GRAY;
-use spatial_raster::{OverlapStrategy, Viewport, WriteMode, MAX_AA_LINE_WIDTH};
+use spatial_raster::{
+    CommandList, OverlapStrategy, Recorder, Viewport, WriteMode, MAX_AA_LINE_WIDTH,
+};
 use std::time::Instant;
 
 impl HwTester {
+    /// Records the §3.1 expanded-boundary choreography for one pair: both
+    /// boundaries rendered as `width`-pixel anti-aliased lines plus
+    /// equally wide smooth points (the round vertex caps), under the
+    /// uniform-scale projection Equation (1) presumes. Returns the command
+    /// list and the verdict readback slot. `width` must already satisfy
+    /// the `MAX_AA_LINE_WIDTH` limit — the caller routes wider tests to
+    /// software before recording anything.
+    pub fn record_distance_test(
+        region: Rect,
+        resolution: usize,
+        strategy: OverlapStrategy,
+        width: f64,
+        first: &Polygon,
+        second: &Polygon,
+    ) -> (CommandList, usize) {
+        let mut rec = Recorder::new(resolution, resolution);
+        rec.set_viewport(Viewport::uniform(region, resolution, resolution))
+            .expect("window dimensions match the viewport resolution");
+        rec.set_color(HALF_GRAY);
+        rec.set_line_width(width)
+            .expect("caller pre-validates the Equation (1) width");
+        rec.set_point_size(width)
+            .expect("caller pre-validates the Equation (1) width");
+        let draw_expanded = |rec: &mut Recorder, poly: &Polygon| {
+            rec.draw_segments(poly.edges())
+                .expect("viewport recorded above");
+            rec.draw_points(poly.vertices().iter().copied())
+                .expect("viewport recorded above");
+        };
+        let slot = match strategy {
+            OverlapStrategy::Accumulation | OverlapStrategy::Blending => {
+                // An expanded boundary needs two primitive batches (wide
+                // lines + wide points) per object, and additive blending
+                // would double-count where the two batches overlap — so the
+                // Blending strategy also uses the accumulation choreography
+                // here, exactly as the paper's implementation does.
+                rec.set_write_mode(WriteMode::Overwrite);
+                rec.clear_color();
+                rec.clear_accum();
+                draw_expanded(&mut rec, first);
+                rec.accum_load();
+                rec.clear_color();
+                draw_expanded(&mut rec, second);
+                rec.accum_add();
+                rec.accum_return();
+                rec.minmax()
+            }
+            OverlapStrategy::Stencil => {
+                rec.clear_stencil();
+                rec.set_write_mode(WriteMode::StencilReplace(1));
+                draw_expanded(&mut rec, first);
+                rec.set_write_mode(WriteMode::StencilIncrIfEq(1));
+                draw_expanded(&mut rec, second);
+                rec.stencil_max()
+            }
+        };
+        (rec.finish(), slot)
+    }
+
     /// Hardware-assisted within-distance test: true iff `dist(P, Q) ≤ d`.
     pub fn within_distance(
         &mut self,
@@ -89,62 +150,21 @@ impl HwTester {
         // primitives outside the projected window at vertex rate (§2.1).
         // Expanded boundaries that never reach the window render nothing,
         // so far-apart pairs are rejected by the hardware itself — the
-        // software never scans their edge lists. The collects below stand
-        // in for the driver streaming the vertex arrays and are charged
-        // through the per-primitive model cost (wall-excluded).
+        // software never scans their edge lists. Recording the command
+        // list stands in for the driver streaming the vertex arrays and is
+        // charged through the per-primitive model cost (wall-excluded).
         stats.hw_tests += 1;
         let strategy = self.config().strategy;
         let model = self.cost_model();
         let wall = Instant::now();
-        let collect = |poly: &Polygon| -> (Vec<Segment>, Vec<Point>) {
-            (poly.edges().collect(), poly.vertices().to_vec())
-        };
-        let (ep, vp_pts) = collect(small);
-        let (eq, vq_pts) = collect(large);
-        let gl = self.context_for(vp);
-        let before = gl.stats();
-        gl.enable_antialias(true);
-        gl.set_color(HALF_GRAY);
-        gl.set_line_width(width);
-        gl.set_point_size(width);
-
-        let draw_expanded =
-            |gl: &mut spatial_raster::GlContext, segs: &[Segment], pts: &[Point]| {
-                gl.draw_segments(segs);
-                gl.draw_points(pts);
-            };
-
+        let (list, slot) = Self::record_distance_test(region, res, strategy, width, small, large);
+        let exec = self.execute_list(&list);
         let overlap = match strategy {
-            OverlapStrategy::Accumulation | OverlapStrategy::Blending => {
-                // An expanded boundary needs two primitive batches (wide
-                // lines + wide points) per object, and additive blending
-                // would double-count where the two batches overlap — so the
-                // Blending strategy also uses the accumulation choreography
-                // here, exactly as the paper's implementation does.
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.clear_color_buffer();
-                gl.clear_accum_buffer();
-                draw_expanded(gl, &ep, &vp_pts);
-                gl.accum_load();
-                gl.clear_color_buffer();
-                draw_expanded(gl, &eq, &vq_pts);
-                gl.accum_add();
-                gl.accum_return();
-                gl.max_value() >= 1.0
-            }
-            OverlapStrategy::Stencil => {
-                gl.clear_stencil_buffer();
-                gl.set_write_mode(WriteMode::StencilReplace(1));
-                draw_expanded(gl, &ep, &vp_pts);
-                gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
-                draw_expanded(gl, &eq, &vq_pts);
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.stencil_max() >= 2
-            }
+            OverlapStrategy::Stencil => exec.stencil_value(slot) >= 2,
+            OverlapStrategy::Accumulation | OverlapStrategy::Blending => exec.max_red(slot) >= 1.0,
         };
-        let delta = gl.stats().delta_since(&before);
-        stats.hw.add(&delta);
-        stats.gpu_modeled += model.time(&delta);
+        stats.hw.add(&exec.stats);
+        stats.gpu_modeled += model.time(&exec.stats);
         stats.sim_wall += wall.elapsed();
 
         if !overlap {

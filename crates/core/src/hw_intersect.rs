@@ -33,26 +33,38 @@ use spatial_geom::pip::point_in_polygon;
 use spatial_geom::sweep::tree_sweep_intersects_stats;
 use spatial_geom::sweep::SweepStats;
 use spatial_geom::{Polygon, Rect, Segment};
+use spatial_raster::aa_line::DIAGONAL_WIDTH;
 use spatial_raster::framebuffer::HALF_GRAY;
-use spatial_raster::{AtlasContext, GlContext, HwCostModel, OverlapStrategy, Viewport, WriteMode};
+use spatial_raster::{
+    CommandList, DeviceKind, Execution, HwCostModel, OverlapStrategy, RasterDevice, Recorder,
+    Viewport, WriteMode,
+};
 use std::time::Instant;
 
-/// A reusable hardware tester: owns the rendering context so repeated
-/// tests (thousands per join) never reallocate the window.
+/// A reusable hardware tester: records each test as a command list and
+/// owns the executing [`RasterDevice`], so repeated tests (thousands per
+/// join) reuse one device window allocation.
 #[derive(Debug)]
 pub struct HwTester {
     cfg: HwConfig,
-    gl: Option<GlContext>,
-    atlas: Option<AtlasContext>,
+    device_kind: DeviceKind,
+    device: Box<dyn RasterDevice>,
     model: HwCostModel,
 }
 
 impl HwTester {
     pub fn new(cfg: HwConfig) -> Self {
+        Self::with_device(cfg, DeviceKind::default())
+    }
+
+    /// A tester executing on the selected device backend. Every backend
+    /// returns bit-identical results and counters (the device contract);
+    /// the choice only moves wall-clock time.
+    pub fn with_device(cfg: HwConfig, device_kind: DeviceKind) -> Self {
         HwTester {
             cfg,
-            gl: None,
-            atlas: None,
+            device_kind,
+            device: device_kind.build(),
             model: HwCostModel::default(),
         }
     }
@@ -70,36 +82,74 @@ impl HwTester {
         self.cfg
     }
 
+    /// Which device backend executes this tester's command lists.
+    pub fn device_kind(&self) -> DeviceKind {
+        self.device_kind
+    }
+
     /// Replaces the configuration (the `sw_threshold` sweep of Figure 13
     /// retunes a live tester).
     pub fn set_config(&mut self, cfg: HwConfig) {
         self.cfg = cfg;
     }
 
-    /// Borrows (creating on first use) the context targeted at `region`.
-    pub(crate) fn context_for(&mut self, viewport: Viewport) -> &mut GlContext {
-        match self.gl {
-            Some(ref mut gl) => {
-                gl.retarget(viewport);
-                gl
-            }
-            None => self.gl.get_or_insert_with(|| GlContext::new(viewport)),
-        }
+    /// Submits one recorded command list to the owned device.
+    pub(crate) fn execute_list(&mut self, list: &CommandList) -> Execution {
+        self.device.execute(list)
     }
 
-    /// Borrows (creating on first use) the batched-submission context at
-    /// the configured cell resolution. The atlas frame buffer persists
-    /// across batches — cleared, never reallocated, while the resolution
-    /// and batch population stay stable.
-    pub(crate) fn atlas_for(&mut self) -> &mut AtlasContext {
-        let res = self.cfg.resolution;
-        match self.atlas {
-            Some(ref mut atlas) => {
-                atlas.set_cell_resolution(res);
-                atlas
+    /// Records the hardware segment-intersection choreography for one pair
+    /// over `region` at `resolution`×`resolution`, in the given overlap
+    /// strategy. Returns the command list and the readback slot holding
+    /// the overlap verdict (a Minmax slot for accumulation/blending, a
+    /// stencil-max slot for the stencil strategy). Pure function of its
+    /// arguments — golden-stream tests snapshot its serialization.
+    pub fn record_segment_test(
+        region: Rect,
+        resolution: usize,
+        strategy: OverlapStrategy,
+        first: impl IntoIterator<Item = Segment>,
+        second: impl IntoIterator<Item = Segment>,
+    ) -> (CommandList, usize) {
+        let mut rec = Recorder::new(resolution, resolution);
+        rec.set_viewport(Viewport::new(region, resolution, resolution))
+            .expect("window dimensions match the viewport resolution");
+        rec.set_color(HALF_GRAY);
+        rec.set_line_width(DIAGONAL_WIDTH)
+            .expect("DIAGONAL_WIDTH is within the hardware limit");
+        rec.set_point_size(1.0)
+            .expect("unit point size is within the hardware limit");
+        let slot = match strategy {
+            OverlapStrategy::Accumulation => {
+                rec.set_write_mode(WriteMode::Overwrite);
+                rec.clear_color();
+                rec.clear_accum();
+                rec.draw_segments(first).expect("viewport recorded above");
+                rec.accum_load();
+                rec.clear_color();
+                rec.draw_segments(second).expect("viewport recorded above");
+                rec.accum_add();
+                rec.accum_return();
+                rec.minmax()
             }
-            None => self.atlas.get_or_insert_with(|| AtlasContext::new(res)),
-        }
+            OverlapStrategy::Blending => {
+                rec.set_write_mode(WriteMode::Overwrite);
+                rec.clear_color();
+                rec.draw_segments(first).expect("viewport recorded above");
+                rec.set_write_mode(WriteMode::Blend);
+                rec.draw_segments(second).expect("viewport recorded above");
+                rec.minmax()
+            }
+            OverlapStrategy::Stencil => {
+                rec.clear_stencil();
+                rec.set_write_mode(WriteMode::StencilReplace(1));
+                rec.draw_segments(first).expect("viewport recorded above");
+                rec.set_write_mode(WriteMode::StencilIncrIfEq(1));
+                rec.draw_segments(second).expect("viewport recorded above");
+                rec.stencil_max()
+            }
+        };
+        (rec.finish(), slot)
     }
 
     /// Algorithm 3.1. Exact closed intersection test.
@@ -222,61 +272,21 @@ impl HwTester {
         q: &Polygon,
         stats: &mut TestStats,
     ) -> bool {
-        // Everything from here on is the simulated hardware: the edge
-        // Vec-collects stand in for the driver streaming the vertex arrays
-        // (charged via the per-primitive model cost), so the whole section
-        // is wall-excluded and re-charged from the counters.
+        // Everything from here on is the simulated hardware: recording
+        // the command list stands in for the driver building the command
+        // buffer (charged via the per-primitive model cost), so the whole
+        // section is wall-excluded and re-charged from the replay counters.
         let wall = Instant::now();
-        let ep: Vec<Segment> = p.edges().collect();
-        let eq: Vec<Segment> = q.edges().collect();
-        let (ep, eq) = (&ep[..], &eq[..]);
         let res = self.cfg.resolution;
         let strategy = self.cfg.strategy;
-        let model = self.model;
-        let vp = Viewport::new(region, res, res);
-        let gl = self.context_for(vp);
-        let before = gl.stats();
-
-        gl.enable_antialias(true);
-        gl.set_color(HALF_GRAY);
-        gl.set_line_width(spatial_raster::aa_line::DIAGONAL_WIDTH);
-        gl.set_point_size(1.0);
-
+        let (list, slot) = Self::record_segment_test(region, res, strategy, p.edges(), q.edges());
+        let exec = self.execute_list(&list);
         let overlap = match strategy {
-            OverlapStrategy::Accumulation => {
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.clear_color_buffer();
-                gl.clear_accum_buffer();
-                gl.draw_segments(ep);
-                gl.accum_load();
-                gl.clear_color_buffer();
-                gl.draw_segments(eq);
-                gl.accum_add();
-                gl.accum_return();
-                gl.max_value() >= 1.0
-            }
-            OverlapStrategy::Blending => {
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.clear_color_buffer();
-                gl.draw_segments(ep);
-                gl.set_write_mode(WriteMode::Blend);
-                gl.draw_segments(eq);
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.max_value() >= 1.0
-            }
-            OverlapStrategy::Stencil => {
-                gl.clear_stencil_buffer();
-                gl.set_write_mode(WriteMode::StencilReplace(1));
-                gl.draw_segments(ep);
-                gl.set_write_mode(WriteMode::StencilIncrIfEq(1));
-                gl.draw_segments(eq);
-                gl.set_write_mode(WriteMode::Overwrite);
-                gl.stencil_max() >= 2
-            }
+            OverlapStrategy::Stencil => exec.stencil_value(slot) >= 2,
+            OverlapStrategy::Accumulation | OverlapStrategy::Blending => exec.max_red(slot) >= 1.0,
         };
-        let delta = gl.stats().delta_since(&before);
-        stats.hw.add(&delta);
-        stats.gpu_modeled += model.time(&delta);
+        stats.hw.add(&exec.stats);
+        stats.gpu_modeled += self.model.time(&exec.stats);
         stats.sim_wall += wall.elapsed();
         overlap
     }

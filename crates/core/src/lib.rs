@@ -38,9 +38,11 @@ pub use config::HwConfig;
 pub use engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;
+pub use hw_intersect::HwTester;
 pub use nn::{sw_nearest, VoronoiNn};
 pub use pipeline::{
     CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RefinementBackend,
     SoftwareBackend, StagedExecutor,
 };
+pub use spatial_raster::DeviceKind;
 pub use stats::{CostBreakdown, TestStats};

@@ -84,8 +84,15 @@ pub struct HardwareBackend {
 
 impl HardwareBackend {
     pub fn new(hw: HwConfig) -> Self {
+        Self::with_device(hw, spatial_raster::DeviceKind::default())
+    }
+
+    /// A backend whose command lists execute on the selected device (the
+    /// tiled executor turns refinement rendering multi-threaded without
+    /// changing a single result or counter).
+    pub fn with_device(hw: HwConfig, device: spatial_raster::DeviceKind) -> Self {
         HardwareBackend {
-            tester: HwTester::new(hw),
+            tester: HwTester::with_device(hw, device),
         }
     }
 
@@ -118,7 +125,7 @@ impl RefinementBackend for HardwareBackend {
     }
 
     fn fork(&self) -> Box<dyn RefinementBackend> {
-        let mut b = HardwareBackend::new(self.tester.config());
+        let mut b = HardwareBackend::with_device(self.tester.config(), self.tester.device_kind());
         b.tester.set_cost_model(self.tester.cost_model());
         Box::new(b)
     }
@@ -138,8 +145,17 @@ pub struct HybridBackend {
 
 impl HybridBackend {
     pub fn new(hw: HwConfig, sw_threshold: usize) -> Self {
+        Self::with_device(hw, sw_threshold, spatial_raster::DeviceKind::default())
+    }
+
+    /// A hybrid backend executing on the selected device.
+    pub fn with_device(
+        hw: HwConfig,
+        sw_threshold: usize,
+        device: spatial_raster::DeviceKind,
+    ) -> Self {
         HybridBackend {
-            inner: HardwareBackend::new(HwConfig { sw_threshold, ..hw }),
+            inner: HardwareBackend::with_device(HwConfig { sw_threshold, ..hw }, device),
         }
     }
 }
@@ -160,7 +176,11 @@ impl RefinementBackend for HybridBackend {
 
     fn fork(&self) -> Box<dyn RefinementBackend> {
         let hw = self.inner.tester.config();
-        Box::new(HybridBackend::new(hw, hw.sw_threshold))
+        Box::new(HybridBackend::with_device(
+            hw,
+            hw.sw_threshold,
+            self.inner.tester.device_kind(),
+        ))
     }
 }
 

@@ -1,0 +1,111 @@
+//! Golden command-stream snapshots: the recorded choreography for a fixed
+//! scene is part of the crate's contract. A change to the serialized
+//! stream means the hardware submission pattern changed — deliberate
+//! changes regenerate the files with `UPDATE_GOLDEN=1 cargo test -p
+//! hwa-core --test golden`; accidental ones fail here.
+//!
+//! Each test also executes the stream and pins the readback verdict, so a
+//! stream that still serializes identically but rasterizes differently is
+//! caught too.
+
+use hwa_core::HwTester;
+use spatial_geom::{Polygon, Rect};
+use spatial_raster::{DeviceKind, OverlapStrategy};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `got` against the committed golden file, or rewrites the file
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        got, want,
+        "command stream for {name} changed; regenerate with UPDATE_GOLDEN=1 if deliberate"
+    );
+}
+
+/// The fixed scene: two overlapping unit-ish squares in a 16×16 window.
+/// Their boundaries cross, so every strategy's verdict is "overlap".
+fn fixed_pair() -> (Polygon, Polygon, Rect) {
+    let p = Polygon::from_coords(&[(2.0, 2.0), (10.0, 2.0), (10.0, 10.0), (2.0, 10.0)]);
+    let q = Polygon::from_coords(&[(6.0, 6.0), (14.0, 6.0), (14.0, 14.0), (6.0, 14.0)]);
+    let region = p.mbr().intersection(&q.mbr()).expect("MBRs overlap");
+    (p, q, region)
+}
+
+fn check_strategy(strategy: OverlapStrategy, name: &str) {
+    let (p, q, region) = fixed_pair();
+    let (list, slot) = HwTester::record_segment_test(region, 16, strategy, p.edges(), q.edges());
+    assert_golden(name, &list.serialize());
+
+    // Execute on both devices and pin the verdict value itself — the
+    // boundaries cross, so accumulation/blending reach exactly full white
+    // (0.5 + 0.5) and the stencil counts exactly two boundary layers.
+    for device in [
+        DeviceKind::Reference,
+        DeviceKind::Tiled {
+            tiles: 4,
+            threads: 2,
+        },
+    ] {
+        let exec = device.build().execute(&list);
+        match strategy {
+            OverlapStrategy::Stencil => assert_eq!(exec.stencil_value(slot), 2, "{device:?}"),
+            _ => assert_eq!(exec.max_red(slot), 1.0, "{device:?}"),
+        }
+    }
+}
+
+#[test]
+fn accumulation_stream_is_stable() {
+    check_strategy(OverlapStrategy::Accumulation, "segment_accumulation.txt");
+}
+
+#[test]
+fn blending_stream_is_stable() {
+    check_strategy(OverlapStrategy::Blending, "segment_blending.txt");
+}
+
+#[test]
+fn stencil_stream_is_stable() {
+    check_strategy(OverlapStrategy::Stencil, "segment_stencil.txt");
+}
+
+/// The atlas batch stream: two pairs rendered as cells of one list. Pins
+/// the scissor/viewport interleave, the merged draw calls and the single
+/// cell-reduction readback.
+#[test]
+fn atlas_batch_stream_is_stable() {
+    use spatial_raster::atlas::record_batch;
+    use spatial_raster::{AtlasJob, Viewport};
+    let (p, q, region) = fixed_pair();
+    let far = Polygon::from_coords(&[(40.0, 40.0), (44.0, 40.0), (44.0, 44.0), (40.0, 44.0)]);
+    let jobs: Vec<AtlasJob> = [(&p, &q), (&p, &far)]
+        .iter()
+        .map(|&(a, b)| AtlasJob {
+            viewport: Viewport::new(region, 8, 8),
+            first_segments: a.edges().collect(),
+            first_points: Vec::new(),
+            second_segments: b.edges().collect(),
+            second_points: Vec::new(),
+        })
+        .collect();
+    let (list, slot) = record_batch(&jobs, spatial_raster::aa_line::DIAGONAL_WIDTH, 1.0);
+    assert_golden("atlas_batch.txt", &list.serialize());
+
+    let exec = DeviceKind::Reference.build().execute(&list);
+    let flags: Vec<bool> = exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect();
+    assert_eq!(flags, vec![true, false]);
+}

@@ -49,6 +49,27 @@ pub fn rasterize_aa_line(
     stats: &mut HwStats,
     sink: &mut impl FnMut(usize, usize),
 ) {
+    rasterize_aa_line_rows(a, b, w, width, 0, height as i64 - 1, stats, sink)
+}
+
+/// [`rasterize_aa_line`] restricted to scanlines `row_lo..=row_hi`
+/// (inclusive, window coordinates). All per-pixel math stays in *absolute*
+/// window coordinates — the clip only narrows the candidate loop — so a
+/// partition of the window into row bands emits exactly the full window's
+/// fragments, each in exactly one band. The tiled device depends on that
+/// for bit-identical framebuffers and counters.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn rasterize_aa_line_rows(
+    a: Point,
+    b: Point,
+    w: f64,
+    width: usize,
+    row_lo: i64,
+    row_hi: i64,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
     debug_assert!(w > 0.0);
     let dir = match (b - a).normalized() {
         Some(d) => d,
@@ -69,8 +90,8 @@ pub fn rasterize_aa_line(
     }
     let x_lo = (xmin.floor() as i64).max(0);
     let x_hi = (xmax.floor() as i64).min(width as i64 - 1);
-    let y_lo = (ymin.floor() as i64).max(0);
-    let y_hi = (ymax.floor() as i64).min(height as i64 - 1);
+    let y_lo = (ymin.floor() as i64).max(row_lo.max(0));
+    let y_hi = (ymax.floor() as i64).min(row_hi);
     if x_lo > x_hi || y_lo > y_hi {
         return;
     }

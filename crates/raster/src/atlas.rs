@@ -29,9 +29,9 @@
 //! costs. All counters are a pure function of the batch contents, never of
 //! which thread or in which order batches run.
 
-use crate::aa_line::rasterize_aa_line;
-use crate::framebuffer::{FrameBuffer, BLACK, HALF_GRAY};
-use crate::point_raster::rasterize_wide_point;
+use crate::context::PixelRect;
+use crate::device::{CommandList, RasterDevice, Recorder, ReferenceDevice};
+use crate::framebuffer::HALF_GRAY;
 use crate::stats::HwStats;
 use crate::viewport::Viewport;
 use spatial_geom::{Point, Segment};
@@ -52,12 +52,14 @@ pub struct AtlasJob {
     pub second_points: Vec<Point>,
 }
 
-/// A reusable batched-submission context. Owns one frame buffer, grown to
-/// fit the largest batch seen and reused (cleared, not reallocated) across
-/// batches.
+/// A reusable batched-submission context: records each batch as one
+/// command list and executes it on an owned [`ReferenceDevice`], whose
+/// pixel allocation is reused across same-shape batches. Thin sugar over
+/// [`record_batch`] — callers that pick their own executor (e.g. a tiled
+/// device) record the list themselves.
 #[derive(Debug)]
 pub struct AtlasContext {
-    fb: Option<FrameBuffer>,
+    device: ReferenceDevice,
     stats: HwStats,
     cell: usize,
 }
@@ -98,19 +100,17 @@ impl AtlasContext {
     pub fn new(cell_resolution: usize) -> Self {
         assert!(cell_resolution > 0, "cells need at least one pixel");
         AtlasContext {
-            fb: None,
+            device: ReferenceDevice::new(),
             stats: HwStats::default(),
             cell: cell_resolution,
         }
     }
 
-    /// Changes the cell resolution (knob sweeps); the buffer regrows lazily.
+    /// Changes the cell resolution (knob sweeps); the device's buffer
+    /// regrows lazily when the atlas side changes.
     pub fn set_cell_resolution(&mut self, res: usize) {
         assert!(res > 0, "cells need at least one pixel");
-        if res != self.cell {
-            self.cell = res;
-            self.fb = None;
-        }
+        self.cell = res;
     }
 
     #[inline]
@@ -133,7 +133,6 @@ impl AtlasContext {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let layout = Layout::new(self.cell, jobs.len(), line_width.max(point_size));
         for job in jobs {
             assert_eq!(
                 (job.viewport.width(), job.viewport.height()),
@@ -141,60 +140,57 @@ impl AtlasContext {
                 "job viewport must match the atlas cell resolution"
             );
         }
-        let side = layout.side();
-        match self.fb {
-            Some(ref fb) if fb.width() == side && fb.height() == side => {}
-            _ => self.fb = Some(FrameBuffer::new(side, side)),
-        }
-        let fb = self.fb.as_mut().expect("buffer allocated above");
-        let stats = &mut self.stats;
-        stats.batches += 1;
-
-        // Algorithm 3.1 choreography, whole-buffer ops over the atlas.
-        fb.clear_color(BLACK, stats);
-        fb.clear_accum(stats);
-        draw_pass(
-            fb,
-            stats,
-            jobs,
-            &layout,
-            line_width,
-            point_size,
-            Pass::First,
-        );
-        fb.accum_load(stats);
-        fb.clear_color(BLACK, stats);
-        draw_pass(
-            fb,
-            stats,
-            jobs,
-            &layout,
-            line_width,
-            point_size,
-            Pass::Second,
-        );
-        fb.accum_add(stats);
-        fb.accum_return(stats);
-
-        // One scan reduces every cell to its own maximum — the batched
-        // stand-in for per-pair Minmax queries (a histogram/reduction pass
-        // over the full buffer).
-        stats.minmax_queries += 1;
-        stats.pixels_scanned += fb.len();
-        jobs.iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let (ox, oy) = layout.origin(i);
-                let mut max = 0.0f32;
-                for y in oy..oy + layout.cell {
-                    for x in ox..ox + layout.cell {
-                        max = max.max(fb.read_pixel(x, y)[0]);
-                    }
-                }
-                max >= 1.0
-            })
-            .collect()
+        let (list, slot) = record_batch(jobs, line_width, point_size);
+        let exec = self.device.execute(&list);
+        self.stats.add(&exec.stats);
+        exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect()
     }
+}
+
+/// Records one batched accumulation round over `jobs` as a command
+/// stream; returns the list plus the readback slot of its per-cell
+/// reduction (a cell's flag is `max ≥ 1.0`, the "full white found" signal
+/// of Algorithm 3.1). All jobs must share one square cell resolution, and
+/// `line_width`/`point_size` must respect the hardware limits — callers
+/// take the software fallback before batching, exactly like the per-pair
+/// path.
+pub fn record_batch(jobs: &[AtlasJob], line_width: f64, point_size: f64) -> (CommandList, usize) {
+    assert!(!jobs.is_empty(), "cannot record an empty batch");
+    let cell = jobs[0].viewport.width();
+    for job in jobs {
+        assert_eq!(
+            (job.viewport.width(), job.viewport.height()),
+            (cell, cell),
+            "all jobs must share one square cell resolution"
+        );
+    }
+    let layout = Layout::new(cell, jobs.len(), line_width.max(point_size));
+    let side = layout.side();
+    let mut rec = Recorder::new(side, side);
+    rec.begin_batch();
+    rec.set_color(HALF_GRAY);
+    rec.set_line_width(line_width)
+        .expect("caller pre-validates the line width");
+    rec.set_point_size(point_size)
+        .expect("caller pre-validates the point size");
+
+    // Algorithm 3.1 choreography, whole-buffer ops over the atlas.
+    rec.clear_color();
+    rec.clear_accum();
+    record_pass(&mut rec, jobs, &layout, Pass::First);
+    rec.accum_load();
+    rec.clear_color();
+    record_pass(&mut rec, jobs, &layout, Pass::Second);
+    rec.accum_add();
+    rec.accum_return();
+
+    // One scan reduces every cell to its own maximum — the batched
+    // stand-in for per-pair Minmax queries (a histogram/reduction pass
+    // over the full buffer).
+    let slot = rec
+        .cell_max(jobs.iter().enumerate().map(|(i, _)| cell_rect(&layout, i)))
+        .expect("cells lie inside the atlas");
+    (rec.finish(), slot)
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -203,44 +199,39 @@ enum Pass {
     Second,
 }
 
-/// Renders one side of every job in (at most) two draw calls: all segment
-/// lists in one submission, all point lists in another. Each job rasterizes
-/// through its own cell-local window — identical fragments to the per-pair
-/// path — and the sink translates them to the job's cell.
-fn draw_pass(
-    fb: &mut FrameBuffer,
-    stats: &mut HwStats,
-    jobs: &[AtlasJob],
-    layout: &Layout,
-    line_width: f64,
-    point_size: f64,
-    pass: Pass,
-) {
-    let cell = layout.cell;
-    let mut written = 0usize;
+fn cell_rect(layout: &Layout, i: usize) -> PixelRect {
+    let (x, y) = layout.origin(i);
+    PixelRect {
+        x,
+        y,
+        w: layout.cell,
+        h: layout.cell,
+    }
+}
 
-    stats.draw_calls += 1;
+/// Records one side of every job as (at most) two draw calls: all segment
+/// lists in one merged submission, all point lists in another. Each job
+/// renders through its own cell-local window — scissor plus cell-sized
+/// viewport — so its fragments are identical to the per-pair path's.
+fn record_pass(rec: &mut Recorder, jobs: &[AtlasJob], layout: &Layout, pass: Pass) {
     for (i, job) in jobs.iter().enumerate() {
-        let (ox, oy) = layout.origin(i);
+        rec.set_scissor(Some(cell_rect(layout, i)))
+            .expect("cells lie inside the atlas");
+        rec.set_viewport(job.viewport)
+            .expect("job viewport matches the cell");
         let segments = match pass {
             Pass::First => &job.first_segments,
             Pass::Second => &job.second_segments,
         };
-        let mut sink = |x: usize, y: usize| {
-            fb.write_pixel_uncounted(ox + x, oy + y, HALF_GRAY);
-            written += 1;
+        // The first job opens the pass's draw call — even with an empty
+        // segment list, matching the immediate-mode pass that charged one
+        // submission unconditionally; the rest merge into it.
+        let recorded = if i == 0 {
+            rec.draw_segments(segments.iter().copied())
+        } else {
+            rec.extend_draw_segments(segments.iter().copied())
         };
-        for seg in segments {
-            stats.primitives += 1;
-            let a = job.viewport.to_window(seg.a);
-            let b = job.viewport.to_window(seg.b);
-            rasterize_aa_line(a, b, line_width, cell, cell, stats, &mut sink);
-            if a == b {
-                // Degenerate after projection: keep coverage with a point
-                // (same rule as GlContext::draw_segments).
-                rasterize_wide_point(a, line_width, cell, cell, stats, &mut sink);
-            }
-        }
+        recorded.expect("viewport recorded above");
     }
 
     let any_points = jobs.iter().any(|j| match pass {
@@ -248,25 +239,24 @@ fn draw_pass(
         Pass::Second => !j.second_points.is_empty(),
     });
     if any_points {
-        stats.draw_calls += 1;
         for (i, job) in jobs.iter().enumerate() {
-            let (ox, oy) = layout.origin(i);
+            rec.set_scissor(Some(cell_rect(layout, i)))
+                .expect("cells lie inside the atlas");
+            rec.set_viewport(job.viewport)
+                .expect("job viewport matches the cell");
             let points = match pass {
                 Pass::First => &job.first_points,
                 Pass::Second => &job.second_points,
             };
-            let mut sink = |x: usize, y: usize| {
-                fb.write_pixel_uncounted(ox + x, oy + y, HALF_GRAY);
-                written += 1;
+            let recorded = if i == 0 {
+                rec.draw_points(points.iter().copied())
+            } else {
+                rec.extend_draw_points(points.iter().copied())
             };
-            for &p in points {
-                stats.primitives += 1;
-                let wp = job.viewport.to_window(p);
-                rasterize_wide_point(wp, point_size, cell, cell, stats, &mut sink);
-            }
+            recorded.expect("viewport recorded above");
         }
     }
-    stats.pixels_written += written;
+    rec.set_scissor(None).expect("lifting the scissor");
 }
 
 #[cfg(test)]

@@ -52,6 +52,16 @@ pub enum WriteMode {
     StencilIncrIfEq(u8),
 }
 
+/// An axis-aligned pixel rectangle in window coordinates — the scissor
+/// unit and the atlas cell-reduction unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelRect {
+    pub x: usize,
+    pub y: usize,
+    pub w: usize,
+    pub h: usize,
+}
+
 /// A rendering window plus the pipeline state Algorithm 3.1 manipulates.
 #[derive(Debug)]
 pub struct GlContext {
@@ -63,6 +73,7 @@ pub struct GlContext {
     point_size: f64,
     antialias: bool,
     write_mode: WriteMode,
+    scissor: Option<PixelRect>,
 }
 
 impl GlContext {
@@ -77,6 +88,7 @@ impl GlContext {
             point_size: 1.0,
             antialias: true,
             write_mode: WriteMode::Overwrite,
+            scissor: None,
         }
     }
 
@@ -91,6 +103,7 @@ impl GlContext {
             self.fb = FrameBuffer::new(viewport.width(), viewport.height());
         }
         self.viewport = viewport;
+        self.scissor = None;
     }
 
     #[inline]
@@ -146,6 +159,65 @@ impl GlContext {
         self.write_mode = mode;
     }
 
+    /// Restricts rasterization to `r` (or lifts the restriction): draws
+    /// project through the viewport into an `r.w × r.h` window whose
+    /// pixels land at offset `(r.x, r.y)` in the frame buffer — the
+    /// atlas's cell-local rendering. All per-pixel math happens in the
+    /// scissor-local window, so a cell renders bit-identically to a
+    /// standalone window of the same size.
+    pub fn set_scissor(&mut self, r: Option<PixelRect>) {
+        if let Some(r) = r {
+            debug_assert!(r.w > 0 && r.h > 0, "empty scissor");
+            debug_assert!(
+                r.x + r.w <= self.fb.width() && r.y + r.h <= self.fb.height(),
+                "scissor outside the window"
+            );
+        }
+        self.scissor = r;
+    }
+
+    #[inline]
+    pub fn scissor(&self) -> Option<PixelRect> {
+        self.scissor
+    }
+
+    /// Replaces the data→window projection without touching the frame
+    /// buffer: device replay renders into a window whose size (the atlas
+    /// side) can differ from the recorded viewport's (one cell).
+    pub fn set_projection(&mut self, viewport: Viewport) {
+        self.viewport = viewport;
+    }
+
+    /// Marks the start of a batched submission round (the atlas's shared
+    /// fixed cost).
+    pub fn begin_batch(&mut self) {
+        self.stats.batches += 1;
+    }
+
+    /// Restores the context to its just-constructed state — cleared
+    /// planes, default pipeline state — without charging any counter.
+    /// Device replay uses this so execution is a pure function of the
+    /// command list: the list's own recorded clears carry the charges.
+    pub(crate) fn reset_for_replay(&mut self) {
+        self.fb.reset();
+        self.color = crate::framebuffer::HALF_GRAY;
+        self.line_width = crate::aa_line::DIAGONAL_WIDTH;
+        self.point_size = 1.0;
+        self.antialias = true;
+        self.write_mode = WriteMode::Overwrite;
+        self.scissor = None;
+    }
+
+    /// The active rasterization window: scissor-local dimensions plus the
+    /// pixel offset of its origin in the frame buffer.
+    #[inline]
+    fn window(&self) -> (usize, usize, usize, usize) {
+        match self.scissor {
+            Some(r) => (r.w, r.h, r.x, r.y),
+            None => (self.fb.width(), self.fb.height(), 0, 0),
+        }
+    }
+
     // -- clears and accumulation ops ----------------------------------------
 
     pub fn clear_color_buffer(&mut self) {
@@ -182,7 +254,14 @@ impl GlContext {
     /// for end-cap coverage when the line width exceeds one pixel.
     pub fn draw_segments(&mut self, segments: &[Segment]) {
         self.stats.draw_calls += 1;
-        let (w, h) = (self.fb.width(), self.fb.height());
+        self.draw_segments_merged(segments);
+    }
+
+    /// [`GlContext::draw_segments`] without the draw-call charge: the
+    /// device layer coalesces several recorded geometry runs into one
+    /// logical hardware submission (the atlas's per-pass batching).
+    pub fn draw_segments_merged(&mut self, segments: &[Segment]) {
+        let (w, h, ox, oy) = self.window();
         if self.write_mode == WriteMode::Overwrite {
             // Hot path (Algorithm 3.1 renders everything in this mode):
             // fragments go straight into the color buffer, no collection.
@@ -201,7 +280,7 @@ impl GlContext {
                 let a = viewport.to_window(seg.a);
                 let b = viewport.to_window(seg.b);
                 let mut sink = |x: usize, y: usize| {
-                    fb.write_pixel_uncounted(x, y, color);
+                    fb.write_pixel_uncounted(ox + x, oy + y, color);
                     written += 1;
                 };
                 if antialias {
@@ -228,17 +307,17 @@ impl GlContext {
             let b = self.viewport.to_window(seg.b);
             if self.antialias {
                 rasterize_aa_line(a, b, self.line_width, w, h, &mut self.stats, &mut |x, y| {
-                    frags.push((x, y))
+                    frags.push((ox + x, oy + y))
                 });
                 if a == b {
                     // Degenerate after projection: keep coverage with a point.
                     rasterize_wide_point(a, self.line_width, w, h, &mut self.stats, &mut |x, y| {
-                        frags.push((x, y))
+                        frags.push((ox + x, oy + y))
                     });
                 }
             } else {
                 rasterize_line_diamond_exit(a, b, w, h, &mut self.stats, &mut |x, y| {
-                    frags.push((x, y))
+                    frags.push((ox + x, oy + y))
                 });
             }
         }
@@ -254,7 +333,13 @@ impl GlContext {
     /// truncation rule of §2.2.1 applies.
     pub fn draw_points(&mut self, points: &[Point]) {
         self.stats.draw_calls += 1;
-        let (w, h) = (self.fb.width(), self.fb.height());
+        self.draw_points_merged(points);
+    }
+
+    /// [`GlContext::draw_points`] without the draw-call charge (see
+    /// [`GlContext::draw_segments_merged`]).
+    pub fn draw_points_merged(&mut self, points: &[Point]) {
+        let (w, h, ox, oy) = self.window();
         if self.write_mode == WriteMode::Overwrite {
             let GlContext {
                 ref mut fb,
@@ -270,7 +355,7 @@ impl GlContext {
                 stats.primitives += 1;
                 let wp = viewport.to_window(p);
                 let mut sink = |x: usize, y: usize| {
-                    fb.write_pixel_uncounted(x, y, color);
+                    fb.write_pixel_uncounted(ox + x, oy + y, color);
                     written += 1;
                 };
                 if antialias {
@@ -288,10 +373,12 @@ impl GlContext {
             let wp = self.viewport.to_window(p);
             if self.antialias {
                 rasterize_wide_point(wp, self.point_size, w, h, &mut self.stats, &mut |x, y| {
-                    frags.push((x, y))
+                    frags.push((ox + x, oy + y))
                 });
             } else {
-                rasterize_point(wp, w, h, &mut self.stats, &mut |x, y| frags.push((x, y)));
+                rasterize_point(wp, w, h, &mut self.stats, &mut |x, y| {
+                    frags.push((ox + x, oy + y))
+                });
             }
         }
         self.write_fragments(&frags);
@@ -306,9 +393,11 @@ impl GlContext {
             .iter()
             .map(|&p| self.viewport.to_window(p))
             .collect();
-        let (w, h) = (self.fb.width(), self.fb.height());
+        let (w, h, ox, oy) = self.window();
         let mut frags: Vec<(usize, usize)> = Vec::new();
-        rasterize_polygon(&win, w, h, &mut self.stats, &mut |x, y| frags.push((x, y)));
+        rasterize_polygon(&win, w, h, &mut self.stats, &mut |x, y| {
+            frags.push((ox + x, oy + y))
+        });
         self.write_fragments(&frags);
     }
 
@@ -363,6 +452,26 @@ impl GlContext {
     pub fn stencil_max(&mut self) -> u8 {
         self.stats.minmax_queries += 1;
         self.fb.stencil_max(&mut self.stats)
+    }
+
+    /// One whole-buffer scan reducing each of `cells` to the maximum red
+    /// value inside it — the batched stand-in for per-cell Minmax queries
+    /// (a histogram/reduction pass over the full buffer).
+    pub fn cell_max_scan(&mut self, cells: &[PixelRect]) -> Vec<f32> {
+        self.stats.minmax_queries += 1;
+        self.stats.pixels_scanned += self.fb.len();
+        cells
+            .iter()
+            .map(|c| {
+                let mut max = 0.0f32;
+                for y in c.y..c.y + c.h {
+                    for x in c.x..c.x + c.w {
+                        max = max.max(self.fb.read_pixel(x, y)[0]);
+                    }
+                }
+                max
+            })
+            .collect()
     }
 }
 

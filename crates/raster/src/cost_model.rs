@@ -84,6 +84,16 @@ impl HwCostModel {
         }
     }
 
+    /// Modeled GPU time of a recorded command stream: replays `list` on a
+    /// [`crate::device::ReferenceDevice`] and prices the charged counters.
+    /// Because replay is a pure function of the list, so is the returned
+    /// time — the same stream costs the same whichever device (or thread
+    /// count) executed it for real.
+    pub fn replay_cost(&self, list: &crate::device::CommandList) -> Duration {
+        let mut device = crate::device::ReferenceDevice::new();
+        self.time(&crate::device::RasterDevice::execute(&mut device, list).stats)
+    }
+
     /// Modeled GPU time for a batch of counted work.
     pub fn time(&self, stats: &HwStats) -> Duration {
         let ns = self.draw_call_ns * stats.draw_calls as f64
@@ -161,6 +171,39 @@ mod tests {
         let growth = (at32 - at8).as_nanos() as f64;
         // 6 × 960 extra pixels at 0.4 ns each.
         assert!((growth - 6.0 * 960.0 * 0.4).abs() < 100.0, "{growth}");
+    }
+
+    #[test]
+    fn replay_cost_is_a_pure_function_of_the_list() {
+        use crate::device::{DeviceKind, Recorder};
+        use crate::viewport::Viewport;
+        use spatial_geom::{Point, Rect, Segment};
+        let mut r = Recorder::new(8, 8);
+        r.set_viewport(Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8))
+            .unwrap();
+        r.clear_color();
+        r.clear_accum();
+        r.draw_segments([Segment::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0))])
+            .unwrap();
+        r.accum_load();
+        r.clear_color();
+        r.draw_segments([Segment::new(Point::new(0.0, 8.0), Point::new(8.0, 0.0))])
+            .unwrap();
+        r.accum_add();
+        r.accum_return();
+        r.minmax();
+        let list = r.finish();
+        let m = HwCostModel::default();
+        assert_eq!(m.replay_cost(&list), m.replay_cost(&list));
+        // The modeled time is device-independent: a tiled execution's
+        // counters price out to exactly the replay cost.
+        let mut tiled = DeviceKind::Tiled {
+            tiles: 3,
+            threads: 2,
+        }
+        .build();
+        assert_eq!(m.time(&tiled.execute(&list).stats), m.replay_cost(&list));
+        assert!(m.replay_cost(&list) > Duration::ZERO);
     }
 
     #[test]

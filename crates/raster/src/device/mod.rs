@@ -1,0 +1,119 @@
+//! The retained device layer: record → validate → execute → replay-cost.
+//!
+//! Real GPU stacks decouple *recording* work from *executing* it via
+//! command buffers; this module gives the simulated hardware the same
+//! shape. A [`Recorder`] validates and captures one submission into an
+//! immutable [`CommandList`]; any [`RasterDevice`] executes the list and
+//! returns an [`Execution`] — the work counters plus the stream's readback
+//! results. Two executors ship:
+//!
+//! * [`ReferenceDevice`] replays the list onto [`crate::GlContext`]
+//!   verbatim — the semantics anchor, bit-identical to driving the
+//!   context by hand;
+//! * [`TiledDevice`] partitions the window into horizontal bands and
+//!   executes the *same list* on every band across scoped worker threads,
+//!   merging per-band counters and readbacks deterministically. Results,
+//!   framebuffers and [`HwStats`] are bit-identical to the reference
+//!   (property-tested) while wall-clock time drops with the thread count.
+//!
+//! Because execution is a pure function of the list, modeled GPU time is
+//! too: [`crate::HwCostModel::replay_cost`] prices a `CommandList` by
+//! replaying it, independent of which device (or how many threads) ran it
+//! for real.
+
+pub mod command;
+mod reference;
+mod tiled;
+
+pub use crate::context::PixelRect;
+pub use command::{Command, CommandList, RecordError, Recorder};
+pub use reference::ReferenceDevice;
+pub use tiled::TiledDevice;
+
+use crate::framebuffer::{Color, FrameBuffer};
+use crate::stats::HwStats;
+
+/// One readback result, in the order the queries were recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Readback {
+    /// Per-channel (min, max) of the color buffer.
+    Minmax(Color, Color),
+    /// Maximum stencil value.
+    StencilMax(u8),
+    /// Per-cell maximum red values, one per recorded rectangle.
+    CellMax(Vec<f32>),
+}
+
+/// What executing a [`CommandList`] produced: the hardware work charged
+/// and every readback slot, indexed by the slot numbers the [`Recorder`]
+/// handed out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    pub stats: HwStats,
+    pub readbacks: Vec<Readback>,
+}
+
+impl Execution {
+    /// The maximum red value of the Minmax readback in `slot`.
+    pub fn max_red(&self, slot: usize) -> f32 {
+        match &self.readbacks[slot] {
+            Readback::Minmax(_, mx) => mx[0],
+            other => panic!("slot {slot} holds {other:?}, not a minmax readback"),
+        }
+    }
+
+    /// The stencil-maximum readback in `slot`.
+    pub fn stencil_value(&self, slot: usize) -> u8 {
+        match &self.readbacks[slot] {
+            Readback::StencilMax(v) => *v,
+            other => panic!("slot {slot} holds {other:?}, not a stencil readback"),
+        }
+    }
+
+    /// The per-cell maxima of the cell-reduction readback in `slot`.
+    pub fn cell_max(&self, slot: usize) -> &[f32] {
+        match &self.readbacks[slot] {
+            Readback::CellMax(v) => v,
+            other => panic!("slot {slot} holds {other:?}, not a cell readback"),
+        }
+    }
+}
+
+/// An executor for recorded command streams. Implementations must be
+/// semantically interchangeable: same list in, same [`Execution`] out.
+pub trait RasterDevice: Send + std::fmt::Debug {
+    /// A short human-readable backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes `list` from a cleared window and returns the work charged
+    /// plus all readbacks. Counters are a pure function of the list:
+    /// executing the same list twice yields equal [`Execution`]s.
+    fn execute(&mut self, list: &CommandList) -> Execution;
+
+    /// The final framebuffer of the most recent [`RasterDevice::execute`],
+    /// if any — for equivalence tests and debugging dumps, not for the
+    /// query hot path (readback is what Minmax exists to avoid).
+    fn snapshot(&self) -> Option<FrameBuffer>;
+}
+
+/// A buildable device selection — the configuration-level knob `core`'s
+/// engine exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceKind {
+    /// Single-threaded [`ReferenceDevice`] replay.
+    #[default]
+    Reference,
+    /// [`TiledDevice`] with `tiles` horizontal bands executed by up to
+    /// `threads` workers.
+    Tiled { tiles: usize, threads: usize },
+}
+
+impl DeviceKind {
+    /// Instantiates the selected executor.
+    pub fn build(self) -> Box<dyn RasterDevice> {
+        match self {
+            DeviceKind::Reference => Box::new(ReferenceDevice::new()),
+            DeviceKind::Tiled { tiles, threads } => Box::new(TiledDevice::new(tiles, threads)),
+        }
+    }
+}

@@ -20,7 +20,7 @@ pub const HALF_GRAY: Color = [0.5, 0.5, 0.5];
 pub const WHITE: Color = [1.0, 1.0, 1.0];
 
 /// A rectangular array of pixels with all four buffer planes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameBuffer {
     width: usize,
     height: usize,
@@ -229,6 +229,32 @@ impl FrameBuffer {
     pub fn stencil_max(&self, stats: &mut HwStats) -> u8 {
         stats.pixels_scanned += self.len();
         self.stencil.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Resets every plane to its cleared state without charging any
+    /// counter. Device replay uses this to make execution a pure function
+    /// of the command list: the paper's choreography pays for its own
+    /// explicit clears, this one is bookkeeping between replays.
+    pub(crate) fn reset(&mut self) {
+        self.color.fill(BLACK);
+        self.accum.fill(BLACK);
+        self.depth.fill(1.0);
+        self.stencil.fill(0);
+    }
+
+    /// Copies a full-width horizontal band (`src` must span the same width)
+    /// into this buffer starting at row `y_off` — all four planes. The
+    /// tiled device stitches its per-band buffers back into one window
+    /// with this.
+    pub(crate) fn copy_band_from(&mut self, src: &FrameBuffer, y_off: usize) {
+        assert_eq!(src.width, self.width, "band width must match");
+        assert!(y_off + src.height <= self.height, "band exceeds window");
+        let lo = y_off * self.width;
+        let hi = lo + src.height * self.width;
+        self.color[lo..hi].copy_from_slice(&src.color);
+        self.accum[lo..hi].copy_from_slice(&src.accum);
+        self.depth[lo..hi].copy_from_slice(&src.depth);
+        self.stencil[lo..hi].copy_from_slice(&src.stencil);
     }
 
     /// Iterates over `(x, y, color)` for all pixels — used by the PPM dump.

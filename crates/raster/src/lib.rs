@@ -30,6 +30,7 @@ pub mod aa_line;
 pub mod atlas;
 pub mod context;
 pub mod cost_model;
+pub mod device;
 pub mod framebuffer;
 pub mod line_raster;
 pub mod point_raster;
@@ -40,8 +41,14 @@ pub mod viewport;
 pub mod voronoi;
 
 pub use atlas::{AtlasContext, AtlasJob};
-pub use context::{GlContext, OverlapStrategy, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
+pub use context::{
+    GlContext, OverlapStrategy, PixelRect, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE,
+};
 pub use cost_model::HwCostModel;
+pub use device::{
+    Command, CommandList, DeviceKind, Execution, RasterDevice, Readback, RecordError, Recorder,
+    ReferenceDevice, TiledDevice,
+};
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;
 pub use viewport::Viewport;

@@ -40,13 +40,30 @@ pub fn rasterize_wide_point(
     stats: &mut HwStats,
     sink: &mut impl FnMut(usize, usize),
 ) {
+    rasterize_wide_point_rows(p, size, width, 0, height as i64 - 1, stats, sink)
+}
+
+/// [`rasterize_wide_point`] restricted to scanlines `row_lo..=row_hi`
+/// (inclusive). Absolute coordinates, clipped candidate loop — row bands
+/// partition the full window's fragments exactly (see
+/// [`crate::aa_line::rasterize_aa_line_rows`]).
+#[inline]
+pub fn rasterize_wide_point_rows(
+    p: Point,
+    size: f64,
+    width: usize,
+    row_lo: i64,
+    row_hi: i64,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
     debug_assert!(size > 0.0);
     let r = size / 2.0;
     let r2 = r * r;
     let x_lo = ((p.x - r).floor() as i64).max(0);
     let x_hi = ((p.x + r).floor() as i64).min(width as i64 - 1);
-    let y_lo = ((p.y - r).floor() as i64).max(0);
-    let y_hi = ((p.y + r).floor() as i64).min(height as i64 - 1);
+    let y_lo = ((p.y - r).floor() as i64).max(row_lo.max(0));
+    let y_hi = ((p.y + r).floor() as i64).min(row_hi);
     for j in y_lo..=y_hi {
         for i in x_lo..=x_hi {
             stats.fragments_tested += 1;

@@ -21,6 +21,22 @@ pub fn rasterize_polygon(
     stats: &mut HwStats,
     sink: &mut impl FnMut(usize, usize),
 ) {
+    rasterize_polygon_rows(vertices, width, 0, height as i64 - 1, stats, sink)
+}
+
+/// [`rasterize_polygon`] restricted to scanlines `row_lo..=row_hi`
+/// (inclusive). The span/crossing math per scanline is identical to the
+/// full fill — only the scanline loop narrows — so row bands partition the
+/// full window's emitted pixels and fragment counts exactly.
+#[inline]
+pub fn rasterize_polygon_rows(
+    vertices: &[Point],
+    width: usize,
+    row_lo: i64,
+    row_hi: i64,
+    stats: &mut HwStats,
+    sink: &mut impl FnMut(usize, usize),
+) {
     if vertices.len() < 3 {
         return;
     }
@@ -30,8 +46,11 @@ pub fn rasterize_polygon(
         ymin = ymin.min(p.y);
         ymax = ymax.max(p.y);
     }
-    let j_lo = (ymin.floor() as i64).max(0);
-    let j_hi = (ymax.ceil() as i64).min(height as i64 - 1);
+    let j_lo = (ymin.floor() as i64).max(row_lo.max(0));
+    let j_hi = (ymax.ceil() as i64).min(row_hi);
+    if j_lo > j_hi {
+        return;
+    }
     let n = vertices.len();
     let mut xs: Vec<f64> = Vec::with_capacity(8);
 

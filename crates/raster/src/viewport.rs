@@ -14,7 +14,7 @@ use spatial_geom::{Point, Rect};
 /// Window coordinates follow §2.2.1: the window is a grid of unit cells;
 /// pixel `(i, j)` occupies `[i, i+1) × [j, j+1)` and a point rasterizes to
 /// the cell containing its (truncated) window coordinates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Viewport {
     region: Rect,
     width: usize,

@@ -1,0 +1,240 @@
+//! The device contract, property-tested: for randomized recorded scenes,
+//! [`TiledDevice`] — across several tile counts and thread counts — must
+//! produce bit-identical framebuffers, readback results and [`HwStats`]
+//! counters to [`ReferenceDevice`].
+//!
+//! The scenes deliberately exercise every command the recorder can emit:
+//! all three overlap-strategy choreographies (accumulation, blending,
+//! stencil), wide anti-aliased lines and smooth points, filled polygons,
+//! scissored sub-window passes with their own viewports, and all three
+//! readback kinds (Minmax, stencil-max, per-cell reduction).
+
+use proptest::prelude::*;
+use spatial_geom::{Point, Rect, Segment};
+use spatial_raster::framebuffer::HALF_GRAY;
+use spatial_raster::{
+    CommandList, OverlapStrategy, PixelRect, RasterDevice, Recorder, ReferenceDevice, TiledDevice,
+    Viewport,
+};
+use spatial_raster::{FrameBuffer, WriteMode};
+
+#[derive(Debug, Clone)]
+struct Scene {
+    width: usize,
+    height: usize,
+    region: Rect,
+    strategy: OverlapStrategy,
+    line_width: f64,
+    point_size: f64,
+    first_segments: Vec<Segment>,
+    second_segments: Vec<Segment>,
+    points: Vec<Point>,
+    polygon: Vec<Point>,
+    /// A scissored overwrite pass inside this sub-rectangle, if any.
+    scissor: Option<(PixelRect, Vec<Segment>)>,
+}
+
+const EXTENT: f64 = 24.0;
+
+prop_compose! {
+    fn arb_point()(x in -EXTENT..EXTENT, y in -EXTENT..EXTENT) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn arb_segment()(a in arb_point(), b in arb_point()) -> Segment {
+        Segment::new(a, b)
+    }
+}
+
+prop_compose! {
+    fn arb_scene()(
+        width in 3usize..40,
+        height in 3usize..40,
+        rx in -8.0f64..8.0,
+        ry in -8.0f64..8.0,
+        rw in 0.5f64..30.0,
+        rh in 0.5f64..30.0,
+        strategy_pick in 0usize..3,
+        line_width in 1.0f64..8.0,
+        point_size in 1.0f64..8.0,
+        first_segments in prop::collection::vec(arb_segment(), 0..10),
+        second_segments in prop::collection::vec(arb_segment(), 0..10),
+        points in prop::collection::vec(arb_point(), 0..6),
+        polygon in prop::collection::vec(arb_point(), 3..7),
+        with_scissor in 0usize..2,
+        scissor_segments in prop::collection::vec(arb_segment(), 1..5),
+    ) -> Scene {
+        let strategy = match strategy_pick {
+            0 => OverlapStrategy::Accumulation,
+            1 => OverlapStrategy::Blending,
+            _ => OverlapStrategy::Stencil,
+        };
+        // A scissor rectangle in the lower-left quadrant — always
+        // non-empty and in bounds for any window ≥ 3×3.
+        let scissor = (with_scissor == 1).then(|| {
+            (
+                PixelRect {
+                    x: 1,
+                    y: 1,
+                    w: (width / 2).max(1),
+                    h: (height / 2).max(1),
+                },
+                scissor_segments.clone(),
+            )
+        });
+        Scene {
+            width,
+            height,
+            region: Rect::new(rx, ry, rx + rw, ry + rh),
+            strategy,
+            line_width,
+            point_size,
+            first_segments,
+            second_segments,
+            points,
+            polygon,
+            scissor,
+        }
+    }
+}
+
+/// Records the full-choreography command list for a scene.
+fn record(scene: &Scene) -> CommandList {
+    let mut rec = Recorder::new(scene.width, scene.height);
+    rec.set_viewport(Viewport::new(scene.region, scene.width, scene.height))
+        .unwrap();
+    rec.set_color(HALF_GRAY);
+    rec.set_line_width(scene.line_width).unwrap();
+    rec.set_point_size(scene.point_size).unwrap();
+    match scene.strategy {
+        OverlapStrategy::Accumulation => {
+            rec.set_write_mode(WriteMode::Overwrite);
+            rec.clear_color();
+            rec.clear_accum();
+            rec.draw_segments(scene.first_segments.iter().copied())
+                .unwrap();
+            rec.draw_points(scene.points.iter().copied()).unwrap();
+            rec.fill_polygon(scene.polygon.iter().copied()).unwrap();
+            rec.accum_load();
+            rec.clear_color();
+            rec.draw_segments(scene.second_segments.iter().copied())
+                .unwrap();
+            rec.accum_add();
+            rec.accum_return();
+            rec.minmax();
+        }
+        OverlapStrategy::Blending => {
+            rec.set_write_mode(WriteMode::Overwrite);
+            rec.clear_color();
+            rec.draw_segments(scene.first_segments.iter().copied())
+                .unwrap();
+            rec.set_write_mode(WriteMode::Blend);
+            rec.draw_segments(scene.second_segments.iter().copied())
+                .unwrap();
+            rec.draw_points(scene.points.iter().copied()).unwrap();
+            rec.set_write_mode(WriteMode::Overwrite);
+            rec.minmax();
+        }
+        OverlapStrategy::Stencil => {
+            rec.clear_stencil();
+            rec.set_write_mode(WriteMode::StencilReplace(1));
+            rec.draw_segments(scene.first_segments.iter().copied())
+                .unwrap();
+            rec.fill_polygon(scene.polygon.iter().copied()).unwrap();
+            rec.set_write_mode(WriteMode::StencilIncrIfEq(1));
+            rec.draw_segments(scene.second_segments.iter().copied())
+                .unwrap();
+            rec.draw_points(scene.points.iter().copied()).unwrap();
+            rec.set_write_mode(WriteMode::Overwrite);
+            rec.stencil_max();
+        }
+    }
+    // A scissored tail pass: cell-local viewport, merged draw extension,
+    // and the batched per-cell reduction readback.
+    if let Some((cell, segs)) = &scene.scissor {
+        rec.set_scissor(Some(*cell)).unwrap();
+        rec.set_viewport(Viewport::new(scene.region, cell.w, cell.h))
+            .unwrap();
+        rec.draw_segments(segs.iter().copied()).unwrap();
+        rec.extend_draw_segments(segs.iter().rev().copied())
+            .unwrap();
+        rec.set_scissor(None).unwrap();
+        rec.cell_max([
+            *cell,
+            PixelRect {
+                x: 0,
+                y: 0,
+                w: scene.width,
+                h: scene.height,
+            },
+        ])
+        .unwrap();
+    }
+    rec.finish()
+}
+
+fn reference_run(list: &CommandList) -> (spatial_raster::Execution, FrameBuffer) {
+    let mut reference = ReferenceDevice::new();
+    let exec = reference.execute(list);
+    let fb = reference.snapshot().expect("executed at least once");
+    (exec, fb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole invariant: every tile/thread configuration is
+    /// bit-identical to the reference replay — stats, readbacks, pixels.
+    #[test]
+    fn tiled_execution_is_bit_identical_to_reference(scene in arb_scene()) {
+        let list = record(&scene);
+        let (ref_exec, ref_fb) = reference_run(&list);
+        for tiles in [2usize, 5] {
+            for threads in [1usize, 2, 4] {
+                let mut tiled = TiledDevice::new(tiles, threads);
+                let exec = tiled.execute(&list);
+                prop_assert_eq!(
+                    &exec.stats, &ref_exec.stats,
+                    "stats diverged at tiles={} threads={}", tiles, threads
+                );
+                prop_assert_eq!(
+                    &exec.readbacks, &ref_exec.readbacks,
+                    "readbacks diverged at tiles={} threads={}", tiles, threads
+                );
+                let fb = tiled.snapshot().expect("executed at least once");
+                prop_assert!(
+                    fb == ref_fb,
+                    "framebuffer diverged at tiles={} threads={}", tiles, threads
+                );
+            }
+        }
+    }
+
+    /// Executing the same list twice on the same device is idempotent:
+    /// counters are a pure function of the list, not of device history.
+    #[test]
+    fn re_execution_is_pure(scene in arb_scene()) {
+        let list = record(&scene);
+        let mut dev = TiledDevice::new(3, 2);
+        let first = dev.execute(&list);
+        let second = dev.execute(&list);
+        prop_assert_eq!(first, second);
+    }
+
+    /// More tiles than rows, one tile, or one thread: degenerate shapes
+    /// still match the reference exactly.
+    #[test]
+    fn degenerate_tile_configs_match(scene in arb_scene()) {
+        let list = record(&scene);
+        let (ref_exec, ref_fb) = reference_run(&list);
+        for (tiles, threads) in [(1usize, 1usize), (64, 2), (scene.height + 3, 8)] {
+            let mut tiled = TiledDevice::new(tiles, threads);
+            let exec = tiled.execute(&list);
+            prop_assert_eq!(&exec.stats, &ref_exec.stats);
+            prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
+            prop_assert!(tiled.snapshot().expect("ran") == ref_fb);
+        }
+    }
+}

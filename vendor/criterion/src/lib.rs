@@ -48,12 +48,19 @@ pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    /// `--test` smoke mode: run the routine once, skip measurement.
+    test_mode: bool,
     /// (mean, median, min) nanoseconds per iteration, filled by `iter`.
     result: Option<(f64, f64, f64)>,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = None;
+            return;
+        }
         // Warm-up: also estimates iterations per batch so each timed
         // sample is long enough for the clock to resolve.
         let warm_start = Instant::now();
@@ -155,9 +162,14 @@ impl BenchmarkGroup<'_> {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
             result: None,
         };
         f(&mut bencher);
+        if bencher.test_mode {
+            println!("{label:<48} (test run: ok)");
+            return;
+        }
         match bencher.result {
             Some((mean, median, min)) => println!(
                 "{label:<48} time: [mean {:>10}  median {:>10}  fastest {:>10}]",
@@ -183,12 +195,17 @@ pub enum Throughput {
 #[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
+    /// `cargo bench -- --test`: run each benchmark once with no
+    /// measurement — a smoke check that the benches still execute.
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Accepts a substring filter from argv, mirroring `cargo bench -- <filter>`.
+    /// Accepts a substring filter and the `--test` smoke flag from argv,
+    /// mirroring `cargo bench -- [--test] <filter>`.
     pub fn configure_from_args(mut self) -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
+        self.test_mode = args.iter().any(|a| a == "--test");
         self.filter = args
             .into_iter()
             .find(|a| !a.starts_with('-') && a != "--bench");
