@@ -1,9 +1,15 @@
 //! Criterion microbenchmark for the retained device layer: one
-//! atlas-scale command list executed by the single-threaded reference
-//! replay vs the tiled multi-threaded executor. The acceptance figure for
-//! the device layer is this wall-clock gap — results, readbacks and
-//! counters are bit-identical by contract (property-tested in
-//! `spatial-raster`), so the only thing left to measure is time.
+//! atlas-scale command list executed by every backend — single-threaded
+//! reference replay, tiled multi-threaded, SIMD, and SIMD-inside-tiled.
+//! The acceptance figure for the device layer is this wall-clock gap —
+//! results, readbacks and counters are bit-identical by contract
+//! (property-tested in `spatial-raster`), so the only thing left to
+//! measure is time.
+//!
+//! Each Criterion id carries the backend name as the function and the
+//! `tiles=…,threads=…` configuration as the parameter (e.g.
+//! `device_execute/tiled/tiles=8,threads=4`), so `summary --json` rows
+//! stay unambiguous when the same backend appears at several configs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -45,37 +51,58 @@ fn bench_devices(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
-    // `tiled_8x1` isolates the banding win itself (L2-resident bands
-    // across the list's full-window clear/accum/scan passes, scissored
-    // draws skipped per band); the threaded configs add parallel speedup
-    // on multi-core hosts.
+    // `tiled` at `threads=1` isolates the banding win itself (L2-resident
+    // bands across the list's full-window clear/accum/scan passes,
+    // scissored draws skipped per band); the threaded configs add parallel
+    // speedup on multi-core hosts; `simd` isolates the lane-parallel
+    // kernel win; `tiled+simd` stacks all three.
     let kinds = [
-        ("reference", DeviceKind::Reference),
+        ("reference", "tiles=1,threads=1", DeviceKind::Reference),
+        ("simd", "tiles=1,threads=1", DeviceKind::Simd),
         (
-            "tiled_8x1",
+            "tiled",
+            "tiles=8,threads=1",
             DeviceKind::Tiled {
                 tiles: 8,
                 threads: 1,
             },
         ),
         (
-            "tiled_8x4",
+            "tiled",
+            "tiles=8,threads=4",
             DeviceKind::Tiled {
                 tiles: 8,
                 threads: 4,
             },
         ),
         (
-            "tiled_16x8",
+            "tiled",
+            "tiles=16,threads=8",
             DeviceKind::Tiled {
                 tiles: 16,
                 threads: 8,
             },
         ),
+        (
+            "tiled+simd",
+            "tiles=8,threads=1",
+            DeviceKind::TiledSimd {
+                tiles: 8,
+                threads: 1,
+            },
+        ),
+        (
+            "tiled+simd",
+            "tiles=8,threads=4",
+            DeviceKind::TiledSimd {
+                tiles: 8,
+                threads: 4,
+            },
+        ),
     ];
-    for (name, kind) in kinds {
+    for (name, config, kind) in kinds {
         let mut device = kind.build();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &list, |b, list| {
+        group.bench_with_input(BenchmarkId::new(name, config), &list, |b, list| {
             b.iter(|| {
                 let exec = device.execute(black_box(list));
                 (exec.stats.fragments_tested, exec.readbacks.len())

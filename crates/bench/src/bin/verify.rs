@@ -9,9 +9,10 @@ use hwa_core::{CostBreakdown, DeviceKind, HwConfig};
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
 use spatial_raster::OverlapStrategy;
 
-/// Asserts a reference-device run and a tiled-device run of the same query
-/// agree on results and on every hardware counter (the whole `HwStats`
-/// plus test/batch tallies and the modeled GPU time derived from them).
+/// Asserts a reference-device run and an alternate-device run (tiled,
+/// SIMD, or both) of the same query agree on results and on every hardware
+/// counter (the whole `HwStats` plus test/batch tallies and the modeled
+/// GPU time derived from them).
 fn check_device_pair<R: PartialEq>(
     label: &str,
     reference: (R, CostBreakdown),
@@ -242,11 +243,12 @@ fn main() {
         println!("staged within-distance join verified at BaseD");
     }
 
-    // Device cross-check: the tiled executor must be indistinguishable
-    // from the reference replay — identical result sets AND identical
-    // values in every hardware counter — on all four pipelines, both
-    // per-pair and batched+threaded (the threaded path forks per-worker
-    // devices, exercising fork's device-kind preservation).
+    // Device cross-check: every alternative executor — tiled, SIMD, and
+    // SIMD-inside-tiled-bands — must be indistinguishable from the
+    // reference replay: identical result sets AND identical values in
+    // every hardware counter, on all four pipelines, both per-pair and
+    // batched+threaded (the threaded path forks per-worker devices,
+    // exercising fork's device-kind preservation).
     {
         let hw = HwConfig::at_resolution(8).with_threshold(0);
         let make = |device, batch: usize, threads: usize| {
@@ -260,43 +262,55 @@ fn main() {
         };
         let q = &w.states50.polygons[0];
         let d = w.base_d_landc_lando;
-        for (batch, threads) in [(1usize, 1usize), (64, 2)] {
-            let mut r = make(DeviceKind::Reference, batch, threads);
-            let mut t = make(
+        let alternates = [
+            (
+                "tiled",
                 DeviceKind::Tiled {
                     tiles: 5,
                     threads: 3,
                 },
-                batch,
-                threads,
-            );
-            let label = format!("batch {batch} threads {threads}");
-            check_device_pair(
-                &format!("intersection_selection {label}"),
-                r.intersection_selection(&w.water, q),
-                t.intersection_selection(&w.water, q),
-                &mut failures,
-            );
-            check_device_pair(
-                &format!("containment_selection {label}"),
-                r.containment_selection(&w.water, q),
-                t.containment_selection(&w.water, q),
-                &mut failures,
-            );
-            check_device_pair(
-                &format!("intersection_join {label}"),
-                r.intersection_join(&w.landc, &w.lando),
-                t.intersection_join(&w.landc, &w.lando),
-                &mut failures,
-            );
-            check_device_pair(
-                &format!("within_distance_join {label}"),
-                r.within_distance_join(&w.landc, &w.lando, d),
-                t.within_distance_join(&w.landc, &w.lando, d),
-                &mut failures,
-            );
+            ),
+            ("simd", DeviceKind::Simd),
+            (
+                "tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                },
+            ),
+        ];
+        for (batch, threads) in [(1usize, 1usize), (64, 2)] {
+            for (dev_name, device) in alternates {
+                let mut r = make(DeviceKind::Reference, batch, threads);
+                let mut t = make(device, batch, threads);
+                let label = format!("{dev_name} batch {batch} threads {threads}");
+                check_device_pair(
+                    &format!("intersection_selection {label}"),
+                    r.intersection_selection(&w.water, q),
+                    t.intersection_selection(&w.water, q),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("containment_selection {label}"),
+                    r.containment_selection(&w.water, q),
+                    t.containment_selection(&w.water, q),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("intersection_join {label}"),
+                    r.intersection_join(&w.landc, &w.lando),
+                    t.intersection_join(&w.landc, &w.lando),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("within_distance_join {label}"),
+                    r.within_distance_join(&w.landc, &w.lando, d),
+                    t.within_distance_join(&w.landc, &w.lando, d),
+                    &mut failures,
+                );
+            }
         }
-        println!("device cross-check verified: tiled ≡ reference on all pipelines");
+        println!("device cross-check verified: tiled/simd/tiled+simd ≡ reference on all pipelines");
     }
 
     if failures == 0 {

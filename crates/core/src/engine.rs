@@ -61,8 +61,10 @@ pub struct EngineConfig {
     /// results and merged counters are bit-identical to sequential.
     pub refine_threads: usize,
     /// Which raster device executes the recorded command lists:
-    /// [`DeviceKind::Reference`] (the default, single-threaded replay) or
-    /// [`DeviceKind::Tiled`] (banded multi-threaded execution). Results,
+    /// [`DeviceKind::Reference`] (the default, single-threaded replay),
+    /// [`DeviceKind::Tiled`] (banded multi-threaded execution),
+    /// [`DeviceKind::Simd`] (vectorized scanline kernels), or
+    /// [`DeviceKind::TiledSimd`] (both: lanes inside bands). Results,
     /// readbacks and hardware counters are bit-identical across devices —
     /// the knob only moves wall-clock time.
     pub device: DeviceKind,

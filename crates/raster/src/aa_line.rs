@@ -70,71 +70,411 @@ pub fn rasterize_aa_line_rows(
     stats: &mut HwStats,
     sink: &mut impl FnMut(usize, usize),
 ) {
-    debug_assert!(w > 0.0);
-    let dir = match (b - a).normalized() {
-        Some(d) => d,
-        None => return,
-    };
-    let n = dir.perp() * (w / 2.0);
-    let corners = [a + n, b + n, b - n, a - n];
-
-    let mut xmin = f64::INFINITY;
-    let mut xmax = f64::NEG_INFINITY;
-    let mut ymin = f64::INFINITY;
-    let mut ymax = f64::NEG_INFINITY;
-    for p in &corners {
-        xmin = xmin.min(p.x);
-        xmax = xmax.max(p.x);
-        ymin = ymin.min(p.y);
-        ymax = ymax.max(p.y);
-    }
-    let x_lo = (xmin.floor() as i64).max(0);
-    let x_hi = (xmax.floor() as i64).min(width as i64 - 1);
-    let y_lo = (ymin.floor() as i64).max(row_lo.max(0));
-    let y_hi = (ymax.floor() as i64).min(row_hi);
-    if x_lo > x_hi || y_lo > y_hi {
+    let Some(cov) = AaLineCover::new(a, b, w, width, row_lo, row_hi) else {
         return;
+    };
+    for j in cov.rows() {
+        stats.fragments_tested += cov.cover_row::<1>(j, &mut |x| sink(x, j as usize));
+    }
+}
+
+/// The span-oriented entry point of the anti-aliased line rasterizer: the
+/// hoisted per-segment setup (bounding-rectangle projections and candidate
+/// ranges), from which any executor drives the per-scanline coverage test
+/// at its own lane width. [`rasterize_aa_line_rows`] is `cover_row::<1>`
+/// over every row; the SIMD device runs `cover_row::<8>` — the per-pixel
+/// math is identical expression-for-expression, so every lane width emits
+/// exactly the same fragments.
+#[derive(Debug, Clone, Copy)]
+pub struct AaLineCover {
+    x_lo: i64,
+    x_hi: i64,
+    y_lo: i64,
+    y_hi: i64,
+    dir: Point,
+    perp: Point,
+    rect_d_lo: f64,
+    rect_d_hi: f64,
+    rect_p_lo: f64,
+    rect_p_hi: f64,
+    half_d: f64,
+    half_p: f64,
+}
+
+impl AaLineCover {
+    /// Coverage setup for the width-`w` line `a→b` over the window columns
+    /// `0..width` and the scanlines `row_lo..=row_hi` (absolute window
+    /// coordinates). `None` when the segment is degenerate or its bounding
+    /// rectangle cannot touch the clipped candidate range.
+    pub fn new(a: Point, b: Point, w: f64, width: usize, row_lo: i64, row_hi: i64) -> Option<Self> {
+        debug_assert!(w > 0.0);
+        let dir = (b - a).normalized()?;
+        let n = dir.perp() * (w / 2.0);
+        let corners = [a + n, b + n, b - n, a - n];
+
+        let mut xmin = f64::INFINITY;
+        let mut xmax = f64::NEG_INFINITY;
+        let mut ymin = f64::INFINITY;
+        let mut ymax = f64::NEG_INFINITY;
+        for p in &corners {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        let x_lo = (xmin.floor() as i64).max(0);
+        let x_hi = (xmax.floor() as i64).min(width as i64 - 1);
+        let y_lo = (ymin.floor() as i64).max(row_lo.max(0));
+        let y_hi = (ymax.floor() as i64).min(row_hi);
+        if x_lo > x_hi || y_lo > y_hi {
+            return None;
+        }
+
+        // Separating axes. The candidate loop only visits pixels whose
+        // square overlaps the rectangle's AABB, so the window axes
+        // (1,0)/(0,1) can never separate; only the rectangle's own edge
+        // normals remain: `dir` (separates beyond the end caps) and `perp`
+        // (beyond the sides).
+        //
+        // Projections of the rectangle onto each axis, hoisted: onto `dir`
+        // the rectangle spans [a·dir, b·dir] (a before b by construction);
+        // onto `perp` it spans (a·perp) ± w/2.
+        let perp = dir.perp();
+        let rect_d_lo = a.x * dir.x + a.y * dir.y;
+        let rect_d_hi = b.x * dir.x + b.y * dir.y;
+        let (rect_d_lo, rect_d_hi) = if rect_d_lo <= rect_d_hi {
+            (rect_d_lo, rect_d_hi)
+        } else {
+            (rect_d_hi, rect_d_lo)
+        };
+        let center_p = a.x * perp.x + a.y * perp.y; // b projects identically
+        let rect_p_lo = center_p - w / 2.0;
+        let rect_p_hi = center_p + w / 2.0;
+        // A unit square centered at c projects onto axis n as
+        // c·n ± (|n.x| + |n.y|) / 2.
+        let half_d = (dir.x.abs() + dir.y.abs()) / 2.0;
+        let half_p = (perp.x.abs() + perp.y.abs()) / 2.0;
+        Some(AaLineCover {
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+            dir,
+            perp,
+            rect_d_lo,
+            rect_d_hi,
+            rect_p_lo,
+            rect_p_hi,
+            half_d,
+            half_p,
+        })
     }
 
-    // Separating axes. The candidate loop below only visits pixels whose
-    // square overlaps the rectangle's AABB, so the window axes (1,0)/(0,1)
-    // can never separate; only the rectangle's own edge normals remain:
-    // `dir` (separates beyond the end caps) and `perp` (beyond the sides).
-    //
-    // Projections of the rectangle onto each axis, hoisted: onto `dir` the
-    // rectangle spans [a·dir, b·dir] (a before b by construction); onto
-    // `perp` it spans (a·perp) ± w/2.
-    let perp = dir.perp();
-    let rect_d_lo = a.x * dir.x + a.y * dir.y;
-    let rect_d_hi = b.x * dir.x + b.y * dir.y;
-    let (rect_d_lo, rect_d_hi) = if rect_d_lo <= rect_d_hi {
-        (rect_d_lo, rect_d_hi)
-    } else {
-        (rect_d_hi, rect_d_lo)
-    };
-    let center_p = a.x * perp.x + a.y * perp.y; // b projects identically
-    let rect_p_lo = center_p - w / 2.0;
-    let rect_p_hi = center_p + w / 2.0;
-    // A unit square centered at c projects onto axis n as
-    // c·n ± (|n.x| + |n.y|) / 2.
-    let half_d = (dir.x.abs() + dir.y.abs()) / 2.0;
-    let half_p = (perp.x.abs() + perp.y.abs()) / 2.0;
+    /// The candidate scanlines (inclusive, absolute window coordinates).
+    #[inline]
+    pub fn rows(&self) -> std::ops::RangeInclusive<i64> {
+        self.y_lo..=self.y_hi
+    }
 
-    for j in y_lo..=y_hi {
+    /// Runs the coverage test over scanline `j`'s candidate pixels,
+    /// `LANES` pixels per step, calling `emit(x)` for every covered column
+    /// in ascending order; returns the number of fragments tested (the
+    /// candidate count, identical at every lane width). The lane body is a
+    /// fixed-width array loop the autovectorizer turns into SIMD compares;
+    /// `LANES = 1` is the scalar fallback and exercises the same code.
+    ///
+    /// Baseline x86-64 has no packed `i64 → f64` conversion, so the pixel
+    /// centers are formed as one scalar conversion per chunk plus a
+    /// vectorizable lane-offset add: both `(i + k) as f64 + 0.5` and
+    /// `i as f64 + (k as f64 + 0.5)` are exactly `i + k + 0.5` for any
+    /// in-window column (integers below 2^52), so the per-pixel verdicts
+    /// are bit-identical either way.
+    ///
+    /// The body carries `#[inline(always)]` so that when a caller is
+    /// itself compiled under a wider target feature (the band replay's
+    /// AVX2 instantiation, see `crate::device`), this loop is recompiled
+    /// inside that region and picks up 256-bit registers — same
+    /// expressions, strict IEEE semantics, bit-identical verdicts.
+    #[inline(always)]
+    pub fn cover_row<const LANES: usize>(&self, j: i64, emit: &mut impl FnMut(usize)) -> usize {
+        debug_assert!(LANES > 0 && self.rows().contains(&j));
         let cy = j as f64 + 0.5;
-        for i in x_lo..=x_hi {
-            stats.fragments_tested += 1;
-            let cx = i as f64 + 0.5;
-            let c_d = cx * dir.x + cy * dir.y;
-            if c_d + half_d < rect_d_lo || c_d - half_d > rect_d_hi {
-                continue;
+        let cy_d = cy * self.dir.y;
+        let cy_p = cy * self.perp.y;
+        let offs: [f64; LANES] = std::array::from_fn(|k| k as f64 + 0.5);
+        let mut i = self.x_lo;
+        while i + LANES as i64 - 1 <= self.x_hi {
+            let base = i as f64;
+            let mut keep = [false; LANES];
+            for (keep, off) in keep.iter_mut().zip(offs) {
+                let cx = base + off;
+                let c_d = cx * self.dir.x + cy_d;
+                let c_p = cx * self.perp.x + cy_p;
+                // Written as the negated reject test so the verdict (NaN
+                // included) matches the scalar remainder loop exactly; the
+                // non-short-circuit `|` keeps the lane body branchless
+                // (each operand is a pure compare) so it lowers to packed
+                // compares + mask ors instead of four branches per lane.
+                *keep = !((c_d + self.half_d < self.rect_d_lo)
+                    | (c_d - self.half_d > self.rect_d_hi)
+                    | (c_p + self.half_p < self.rect_p_lo)
+                    | (c_p - self.half_p > self.rect_p_hi));
             }
-            let c_p = cx * perp.x + cy * perp.y;
-            if c_p + half_p < rect_p_lo || c_p - half_p > rect_p_hi {
-                continue;
+            // The candidate range is the rectangle's AABB, so rows of a
+            // slanted line are mostly empty — skip whole rejected chunks
+            // before the branchy emit loop.
+            if keep != [false; LANES] {
+                for (k, &keep) in keep.iter().enumerate() {
+                    if keep {
+                        emit(i as usize + k);
+                    }
+                }
             }
-            sink(i as usize, j as usize);
+            i += LANES as i64;
         }
+        while i <= self.x_hi {
+            let cx = i as f64 + 0.5;
+            let c_d = cx * self.dir.x + cy_d;
+            let c_p = cx * self.perp.x + cy_p;
+            if !(c_d + self.half_d < self.rect_d_lo
+                || c_d - self.half_d > self.rect_d_hi
+                || c_p + self.half_p < self.rect_p_lo
+                || c_p - self.half_p > self.rect_p_hi)
+            {
+                emit(i as usize);
+            }
+            i += 1;
+        }
+        (self.x_hi - self.x_lo + 1) as usize
+    }
+
+    /// Locates scanline `j`'s covered pixels as one contiguous column span,
+    /// returning `(fragments_tested, Some((first, last)))` — window column
+    /// indices, inclusive — or `None` when the row is empty.
+    ///
+    /// Along a scanline the pixel centers `cx` are exact and strictly
+    /// increasing, and each of the four reject tests is a rounded monotone
+    /// map of `cx` (multiplication by a constant and addition of a constant
+    /// are monotone under IEEE rounding) compared against a constant — so
+    /// each reject holds on a prefix or a suffix of the row, and the kept
+    /// set is always a single contiguous interval. That lets an executor
+    /// find the interval's endpoints (scanning chunk-wise from both ends,
+    /// skipping the interior entirely) and fill the span in bulk, while
+    /// still emitting *exactly* the set of pixels [`AaLineCover::cover_row`]
+    /// emits: the endpoint searches reuse the same per-pixel expressions.
+    #[inline(always)]
+    pub fn cover_row_span<const LANES: usize>(&self, j: i64) -> (usize, Option<(usize, usize)>) {
+        debug_assert!(LANES > 0 && self.rows().contains(&j));
+        let (cy_d, cy_p) = self.row_consts(j);
+        let offs: [f64; LANES] = std::array::from_fn(|k| k as f64 + 0.5);
+        let candidates = (self.x_hi - self.x_lo + 1) as usize;
+        let span = find_covered_span::<LANES>(
+            self.x_lo,
+            self.x_hi,
+            |i| self.keep_chunk::<LANES>(cy_d, cy_p, &offs, i),
+            |i| self.keep_at(cy_d, cy_p, i),
+        );
+        (candidates, span)
+    }
+
+    /// Emits every scanline's covered span — `emit(j, first, last)`, window
+    /// coordinates, inclusive — and returns the total fragments tested.
+    ///
+    /// This is the segment-at-a-time form of [`AaLineCover::cover_row_span`]
+    /// exploiting scanline coherence: consecutive rows' intervals overlap
+    /// heavily, so each row's endpoint search is seeded with the previous
+    /// row's answer (the `SpanTracker` strategy) and usually resolves in a handful
+    /// of exact predicate steps instead of a scan over the candidate range.
+    #[inline(always)]
+    pub fn cover_spans<const LANES: usize>(
+        &self,
+        mut emit: impl FnMut(i64, usize, usize),
+    ) -> usize {
+        let offs: [f64; LANES] = std::array::from_fn(|k| k as f64 + 0.5);
+        let candidates = (self.x_hi - self.x_lo + 1) as usize;
+        let mut tracker = SpanTracker::new(self.x_lo);
+        let mut frags = 0usize;
+        for j in self.rows() {
+            let (cy_d, cy_p) = self.row_consts(j);
+            frags += candidates;
+            if let Some((lo, hi)) = tracker.row_span::<LANES>(
+                self.x_lo,
+                self.x_hi,
+                |i| self.keep_chunk::<LANES>(cy_d, cy_p, &offs, i),
+                |i| self.keep_at(cy_d, cy_p, i),
+            ) {
+                emit(j, lo, hi);
+            }
+        }
+        frags
+    }
+
+    /// The scanline-constant terms of the coverage test: the y components
+    /// of the pixel center's projections onto `dir` and `perp`.
+    #[inline(always)]
+    fn row_consts(&self, j: i64) -> (f64, f64) {
+        let cy = j as f64 + 0.5;
+        (cy * self.dir.y, cy * self.perp.y)
+    }
+
+    /// The chunk-wide coverage verdicts starting at column `i` — the same
+    /// expressions as [`AaLineCover::cover_row`]'s lane body.
+    #[inline(always)]
+    fn keep_chunk<const LANES: usize>(
+        &self,
+        cy_d: f64,
+        cy_p: f64,
+        offs: &[f64; LANES],
+        i: i64,
+    ) -> [bool; LANES] {
+        let base = i as f64;
+        let mut keep = [false; LANES];
+        for (keep, off) in keep.iter_mut().zip(offs) {
+            let cx = base + off;
+            let c_d = cx * self.dir.x + cy_d;
+            let c_p = cx * self.perp.x + cy_p;
+            *keep = !((c_d + self.half_d < self.rect_d_lo)
+                | (c_d - self.half_d > self.rect_d_hi)
+                | (c_p + self.half_p < self.rect_p_lo)
+                | (c_p - self.half_p > self.rect_p_hi));
+        }
+        keep
+    }
+
+    /// One column's coverage verdict — the same expressions as
+    /// [`AaLineCover::cover_row`]'s scalar remainder.
+    #[inline(always)]
+    fn keep_at(&self, cy_d: f64, cy_p: f64, i: i64) -> bool {
+        let cx = i as f64 + 0.5;
+        let c_d = cx * self.dir.x + cy_d;
+        let c_p = cx * self.perp.x + cy_p;
+        !(c_d + self.half_d < self.rect_d_lo
+            || c_d - self.half_d > self.rect_d_hi
+            || c_p + self.half_p < self.rect_p_lo
+            || c_p - self.half_p > self.rect_p_hi)
+    }
+}
+
+/// Carries one scanline's covered interval to the next as a search hint.
+///
+/// Consecutive scanlines of a convex shape have strongly overlapping
+/// covered intervals, so starting each row's endpoint search from the
+/// previous row's answer turns the per-row cost from "scan the candidate
+/// range" into "walk the endpoints a step or two". Every step queries the
+/// exact per-pixel predicate, so the tracker is purely a search strategy —
+/// the span it returns is identical to what a cold search finds; when the
+/// hint misses (first row, disjoint rows, empty rows) it falls back to
+/// [`find_covered_span`]'s chunk-wise two-end scan.
+pub(crate) struct SpanTracker {
+    guess_lo: i64,
+    guess_hi: i64,
+}
+
+impl SpanTracker {
+    /// A tracker with no prior row; the first search starts at `x_lo`.
+    pub(crate) fn new(x_lo: i64) -> Self {
+        SpanTracker {
+            guess_lo: x_lo,
+            guess_hi: x_lo,
+        }
+    }
+
+    /// Finds the covered interval of one scanline (see
+    /// [`find_covered_span`] for the contract on `keep_chunk`/`keep_at`
+    /// and the contiguity requirement), seeded by the previous row's
+    /// interval.
+    #[inline(always)]
+    pub(crate) fn row_span<const LANES: usize>(
+        &mut self,
+        x_lo: i64,
+        x_hi: i64,
+        keep_chunk: impl Fn(i64) -> [bool; LANES],
+        keep_at: impl Fn(i64) -> bool,
+    ) -> Option<(usize, usize)> {
+        let g = self.guess_lo.clamp(x_lo, x_hi);
+        if keep_at(g) {
+            // The hint is inside this row's interval: walk out to the exact
+            // endpoints.
+            let mut lo = g;
+            while lo > x_lo && keep_at(lo - 1) {
+                lo -= 1;
+            }
+            let mut hi = self.guess_hi.clamp(lo, x_hi);
+            if keep_at(hi) {
+                while hi < x_hi && keep_at(hi + 1) {
+                    hi += 1;
+                }
+            } else {
+                // `hi` overshot the interval; walking left terminates at
+                // `lo`, which is covered.
+                while !keep_at(hi) {
+                    hi -= 1;
+                }
+            }
+            (self.guess_lo, self.guess_hi) = (lo, hi);
+            Some((lo as usize, hi as usize))
+        } else {
+            let span = find_covered_span::<LANES>(x_lo, x_hi, keep_chunk, keep_at);
+            if let Some((lo, hi)) = span {
+                (self.guess_lo, self.guess_hi) = (lo as i64, hi as i64);
+            }
+            span
+        }
+    }
+}
+
+/// Endpoint search shared by the span-oriented coverage kernels: finds the
+/// first and last `i` in `x_lo..=x_hi` with `keep_at(i)`, walking `LANES`
+/// candidates per step from both ends and never testing the interior.
+/// Correct only when the kept set is contiguous — which both callers
+/// guarantee (see [`AaLineCover::cover_row_span`] and
+/// [`crate::point_raster::WidePointCover::cover_row_span`]); `keep_chunk`
+/// must agree with `keep_at` on every column.
+#[inline(always)]
+pub(crate) fn find_covered_span<const LANES: usize>(
+    x_lo: i64,
+    x_hi: i64,
+    keep_chunk: impl Fn(i64) -> [bool; LANES],
+    keep_at: impl Fn(i64) -> bool,
+) -> Option<(usize, usize)> {
+    // Forward: whole chunks on the `x_lo`-anchored grid, then the scalar
+    // remainder — mirroring `cover_row`'s chunk layout.
+    let mut first: Option<i64> = None;
+    let mut i = x_lo;
+    while first.is_none() && i + LANES as i64 - 1 <= x_hi {
+        let keep = keep_chunk(i);
+        if keep != [false; LANES] {
+            let k = keep.iter().position(|&b| b).expect("chunk has a set lane");
+            first = Some(i + k as i64);
+        }
+        i += LANES as i64;
+    }
+    let chunks_end = i; // first column not covered by a full chunk
+    while first.is_none() && i <= x_hi {
+        if keep_at(i) {
+            first = Some(i);
+        }
+        i += 1;
+    }
+    let first = first?;
+    // Backward: the scalar remainder, then whole chunks down to `first`'s
+    // chunk. The interval is non-empty, so the search cannot fall through.
+    let mut i = x_hi;
+    while i >= chunks_end {
+        if keep_at(i) {
+            return Some((first as usize, i as usize));
+        }
+        i -= 1;
+    }
+    let mut c = chunks_end - LANES as i64;
+    loop {
+        let keep = keep_chunk(c);
+        if keep != [false; LANES] {
+            let k = keep.iter().rposition(|&b| b).expect("chunk has a set lane");
+            return Some((first as usize, (c + k as i64) as usize));
+        }
+        c -= LANES as i64;
+        debug_assert!(c >= x_lo, "span search passed the known first column");
     }
 }
 
@@ -244,6 +584,57 @@ mod tests {
                 collect_reference(a, b, w, 8),
                 "a={a} b={b} w={w}"
             );
+        }
+    }
+
+    /// The span kernels must reproduce `cover_row`'s emitted set exactly:
+    /// per-row chunk search, coherent whole-segment tracking, and every
+    /// lane width all agree with the per-pixel scalar walk.
+    #[test]
+    fn span_kernels_match_per_pixel_coverage() {
+        let cases = [
+            (Point::new(0.3, 0.7), Point::new(7.6, 5.2), DIAGONAL_WIDTH),
+            (Point::new(2.0, 0.0), Point::new(2.0, 8.0), 1.0),
+            (Point::new(0.0, 4.0), Point::new(8.0, 4.0), 4.0),
+            (Point::new(6.97, 7.03), Point::new(1.0, 2.0), 2.5),
+            (
+                Point::new(-3.0, -3.0),
+                Point::new(12.0, 9.0),
+                DIAGONAL_WIDTH,
+            ),
+            (Point::new(0.1, 0.1), Point::new(0.2, 0.15), 0.5),
+            (Point::new(15.8, 0.2), Point::new(0.1, 14.9), DIAGONAL_WIDTH),
+            (Point::new(3.0, 9.0), Point::new(13.0, 9.5), 0.7),
+        ];
+        for (a, b, w) in cases {
+            let Some(cov) = AaLineCover::new(a, b, w, 16, 0, 15) else {
+                continue;
+            };
+            let mut spans: Vec<(i64, usize, usize)> = Vec::new();
+            let tracked = cov.cover_spans::<4>(|j, lo, hi| spans.push((j, lo, hi)));
+            let mut frags = 0usize;
+            for j in cov.rows() {
+                let mut px: Vec<usize> = Vec::new();
+                let row_cands = cov.cover_row::<1>(j, &mut |x| px.push(x));
+                frags += row_cands;
+                let expect = px.first().map(|&lo| (lo, *px.last().unwrap()));
+                // Emitted pixels must be contiguous — the property the span
+                // search depends on.
+                if let Some((lo, hi)) = expect {
+                    assert_eq!(px, (lo..=hi).collect::<Vec<_>>(), "row {j} not contiguous");
+                }
+                for (cands, span) in [cov.cover_row_span::<1>(j), cov.cover_row_span::<4>(j)] {
+                    assert_eq!(cands, row_cands, "candidate count diverges at a={a} b={b}");
+                    assert_eq!(span, expect, "a={a} b={b} w={w} row {j}");
+                }
+                let tracked_row = spans.iter().find(|&&(tj, _, _)| tj == j);
+                assert_eq!(
+                    tracked_row.map(|&(_, lo, hi)| (lo, hi)),
+                    expect,
+                    "tracked span diverges at a={a} b={b} w={w} row {j}"
+                );
+            }
+            assert_eq!(tracked, frags, "fragments tested diverge at a={a} b={b}");
         }
     }
 

@@ -1,0 +1,499 @@
+//! The shared band replay engine: one function, every executor.
+//!
+//! [`run_band`] replays a full [`CommandList`] against one horizontal band
+//! of the window (global rows `y0..y1`) and is generic over `LANES`, the
+//! number of pixels its inner loops advance per step. Every replaying
+//! executor is a composition of this single function:
+//!
+//! * [`super::TiledDevice`] (scalar): many bands × `run_band::<1>`;
+//! * [`super::SimdDevice`]: one full-window band × `run_band::<8>`;
+//! * [`super::TiledDevice`] in SIMD mode: many bands × `run_band::<8>`.
+//!
+//! The per-pixel math inside the lane-generic kernels
+//! ([`crate::aa_line::AaLineCover`], [`crate::point_raster::WidePointCover`],
+//! [`crate::scan`]) is identical expression-for-expression at every lane
+//! width, which is what lets all executors promise bit-identical
+//! framebuffers, readbacks and [`HwStats`] against the reference replay.
+//! Where the replay restructures *how* fragments are materialized — the
+//! Overwrite span fills of [`fill_line_spans`]/[`fill_point_spans`] — the
+//! restructuring is set-preserving: the written pixel set and the charged
+//! counters are provably the same as the per-pixel path's, only the store
+//! pattern changes.
+//!
+//! Counters split by kind: `run_band` charges only fragment-level work
+//! (`fragments_tested`, `pixels_written`, `pixels_scanned`) over its
+//! band-sized buffer; command-level work (`draw_calls`, `primitives`,
+//! `minmax_queries`, `batches`) is charged once, centrally, by
+//! [`command_level_stats`] — never per band.
+
+use super::command::{Command, CommandList};
+use super::Readback;
+use crate::aa_line::{AaLineCover, DIAGONAL_WIDTH};
+use crate::context::{PixelRect, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
+use crate::framebuffer::{Color, FrameBuffer, BLACK, HALF_GRAY};
+use crate::point_raster::WidePointCover;
+use crate::polygon_raster::rasterize_polygon_spans;
+use crate::scan;
+use crate::stats::HwStats;
+use crate::viewport::Viewport;
+use spatial_geom::Point;
+
+/// What one band's replay produced: its fragment-level counter share and
+/// its partial readback stream (one entry per recorded query, band order
+/// preserved).
+pub(super) struct BandResult {
+    pub(super) stats: HwStats,
+    pub(super) readbacks: Vec<Readback>,
+}
+
+/// The command-level counter charges of a list — draw calls, primitives,
+/// readback queries, batches — independent of how (or how many times per
+/// band) the list is executed.
+pub(super) fn command_level_stats(list: &CommandList) -> HwStats {
+    let mut stats = HwStats::default();
+    for cmd in list.commands() {
+        match *cmd {
+            Command::DrawSegments { len, new_call, .. }
+            | Command::DrawPoints { len, new_call, .. } => {
+                if new_call {
+                    stats.draw_calls += 1;
+                }
+                stats.primitives += len;
+            }
+            Command::FillPolygon { .. } => {
+                stats.draw_calls += 1;
+                stats.primitives += 1;
+            }
+            Command::Minmax | Command::StencilMax | Command::CellMax { .. } => {
+                stats.minmax_queries += 1;
+            }
+            Command::BeginBatch => stats.batches += 1,
+            _ => {}
+        }
+    }
+    stats
+}
+
+/// Folds one band's partial readback into the running merged value.
+/// Min/max over a row partition is the min/max of per-part results, so
+/// walking bands in a fixed order reconstructs the whole-window answer
+/// regardless of which thread ran which band.
+pub(super) fn merge_readback(acc: &mut Readback, part: Readback) {
+    match (acc, part) {
+        (Readback::Minmax(mn, mx), Readback::Minmax(pmn, pmx)) => {
+            for ch in 0..3 {
+                mn[ch] = mn[ch].min(pmn[ch]);
+                mx[ch] = mx[ch].max(pmx[ch]);
+            }
+        }
+        (Readback::StencilMax(v), Readback::StencilMax(pv)) => *v = (*v).max(pv),
+        (Readback::CellMax(vals), Readback::CellMax(pvals)) => {
+            for (a, b) in vals.iter_mut().zip(pvals) {
+                *a = a.max(b);
+            }
+        }
+        _ => unreachable!("band readback streams diverged"),
+    }
+}
+
+/// Runs a line coverage setup over its candidate rows, `LANES` pixels per
+/// step, translating emitted window-local pixels into band-buffer
+/// coordinates (`ox`/`oy` window origin, `y0` band start).
+#[inline(always)]
+fn cover_line<const LANES: usize>(
+    cov: Option<AaLineCover>,
+    (y0, ox, oy): (usize, usize, usize),
+    stats: &mut HwStats,
+    emit: &mut impl FnMut(usize, usize),
+) {
+    let Some(cov) = cov else { return };
+    for j in cov.rows() {
+        let fy = oy + j as usize - y0;
+        stats.fragments_tested += cov.cover_row::<LANES>(j, &mut |x| emit(ox + x, fy));
+    }
+}
+
+/// [`cover_line`]'s twin for the smooth-point disc test.
+#[inline(always)]
+fn cover_point<const LANES: usize>(
+    cov: Option<WidePointCover>,
+    (y0, ox, oy): (usize, usize, usize),
+    stats: &mut HwStats,
+    emit: &mut impl FnMut(usize, usize),
+) {
+    let Some(cov) = cov else { return };
+    for j in cov.rows() {
+        let fy = oy + j as usize - y0;
+        stats.fragments_tested += cov.cover_row::<LANES>(j, &mut |x| emit(ox + x, fy));
+    }
+}
+
+/// Overwrite-mode line coverage: a scanline's covered pixels always form
+/// one contiguous interval (see [`AaLineCover::cover_row_span`]), so
+/// instead of testing and writing pixel-by-pixel, locate the interval's
+/// endpoints — chunk-wise from both ends, never touching the interior —
+/// and bulk-fill the span. The span is exactly the pixel set the
+/// per-pixel path emits and Overwrite writes are idempotent per color, so
+/// framebuffer, `fragments_tested` and `pixels_written` all stay
+/// bit-identical to the reference replay.
+#[inline(always)]
+fn fill_line_spans<const LANES: usize>(
+    cov: Option<AaLineCover>,
+    (y0, ox, oy): (usize, usize, usize),
+    color: Color,
+    fb: &mut FrameBuffer,
+    stats: &mut HwStats,
+    written: &mut usize,
+) {
+    let Some(cov) = cov else { return };
+    stats.fragments_tested += cov.cover_spans::<LANES>(|j, lo, hi| {
+        let len = hi - lo + 1;
+        fb.fill_row_span(oy + j as usize - y0, ox + lo, len, color);
+        *written += len;
+    });
+}
+
+/// [`fill_line_spans`]'s twin for the smooth-point disc test.
+#[inline(always)]
+fn fill_point_spans<const LANES: usize>(
+    cov: Option<WidePointCover>,
+    (y0, ox, oy): (usize, usize, usize),
+    color: Color,
+    fb: &mut FrameBuffer,
+    stats: &mut HwStats,
+    written: &mut usize,
+) {
+    let Some(cov) = cov else { return };
+    stats.fragments_tested += cov.cover_spans::<LANES>(|j, lo, hi| {
+        let len = hi - lo + 1;
+        fb.fill_row_span(oy + j as usize - y0, ox + lo, len, color);
+        *written += len;
+    });
+}
+
+/// Replays the whole list against one band (global rows `y0..y1`),
+/// charging only fragment-level counters over the band-sized buffer `fb`
+/// (pre-reset by the caller), with inner loops advancing `LANES` pixels
+/// per step.
+///
+/// On x86_64 hosts with AVX2, lane-parallel bands (`LANES > 1`) run
+/// [`run_band_body`] recompiled under `#[target_feature(enable = "avx2")]`
+/// — one runtime dispatch per band, so every `#[inline(always)]` kernel
+/// (coverage tests, buffer scans) lands inside a single 256-bit-register
+/// compilation region with no per-row call or AVX↔SSE transition
+/// boundaries. Rust float semantics are strict IEEE at every vector width
+/// (no fused multiply-add, no reassociation beyond what the source spells
+/// out), so the wider instantiation is bit-identical — the same code, only
+/// wider. `LANES = 1` (the scalar executors) always takes the portable
+/// instantiation.
+pub(super) fn run_band<const LANES: usize>(
+    list: &CommandList,
+    y0: usize,
+    y1: usize,
+    fb: &mut FrameBuffer,
+) -> BandResult {
+    #[cfg(target_arch = "x86_64")]
+    if LANES > 1 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: reached only when AVX2 is present at runtime.
+        return unsafe { run_band_avx2::<LANES>(list, y0, y1, fb) };
+    }
+    run_band_body::<LANES>(list, y0, y1, fb)
+}
+
+/// [`run_band_body`] recompiled with AVX2 codegen (see [`run_band`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn run_band_avx2<const LANES: usize>(
+    list: &CommandList,
+    y0: usize,
+    y1: usize,
+    fb: &mut FrameBuffer,
+) -> BandResult {
+    run_band_body::<LANES>(list, y0, y1, fb)
+}
+
+/// The lane-width-generic replay loop behind [`run_band`].
+#[inline(always)]
+fn run_band_body<const LANES: usize>(
+    list: &CommandList,
+    y0: usize,
+    y1: usize,
+    fb: &mut FrameBuffer,
+) -> BandResult {
+    let width = list.width();
+    let full_h = list.height();
+    let mut stats = HwStats::default();
+    let mut readbacks = Vec::with_capacity(list.readback_count());
+    // Scratch fragment buffer shared by all non-overwrite draws.
+    let mut frags: Vec<(usize, usize)> = Vec::new();
+    // Pipeline state, mirroring GlContext's replay defaults.
+    let mut viewport: Option<Viewport> = None;
+    let mut scissor: Option<PixelRect> = None;
+    let mut color: Color = HALF_GRAY;
+    let mut line_width = DIAGONAL_WIDTH;
+    let mut point_size = 1.0f64;
+    let mut write_mode = WriteMode::Overwrite;
+
+    // The active rasterization window and this band's scanline range in
+    // its local coordinates. `None` when the band's rows cannot be
+    // touched — the draw is skipped outright.
+    let clip = |scissor: Option<PixelRect>| -> Option<(usize, usize, usize, i64, i64)> {
+        let (win_w, win_h, ox, oy) = match scissor {
+            Some(r) => (r.w, r.h, r.x, r.y),
+            None => (width, full_h, 0, 0),
+        };
+        let row_lo = (y0 as i64 - oy as i64).max(0);
+        let row_hi = (y1 as i64 - 1 - oy as i64).min(win_h as i64 - 1);
+        if row_lo > row_hi {
+            None
+        } else {
+            Some((win_w, ox, oy, row_lo, row_hi))
+        }
+    };
+
+    for cmd in list.commands() {
+        match *cmd {
+            Command::SetColor(c) => color = c,
+            Command::SetLineWidth(w) => line_width = w.clamp(1.0, MAX_AA_LINE_WIDTH),
+            Command::SetPointSize(s) => point_size = s.clamp(1.0, MAX_POINT_SIZE),
+            Command::SetWriteMode(m) => write_mode = m,
+            Command::SetViewport(vp) => viewport = Some(vp),
+            Command::SetScissor(r) => scissor = r,
+            Command::ClearColor => fb.clear_color(BLACK, &mut stats),
+            Command::ClearAccum => fb.clear_accum(&mut stats),
+            Command::ClearStencil => fb.clear_stencil(&mut stats),
+            Command::AccumLoad => fb.accum_load(&mut stats),
+            Command::AccumAdd => fb.accum_add(&mut stats),
+            Command::AccumReturn => fb.accum_return(&mut stats),
+            // Charged centrally by `command_level_stats`.
+            Command::BeginBatch => {}
+            Command::DrawSegments { start, len, .. } => {
+                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
+                    continue;
+                };
+                let vp = viewport.expect("recorder rejects draws without a viewport");
+                let segs = list.seg_run(start, len);
+                if write_mode == WriteMode::Overwrite {
+                    let mut written = 0usize;
+                    for seg in segs {
+                        let a = vp.to_window(seg.a);
+                        let b = vp.to_window(seg.b);
+                        fill_line_spans::<LANES>(
+                            AaLineCover::new(a, b, line_width, win_w, row_lo, row_hi),
+                            (y0, ox, oy),
+                            color,
+                            fb,
+                            &mut stats,
+                            &mut written,
+                        );
+                        if a == b {
+                            // Degenerate after projection: keep coverage
+                            // with a point (same rule as GlContext).
+                            fill_point_spans::<LANES>(
+                                WidePointCover::new(a, line_width, win_w, row_lo, row_hi),
+                                (y0, ox, oy),
+                                color,
+                                fb,
+                                &mut stats,
+                                &mut written,
+                            );
+                        }
+                    }
+                    stats.pixels_written += written;
+                } else {
+                    frags.clear();
+                    let mut emit = |x: usize, y: usize| frags.push((x, y));
+                    for seg in segs {
+                        let a = vp.to_window(seg.a);
+                        let b = vp.to_window(seg.b);
+                        cover_line::<LANES>(
+                            AaLineCover::new(a, b, line_width, win_w, row_lo, row_hi),
+                            (y0, ox, oy),
+                            &mut stats,
+                            &mut emit,
+                        );
+                        if a == b {
+                            cover_point::<LANES>(
+                                WidePointCover::new(a, line_width, win_w, row_lo, row_hi),
+                                (y0, ox, oy),
+                                &mut stats,
+                                &mut emit,
+                            );
+                        }
+                    }
+                    write_band_fragments(fb, &mut stats, write_mode, color, &frags);
+                }
+            }
+            Command::DrawPoints { start, len, .. } => {
+                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
+                    continue;
+                };
+                let vp = viewport.expect("recorder rejects draws without a viewport");
+                let pts = list.point_run(start, len);
+                if write_mode == WriteMode::Overwrite {
+                    let mut written = 0usize;
+                    for &p in pts {
+                        let wp = vp.to_window(p);
+                        fill_point_spans::<LANES>(
+                            WidePointCover::new(wp, point_size, win_w, row_lo, row_hi),
+                            (y0, ox, oy),
+                            color,
+                            fb,
+                            &mut stats,
+                            &mut written,
+                        );
+                    }
+                    stats.pixels_written += written;
+                } else {
+                    frags.clear();
+                    for &p in pts {
+                        let wp = vp.to_window(p);
+                        cover_point::<LANES>(
+                            WidePointCover::new(wp, point_size, win_w, row_lo, row_hi),
+                            (y0, ox, oy),
+                            &mut stats,
+                            &mut |x, y| frags.push((x, y)),
+                        );
+                    }
+                    write_band_fragments(fb, &mut stats, write_mode, color, &frags);
+                }
+            }
+            Command::FillPolygon { start, len } => {
+                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
+                    continue;
+                };
+                let vp = viewport.expect("recorder rejects draws without a viewport");
+                let win: Vec<Point> = list
+                    .poly_run(start, len)
+                    .iter()
+                    .map(|&p| vp.to_window(p))
+                    .collect();
+                match write_mode {
+                    // Spans cannot self-overlap within a fill, so the
+                    // idempotent modes take bulk row writes; per-fragment
+                    // charges collapse to the span length.
+                    WriteMode::Overwrite => {
+                        let mut written = 0usize;
+                        rasterize_polygon_spans(
+                            &win,
+                            win_w,
+                            row_lo,
+                            row_hi,
+                            &mut stats,
+                            &mut |j, i_lo, i_hi| {
+                                let len = i_hi - i_lo + 1;
+                                fb.fill_row_span(oy + j - y0, ox + i_lo, len, color);
+                                written += len;
+                            },
+                        );
+                        stats.pixels_written += written;
+                    }
+                    WriteMode::StencilReplace(v) => {
+                        let mut written = 0usize;
+                        rasterize_polygon_spans(
+                            &win,
+                            win_w,
+                            row_lo,
+                            row_hi,
+                            &mut stats,
+                            &mut |j, i_lo, i_hi| {
+                                let len = i_hi - i_lo + 1;
+                                fb.stencil_fill_row_span(oy + j - y0, ox + i_lo, len, v);
+                                written += len;
+                            },
+                        );
+                        stats.pixels_written += written;
+                    }
+                    _ => {
+                        frags.clear();
+                        rasterize_polygon_spans(
+                            &win,
+                            win_w,
+                            row_lo,
+                            row_hi,
+                            &mut stats,
+                            &mut |j, i_lo, i_hi| {
+                                for i in i_lo..=i_hi {
+                                    frags.push((ox + i, oy + j - y0));
+                                }
+                            },
+                        );
+                        write_band_fragments(fb, &mut stats, write_mode, color, &frags);
+                    }
+                }
+            }
+            Command::Minmax => {
+                let (mn, mx) = fb.minmax_lanes::<LANES>(&mut stats);
+                readbacks.push(Readback::Minmax(mn, mx));
+            }
+            Command::StencilMax => {
+                readbacks.push(Readback::StencilMax(
+                    fb.stencil_max_lanes::<LANES>(&mut stats),
+                ));
+            }
+            Command::CellMax { start, len } => {
+                stats.pixels_scanned += fb.len();
+                let vals = list
+                    .cell_run(start, len)
+                    .iter()
+                    .map(|c| {
+                        let mut max = 0.0f32;
+                        let lo = c.y.max(y0);
+                        let hi = (c.y + c.h).min(y1);
+                        for gy in lo..hi {
+                            max = max.max(scan::row_red_max::<LANES>(fb.row_colors(
+                                gy - y0,
+                                c.x,
+                                c.w,
+                            )));
+                        }
+                        max
+                    })
+                    .collect();
+                readbacks.push(Readback::CellMax(vals));
+            }
+        }
+    }
+    BandResult { stats, readbacks }
+}
+
+/// The band-local mirror of `GlContext::write_fragments`: identical
+/// per-draw-call deduplication rules, applied to this band's fragment
+/// subset. Rows partition across bands, so deduplicating per band is the
+/// reference's global per-call dedup restricted to the band.
+fn write_band_fragments(
+    fb: &mut FrameBuffer,
+    stats: &mut HwStats,
+    mode: WriteMode,
+    color: Color,
+    frags: &[(usize, usize)],
+) {
+    match mode {
+        WriteMode::Overwrite => {
+            for &(x, y) in frags {
+                fb.write_pixel(x, y, color, stats);
+            }
+        }
+        WriteMode::Blend => {
+            let mut sorted: Vec<(usize, usize)> = frags.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for &(x, y) in &sorted {
+                fb.blend_pixel(x, y, color, stats);
+            }
+        }
+        WriteMode::StencilReplace(v) => {
+            for &(x, y) in frags {
+                fb.stencil_replace(x, y, v, stats);
+            }
+        }
+        WriteMode::StencilIncrIfEq(r) => {
+            let mut sorted: Vec<(usize, usize)> = frags.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for &(x, y) in &sorted {
+                fb.stencil_incr_if_eq(x, y, r, stats);
+            }
+        }
+    }
+}

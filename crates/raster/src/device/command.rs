@@ -25,17 +25,38 @@ use std::fmt;
 /// result slots in record order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
+    /// Sets the current draw color. No validation: any finite RGB triple
+    /// the caller hands over is legal.
     SetColor(Color),
+    /// Sets the anti-aliased line width in pixels. The recorder validated
+    /// it against [`MAX_AA_LINE_WIDTH`] and pre-clamped it to ≥ 1, so
+    /// executors apply the stored value directly.
     SetLineWidth(f64),
+    /// Sets the smooth-point diameter in pixels, validated against
+    /// [`MAX_POINT_SIZE`] and pre-clamped to ≥ 1 at record time.
     SetPointSize(f64),
+    /// Selects how fragments combine with the target plane (overwrite,
+    /// additive blend, stencil replace, stencil increment-if-equal).
     SetWriteMode(WriteMode),
+    /// Sets the data→window projection. The recorder verified that its
+    /// window dimensions match the active rasterization window (the
+    /// scissor if one is set, the frame buffer otherwise).
     SetViewport(Viewport),
+    /// Restricts rasterization to a sub-rectangle (validated non-empty and
+    /// in-bounds at record time), or lifts the restriction with `None`.
     SetScissor(Option<PixelRect>),
+    /// Clears the color plane to black; charges one `pixels_scanned` pass.
     ClearColor,
+    /// Clears the accumulation plane to black; charges one scan pass.
     ClearAccum,
+    /// Clears the stencil plane to zero; charges one scan pass.
     ClearStencil,
+    /// `glAccum(GL_LOAD)`: accum ← color; charges one scan pass.
     AccumLoad,
+    /// `glAccum(GL_ACCUM)`: accum ← accum + color; charges one scan pass.
     AccumAdd,
+    /// `glAccum(GL_RETURN)`: color ← accum clamped to [0, 1]; charges one
+    /// scan pass.
     AccumReturn,
     /// Marks the start of a batched submission round (charges the
     /// per-batch fixed cost).
@@ -44,29 +65,42 @@ pub enum Command {
     /// draw call; merged continuations (`new_call == false`) extend the
     /// previous submission, the atlas's per-pass batching.
     DrawSegments {
+        /// First segment of the run in the segment arena.
         start: usize,
+        /// Number of segments (each charges one primitive).
         len: usize,
+        /// Whether this submission charges a new draw call.
         new_call: bool,
     },
     /// Draws a run of smooth (anti-aliased) points.
     DrawPoints {
+        /// First point of the run in the point arena.
         start: usize,
+        /// Number of points (each charges one primitive).
         len: usize,
+        /// Whether this submission charges a new draw call.
         new_call: bool,
     },
-    /// Fills one polygon given by a run of vertices.
+    /// Fills one polygon given by a run of vertices (one draw call, one
+    /// primitive). The recorder verified a viewport was set; executors
+    /// ignore runs of fewer than three vertices.
     FillPolygon {
+        /// First vertex of the polygon in the vertex arena.
         start: usize,
+        /// Vertex count.
         len: usize,
     },
     /// Minmax query over the color buffer → one readback slot.
     Minmax,
     /// Maximum stencil value → one readback slot.
     StencilMax,
-    /// Per-cell maximum red reduction over a run of pixel rectangles →
-    /// one readback slot.
+    /// Per-cell maximum red reduction over a run of pixel rectangles
+    /// (validated non-empty and in-bounds at record time) → one readback
+    /// slot holding one value per rectangle.
     CellMax {
+        /// First rectangle of the run in the cell arena.
         start: usize,
+        /// Rectangle count.
         len: usize,
     },
 }
@@ -253,7 +287,9 @@ pub enum RecordError {
     /// Viewport window dimensions disagree with the rasterization window
     /// (the scissor if one is set, the frame buffer otherwise).
     ViewportMismatch {
+        /// The active rasterization window's dimensions.
         expected: (usize, usize),
+        /// The rejected viewport's window dimensions.
         got: (usize, usize),
     },
     /// Scissor rectangle is empty or exceeds the frame buffer.
@@ -346,6 +382,7 @@ impl Recorder {
         }
     }
 
+    /// Records the current draw color.
     pub fn set_color(&mut self, c: Color) {
         self.list.commands.push(Command::SetColor(c));
     }
@@ -376,6 +413,8 @@ impl Recorder {
         Ok(eff)
     }
 
+    /// Records the fragment write mode. Tracked by the recorder as well:
+    /// merged (`extend_*`) draws are rejected outside overwrite mode.
     pub fn set_write_mode(&mut self, mode: WriteMode) {
         self.write_mode = mode;
         self.list.commands.push(Command::SetWriteMode(mode));
@@ -412,26 +451,32 @@ impl Recorder {
         Ok(())
     }
 
+    /// Records a color-plane clear (to black).
     pub fn clear_color(&mut self) {
         self.list.commands.push(Command::ClearColor);
     }
 
+    /// Records an accumulation-plane clear (to black).
     pub fn clear_accum(&mut self) {
         self.list.commands.push(Command::ClearAccum);
     }
 
+    /// Records a stencil-plane clear (to zero).
     pub fn clear_stencil(&mut self) {
         self.list.commands.push(Command::ClearStencil);
     }
 
+    /// Records `glAccum(GL_LOAD)`: accum ← color.
     pub fn accum_load(&mut self) {
         self.list.commands.push(Command::AccumLoad);
     }
 
+    /// Records `glAccum(GL_ACCUM)`: accum ← accum + color.
     pub fn accum_add(&mut self) {
         self.list.commands.push(Command::AccumAdd);
     }
 
+    /// Records `glAccum(GL_RETURN)`: color ← accum clamped to [0, 1].
     pub fn accum_return(&mut self) {
         self.list.commands.push(Command::AccumReturn);
     }

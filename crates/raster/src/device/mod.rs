@@ -2,32 +2,61 @@
 //!
 //! Real GPU stacks decouple *recording* work from *executing* it via
 //! command buffers; this module gives the simulated hardware the same
-//! shape. A [`Recorder`] validates and captures one submission into an
-//! immutable [`CommandList`]; any [`RasterDevice`] executes the list and
-//! returns an [`Execution`] — the work counters plus the stream's readback
-//! results. Two executors ship:
+//! shape. The lifecycle has four stations:
+//!
+//! 1. **Record.** A [`Recorder`] captures one submission — state changes,
+//!    draws, readback queries — into flat geometry arenas and a typed
+//!    command tape.
+//! 2. **Validate.** Every recording call checks its arguments *up front*
+//!    (viewport before draws, width/size limits, in-bounds scissors and
+//!    cells) and returns [`RecordError`] on violation, so a finished
+//!    [`CommandList`] is valid by construction and executors never
+//!    re-validate on the hot path.
+//! 3. **Execute.** Any [`RasterDevice`] runs the immutable list and
+//!    returns an [`Execution`] — the deterministic work counters
+//!    ([`HwStats`]) plus the stream's readback results, in recorded
+//!    order.
+//! 4. **Replay-cost.** Because execution is a pure function of the list,
+//!    modeled GPU time is too: [`crate::HwCostModel::replay_cost`] prices
+//!    a `CommandList` by replaying it, independent of which device (or
+//!    how many threads, or what lane width) ran it for real.
+//!
+//! Three executors ship:
 //!
 //! * [`ReferenceDevice`] replays the list onto [`crate::GlContext`]
 //!   verbatim — the semantics anchor, bit-identical to driving the
 //!   context by hand;
 //! * [`TiledDevice`] partitions the window into horizontal bands and
 //!   executes the *same list* on every band across scoped worker threads,
-//!   merging per-band counters and readbacks deterministically. Results,
-//!   framebuffers and [`HwStats`] are bit-identical to the reference
-//!   (property-tested) while wall-clock time drops with the thread count.
+//!   merging per-band counters and readbacks deterministically;
+//! * [`SimdDevice`] replays through lane-width-generic kernels that test
+//!   coverage, fill spans and scan buffers [`simd::SIMD_LANES`] pixels
+//!   per step — and composes with the tiled device
+//!   ([`TiledDevice::new_simd`]) for threads × lanes.
 //!
-//! Because execution is a pure function of the list, modeled GPU time is
-//! too: [`crate::HwCostModel::replay_cost`] prices a `CommandList` by
-//! replaying it, independent of which device (or how many threads) ran it
-//! for real.
+//! **The bit-identity invariant.** Every executor must produce the same
+//! [`Execution`] — every readback value *and* every [`HwStats`] counter —
+//! and the same final framebuffer as [`ReferenceDevice`], bit for bit,
+//! for every valid list. Not "close enough": equality is what lets the
+//! staged query pipelines treat the device as a config knob
+//! (`EngineConfig.device`) without re-verifying results, and what makes
+//! the replay cost model device-independent. The invariant is
+//! property-tested in `crates/raster/tests/device_props.rs` and pinned by
+//! the golden command streams in `crates/core/tests/golden/`; see
+//! DESIGN.md §7 for the contract a new backend must uphold.
 
+#![warn(missing_docs)]
+
+mod band;
 pub mod command;
 mod reference;
+pub mod simd;
 mod tiled;
 
 pub use crate::context::PixelRect;
 pub use command::{Command, CommandList, RecordError, Recorder};
 pub use reference::ReferenceDevice;
+pub use simd::SimdDevice;
 pub use tiled::TiledDevice;
 
 use crate::framebuffer::{Color, FrameBuffer};
@@ -49,7 +78,10 @@ pub enum Readback {
 /// handed out.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Execution {
+    /// The deterministic work counters this execution charged — identical
+    /// across executors for the same list (the bit-identity invariant).
     pub stats: HwStats,
+    /// Readback results, one per recorded query, in recording order.
     pub readbacks: Vec<Readback>,
 }
 
@@ -79,8 +111,21 @@ impl Execution {
     }
 }
 
-/// An executor for recorded command streams. Implementations must be
-/// semantically interchangeable: same list in, same [`Execution`] out.
+/// An executor for recorded command streams.
+///
+/// The contract, in full (see also the module docs):
+///
+/// * [`RasterDevice::execute`] starts from a cleared window — device
+///   history must never leak into results (purity: executing the same
+///   list twice yields equal [`Execution`]s);
+/// * results must be **bit-identical** to [`ReferenceDevice`]: every
+///   readback, every [`HwStats`] counter, and the
+///   [`RasterDevice::snapshot`] framebuffer;
+/// * counters follow the two-level charging discipline: command-level
+///   work (`draw_calls`, `primitives`, `minmax_queries`, `batches`) is
+///   charged once per list, fragment-level work (`fragments_tested`,
+///   `pixels_written`, `pixels_scanned`) exactly as the reference
+///   charges it, however the executor partitions the window.
 pub trait RasterDevice: Send + std::fmt::Debug {
     /// A short human-readable backend name for reports.
     fn name(&self) -> &'static str;
@@ -97,7 +142,7 @@ pub trait RasterDevice: Send + std::fmt::Debug {
 }
 
 /// A buildable device selection — the configuration-level knob `core`'s
-/// engine exposes.
+/// engine exposes (`EngineConfig.device`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeviceKind {
     /// Single-threaded [`ReferenceDevice`] replay.
@@ -105,7 +150,22 @@ pub enum DeviceKind {
     Reference,
     /// [`TiledDevice`] with `tiles` horizontal bands executed by up to
     /// `threads` workers.
-    Tiled { tiles: usize, threads: usize },
+    Tiled {
+        /// Horizontal band count (clamped to the window height).
+        tiles: usize,
+        /// Worker-thread cap (clamped to the band count).
+        threads: usize,
+    },
+    /// [`SimdDevice`]: single-threaded, vectorized inner loops.
+    Simd,
+    /// [`TiledDevice::new_simd`]: vectorized inner loops inside each of
+    /// `tiles` bands, executed by up to `threads` workers.
+    TiledSimd {
+        /// Horizontal band count (clamped to the window height).
+        tiles: usize,
+        /// Worker-thread cap (clamped to the band count).
+        threads: usize,
+    },
 }
 
 impl DeviceKind {
@@ -114,6 +174,10 @@ impl DeviceKind {
         match self {
             DeviceKind::Reference => Box::new(ReferenceDevice::new()),
             DeviceKind::Tiled { tiles, threads } => Box::new(TiledDevice::new(tiles, threads)),
+            DeviceKind::Simd => Box::new(SimdDevice::new()),
+            DeviceKind::TiledSimd { tiles, threads } => {
+                Box::new(TiledDevice::new_simd(tiles, threads))
+            }
         }
     }
 }

@@ -1,4 +1,11 @@
 //! The reference executor: verbatim replay onto [`GlContext`].
+//!
+//! In the record→validate→execute→replay-cost lifecycle this is the
+//! *executor* every other backend is measured against: one context call
+//! per recorded command, nothing reordered, nothing fused. The tiled and
+//! SIMD executors are free to restructure the work however they like —
+//! their obligation (the bit-identity invariant, see [`crate::device`])
+//! is defined as "indistinguishable from this replay".
 
 use super::command::{Command, CommandList};
 use super::{Execution, RasterDevice, Readback};
@@ -18,6 +25,7 @@ pub struct ReferenceDevice {
 }
 
 impl ReferenceDevice {
+    /// A fresh device; the GL context is allocated on first execute.
     pub fn new() -> Self {
         ReferenceDevice { gl: None }
     }

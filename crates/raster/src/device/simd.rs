@@ -1,0 +1,91 @@
+//! The SIMD scanline executor: one full-window band, vectorized inner
+//! loops.
+//!
+//! The paper's speedup is rasterization throughput — fragments per second
+//! through the coverage tests and buffer scans — so this backend attacks
+//! exactly those inner loops. [`SimdDevice`] replays a recorded
+//! [`CommandList`] through the shared band engine (the `band` module) at
+//! [`SIMD_LANES`] pixels per step:
+//!
+//! * **AA wide-line coverage** — [`crate::aa_line::AaLineCover`] evaluates
+//!   the bounding-rectangle separating-axis test for `LANES` pixel centers
+//!   at once (a fixed-width mask array the autovectorizer lowers to packed
+//!   compares). In Overwrite mode it goes further: a scanline's covered
+//!   pixels always form one contiguous interval, so the replay locates the
+//!   interval endpoints (seeded by the previous row's answer — scanline
+//!   coherence) and bulk-fills the span instead of testing and writing
+//!   pixel-by-pixel;
+//! * **smooth-point discs** — [`crate::point_raster::WidePointCover`],
+//!   same shape, for the clamp-to-square distance test;
+//! * **polygon fill** — [`crate::polygon_raster::rasterize_polygon_spans`]
+//!   hands whole spans over, written with bulk row fills instead of
+//!   per-pixel stores;
+//! * **buffer scans** — Minmax/stencil/cell-max reductions and
+//!   accumulation adds run through the lane-accumulator kernels in
+//!   the `scan` module (optionally SSE2 intrinsics behind the
+//!   `simd-intrinsics` feature).
+//!
+//! Bit-identity with [`super::ReferenceDevice`] is a hard contract, not a
+//! best effort: the lane kernels evaluate the *same expressions* as the
+//! scalar path (no fused operations, no algebraic shortcuts), min/max
+//! reductions reassociate exactly over the non-NaN values the framebuffer
+//! holds, and the scalar executors instantiate the very same generic code
+//! at `LANES = 1` — so every lane-width bug is caught by the same
+//! property suite (`crates/raster/tests/device_props.rs`) that checks the
+//! tiled device.
+//!
+//! For thread parallelism *on top of* lane parallelism, use
+//! [`super::TiledDevice::new_simd`], which runs these kernels inside each
+//! band.
+
+use super::band::{command_level_stats, run_band};
+use super::command::CommandList;
+use super::{Execution, RasterDevice};
+use crate::framebuffer::FrameBuffer;
+
+/// Pixels advanced per inner-loop step by the vectorized kernels. Eight
+/// `f64` coverage lanes span two AVX registers (or four SSE2 ones) —
+/// enough to keep the ports busy without spilling the mask array.
+pub const SIMD_LANES: usize = 8;
+
+/// A [`RasterDevice`] that executes the whole window as a single band
+/// through the `LANES = 8` kernels. The framebuffer persists across
+/// executions (reset, not reallocated, while the window shape is stable),
+/// like the other executors.
+#[derive(Debug, Default)]
+pub struct SimdDevice {
+    fb: Option<FrameBuffer>,
+}
+
+impl SimdDevice {
+    /// A fresh device; the framebuffer is allocated on first execute.
+    pub fn new() -> Self {
+        SimdDevice::default()
+    }
+}
+
+impl RasterDevice for SimdDevice {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn execute(&mut self, list: &CommandList) -> Execution {
+        let (w, h) = (list.width(), list.height());
+        match &mut self.fb {
+            Some(fb) if fb.width() == w && fb.height() == h => fb.reset(),
+            fb => *fb = Some(FrameBuffer::new(w, h)),
+        }
+        let fb = self.fb.as_mut().expect("framebuffer just ensured");
+        let mut stats = command_level_stats(list);
+        let band = run_band::<SIMD_LANES>(list, 0, h, fb);
+        stats.add(&band.stats);
+        Execution {
+            stats,
+            readbacks: band.readbacks,
+        }
+    }
+
+    fn snapshot(&self) -> Option<FrameBuffer> {
+        self.fb.clone()
+    }
+}

@@ -4,11 +4,11 @@
 //! Correctness argument, in three parts:
 //!
 //! 1. **Fragments partition by scanline.** Every rasterizer has a
-//!    `_rows`-clipped variant that keeps all per-pixel math in absolute
-//!    window coordinates and only narrows the scanline loop. Partitioning
-//!    the window's rows into bands therefore partitions the full
-//!    fragment set — same pixels, same `fragments_tested`, each fragment
-//!    in exactly one band.
+//!    row-clipped span entry point that keeps all per-pixel math in
+//!    absolute window coordinates and only narrows the scanline loop.
+//!    Partitioning the window's rows into bands therefore partitions the
+//!    full fragment set — same pixels, same `fragments_tested`, each
+//!    fragment in exactly one band.
 //! 2. **Counters split by kind.** Fragment-level counters
 //!    (`fragments_tested`, `pixels_written`, `pixels_scanned`) are charged
 //!    inside each band over band-sized buffers and summed — the band areas
@@ -22,21 +22,23 @@
 //!    combine to exactly the whole-buffer scan's answer. Merging walks
 //!    bands in a fixed order — results never depend on thread scheduling.
 //!
+//! The band replay itself lives in [`super::band`] and is shared with
+//! [`super::SimdDevice`]; this module owns the partitioning, the worker
+//! threads, and the deterministic merge. Construct with
+//! [`TiledDevice::new_simd`] to run the SIMD inner loops inside each band
+//! — band decomposition and lane width compose freely because both leave
+//! the per-pixel math untouched.
+//!
 //! The wall-clock win comes from two places: bands rasterize and scan in
 //! parallel, and a band whose rows a scissored draw cannot touch skips
 //! that draw entirely — on an atlas-sized list almost every cell-scissored
 //! draw is skipped by almost every band.
 
-use super::command::{Command, CommandList};
+use super::band::{command_level_stats, merge_readback, run_band, BandResult};
+use super::command::CommandList;
+use super::simd::SIMD_LANES;
 use super::{Execution, RasterDevice, Readback};
-use crate::aa_line::{rasterize_aa_line_rows, DIAGONAL_WIDTH};
-use crate::context::{PixelRect, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
-use crate::framebuffer::{Color, FrameBuffer, BLACK, HALF_GRAY};
-use crate::point_raster::rasterize_wide_point_rows;
-use crate::polygon_raster::rasterize_polygon_rows;
-use crate::stats::HwStats;
-use crate::viewport::Viewport;
-use spatial_geom::Point;
+use crate::framebuffer::FrameBuffer;
 
 /// Executes command lists over `tiles` horizontal bands with up to
 /// `threads` scoped workers. `Tiled { tiles: 1, threads: 1 }` degenerates
@@ -51,6 +53,8 @@ use spatial_geom::Point;
 pub struct TiledDevice {
     tiles: usize,
     threads: usize,
+    /// Run the SIMD (`LANES = 8`) inner loops inside each band.
+    simd: bool,
     /// Band partition of the most recent window, in row order.
     bands: Vec<(usize, usize)>,
     /// One buffer per entry of `bands`, holding that band's final pixels.
@@ -60,21 +64,36 @@ pub struct TiledDevice {
 }
 
 impl TiledDevice {
+    /// A scalar tiled executor over `tiles` bands and up to `threads`
+    /// workers (both clamped to at least 1).
     pub fn new(tiles: usize, threads: usize) -> Self {
         TiledDevice {
             tiles: tiles.max(1),
             threads: threads.max(1),
+            simd: false,
             bands: Vec::new(),
             band_bufs: Vec::new(),
             window: (0, 0),
         }
     }
 
+    /// Like [`TiledDevice::new`], but each band replays through the
+    /// vectorized (`LANES = 8`) kernels of [`super::SimdDevice`] — thread
+    /// parallelism across bands, data parallelism within each scanline.
+    pub fn new_simd(tiles: usize, threads: usize) -> Self {
+        TiledDevice {
+            simd: true,
+            ..TiledDevice::new(tiles, threads)
+        }
+    }
+
+    /// The configured band count.
     #[inline]
     pub fn tiles(&self) -> usize {
         self.tiles
     }
 
+    /// The configured worker-thread cap.
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
@@ -83,34 +102,18 @@ impl TiledDevice {
 
 impl RasterDevice for TiledDevice {
     fn name(&self) -> &'static str {
-        "tiled"
+        if self.simd {
+            "tiled+simd"
+        } else {
+            "tiled"
+        }
     }
 
     fn execute(&mut self, list: &CommandList) -> Execution {
         let (w, h) = (list.width(), list.height());
 
         // Command-level charges: once, centrally, regardless of tiling.
-        let mut stats = HwStats::default();
-        for cmd in list.commands() {
-            match *cmd {
-                Command::DrawSegments { len, new_call, .. }
-                | Command::DrawPoints { len, new_call, .. } => {
-                    if new_call {
-                        stats.draw_calls += 1;
-                    }
-                    stats.primitives += len;
-                }
-                Command::FillPolygon { .. } => {
-                    stats.draw_calls += 1;
-                    stats.primitives += 1;
-                }
-                Command::Minmax | Command::StencilMax | Command::CellMax { .. } => {
-                    stats.minmax_queries += 1;
-                }
-                Command::BeginBatch => stats.batches += 1,
-                _ => {}
-            }
-        }
+        let mut stats = command_level_stats(list);
 
         let tiles = self.tiles.min(h);
         let bands: Vec<(usize, usize)> = (0..tiles)
@@ -133,12 +136,18 @@ impl RasterDevice for TiledDevice {
             }
         }
 
+        let run: fn(&CommandList, usize, usize, &mut FrameBuffer) -> BandResult = if self.simd {
+            run_band::<SIMD_LANES>
+        } else {
+            run_band::<1>
+        };
+
         let bands = &self.bands;
         let mut results: Vec<Option<BandResult>> = (0..bands.len()).map(|_| None).collect();
         let workers = self.threads.min(bands.len()).max(1);
         if workers <= 1 {
             for ((slot, &(y0, y1)), buf) in results.iter_mut().zip(bands).zip(&mut self.band_bufs) {
-                *slot = Some(run_band(list, y0, y1, buf));
+                *slot = Some(run(list, y0, y1, buf));
             }
         } else {
             let per = bands.len().div_ceil(workers);
@@ -152,7 +161,7 @@ impl RasterDevice for TiledDevice {
                         for ((slot, &(y0, y1)), buf) in
                             res_chunk.iter_mut().zip(band_chunk).zip(buf_chunk)
                         {
-                            *slot = Some(run_band(list, y0, y1, buf));
+                            *slot = Some(run(list, y0, y1, buf));
                         }
                     });
                 }
@@ -189,248 +198,5 @@ impl RasterDevice for TiledDevice {
             full.copy_band_from(buf, y0);
         }
         Some(full)
-    }
-}
-
-struct BandResult {
-    stats: HwStats,
-    readbacks: Vec<Readback>,
-}
-
-fn merge_readback(acc: &mut Readback, part: Readback) {
-    match (acc, part) {
-        (Readback::Minmax(mn, mx), Readback::Minmax(pmn, pmx)) => {
-            for ch in 0..3 {
-                mn[ch] = mn[ch].min(pmn[ch]);
-                mx[ch] = mx[ch].max(pmx[ch]);
-            }
-        }
-        (Readback::StencilMax(v), Readback::StencilMax(pv)) => *v = (*v).max(pv),
-        (Readback::CellMax(vals), Readback::CellMax(pvals)) => {
-            for (a, b) in vals.iter_mut().zip(pvals) {
-                *a = a.max(b);
-            }
-        }
-        _ => unreachable!("band readback streams diverged"),
-    }
-}
-
-/// Replays the whole list against one band (global rows `y0..y1`),
-/// charging only fragment-level counters over the band-sized buffer
-/// `fb` (pre-reset by the caller).
-fn run_band(list: &CommandList, y0: usize, y1: usize, fb: &mut FrameBuffer) -> BandResult {
-    let width = list.width();
-    let full_h = list.height();
-    let mut stats = HwStats::default();
-    let mut readbacks = Vec::with_capacity(list.readback_count());
-    // Scratch fragment buffer shared by all non-overwrite draws.
-    let mut frags: Vec<(usize, usize)> = Vec::new();
-    // Pipeline state, mirroring GlContext's replay defaults.
-    let mut viewport: Option<Viewport> = None;
-    let mut scissor: Option<PixelRect> = None;
-    let mut color: Color = HALF_GRAY;
-    let mut line_width = DIAGONAL_WIDTH;
-    let mut point_size = 1.0f64;
-    let mut write_mode = WriteMode::Overwrite;
-
-    // The active rasterization window and this band's scanline range in
-    // its local coordinates. `None` when the band's rows cannot be
-    // touched — the draw is skipped outright.
-    let clip = |scissor: Option<PixelRect>| -> Option<(usize, usize, usize, i64, i64)> {
-        let (win_w, win_h, ox, oy) = match scissor {
-            Some(r) => (r.w, r.h, r.x, r.y),
-            None => (width, full_h, 0, 0),
-        };
-        let row_lo = (y0 as i64 - oy as i64).max(0);
-        let row_hi = (y1 as i64 - 1 - oy as i64).min(win_h as i64 - 1);
-        if row_lo > row_hi {
-            None
-        } else {
-            Some((win_w, ox, oy, row_lo, row_hi))
-        }
-    };
-
-    for cmd in list.commands() {
-        match *cmd {
-            Command::SetColor(c) => color = c,
-            Command::SetLineWidth(w) => line_width = w.clamp(1.0, MAX_AA_LINE_WIDTH),
-            Command::SetPointSize(s) => point_size = s.clamp(1.0, MAX_POINT_SIZE),
-            Command::SetWriteMode(m) => write_mode = m,
-            Command::SetViewport(vp) => viewport = Some(vp),
-            Command::SetScissor(r) => scissor = r,
-            Command::ClearColor => fb.clear_color(BLACK, &mut stats),
-            Command::ClearAccum => fb.clear_accum(&mut stats),
-            Command::ClearStencil => fb.clear_stencil(&mut stats),
-            Command::AccumLoad => fb.accum_load(&mut stats),
-            Command::AccumAdd => fb.accum_add(&mut stats),
-            Command::AccumReturn => fb.accum_return(&mut stats),
-            // Charged centrally.
-            Command::BeginBatch => {}
-            Command::DrawSegments { start, len, .. } => {
-                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
-                    continue;
-                };
-                let vp = viewport.expect("recorder rejects draws without a viewport");
-                let segs = list.seg_run(start, len);
-                if write_mode == WriteMode::Overwrite {
-                    let mut written = 0usize;
-                    for seg in segs {
-                        let a = vp.to_window(seg.a);
-                        let b = vp.to_window(seg.b);
-                        let mut sink = |x: usize, y: usize| {
-                            fb.write_pixel_uncounted(ox + x, oy + y - y0, color);
-                            written += 1;
-                        };
-                        rasterize_aa_line_rows(
-                            a, b, line_width, win_w, row_lo, row_hi, &mut stats, &mut sink,
-                        );
-                        if a == b {
-                            // Degenerate after projection: keep coverage
-                            // with a point (same rule as GlContext).
-                            rasterize_wide_point_rows(
-                                a, line_width, win_w, row_lo, row_hi, &mut stats, &mut sink,
-                            );
-                        }
-                    }
-                    stats.pixels_written += written;
-                } else {
-                    frags.clear();
-                    for seg in segs {
-                        let a = vp.to_window(seg.a);
-                        let b = vp.to_window(seg.b);
-                        let mut sink = |x: usize, y: usize| frags.push((ox + x, oy + y - y0));
-                        rasterize_aa_line_rows(
-                            a, b, line_width, win_w, row_lo, row_hi, &mut stats, &mut sink,
-                        );
-                        if a == b {
-                            rasterize_wide_point_rows(
-                                a, line_width, win_w, row_lo, row_hi, &mut stats, &mut sink,
-                            );
-                        }
-                    }
-                    write_band_fragments(fb, &mut stats, write_mode, color, &frags);
-                }
-            }
-            Command::DrawPoints { start, len, .. } => {
-                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
-                    continue;
-                };
-                let vp = viewport.expect("recorder rejects draws without a viewport");
-                let pts = list.point_run(start, len);
-                if write_mode == WriteMode::Overwrite {
-                    let mut written = 0usize;
-                    for &p in pts {
-                        let wp = vp.to_window(p);
-                        let mut sink = |x: usize, y: usize| {
-                            fb.write_pixel_uncounted(ox + x, oy + y - y0, color);
-                            written += 1;
-                        };
-                        rasterize_wide_point_rows(
-                            wp, point_size, win_w, row_lo, row_hi, &mut stats, &mut sink,
-                        );
-                    }
-                    stats.pixels_written += written;
-                } else {
-                    frags.clear();
-                    for &p in pts {
-                        let wp = vp.to_window(p);
-                        rasterize_wide_point_rows(
-                            wp,
-                            point_size,
-                            win_w,
-                            row_lo,
-                            row_hi,
-                            &mut stats,
-                            &mut |x, y| frags.push((ox + x, oy + y - y0)),
-                        );
-                    }
-                    write_band_fragments(fb, &mut stats, write_mode, color, &frags);
-                }
-            }
-            Command::FillPolygon { start, len } => {
-                let Some((win_w, ox, oy, row_lo, row_hi)) = clip(scissor) else {
-                    continue;
-                };
-                let vp = viewport.expect("recorder rejects draws without a viewport");
-                let win: Vec<Point> = list
-                    .poly_run(start, len)
-                    .iter()
-                    .map(|&p| vp.to_window(p))
-                    .collect();
-                frags.clear();
-                rasterize_polygon_rows(&win, win_w, row_lo, row_hi, &mut stats, &mut |x, y| {
-                    frags.push((ox + x, oy + y - y0))
-                });
-                write_band_fragments(fb, &mut stats, write_mode, color, &frags);
-            }
-            Command::Minmax => {
-                let (mn, mx) = fb.minmax(&mut stats);
-                readbacks.push(Readback::Minmax(mn, mx));
-            }
-            Command::StencilMax => {
-                readbacks.push(Readback::StencilMax(fb.stencil_max(&mut stats)));
-            }
-            Command::CellMax { start, len } => {
-                stats.pixels_scanned += fb.len();
-                let vals = list
-                    .cell_run(start, len)
-                    .iter()
-                    .map(|c| {
-                        let mut max = 0.0f32;
-                        let lo = c.y.max(y0);
-                        let hi = (c.y + c.h).min(y1);
-                        for gy in lo..hi {
-                            for x in c.x..c.x + c.w {
-                                max = max.max(fb.read_pixel(x, gy - y0)[0]);
-                            }
-                        }
-                        max
-                    })
-                    .collect();
-                readbacks.push(Readback::CellMax(vals));
-            }
-        }
-    }
-    BandResult { stats, readbacks }
-}
-
-/// The band-local mirror of `GlContext::write_fragments`: identical
-/// per-draw-call deduplication rules, applied to this band's fragment
-/// subset. Rows partition across bands, so deduplicating per band is the
-/// reference's global per-call dedup restricted to the band.
-fn write_band_fragments(
-    fb: &mut FrameBuffer,
-    stats: &mut HwStats,
-    mode: WriteMode,
-    color: Color,
-    frags: &[(usize, usize)],
-) {
-    match mode {
-        WriteMode::Overwrite => {
-            for &(x, y) in frags {
-                fb.write_pixel(x, y, color, stats);
-            }
-        }
-        WriteMode::Blend => {
-            let mut sorted: Vec<(usize, usize)> = frags.to_vec();
-            sorted.sort_unstable();
-            sorted.dedup();
-            for &(x, y) in &sorted {
-                fb.blend_pixel(x, y, color, stats);
-            }
-        }
-        WriteMode::StencilReplace(v) => {
-            for &(x, y) in frags {
-                fb.stencil_replace(x, y, v, stats);
-            }
-        }
-        WriteMode::StencilIncrIfEq(r) => {
-            let mut sorted: Vec<(usize, usize)> = frags.to_vec();
-            sorted.sort_unstable();
-            sorted.dedup();
-            for &(x, y) in &sorted {
-                fb.stencil_incr_if_eq(x, y, r, stats);
-            }
-        }
     }
 }

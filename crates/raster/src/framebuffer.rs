@@ -7,6 +7,7 @@
 //! 0.5 and 1.0 exactly, as 2003-era 8-bit-per-channel buffers held 128 and
 //! 255.
 
+use crate::scan;
 use crate::stats::HwStats;
 
 /// An RGB color.
@@ -189,46 +190,76 @@ impl FrameBuffer {
         stats.pixels_scanned += self.len();
     }
 
-    /// `glAccum(GL_ACCUM, 1.0)`: accum ← accum + color.
+    /// `glAccum(GL_ACCUM, 1.0)`: accum ← accum + color. An elementwise map
+    /// with no dependency chain — see the `scan` module for why it is shared
+    /// by every executor at every lane width.
+    #[inline(always)]
     pub fn accum_add(&mut self, stats: &mut HwStats) {
-        for (a, c) in self.accum.iter_mut().zip(self.color.iter()) {
-            for ch in 0..3 {
-                a[ch] += c[ch];
-            }
-        }
+        scan::add_assign(&mut self.accum, &self.color);
         stats.pixels_scanned += self.len();
     }
 
     /// `glAccum(GL_RETURN, 1.0)`: color ← accum (clamped to [0, 1]).
+    #[inline(always)]
     pub fn accum_return(&mut self, stats: &mut HwStats) {
-        for (c, a) in self.color.iter_mut().zip(self.accum.iter()) {
-            for ch in 0..3 {
-                c[ch] = a[ch].clamp(0.0, 1.0);
-            }
-        }
+        scan::copy_clamped(&mut self.color, &self.accum);
         stats.pixels_scanned += self.len();
     }
 
     /// The hardware Minmax query (§3.2): per-channel minimum and maximum of
     /// the color buffer, computed "on the card" — i.e. without transferring
-    /// pixels back — at the cost of one scan over the window.
+    /// pixels back — at the cost of one scan over the window. The serial
+    /// fold; `minmax_lanes` is the same kernel at any lane
+    /// width.
     pub fn minmax(&self, stats: &mut HwStats) -> (Color, Color) {
-        let mut mn = [f32::INFINITY; 3];
-        let mut mx = [f32::NEG_INFINITY; 3];
-        for c in &self.color {
-            for ch in 0..3 {
-                mn[ch] = mn[ch].min(c[ch]);
-                mx[ch] = mx[ch].max(c[ch]);
-            }
-        }
+        self.minmax_lanes::<1>(stats)
+    }
+
+    /// [`FrameBuffer::minmax`] with `LANES` independent accumulators (see
+    /// [`crate::scan::minmax_colors`]) — bit-identical results, one scan
+    /// charged either way.
+    #[inline(always)]
+    pub(crate) fn minmax_lanes<const LANES: usize>(&self, stats: &mut HwStats) -> (Color, Color) {
         stats.pixels_scanned += self.len();
-        (mn, mx)
+        scan::minmax_colors::<LANES>(&self.color)
     }
 
     /// Maximum stencil value (for the stencil overlap strategy).
     pub fn stencil_max(&self, stats: &mut HwStats) -> u8 {
+        self.stencil_max_lanes::<1>(stats)
+    }
+
+    /// [`FrameBuffer::stencil_max`] with `LANES` independent accumulators —
+    /// identical result (integer max), one scan charged either way.
+    #[inline(always)]
+    pub(crate) fn stencil_max_lanes<const LANES: usize>(&self, stats: &mut HwStats) -> u8 {
         stats.pixels_scanned += self.len();
-        self.stencil.iter().copied().max().unwrap_or(0)
+        scan::stencil_max::<LANES>(&self.stencil)
+    }
+
+    /// The colors of row `y`, columns `x0 .. x0 + len` — a contiguous slice
+    /// the per-cell reduction feeds through the lane kernels.
+    #[inline]
+    pub(crate) fn row_colors(&self, y: usize, x0: usize, len: usize) -> &[Color] {
+        let i = self.idx(x0, y);
+        &self.color[i..i + len]
+    }
+
+    /// Overwrites `len` pixels of row `y` starting at `x0` without touching
+    /// counters — the polygon fill's bulk span write (the caller charges
+    /// `pixels_written` from the span length).
+    #[inline]
+    pub(crate) fn fill_row_span(&mut self, y: usize, x0: usize, len: usize, c: Color) {
+        let i = self.idx(x0, y);
+        self.color[i..i + len].fill(c);
+    }
+
+    /// Replaces `len` stencil values of row `y` starting at `x0` without
+    /// touching counters — the `StencilReplace` span write.
+    #[inline]
+    pub(crate) fn stencil_fill_row_span(&mut self, y: usize, x0: usize, len: usize, v: u8) {
+        let i = self.idx(x0, y);
+        self.stencil[i..i + len].fill(v);
     }
 
     /// Resets every plane to its cleared state without charging any

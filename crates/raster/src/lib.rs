@@ -36,6 +36,7 @@ pub mod line_raster;
 pub mod point_raster;
 pub mod polygon_raster;
 pub mod ppm;
+pub(crate) mod scan;
 pub mod stats;
 pub mod viewport;
 pub mod voronoi;
@@ -47,7 +48,7 @@ pub use context::{
 pub use cost_model::HwCostModel;
 pub use device::{
     Command, CommandList, DeviceKind, Execution, RasterDevice, Readback, RecordError, Recorder,
-    ReferenceDevice, TiledDevice,
+    ReferenceDevice, SimdDevice, TiledDevice,
 };
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;

@@ -37,6 +37,37 @@ pub fn rasterize_polygon_rows(
     stats: &mut HwStats,
     sink: &mut impl FnMut(usize, usize),
 ) {
+    rasterize_polygon_spans(
+        vertices,
+        width,
+        row_lo,
+        row_hi,
+        stats,
+        &mut |j, i_lo, i_hi| {
+            for i in i_lo..=i_hi {
+                sink(i, j);
+            }
+        },
+    )
+}
+
+/// The span-oriented entry point of the polygon fill, shared by every
+/// executor: crossing detection and span arithmetic happen once per
+/// scanline, and each filled span `[i_lo, i_hi]` (inclusive columns, both
+/// in-window) is handed to `span(j, i_lo, i_hi)` whole. The reference path
+/// ([`rasterize_polygon_rows`]) expands spans pixel-by-pixel; the SIMD
+/// device fills them with bulk row writes — same pixels, same
+/// `fragments_tested` total (charged here, one span at a time), so the two
+/// stay bit-identical by construction.
+#[inline]
+pub fn rasterize_polygon_spans(
+    vertices: &[Point],
+    width: usize,
+    row_lo: i64,
+    row_hi: i64,
+    stats: &mut HwStats,
+    span: &mut impl FnMut(usize, usize, usize),
+) {
     if vertices.len() < 3 {
         return;
     }
@@ -74,9 +105,9 @@ pub fn rasterize_polygon_rows(
             // Smallest i with i + 0.5 >= x0, largest i with i + 0.5 < x1.
             let i_lo = ((x0 - 0.5).ceil() as i64).max(0);
             let i_hi = (((x1 - 0.5).ceil() as i64) - 1).min(width as i64 - 1);
-            for i in i_lo..=i_hi {
-                stats.fragments_tested += 1;
-                sink(i as usize, j as usize);
+            if i_lo <= i_hi {
+                stats.fragments_tested += (i_hi - i_lo + 1) as usize;
+                span(j as usize, i_lo as usize, i_hi as usize);
             }
         }
     }

@@ -1,7 +1,8 @@
 //! The device contract, property-tested: for randomized recorded scenes,
-//! [`TiledDevice`] — across several tile counts and thread counts — must
-//! produce bit-identical framebuffers, readback results and [`HwStats`]
-//! counters to [`ReferenceDevice`].
+//! every executor — [`TiledDevice`] across several tile counts and thread
+//! counts, [`SimdDevice`] standalone, and the SIMD kernels inside tiled
+//! bands — must produce bit-identical framebuffers, readback results and
+//! [`HwStats`] counters to [`ReferenceDevice`].
 //!
 //! The scenes deliberately exercise every command the recorder can emit:
 //! all three overlap-strategy choreographies (accumulation, blending,
@@ -13,8 +14,8 @@ use proptest::prelude::*;
 use spatial_geom::{Point, Rect, Segment};
 use spatial_raster::framebuffer::HALF_GRAY;
 use spatial_raster::{
-    CommandList, OverlapStrategy, PixelRect, RasterDevice, Recorder, ReferenceDevice, TiledDevice,
-    Viewport,
+    CommandList, OverlapStrategy, PixelRect, RasterDevice, Recorder, ReferenceDevice, SimdDevice,
+    TiledDevice, Viewport,
 };
 use spatial_raster::{FrameBuffer, WriteMode};
 
@@ -185,30 +186,33 @@ fn reference_run(list: &CommandList) -> (spatial_raster::Execution, FrameBuffer)
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The tentpole invariant: every tile/thread configuration is
-    /// bit-identical to the reference replay — stats, readbacks, pixels.
+    /// The tentpole invariant: every executor — scalar tiled at every
+    /// tile/thread configuration, SIMD standalone, and SIMD inside tiled
+    /// bands — is bit-identical to the reference replay: stats, readbacks,
+    /// pixels.
     #[test]
-    fn tiled_execution_is_bit_identical_to_reference(scene in arb_scene()) {
+    fn executors_are_bit_identical_to_reference(scene in arb_scene()) {
         let list = record(&scene);
         let (ref_exec, ref_fb) = reference_run(&list);
+        let mut devices: Vec<Box<dyn RasterDevice>> = vec![Box::new(SimdDevice::new())];
         for tiles in [2usize, 5] {
             for threads in [1usize, 2, 4] {
-                let mut tiled = TiledDevice::new(tiles, threads);
-                let exec = tiled.execute(&list);
-                prop_assert_eq!(
-                    &exec.stats, &ref_exec.stats,
-                    "stats diverged at tiles={} threads={}", tiles, threads
-                );
-                prop_assert_eq!(
-                    &exec.readbacks, &ref_exec.readbacks,
-                    "readbacks diverged at tiles={} threads={}", tiles, threads
-                );
-                let fb = tiled.snapshot().expect("executed at least once");
-                prop_assert!(
-                    fb == ref_fb,
-                    "framebuffer diverged at tiles={} threads={}", tiles, threads
-                );
+                devices.push(Box::new(TiledDevice::new(tiles, threads)));
+                devices.push(Box::new(TiledDevice::new_simd(tiles, threads)));
             }
+        }
+        for dev in &mut devices {
+            let exec = dev.execute(&list);
+            prop_assert_eq!(
+                &exec.stats, &ref_exec.stats,
+                "stats diverged on {:?}", dev
+            );
+            prop_assert_eq!(
+                &exec.readbacks, &ref_exec.readbacks,
+                "readbacks diverged on {:?}", dev
+            );
+            let fb = dev.snapshot().expect("executed at least once");
+            prop_assert!(fb == ref_fb, "framebuffer diverged on {:?}", dev);
         }
     }
 
@@ -217,24 +221,36 @@ proptest! {
     #[test]
     fn re_execution_is_pure(scene in arb_scene()) {
         let list = record(&scene);
-        let mut dev = TiledDevice::new(3, 2);
-        let first = dev.execute(&list);
-        let second = dev.execute(&list);
-        prop_assert_eq!(first, second);
+        let mut devices: Vec<Box<dyn RasterDevice>> = vec![
+            Box::new(TiledDevice::new(3, 2)),
+            Box::new(SimdDevice::new()),
+            Box::new(TiledDevice::new_simd(3, 2)),
+        ];
+        for dev in &mut devices {
+            let first = dev.execute(&list);
+            let second = dev.execute(&list);
+            prop_assert_eq!(first, second, "impure execution on {:?}", dev);
+        }
     }
 
     /// More tiles than rows, one tile, or one thread: degenerate shapes
-    /// still match the reference exactly.
+    /// still match the reference exactly — in both scalar and SIMD mode.
     #[test]
     fn degenerate_tile_configs_match(scene in arb_scene()) {
         let list = record(&scene);
         let (ref_exec, ref_fb) = reference_run(&list);
         for (tiles, threads) in [(1usize, 1usize), (64, 2), (scene.height + 3, 8)] {
-            let mut tiled = TiledDevice::new(tiles, threads);
-            let exec = tiled.execute(&list);
-            prop_assert_eq!(&exec.stats, &ref_exec.stats);
-            prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
-            prop_assert!(tiled.snapshot().expect("ran") == ref_fb);
+            for simd in [false, true] {
+                let mut tiled = if simd {
+                    TiledDevice::new_simd(tiles, threads)
+                } else {
+                    TiledDevice::new(tiles, threads)
+                };
+                let exec = tiled.execute(&list);
+                prop_assert_eq!(&exec.stats, &ref_exec.stats);
+                prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
+                prop_assert!(tiled.snapshot().expect("ran") == ref_fb);
+            }
         }
     }
 }
