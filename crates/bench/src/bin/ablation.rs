@@ -31,7 +31,7 @@ fn strategies(w: &Workloads) {
         OverlapStrategy::Stencil,
     ] {
         let mut e = hardware_engine(8, 0);
-        let mut cfg = *e.config();
+        let mut cfg = e.config().clone();
         cfg.hw.strategy = strategy;
         e.set_config(cfg);
         let (results, cost) = e.intersection_join(&w.landc, &w.lando);

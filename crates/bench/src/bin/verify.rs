@@ -5,7 +5,9 @@
 //! guarantee, checked at workload scale rather than per-pair.
 
 use hwa_core::engine::{EngineConfig, GeometryTest, SpatialEngine};
-use hwa_core::{CostBreakdown, DeviceKind, HwConfig};
+use hwa_core::{
+    CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecoveryPolicy,
+};
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
 use spatial_raster::OverlapStrategy;
 
@@ -43,6 +45,54 @@ fn check_device_pair<R: PartialEq>(
             t.hw_batches,
             t.gpu_modeled
         );
+        *failures += 1;
+    }
+}
+
+/// Widens a selection run to the join result shape so the fault sweep can
+/// treat all four pipelines uniformly.
+fn lift_selection(run: (Vec<usize>, CostBreakdown)) -> (Vec<(usize, usize)>, CostBreakdown) {
+    (run.0.into_iter().map(|i| (i, 0)).collect(), run.1)
+}
+
+/// Asserts a fault-injected run agrees with the clean run on results and
+/// on every counter the faults cannot legitimately change, and that the
+/// test ledger accounts each stolen hardware test as a software fallback.
+fn check_fault_pair(
+    label: &str,
+    clean: &(Vec<(usize, usize)>, CostBreakdown),
+    faulty: &(Vec<(usize, usize)>, CostBreakdown),
+    failures: &mut usize,
+) {
+    if clean.0 != faulty.0 {
+        println!("FAIL fault sweep {label}: results differ");
+        *failures += 1;
+    }
+    let (c, f) = (&clean.1, &faulty.1);
+    if c.candidates != f.candidates || c.filter_hits != f.filter_hits || c.results != f.results {
+        println!("FAIL fault sweep {label}: filter-stage counters diverged");
+        *failures += 1;
+    }
+    let (ct, ft) = (&c.tests, &f.tests);
+    if ct.decided_by_pip != ft.decided_by_pip
+        || ct.skipped_by_threshold != ft.skipped_by_threshold
+        || ct.width_limit_fallbacks != ft.width_limit_fallbacks
+    {
+        println!("FAIL fault sweep {label}: routing counters diverged");
+        *failures += 1;
+    }
+    if ft.hw_tests + ft.fallback_tests != ct.hw_tests {
+        println!(
+            "FAIL fault sweep {label}: ledger leak — hw {} + fallback {} != clean hw {}",
+            ft.hw_tests, ft.fallback_tests, ct.hw_tests
+        );
+        *failures += 1;
+    }
+    // Fallbacks come either from exhausted retries (device_faults) or
+    // from the breaker refusing submissions (quarantined) — the breaker
+    // outlives a query, so a run may see only refusals.
+    if ft.fallback_tests > 0 && ft.device_faults == 0 && ft.quarantined == 0 {
+        println!("FAIL fault sweep {label}: fallbacks charged without any fault");
         *failures += 1;
     }
 }
@@ -192,7 +242,7 @@ fn main() {
                 let mut e = SpatialEngine::new(EngineConfig {
                     hw_batch: batch,
                     refine_threads: threads,
-                    ..base
+                    ..base.clone()
                 });
                 let (got, cost) = e.intersection_join(&w.landc, &w.lando);
                 if got != expected {
@@ -280,7 +330,7 @@ fn main() {
             ),
         ];
         for (batch, threads) in [(1usize, 1usize), (64, 2)] {
-            for (dev_name, device) in alternates {
+            for (dev_name, device) in alternates.clone() {
                 let mut r = make(DeviceKind::Reference, batch, threads);
                 let mut t = make(device, batch, threads);
                 let label = format!("{dev_name} batch {batch} threads {threads}");
@@ -311,6 +361,107 @@ fn main() {
             }
         }
         println!("device cross-check verified: tiled/simd/tiled+simd ≡ reference on all pipelines");
+    }
+
+    // Fault-injection sweep (`--faults`): every seeded fault schedule —
+    // transient submission errors, corrupted readbacks, and a permanent
+    // failure that drives the circuit breaker — must leave results AND
+    // every fault-independent counter bit-identical to the clean run,
+    // with the degradation fully accounted in the test ledger
+    // (hw_tests + fallback_tests == clean hw_tests).
+    if opts.faults {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |device: DeviceKind, batch: usize, threads: usize| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                hw_batch: batch,
+                refine_threads: threads,
+                use_object_filters: true,
+                // Tight policy so permanent schedules reach the breaker
+                // quickly instead of burning retries per submission.
+                recovery: RecoveryPolicy {
+                    max_retries: 1,
+                    backoff_ns: 1_000,
+                    quarantine_after: 4,
+                },
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        let plans = [
+            (
+                "transient context loss",
+                FaultPlan::new(11, FaultKind::ContextLost, FaultTrigger::EveryK(3)),
+            ),
+            (
+                "readback bit-flips",
+                FaultPlan::new(12, FaultKind::ReadbackBitFlip, FaultTrigger::EveryK(2)),
+            ),
+            (
+                "early OOM",
+                FaultPlan::new(13, FaultKind::OutOfMemory, FaultTrigger::OnExecute(0)),
+            ),
+            (
+                "permanent timeout (quarantine)",
+                FaultPlan::new(14, FaultKind::Timeout, FaultTrigger::EveryK(1)),
+            ),
+        ];
+        let inners = [
+            ("reference", DeviceKind::Reference),
+            (
+                "tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                },
+            ),
+        ];
+        let mut faults_seen = 0usize;
+        for (batch, threads) in [(1usize, 1usize), (64, 3)] {
+            for (dev_name, inner) in inners.clone() {
+                for (plan_name, plan) in plans {
+                    let mut clean = make(inner.clone(), batch, threads);
+                    let mut faulty = make(inner.clone().with_faults(plan), batch, threads);
+                    let label = format!(
+                        "{plan_name} on {dev_name} batch {batch} threads {threads}"
+                    );
+                    let runs = [
+                        (
+                            "intersection_selection",
+                            lift_selection(clean.intersection_selection(&w.water, q)),
+                            lift_selection(faulty.intersection_selection(&w.water, q)),
+                        ),
+                        (
+                            "containment_selection",
+                            lift_selection(clean.containment_selection(&w.water, q)),
+                            lift_selection(faulty.containment_selection(&w.water, q)),
+                        ),
+                        (
+                            "intersection_join",
+                            clean.intersection_join(&w.landc, &w.lando),
+                            faulty.intersection_join(&w.landc, &w.lando),
+                        ),
+                        (
+                            "within_distance_join",
+                            clean.within_distance_join(&w.landc, &w.lando, d),
+                            faulty.within_distance_join(&w.landc, &w.lando, d),
+                        ),
+                    ];
+                    for (pipeline, c, f) in runs {
+                        faults_seen += f.1.tests.device_faults;
+                        check_fault_pair(&format!("{pipeline} {label}"), &c, &f, &mut failures);
+                    }
+                }
+            }
+        }
+        if faults_seen == 0 {
+            println!("FAIL fault sweep: no injected fault ever fired");
+            failures += 1;
+        }
+        println!(
+            "fault sweep verified: {faults_seen} injected faults absorbed with identical results"
+        );
     }
 
     if failures == 0 {

@@ -26,6 +26,9 @@ pub struct BenchOpts {
     pub scale: f64,
     pub seed: u64,
     pub queries: usize,
+    /// `--faults`: run the fault-injection sweep (verify harness only) —
+    /// fault-injected engines must match clean ones bit for bit.
+    pub faults: bool,
 }
 
 impl Default for BenchOpts {
@@ -34,12 +37,14 @@ impl Default for BenchOpts {
             scale: 0.05,
             seed: 42,
             queries: usize::MAX,
+            faults: false,
         }
     }
 }
 
 impl BenchOpts {
-    /// Parses `--scale`, `--seed`, `--queries` from `std::env::args`.
+    /// Parses `--scale`, `--seed`, `--queries`, `--faults` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = BenchOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -58,6 +63,10 @@ impl BenchOpts {
                 "--queries" => {
                     opts.queries = take(i).and_then(|v| v.parse().ok()).unwrap_or(opts.queries);
                     i += 2;
+                }
+                "--faults" => {
+                    opts.faults = true;
+                    i += 1;
                 }
                 _ => i += 1,
             }
@@ -191,6 +200,7 @@ mod tests {
             scale: 0.002,
             seed: 1,
             queries: 2,
+            faults: false,
         };
         let w = Workloads::generate(opts);
         assert!(w.landc.len() >= 12);
@@ -204,6 +214,7 @@ mod tests {
             scale: 0.002,
             seed: 1,
             queries: 2,
+            faults: false,
         };
         let w = Workloads::generate(opts);
         let mut e = software_engine();

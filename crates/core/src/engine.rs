@@ -15,12 +15,13 @@
 use crate::config::HwConfig;
 use crate::pipeline::{
     CandidateFilter, HardwareBackend, HybridBackend, InteriorFilterStage, ObjectFilterStage,
-    Predicate, RefinementBackend, SoftwareBackend, StagedExecutor,
+    Predicate, RecoveryPolicy, RefinementBackend, SoftwareBackend, StagedExecutor,
 };
 use crate::stats::CostBreakdown;
 use spatial_geom::Polygon;
 use spatial_index::{join_intersecting, join_within_distance, RTree};
 use spatial_raster::DeviceKind;
+use std::fmt;
 
 /// How the geometry-comparison stage decides candidate pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,7 +42,7 @@ pub enum GeometryTest {
 
 /// Engine configuration: which refinement path, the filters in front of
 /// it, and how stage 3 is scheduled.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     pub geometry_test: GeometryTest,
     pub hw: HwConfig,
@@ -66,8 +67,15 @@ pub struct EngineConfig {
     /// [`DeviceKind::Simd`] (vectorized scanline kernels), or
     /// [`DeviceKind::TiledSimd`] (both: lanes inside bands). Results,
     /// readbacks and hardware counters are bit-identical across devices —
-    /// the knob only moves wall-clock time.
+    /// the knob only moves wall-clock time. [`DeviceKind::Fault`] wraps
+    /// any of them in a seeded deterministic fault injector — results
+    /// still never change (supervised retry + exact software fallback),
+    /// only the recovery counters and the modeled recovery time do.
     pub device: DeviceKind,
+    /// Retry/quarantine policy for supervised device submission (see
+    /// [`RecoveryPolicy`]). Only consulted by hardware-using geometry
+    /// tests.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -80,7 +88,42 @@ impl Default for EngineConfig {
             hw_batch: 1,
             refine_threads: 1,
             device: DeviceKind::Reference,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+}
+
+/// A structurally invalid [`EngineConfig`], caught at engine construction
+/// instead of panicking (or silently clamping) somewhere inside a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `hw_batch` is 0: the executor could never submit anything.
+    ZeroBatch,
+    /// `refine_threads` is 0: no worker would ever refine a candidate.
+    ZeroThreads,
+    /// A tiled device was configured with 0 bands.
+    ZeroTiles,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBatch => write!(f, "hw_batch must be at least 1"),
+            ConfigError::ZeroThreads => write!(f, "refine_threads must be at least 1"),
+            ConfigError::ZeroTiles => write!(f, "a tiled device needs at least 1 band"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn validate_device(device: &DeviceKind) -> Result<(), ConfigError> {
+    match device {
+        DeviceKind::Tiled { tiles: 0, .. } | DeviceKind::TiledSimd { tiles: 0, .. } => {
+            Err(ConfigError::ZeroTiles)
+        }
+        DeviceKind::Fault { inner, .. } => validate_device(inner),
+        _ => Ok(()),
     }
 }
 
@@ -103,6 +146,21 @@ impl EngineConfig {
             hw,
             ..Self::default()
         }
+    }
+
+    /// Structural validation, run by [`SpatialEngine::new`] /
+    /// [`SpatialEngine::try_new`] before any backend is built: zero batch
+    /// sizes, zero thread counts and zero-band tiled devices (including
+    /// inside a [`DeviceKind::Fault`] wrapper) are configuration bugs, not
+    /// values to clamp quietly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.hw_batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if self.refine_threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        validate_device(&self.device)
     }
 }
 
@@ -147,11 +205,16 @@ impl PreparedDataset {
 fn build_backend(config: &EngineConfig) -> Box<dyn RefinementBackend> {
     match config.geometry_test {
         GeometryTest::Software => Box::new(SoftwareBackend),
-        GeometryTest::Hardware => Box::new(HardwareBackend::with_device(config.hw, config.device)),
-        GeometryTest::Hybrid { sw_threshold } => Box::new(HybridBackend::with_device(
+        GeometryTest::Hardware => Box::new(HardwareBackend::with_device_and_policy(
+            config.hw,
+            config.device.clone(),
+            config.recovery,
+        )),
+        GeometryTest::Hybrid { sw_threshold } => Box::new(HybridBackend::with_device_and_policy(
             config.hw,
             sw_threshold,
-            config.device,
+            config.device.clone(),
+            config.recovery,
         )),
     }
 }
@@ -164,11 +227,19 @@ pub struct SpatialEngine {
 }
 
 impl SpatialEngine {
+    /// Builds an engine, panicking on a structurally invalid configuration
+    /// (see [`EngineConfig::validate`]); use [`SpatialEngine::try_new`] to
+    /// handle the error instead.
     pub fn new(config: EngineConfig) -> Self {
-        SpatialEngine {
-            config,
-            backend: build_backend(&config),
-        }
+        Self::try_new(config).expect("invalid engine configuration")
+    }
+
+    /// Builds an engine, rejecting invalid configurations with a typed
+    /// error.
+    pub fn try_new(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let backend = build_backend(&config);
+        Ok(SpatialEngine { config, backend })
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -176,10 +247,12 @@ impl SpatialEngine {
     }
 
     /// Reconfigures in place: the backend is rebuilt to match (knob
-    /// sweeps flip the same engine through configurations).
+    /// sweeps flip the same engine through configurations). Panics on an
+    /// invalid configuration, like [`SpatialEngine::new`].
     pub fn set_config(&mut self, config: EngineConfig) {
-        self.config = config;
+        config.validate().expect("invalid engine configuration");
         self.backend = build_backend(&config);
+        self.config = config;
     }
 
     fn executor(&self) -> StagedExecutor {
@@ -506,7 +579,7 @@ mod tests {
             EngineConfig::hardware(HwConfig::at_resolution(8)),
             EngineConfig::hybrid(HwConfig::at_resolution(8), 40),
         ] {
-            let mut plain = SpatialEngine::new(base);
+            let mut plain = SpatialEngine::new(base.clone());
             let mut tuned = SpatialEngine::new(EngineConfig {
                 hw_batch: 32,
                 refine_threads: 4,
@@ -527,6 +600,46 @@ mod tests {
             let (w2, _) = tuned.within_distance_join(&a, &b, d);
             assert_eq!(w1, w2);
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let zero_batch = EngineConfig {
+            hw_batch: 0,
+            ..EngineConfig::software()
+        };
+        assert_eq!(
+            SpatialEngine::try_new(zero_batch).err(),
+            Some(ConfigError::ZeroBatch)
+        );
+        let zero_threads = EngineConfig {
+            refine_threads: 0,
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_threads.validate(), Err(ConfigError::ZeroThreads));
+        let zero_tiles = EngineConfig {
+            device: DeviceKind::Tiled {
+                tiles: 0,
+                threads: 2,
+            },
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_tiles.validate(), Err(ConfigError::ZeroTiles));
+        // The check recurses through a fault wrapper.
+        let wrapped = EngineConfig {
+            device: DeviceKind::TiledSimd {
+                tiles: 0,
+                threads: 2,
+            }
+            .with_faults(spatial_raster::FaultPlan::new(
+                1,
+                spatial_raster::FaultKind::Timeout,
+                spatial_raster::FaultTrigger::OnExecute(0),
+            )),
+            ..EngineConfig::software()
+        };
+        assert_eq!(wrapped.validate(), Err(ConfigError::ZeroTiles));
+        assert!(EngineConfig::software().validate().is_ok());
     }
 
     /// The hybrid backend sweeps the §4.3 threshold spectrum without

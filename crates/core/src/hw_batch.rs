@@ -69,7 +69,6 @@ impl HwTester {
                     stats.software_tests += 1;
                     return Routed::Done(self.software_segment_test(p, q, &region, stats));
                 }
-                stats.hw_tests += 1;
                 Routed::Hw {
                     region,
                     width: DIAGONAL_WIDTH,
@@ -83,10 +82,7 @@ impl HwTester {
             stats,
             false,
             false,
-            |tester, (p, q), region, stats| {
-                stats.software_tests += 1;
-                tester.software_segment_test(p, q, region, stats)
-            },
+            |tester, (p, q), region, stats| tester.software_segment_test(p, q, region, stats),
         )
     }
 
@@ -114,7 +110,6 @@ impl HwTester {
                     stats.software_tests += 1;
                     return Routed::Done(!self.boundaries_cross(inner, outer, &region));
                 }
-                stats.hw_tests += 1;
                 Routed::Hw {
                     region,
                     width: DIAGONAL_WIDTH,
@@ -131,10 +126,7 @@ impl HwTester {
             stats,
             true,
             false,
-            |tester, (inner, outer), region, stats| {
-                stats.software_tests += 1;
-                !tester.boundaries_cross(inner, outer, region)
-            },
+            |tester, (inner, outer), region, _stats| !tester.boundaries_cross(inner, outer, region),
         )
     }
 
@@ -189,13 +181,11 @@ impl HwTester {
                     stats.software_tests += 1;
                     return Routed::Done(software_distance_test(p, q, d));
                 }
-                stats.hw_tests += 1;
                 Routed::Hw { region, width }
             })
             .collect();
 
-        self.finish_batch_with(pairs, routed, stats, false, true, |_, (p, q), _, stats| {
-            stats.software_tests += 1;
+        self.finish_batch_with(pairs, routed, stats, false, true, |_, (p, q), _, _stats| {
             software_distance_test(p, q, d)
         })
     }
@@ -274,19 +264,41 @@ impl HwTester {
                 })
                 .collect();
             let (list, slot) = spatial_raster::atlas::record_batch(&jobs, width, width);
-            let exec = self.execute_list(&list);
-            let flags: Vec<bool> = exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect();
-            stats.hw_batches += 1;
-            stats.hw.add(&exec.stats);
-            stats.gpu_modeled += model.time(&exec.stats);
+            let outcome = self.execute_list(&list, stats).and_then(|exec| {
+                let flags: Vec<bool> = exec.cell_max(slot)?.iter().map(|&m| m >= 1.0).collect();
+                stats.hw_batches += 1;
+                stats.hw.add(&exec.stats);
+                stats.gpu_modeled += model.time(&exec.stats);
+                Ok(flags)
+            });
             stats.sim_wall += wall.elapsed();
 
-            for (&&(k, region, _), overlap) in group.iter().zip(flags) {
-                if !overlap {
-                    stats.rejected_by_hw += 1;
-                    results[k] = hw_reject_value;
-                } else {
-                    results[k] = confirm(self, pairs[k], &region, stats);
+            match outcome {
+                Ok(flags) => {
+                    // Hardware tests are charged per *successful*
+                    // submission: every pair of a faulted round is a
+                    // fallback, not a hardware test, which keeps
+                    // `hw_tests + fallback_tests` equal to the clean run's
+                    // `hw_tests`.
+                    stats.hw_tests += group.len();
+                    for (&&(k, region, _), overlap) in group.iter().zip(flags) {
+                        if !overlap {
+                            stats.rejected_by_hw += 1;
+                            results[k] = hw_reject_value;
+                        } else {
+                            stats.software_tests += 1;
+                            results[k] = confirm(self, pairs[k], &region, stats);
+                        }
+                    }
+                }
+                // The whole round faulted out: every pair in it falls back
+                // to the exact software test (`confirm` alone decides each
+                // predicate exactly — the hardware only ever pre-rejects).
+                Err(_) => {
+                    stats.fallback_tests += group.len();
+                    for &&(k, region, _) in &group {
+                        results[k] = confirm(self, pairs[k], &region, stats);
+                    }
                 }
             }
         }

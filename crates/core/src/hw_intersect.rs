@@ -27,6 +27,7 @@
 //! every pixel a segment passes through. Step 3 removes the false hits.
 
 use crate::config::HwConfig;
+use crate::pipeline::recovery::{RecoveryPolicy, Supervisor};
 use crate::stats::TestStats;
 use spatial_geom::intersect::restricted_edges;
 use spatial_geom::pip::point_in_polygon;
@@ -36,20 +37,28 @@ use spatial_geom::{Polygon, Rect, Segment};
 use spatial_raster::aa_line::DIAGONAL_WIDTH;
 use spatial_raster::framebuffer::HALF_GRAY;
 use spatial_raster::{
-    CommandList, DeviceKind, Execution, HwCostModel, OverlapStrategy, RasterDevice, Recorder,
-    Viewport, WriteMode,
+    CommandList, DeviceError, DeviceKind, Execution, HwCostModel, OverlapStrategy, RasterDevice,
+    Recorder, Viewport, WriteMode,
 };
 use std::time::Instant;
 
 /// A reusable hardware tester: records each test as a command list and
 /// owns the executing [`RasterDevice`], so repeated tests (thousands per
 /// join) reuse one device window allocation.
+///
+/// Every submission runs under a [`Supervisor`]: validated, retried per
+/// [`RecoveryPolicy`] with modeled backoff, and quarantined behind a
+/// circuit breaker after repeated faults. When the supervisor gives up,
+/// the tester answers the affected pair with the exact software test and
+/// charges `fallback_tests` — results never change, only where they were
+/// computed.
 #[derive(Debug)]
 pub struct HwTester {
     cfg: HwConfig,
     device_kind: DeviceKind,
     device: Box<dyn RasterDevice>,
     model: HwCostModel,
+    supervisor: Supervisor,
 }
 
 impl HwTester {
@@ -61,11 +70,22 @@ impl HwTester {
     /// returns bit-identical results and counters (the device contract);
     /// the choice only moves wall-clock time.
     pub fn with_device(cfg: HwConfig, device_kind: DeviceKind) -> Self {
+        Self::with_device_and_policy(cfg, device_kind, RecoveryPolicy::default())
+    }
+
+    /// Like [`HwTester::with_device`] with an explicit retry/quarantine
+    /// policy.
+    pub fn with_device_and_policy(
+        cfg: HwConfig,
+        device_kind: DeviceKind,
+        policy: RecoveryPolicy,
+    ) -> Self {
         HwTester {
             cfg,
-            device_kind,
             device: device_kind.build(),
+            device_kind,
             model: HwCostModel::default(),
+            supervisor: Supervisor::new(policy),
         }
     }
 
@@ -84,7 +104,7 @@ impl HwTester {
 
     /// Which device backend executes this tester's command lists.
     pub fn device_kind(&self) -> DeviceKind {
-        self.device_kind
+        self.device_kind.clone()
     }
 
     /// Replaces the configuration (the `sw_threshold` sweep of Figure 13
@@ -93,9 +113,31 @@ impl HwTester {
         self.cfg = cfg;
     }
 
-    /// Submits one recorded command list to the owned device.
-    pub(crate) fn execute_list(&mut self, list: &CommandList) -> Execution {
-        self.device.execute(list)
+    /// The retry/quarantine policy submissions run under.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.supervisor.policy()
+    }
+
+    /// Replaces the retry/quarantine policy (and resets breaker state).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.supervisor = Supervisor::new(policy);
+    }
+
+    /// Whether the circuit breaker has permanently routed this tester to
+    /// software.
+    pub fn is_quarantined(&self) -> bool {
+        self.supervisor.is_quarantined()
+    }
+
+    /// Submits one recorded command list under supervision: validated,
+    /// retried, quarantined. Failed attempts charge only the recovery
+    /// counters in `stats` — never hardware work.
+    pub(crate) fn execute_list(
+        &mut self,
+        list: &CommandList,
+        stats: &mut TestStats,
+    ) -> Result<Execution, DeviceError> {
+        self.supervisor.submit(self.device.as_mut(), list, stats)
     }
 
     /// Records the hardware segment-intersection choreography for one pair
@@ -182,16 +224,26 @@ impl HwTester {
         // region — without the O(n+m) software scan the restricted search
         // space costs. This is why the paper's Figure 11 finds the
         // hardware ahead even at a 1×1 window.
-        stats.hw_tests += 1;
-        let overlap = self.hw_segment_test(region, p, q, stats);
-        if !overlap {
-            stats.rejected_by_hw += 1;
-            return false;
+        match self.hw_segment_test(region, p, q, stats) {
+            Ok(false) => {
+                stats.hw_tests += 1;
+                stats.rejected_by_hw += 1;
+                false
+            }
+            Ok(true) => {
+                stats.hw_tests += 1;
+                // Step 3: software segment intersection test.
+                stats.software_tests += 1;
+                self.software_segment_test(p, q, &region, stats)
+            }
+            // Device fault, retries exhausted: the software step-3 test is
+            // exact on its own, so the answer is unchanged — only charged
+            // to the fallback ledger instead of the hardware one.
+            Err(_) => {
+                stats.fallback_tests += 1;
+                self.software_segment_test(p, q, &region, stats)
+            }
         }
-
-        // Step 3: software segment intersection test.
-        stats.software_tests += 1;
-        self.software_segment_test(p, q, &region, stats)
     }
 
     /// Hardware-assisted *strict* containment test: true iff `inner` lies
@@ -225,13 +277,22 @@ impl HwTester {
             stats.software_tests += 1;
             return !self.boundaries_cross(inner, outer, &region);
         }
-        stats.hw_tests += 1;
-        if !self.hw_segment_test(region, inner, outer, stats) {
-            stats.rejected_by_hw += 1;
-            return true; // no boundary contact + vertex inside = contained
+        match self.hw_segment_test(region, inner, outer, stats) {
+            Ok(false) => {
+                stats.hw_tests += 1;
+                stats.rejected_by_hw += 1;
+                true // no boundary contact + vertex inside = contained
+            }
+            Ok(true) => {
+                stats.hw_tests += 1;
+                stats.software_tests += 1;
+                !self.boundaries_cross(inner, outer, &region)
+            }
+            Err(_) => {
+                stats.fallback_tests += 1;
+                !self.boundaries_cross(inner, outer, &region)
+            }
         }
-        stats.software_tests += 1;
-        !self.boundaries_cross(inner, outer, &region)
     }
 
     /// Whether the two boundaries intersect within `region` (closed).
@@ -264,14 +325,16 @@ impl HwTester {
 
     /// The hardware pass: render both boundaries (pipeline-clipped to the
     /// projected region), detect any shared pixel via the configured
-    /// strategy.
+    /// strategy. `Err` means the supervised submission gave up; nothing
+    /// but recovery counters and the simulation wall-clock were charged,
+    /// and the caller must fall back to the exact software test.
     fn hw_segment_test(
         &mut self,
         region: Rect,
         p: &Polygon,
         q: &Polygon,
         stats: &mut TestStats,
-    ) -> bool {
+    ) -> Result<bool, DeviceError> {
         // Everything from here on is the simulated hardware: recording
         // the command list stands in for the driver building the command
         // buffer (charged via the per-primitive model cost), so the whole
@@ -280,15 +343,19 @@ impl HwTester {
         let res = self.cfg.resolution;
         let strategy = self.cfg.strategy;
         let (list, slot) = Self::record_segment_test(region, res, strategy, p.edges(), q.edges());
-        let exec = self.execute_list(&list);
-        let overlap = match strategy {
-            OverlapStrategy::Stencil => exec.stencil_value(slot) >= 2,
-            OverlapStrategy::Accumulation | OverlapStrategy::Blending => exec.max_red(slot) >= 1.0,
-        };
-        stats.hw.add(&exec.stats);
-        stats.gpu_modeled += self.model.time(&exec.stats);
+        let result = self.execute_list(&list, stats).and_then(|exec| {
+            let overlap = match strategy {
+                OverlapStrategy::Stencil => exec.stencil_value(slot)? >= 2,
+                OverlapStrategy::Accumulation | OverlapStrategy::Blending => {
+                    exec.max_red(slot)? >= 1.0
+                }
+            };
+            stats.hw.add(&exec.stats);
+            stats.gpu_modeled += self.model.time(&exec.stats);
+            Ok(overlap)
+        });
         stats.sim_wall += wall.elapsed();
-        overlap
+        result
     }
 }
 

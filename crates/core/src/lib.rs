@@ -35,14 +35,14 @@ pub mod pipeline;
 pub mod stats;
 
 pub use config::HwConfig;
-pub use engine::{EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+pub use engine::{ConfigError, EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;
 pub use hw_intersect::HwTester;
 pub use nn::{sw_nearest, VoronoiNn};
 pub use pipeline::{
-    CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RefinementBackend,
-    SoftwareBackend, StagedExecutor,
+    CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RecoveryPolicy,
+    RefinementBackend, SoftwareBackend, StagedExecutor,
 };
-pub use spatial_raster::DeviceKind;
+pub use spatial_raster::{DeviceError, DeviceKind, FaultKind, FaultPlan, FaultTrigger};
 pub use stats::{CostBreakdown, TestStats};

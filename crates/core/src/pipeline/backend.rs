@@ -91,8 +91,18 @@ impl HardwareBackend {
     /// tiled executor turns refinement rendering multi-threaded without
     /// changing a single result or counter).
     pub fn with_device(hw: HwConfig, device: spatial_raster::DeviceKind) -> Self {
+        Self::with_device_and_policy(hw, device, super::RecoveryPolicy::default())
+    }
+
+    /// Like [`HardwareBackend::with_device`] with an explicit
+    /// retry/quarantine policy for supervised submission.
+    pub fn with_device_and_policy(
+        hw: HwConfig,
+        device: spatial_raster::DeviceKind,
+        policy: super::RecoveryPolicy,
+    ) -> Self {
         HardwareBackend {
-            tester: HwTester::with_device(hw, device),
+            tester: HwTester::with_device_and_policy(hw, device, policy),
         }
     }
 
@@ -125,7 +135,14 @@ impl RefinementBackend for HardwareBackend {
     }
 
     fn fork(&self) -> Box<dyn RefinementBackend> {
-        let mut b = HardwareBackend::with_device(self.tester.config(), self.tester.device_kind());
+        // The fork inherits the policy but starts with a closed breaker:
+        // each worker earns its own quarantine verdict, deterministically,
+        // from the faults its own submissions observe.
+        let mut b = HardwareBackend::with_device_and_policy(
+            self.tester.config(),
+            self.tester.device_kind(),
+            self.tester.recovery_policy(),
+        );
         b.tester.set_cost_model(self.tester.cost_model());
         Box::new(b)
     }
@@ -154,8 +171,23 @@ impl HybridBackend {
         sw_threshold: usize,
         device: spatial_raster::DeviceKind,
     ) -> Self {
+        Self::with_device_and_policy(hw, sw_threshold, device, super::RecoveryPolicy::default())
+    }
+
+    /// Like [`HybridBackend::with_device`] with an explicit
+    /// retry/quarantine policy.
+    pub fn with_device_and_policy(
+        hw: HwConfig,
+        sw_threshold: usize,
+        device: spatial_raster::DeviceKind,
+        policy: super::RecoveryPolicy,
+    ) -> Self {
         HybridBackend {
-            inner: HardwareBackend::with_device(HwConfig { sw_threshold, ..hw }, device),
+            inner: HardwareBackend::with_device_and_policy(
+                HwConfig { sw_threshold, ..hw },
+                device,
+                policy,
+            ),
         }
     }
 }
@@ -176,10 +208,11 @@ impl RefinementBackend for HybridBackend {
 
     fn fork(&self) -> Box<dyn RefinementBackend> {
         let hw = self.inner.tester.config();
-        Box::new(HybridBackend::with_device(
+        Box::new(HybridBackend::with_device_and_policy(
             hw,
             hw.sw_threshold,
             self.inner.tester.device_kind(),
+            self.inner.tester.recovery_policy(),
         ))
     }
 }

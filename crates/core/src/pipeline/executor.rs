@@ -33,12 +33,15 @@ use spatial_geom::Polygon;
 use std::time::{Duration, Instant};
 
 /// Measured stage time with the simulation seconds swapped for modeled
-/// GPU seconds. Saturating: on a fast host the measured slice attributable
-/// to simulation can exceed the stage's own timer resolution, and under
-/// parallel refinement the per-worker simulation seconds sum past the
-/// stage's wall clock.
+/// GPU seconds, plus the modeled recovery backoff (charged by the fault
+/// supervisor instead of slept — see `pipeline::recovery`). Saturating: on
+/// a fast host the measured slice attributable to simulation can exceed
+/// the stage's own timer resolution, and under parallel refinement the
+/// per-worker simulation seconds sum past the stage's wall clock.
 pub(crate) fn adjusted(measured: Duration, tests: &TestStats) -> Duration {
-    measured.saturating_sub(tests.sim_wall) + tests.gpu_modeled
+    measured.saturating_sub(tests.sim_wall)
+        + tests.gpu_modeled
+        + Duration::from_nanos(tests.recovery_ns)
 }
 
 /// Stage-3 execution parameters, copied from the engine configuration.

@@ -23,10 +23,12 @@
 pub mod backend;
 pub mod executor;
 pub mod filter;
+pub mod recovery;
 
 pub use backend::{HardwareBackend, HybridBackend, RefinementBackend, SoftwareBackend};
 pub use executor::StagedExecutor;
 pub use filter::{CandidateFilter, Decision, InteriorFilterStage, ObjectFilterStage};
+pub use recovery::RecoveryPolicy;
 
 /// The spatial predicate a pipeline refines. Carried by value into the
 /// backend so one backend serves every pipeline.

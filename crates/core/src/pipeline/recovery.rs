@@ -1,0 +1,253 @@
+//! Supervised device submission: bounded retry, modeled backoff, and a
+//! circuit breaker — the middle rungs of the degradation ladder.
+//!
+//! The ladder (DESIGN.md §8) runs: **submit → validate → retry (with
+//! modeled backoff) → quarantine → software fallback**. This module owns
+//! the first four rungs; the callers in `hw_intersect`, `hw_distance` and
+//! `hw_batch` own the last one, because only they know the exact software
+//! test that answers the pair the device could not.
+//!
+//! Two properties the whole fault-tolerance story rests on:
+//!
+//! * **No wall-clock sleeps.** Retry backoff is *charged*, not slept:
+//!   each retry adds an exponentially growing `recovery_ns` to
+//!   [`TestStats`], and the executor folds it into reported geometry time
+//!   exactly like `gpu_modeled`. Runs stay deterministic and fast while
+//!   the accounting still shows what recovery would have cost.
+//! * **Failed submissions charge nothing else.** A faulted execute adds no
+//!   hardware counters, so a retry-recovered run is bit-identical to a
+//!   clean run everywhere except the recovery counters themselves — the
+//!   headline property `fault_props` pins across all four pipelines.
+
+use crate::stats::TestStats;
+use spatial_raster::{CommandList, DeviceError, Execution, RasterDevice};
+
+/// Retry/quarantine policy for supervised submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Resubmissions attempted after the first fault of a submission
+    /// (so a submission touches the device at most `1 + max_retries`
+    /// times).
+    pub max_retries: u32,
+    /// Modeled backoff before the first retry, in nanoseconds; doubles per
+    /// subsequent retry of the same submission (saturating). Charged to
+    /// [`TestStats::recovery_ns`], never slept.
+    pub backoff_ns: u64,
+    /// Consecutive faulted *submissions* (retries exhausted) after which
+    /// the breaker opens and every later submission is refused without
+    /// touching the device. `0` disables the breaker.
+    pub quarantine_after: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_ns: 50_000,
+            quarantine_after: 8,
+        }
+    }
+}
+
+/// Wraps a device with the retry/quarantine state machine. One supervisor
+/// lives inside each `HwTester`; forks start fresh (a quarantined parent
+/// does not poison its children — each worker earns its own verdict).
+#[derive(Debug, Clone)]
+pub(crate) struct Supervisor {
+    policy: RecoveryPolicy,
+    /// Submissions (not attempts) that ended in a fault since the last
+    /// success.
+    consecutive_faults: u32,
+    /// The error that tripped the breaker, replayed for every refused
+    /// submission so the caller's fallback reason stays stable.
+    quarantine: Option<DeviceError>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(policy: RecoveryPolicy) -> Self {
+        Supervisor {
+            policy,
+            consecutive_faults: 0,
+            quarantine: None,
+        }
+    }
+
+    pub(crate) fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Whether the circuit breaker has opened.
+    pub(crate) fn is_quarantined(&self) -> bool {
+        self.quarantine.is_some()
+    }
+
+    /// Submits `list`, validating the execution against what was recorded,
+    /// retrying per policy, and keeping the fault counters in `stats`.
+    ///
+    /// On `Err` the caller must answer its pairs in exact software and
+    /// charge `fallback_tests`; it must *not* charge any hardware counters
+    /// for the failed submission.
+    pub(crate) fn submit(
+        &mut self,
+        device: &mut dyn RasterDevice,
+        list: &CommandList,
+        stats: &mut TestStats,
+    ) -> Result<Execution, DeviceError> {
+        if let Some(err) = self.quarantine {
+            stats.quarantined += 1;
+            return Err(err);
+        }
+        let mut backoff = self.policy.backoff_ns;
+        let mut last = DeviceError::ContextLost;
+        for attempt in 0..=self.policy.max_retries {
+            let outcome = device
+                .execute(list)
+                .and_then(|exec| exec.validate(list).map(|()| exec));
+            match outcome {
+                Ok(exec) => {
+                    self.consecutive_faults = 0;
+                    return Ok(exec);
+                }
+                Err(err) => {
+                    stats.device_faults += 1;
+                    last = err;
+                    if attempt < self.policy.max_retries {
+                        stats.retries += 1;
+                        stats.recovery_ns = stats.recovery_ns.saturating_add(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        self.consecutive_faults += 1;
+        if self.policy.quarantine_after > 0 && self.consecutive_faults >= self.policy.quarantine_after
+        {
+            self.quarantine = Some(last);
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_raster::{
+        DeviceKind, FaultDevice, FaultKind, FaultPlan, FaultTrigger, Recorder, Viewport,
+    };
+    use spatial_geom::{Point, Rect, Segment};
+
+    fn list() -> CommandList {
+        let mut r = Recorder::new(8, 8);
+        r.set_viewport(Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8))
+            .unwrap();
+        r.clear_color();
+        r.draw_segments([Segment::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0))])
+            .unwrap();
+        r.minmax();
+        r.finish()
+    }
+
+    fn faulty(trigger: FaultTrigger, kind: FaultKind) -> Box<dyn RasterDevice> {
+        Box::new(FaultDevice::new(
+            DeviceKind::Reference.build(),
+            FaultPlan::new(7, kind, trigger),
+        ))
+    }
+
+    #[test]
+    fn clean_submissions_charge_nothing() {
+        let mut sup = Supervisor::new(RecoveryPolicy::default());
+        let mut dev = DeviceKind::Reference.build();
+        let mut stats = TestStats::default();
+        let exec = sup.submit(dev.as_mut(), &list(), &mut stats).unwrap();
+        assert_eq!(exec.readbacks.len(), 1);
+        assert_eq!(stats.device_faults, 0);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.recovery_ns, 0);
+    }
+
+    #[test]
+    fn one_fault_is_retried_and_charged() {
+        let mut sup = Supervisor::new(RecoveryPolicy::default());
+        let mut dev = faulty(FaultTrigger::OnExecute(0), FaultKind::Timeout);
+        let mut stats = TestStats::default();
+        let exec = sup.submit(dev.as_mut(), &list(), &mut stats);
+        assert!(exec.is_ok(), "second attempt is clean");
+        assert_eq!(stats.device_faults, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovery_ns, 50_000);
+        assert!(!sup.is_quarantined());
+    }
+
+    #[test]
+    fn corrupted_readbacks_fail_validation_and_retry() {
+        let mut sup = Supervisor::new(RecoveryPolicy::default());
+        let mut dev = faulty(FaultTrigger::OnExecute(0), FaultKind::ReadbackBitFlip);
+        let mut stats = TestStats::default();
+        let exec = sup.submit(dev.as_mut(), &list(), &mut stats);
+        assert!(exec.is_ok());
+        assert_eq!(stats.device_faults, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_error_with_exponential_backoff() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 2,
+            backoff_ns: 100,
+            quarantine_after: 0,
+        });
+        let mut dev = faulty(FaultTrigger::EveryK(1), FaultKind::OutOfMemory);
+        let mut stats = TestStats::default();
+        assert_eq!(
+            sup.submit(dev.as_mut(), &list(), &mut stats),
+            Err(DeviceError::OutOfMemory)
+        );
+        assert_eq!(stats.device_faults, 3, "initial attempt + 2 retries");
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.recovery_ns, 100 + 200);
+        assert_eq!(stats.quarantined, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_faulted_submissions() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 2,
+        });
+        let mut dev = faulty(FaultTrigger::EveryK(1), FaultKind::ContextLost);
+        let mut stats = TestStats::default();
+        let l = list();
+        assert!(sup.submit(dev.as_mut(), &l, &mut stats).is_err());
+        assert!(!sup.is_quarantined());
+        assert!(sup.submit(dev.as_mut(), &l, &mut stats).is_err());
+        assert!(sup.is_quarantined());
+        // Refused without touching the device: fault count stays put.
+        assert_eq!(stats.device_faults, 2);
+        assert_eq!(
+            sup.submit(dev.as_mut(), &l, &mut stats),
+            Err(DeviceError::ContextLost)
+        );
+        assert_eq!(stats.device_faults, 2);
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 2,
+        });
+        // Faults on every second execute — never two submissions in a row.
+        let mut dev = faulty(FaultTrigger::EveryK(2), FaultKind::Timeout);
+        let mut stats = TestStats::default();
+        let l = list();
+        for _ in 0..6 {
+            let _ = sup.submit(dev.as_mut(), &l, &mut stats);
+        }
+        assert!(!sup.is_quarantined());
+        assert_eq!(stats.quarantined, 0);
+    }
+}

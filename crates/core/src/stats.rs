@@ -22,6 +22,26 @@ pub struct TestStats {
     /// Batched submission rounds: each groups many hardware tests behind
     /// one pair of draw calls and one Minmax scan (0 on the per-pair path).
     pub hw_batches: usize,
+    /// Pairs answered by the exact software path *because the device
+    /// faulted* after retries were exhausted — the last rung of the
+    /// degradation ladder. Disjoint from `software_tests` (deliberate
+    /// routing) and `width_limit_fallbacks` (capability limits): under a
+    /// fault plan, `hw_tests + fallback_tests` equals the clean run's
+    /// `hw_tests`.
+    pub fallback_tests: usize,
+    /// Device submissions that returned an error or failed post-execution
+    /// validation (each retry of the same submission counts again).
+    pub device_faults: usize,
+    /// Faulted submissions that were retried against the device.
+    pub retries: usize,
+    /// Times the circuit breaker tripped: a submission was refused without
+    /// touching the device because too many consecutive faults had been
+    /// observed.
+    pub quarantined: usize,
+    /// Modeled recovery cost (retry backoff), in nanoseconds. Charged by
+    /// the supervisor instead of sleeping, and added to the reported
+    /// geometry time the same way `gpu_modeled` is.
+    pub recovery_ns: u64,
     /// Simulated-hardware work counters.
     pub hw: HwStats,
     /// GPU time from the calibrated cost model (what a real board would
@@ -42,6 +62,11 @@ impl TestStats {
         self.width_limit_fallbacks += o.width_limit_fallbacks;
         self.hw_tests += o.hw_tests;
         self.hw_batches += o.hw_batches;
+        self.fallback_tests += o.fallback_tests;
+        self.device_faults += o.device_faults;
+        self.retries += o.retries;
+        self.quarantined += o.quarantined;
+        self.recovery_ns += o.recovery_ns;
         self.hw.add(&o.hw);
         self.gpu_modeled += o.gpu_modeled;
         self.sim_wall += o.sim_wall;
@@ -119,6 +144,11 @@ mod tests {
             width_limit_fallbacks: 5,
             hw_tests: 6,
             hw_batches: 1,
+            fallback_tests: 2,
+            device_faults: 3,
+            retries: 2,
+            quarantined: 1,
+            recovery_ns: 100,
             hw: HwStats::default(),
             gpu_modeled: Duration::from_micros(2),
             sim_wall: Duration::from_micros(7),
@@ -127,6 +157,11 @@ mod tests {
         t.add(&other);
         assert_eq!(t.rejected_by_hw, 4);
         assert_eq!(t.hw_tests, 12);
+        assert_eq!(t.fallback_tests, 4);
+        assert_eq!(t.device_faults, 6);
+        assert_eq!(t.retries, 4);
+        assert_eq!(t.quarantined, 2);
+        assert_eq!(t.recovery_ns, 200);
         assert_eq!(t.gpu_modeled, Duration::from_micros(4));
         assert_eq!(t.sim_wall, Duration::from_micros(14));
     }

@@ -60,10 +60,12 @@ fn check_strategy(strategy: OverlapStrategy, name: &str) {
             threads: 2,
         },
     ] {
-        let exec = device.build().execute(&list);
+        let exec = device.build().execute(&list).expect("clean devices never fault");
         match strategy {
-            OverlapStrategy::Stencil => assert_eq!(exec.stencil_value(slot), 2, "{device:?}"),
-            _ => assert_eq!(exec.max_red(slot), 1.0, "{device:?}"),
+            OverlapStrategy::Stencil => {
+                assert_eq!(exec.stencil_value(slot), Ok(2), "{device:?}")
+            }
+            _ => assert_eq!(exec.max_red(slot), Ok(1.0), "{device:?}"),
         }
     }
 }
@@ -105,7 +107,15 @@ fn atlas_batch_stream_is_stable() {
     let (list, slot) = record_batch(&jobs, spatial_raster::aa_line::DIAGONAL_WIDTH, 1.0);
     assert_golden("atlas_batch.txt", &list.serialize());
 
-    let exec = DeviceKind::Reference.build().execute(&list);
-    let flags: Vec<bool> = exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect();
+    let exec = DeviceKind::Reference
+        .build()
+        .execute(&list)
+        .expect("clean devices never fault");
+    let flags: Vec<bool> = exec
+        .cell_max(slot)
+        .expect("record_batch returns its own cell-readback slot")
+        .iter()
+        .map(|&m| m >= 1.0)
+        .collect();
     assert_eq!(flags, vec![true, false]);
 }

@@ -141,9 +141,16 @@ impl AtlasContext {
             );
         }
         let (list, slot) = record_batch(jobs, line_width, point_size);
-        let exec = self.device.execute(&list);
+        let exec = self
+            .device
+            .execute(&list)
+            .expect("the owned reference device is infallible");
         self.stats.add(&exec.stats);
-        exec.cell_max(slot).iter().map(|&m| m >= 1.0).collect()
+        exec.cell_max(slot)
+            .expect("record_batch returns its own cell-readback slot")
+            .iter()
+            .map(|&m| m >= 1.0)
+            .collect()
     }
 }
 

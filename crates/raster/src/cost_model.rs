@@ -91,7 +91,9 @@ impl HwCostModel {
     /// count) executed it for real.
     pub fn replay_cost(&self, list: &crate::device::CommandList) -> Duration {
         let mut device = crate::device::ReferenceDevice::new();
-        self.time(&crate::device::RasterDevice::execute(&mut device, list).stats)
+        let exec = crate::device::RasterDevice::execute(&mut device, list)
+            .expect("the reference replay is infallible");
+        self.time(&exec.stats)
     }
 
     /// Modeled GPU time for a batch of counted work.
@@ -202,7 +204,10 @@ mod tests {
             threads: 2,
         }
         .build();
-        assert_eq!(m.time(&tiled.execute(&list).stats), m.replay_cost(&list));
+        assert_eq!(
+            m.time(&tiled.execute(&list).unwrap().stats),
+            m.replay_cost(&list)
+        );
         assert!(m.replay_cost(&list) > Duration::ZERO);
     }
 

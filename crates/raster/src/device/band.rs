@@ -27,7 +27,7 @@
 //! [`command_level_stats`] — never per band.
 
 use super::command::{Command, CommandList};
-use super::Readback;
+use super::{DeviceError, Readback};
 use crate::aa_line::{AaLineCover, DIAGONAL_WIDTH};
 use crate::context::{PixelRect, WriteMode, MAX_AA_LINE_WIDTH, MAX_POINT_SIZE};
 use crate::framebuffer::{Color, FrameBuffer, BLACK, HALF_GRAY};
@@ -186,18 +186,23 @@ fn fill_point_spans<const LANES: usize>(
 /// out), so the wider instantiation is bit-identical — the same code, only
 /// wider. `LANES = 1` (the scalar executors) always takes the portable
 /// instantiation.
+/// The band replay is fallible like everything else on the execute path:
+/// today's simulated kernels always return `Ok`, but the `Result` is the
+/// seam a fallible band backend (or the tiled device's fault-injection
+/// hook) plugs into, and what lets a worker's failure poison the merge
+/// deterministically.
 pub(super) fn run_band<const LANES: usize>(
     list: &CommandList,
     y0: usize,
     y1: usize,
     fb: &mut FrameBuffer,
-) -> BandResult {
+) -> Result<BandResult, DeviceError> {
     #[cfg(target_arch = "x86_64")]
     if LANES > 1 && std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: reached only when AVX2 is present at runtime.
-        return unsafe { run_band_avx2::<LANES>(list, y0, y1, fb) };
+        return Ok(unsafe { run_band_avx2::<LANES>(list, y0, y1, fb) });
     }
-    run_band_body::<LANES>(list, y0, y1, fb)
+    Ok(run_band_body::<LANES>(list, y0, y1, fb))
 }
 
 /// [`run_band_body`] recompiled with AVX2 codegen (see [`run_band`]).

@@ -680,22 +680,26 @@ mod tests {
     #[test]
     fn scissor_and_cells_must_stay_inside() {
         let mut r = Recorder::new(8, 8);
-        assert!(r
-            .set_scissor(Some(PixelRect {
-                x: 6,
-                y: 0,
-                w: 4,
-                h: 4
-            }))
-            .is_err());
-        assert!(r
-            .set_scissor(Some(PixelRect {
-                x: 0,
-                y: 0,
-                w: 0,
-                h: 4
-            }))
-            .is_err());
+        let overhang = PixelRect {
+            x: 6,
+            y: 0,
+            w: 4,
+            h: 4,
+        };
+        assert_eq!(
+            r.set_scissor(Some(overhang)),
+            Err(RecordError::ScissorOutOfBounds(overhang))
+        );
+        let empty = PixelRect {
+            x: 0,
+            y: 0,
+            w: 0,
+            h: 4,
+        };
+        assert_eq!(
+            r.set_scissor(Some(empty)),
+            Err(RecordError::ScissorOutOfBounds(empty))
+        );
         assert!(r
             .set_scissor(Some(PixelRect {
                 x: 4,
@@ -704,14 +708,13 @@ mod tests {
                 h: 4
             }))
             .is_ok());
-        assert!(r
-            .cell_max([PixelRect {
-                x: 0,
-                y: 7,
-                w: 1,
-                h: 2
-            }])
-            .is_err());
+        let tall = PixelRect {
+            x: 0,
+            y: 7,
+            w: 1,
+            h: 2,
+        };
+        assert_eq!(r.cell_max([tall]), Err(RecordError::CellOutOfBounds(tall)));
     }
 
     #[test]

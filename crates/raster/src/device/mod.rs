@@ -34,6 +34,14 @@
 //!   per step — and composes with the tiled device
 //!   ([`TiledDevice::new_simd`]) for threads × lanes.
 //!
+//! A fourth, [`FaultDevice`], is not an executor but a wrapper: it injects
+//! seeded, deterministic failures ([`FaultPlan`]) into any inner device so
+//! the recovery ladder in `core` (retry → software fallback → quarantine)
+//! can be property-tested without real hardware. Execution is fallible
+//! end to end — [`RasterDevice::execute`] returns
+//! `Result<Execution, DeviceError>` and callers must treat any `Err` as
+//! "nothing happened": no counters charged, no readbacks usable.
+//!
 //! **The bit-identity invariant.** Every executor must produce the same
 //! [`Execution`] — every readback value *and* every [`HwStats`] counter —
 //! and the same final framebuffer as [`ReferenceDevice`], bit for bit,
@@ -49,18 +57,61 @@
 
 mod band;
 pub mod command;
+pub mod fault;
 mod reference;
 pub mod simd;
 mod tiled;
 
 pub use crate::context::PixelRect;
 pub use command::{Command, CommandList, RecordError, Recorder};
+pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultTrigger};
 pub use reference::ReferenceDevice;
 pub use simd::SimdDevice;
 pub use tiled::TiledDevice;
 
 use crate::framebuffer::{Color, FrameBuffer};
 use crate::stats::HwStats;
+
+/// A typed device-execution failure — the errors a real command-buffer
+/// backend (driver reset, VRAM pressure, watchdog, DMA corruption) can
+/// surface, and the vocabulary the supervisor in `core` recovers from.
+///
+/// Every variant means "this execution produced nothing usable": no
+/// counter of a failed submission may be charged, and the caller either
+/// retries, falls back to the exact software test, or quarantines the
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceError {
+    /// The rendering context was lost mid-submission (driver reset,
+    /// device removal). Nothing of the execution survives.
+    ContextLost,
+    /// The device could not allocate the buffers the list needs.
+    OutOfMemory,
+    /// A readback came home malformed: missing slot, wrong slot kind,
+    /// wrong cell count, or values outside the range any valid execution
+    /// of the list could produce.
+    ReadbackCorrupt {
+        /// The readback slot where the corruption was detected.
+        slot: usize,
+    },
+    /// The submission did not complete within the watchdog budget.
+    Timeout,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::ContextLost => write!(f, "rendering context lost"),
+            DeviceError::OutOfMemory => write!(f, "device out of memory"),
+            DeviceError::ReadbackCorrupt { slot } => {
+                write!(f, "corrupt readback in slot {slot}")
+            }
+            DeviceError::Timeout => write!(f, "device execution timed out"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
 
 /// One readback result, in the order the queries were recorded.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,28 +137,94 @@ pub struct Execution {
 }
 
 impl Execution {
-    /// The maximum red value of the Minmax readback in `slot`.
-    pub fn max_red(&self, slot: usize) -> f32 {
-        match &self.readbacks[slot] {
-            Readback::Minmax(_, mx) => mx[0],
-            other => panic!("slot {slot} holds {other:?}, not a minmax readback"),
+    /// The maximum red value of the Minmax readback in `slot`, or
+    /// [`DeviceError::ReadbackCorrupt`] when the slot is missing or holds
+    /// a different readback kind.
+    pub fn max_red(&self, slot: usize) -> Result<f32, DeviceError> {
+        match self.readbacks.get(slot) {
+            Some(Readback::Minmax(_, mx)) => Ok(mx[0]),
+            _ => Err(DeviceError::ReadbackCorrupt { slot }),
         }
     }
 
-    /// The stencil-maximum readback in `slot`.
-    pub fn stencil_value(&self, slot: usize) -> u8 {
-        match &self.readbacks[slot] {
-            Readback::StencilMax(v) => *v,
-            other => panic!("slot {slot} holds {other:?}, not a stencil readback"),
+    /// The stencil-maximum readback in `slot`, or
+    /// [`DeviceError::ReadbackCorrupt`] when the slot is missing or holds
+    /// a different readback kind.
+    pub fn stencil_value(&self, slot: usize) -> Result<u8, DeviceError> {
+        match self.readbacks.get(slot) {
+            Some(Readback::StencilMax(v)) => Ok(*v),
+            _ => Err(DeviceError::ReadbackCorrupt { slot }),
         }
     }
 
-    /// The per-cell maxima of the cell-reduction readback in `slot`.
-    pub fn cell_max(&self, slot: usize) -> &[f32] {
-        match &self.readbacks[slot] {
-            Readback::CellMax(v) => v,
-            other => panic!("slot {slot} holds {other:?}, not a cell readback"),
+    /// The per-cell maxima of the cell-reduction readback in `slot`, or
+    /// [`DeviceError::ReadbackCorrupt`] when the slot is missing or holds
+    /// a different readback kind.
+    pub fn cell_max(&self, slot: usize) -> Result<&[f32], DeviceError> {
+        match self.readbacks.get(slot) {
+            Some(Readback::CellMax(v)) => Ok(v),
+            _ => Err(DeviceError::ReadbackCorrupt { slot }),
         }
+    }
+
+    /// Post-execution sanity validation against the list that produced
+    /// this execution. Checks what a caller can check without re-executing:
+    ///
+    /// * the readback count matches the recorded query count (a cell
+    ///   readback's value count matches its recorded cell count);
+    /// * every slot holds the readback kind its query recorded;
+    /// * every color value is finite and inside the range a valid
+    ///   execution of this list can produce — clears write black, blending
+    ///   and accumulation clamp at 1.0, overwrite writes recorded colors,
+    ///   so the brightest recorded `SetColor` channel (at least 1.0)
+    ///   bounds every Minmax/CellMax value.
+    ///
+    /// This is how the supervisor catches corrupted readbacks (bit-flips
+    /// on the readback path) that a `Result`-returning `execute` alone
+    /// cannot see.
+    pub fn validate(&self, list: &CommandList) -> Result<(), DeviceError> {
+        if self.readbacks.len() != list.readback_count() {
+            return Err(DeviceError::ReadbackCorrupt {
+                slot: self.readbacks.len().min(list.readback_count()),
+            });
+        }
+        let mut hi = 1.0f32;
+        let mut nonneg = true;
+        for cmd in list.commands() {
+            if let Command::SetColor(c) = *cmd {
+                for ch in 0..3 {
+                    hi = hi.max(c[ch]);
+                    nonneg &= c[ch] >= 0.0;
+                }
+            }
+        }
+        let lo = if nonneg { 0.0f32 } else { f32::NEG_INFINITY };
+        let in_range = |v: f32| v.is_finite() && v >= lo && v <= hi;
+        let mut slot = 0usize;
+        for cmd in list.commands() {
+            let ok = match *cmd {
+                Command::Minmax => match &self.readbacks[slot] {
+                    Readback::Minmax(mn, mx) => (0..3)
+                        .all(|ch| in_range(mn[ch]) && in_range(mx[ch]) && mn[ch] <= mx[ch]),
+                    _ => false,
+                },
+                Command::StencilMax => {
+                    matches!(&self.readbacks[slot], Readback::StencilMax(_))
+                }
+                Command::CellMax { len, .. } => match &self.readbacks[slot] {
+                    Readback::CellMax(vals) => {
+                        vals.len() == len && vals.iter().all(|&v| in_range(v))
+                    }
+                    _ => false,
+                },
+                _ => continue,
+            };
+            if !ok {
+                return Err(DeviceError::ReadbackCorrupt { slot });
+            }
+            slot += 1;
+        }
+        Ok(())
     }
 }
 
@@ -133,7 +250,14 @@ pub trait RasterDevice: Send + std::fmt::Debug {
     /// Executes `list` from a cleared window and returns the work charged
     /// plus all readbacks. Counters are a pure function of the list:
     /// executing the same list twice yields equal [`Execution`]s.
-    fn execute(&mut self, list: &CommandList) -> Execution;
+    ///
+    /// An `Err` means the execution produced nothing usable — none of its
+    /// work may be charged, and a later `execute` on the same device must
+    /// still start from a cleared window (failures never leak state into
+    /// subsequent results). The simulated executors are infallible; the
+    /// fallible signature is the seam real backends (and the fault
+    /// injector) plug into.
+    fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError>;
 
     /// The final framebuffer of the most recent [`RasterDevice::execute`],
     /// if any — for equivalence tests and debugging dumps, not for the
@@ -143,7 +267,7 @@ pub trait RasterDevice: Send + std::fmt::Debug {
 
 /// A buildable device selection — the configuration-level knob `core`'s
 /// engine exposes (`EngineConfig.device`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum DeviceKind {
     /// Single-threaded [`ReferenceDevice`] replay.
     #[default]
@@ -166,18 +290,39 @@ pub enum DeviceKind {
         /// Worker-thread cap (clamped to the band count).
         threads: usize,
     },
+    /// [`FaultDevice`]: the selected `inner` device wrapped in a seeded,
+    /// deterministic fault injector. Carried through `EngineConfig.device`
+    /// and backend `fork`, so parallel refinement workers each get an
+    /// identically scheduled injector.
+    Fault {
+        /// The device kind that executes the lists when the plan does not
+        /// fault them.
+        inner: Box<DeviceKind>,
+        /// The deterministic fault schedule.
+        plan: FaultPlan,
+    },
 }
 
 impl DeviceKind {
     /// Instantiates the selected executor.
-    pub fn build(self) -> Box<dyn RasterDevice> {
+    pub fn build(&self) -> Box<dyn RasterDevice> {
         match self {
             DeviceKind::Reference => Box::new(ReferenceDevice::new()),
-            DeviceKind::Tiled { tiles, threads } => Box::new(TiledDevice::new(tiles, threads)),
+            DeviceKind::Tiled { tiles, threads } => Box::new(TiledDevice::new(*tiles, *threads)),
             DeviceKind::Simd => Box::new(SimdDevice::new()),
             DeviceKind::TiledSimd { tiles, threads } => {
-                Box::new(TiledDevice::new_simd(tiles, threads))
+                Box::new(TiledDevice::new_simd(*tiles, *threads))
             }
+            DeviceKind::Fault { inner, plan } => Box::new(FaultDevice::new(inner.build(), *plan)),
+        }
+    }
+
+    /// Wraps `self` in a fault injector driven by `plan` (convenience for
+    /// building [`DeviceKind::Fault`] configurations).
+    pub fn with_faults(self, plan: FaultPlan) -> DeviceKind {
+        DeviceKind::Fault {
+            inner: Box::new(self),
+            plan,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! is defined as "indistinguishable from this replay".
 
 use super::command::{Command, CommandList};
-use super::{Execution, RasterDevice, Readback};
+use super::{DeviceError, Execution, RasterDevice, Readback};
 use crate::context::GlContext;
 use crate::framebuffer::FrameBuffer;
 use crate::viewport::Viewport;
@@ -36,7 +36,7 @@ impl RasterDevice for ReferenceDevice {
         "reference"
     }
 
-    fn execute(&mut self, list: &CommandList) -> Execution {
+    fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError> {
         let (w, h) = (list.width(), list.height());
         // Placeholder projection until the stream's own SetViewport runs
         // (the recorder guarantees draws come after one).
@@ -111,10 +111,10 @@ impl RasterDevice for ReferenceDevice {
                 }
             }
         }
-        Execution {
+        Ok(Execution {
             stats: gl.stats().delta_since(&before),
             readbacks,
-        }
+        })
     }
 
     fn snapshot(&self) -> Option<FrameBuffer> {

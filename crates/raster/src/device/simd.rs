@@ -40,7 +40,7 @@
 
 use super::band::{command_level_stats, run_band};
 use super::command::CommandList;
-use super::{Execution, RasterDevice};
+use super::{DeviceError, Execution, RasterDevice};
 use crate::framebuffer::FrameBuffer;
 
 /// Pixels advanced per inner-loop step by the vectorized kernels. Eight
@@ -69,7 +69,7 @@ impl RasterDevice for SimdDevice {
         "simd"
     }
 
-    fn execute(&mut self, list: &CommandList) -> Execution {
+    fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError> {
         let (w, h) = (list.width(), list.height());
         match &mut self.fb {
             Some(fb) if fb.width() == w && fb.height() == h => fb.reset(),
@@ -77,12 +77,12 @@ impl RasterDevice for SimdDevice {
         }
         let fb = self.fb.as_mut().expect("framebuffer just ensured");
         let mut stats = command_level_stats(list);
-        let band = run_band::<SIMD_LANES>(list, 0, h, fb);
+        let band = run_band::<SIMD_LANES>(list, 0, h, fb)?;
         stats.add(&band.stats);
-        Execution {
+        Ok(Execution {
             stats,
             readbacks: band.readbacks,
-        }
+        })
     }
 
     fn snapshot(&self) -> Option<FrameBuffer> {

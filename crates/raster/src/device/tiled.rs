@@ -37,7 +37,7 @@
 use super::band::{command_level_stats, merge_readback, run_band, BandResult};
 use super::command::CommandList;
 use super::simd::SIMD_LANES;
-use super::{Execution, RasterDevice, Readback};
+use super::{DeviceError, Execution, RasterDevice, Readback};
 use crate::framebuffer::FrameBuffer;
 
 /// Executes command lists over `tiles` horizontal bands with up to
@@ -61,6 +61,9 @@ pub struct TiledDevice {
     band_bufs: Vec<FrameBuffer>,
     /// Window dimensions the buffers were built for.
     window: (usize, usize),
+    /// Test hook: the band index whose next replay fails with the given
+    /// error (one-shot, consumed by the next execute).
+    fault_band: Option<(usize, DeviceError)>,
 }
 
 impl TiledDevice {
@@ -74,6 +77,7 @@ impl TiledDevice {
             bands: Vec::new(),
             band_bufs: Vec::new(),
             window: (0, 0),
+            fault_band: None,
         }
     }
 
@@ -98,6 +102,15 @@ impl TiledDevice {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Test hook: make the worker replaying band `band` of the *next*
+    /// execute fail with `err` (one-shot). The merge walks bands in band
+    /// order and reports the first failure it meets, so the surfaced error
+    /// is a pure function of the faulted band set — never of which thread
+    /// ran it or when. `device_props` pins that property.
+    pub fn inject_band_fault(&mut self, band: usize, err: DeviceError) {
+        self.fault_band = Some((band, err));
+    }
 }
 
 impl RasterDevice for TiledDevice {
@@ -109,7 +122,7 @@ impl RasterDevice for TiledDevice {
         }
     }
 
-    fn execute(&mut self, list: &CommandList) -> Execution {
+    fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError> {
         let (w, h) = (list.width(), list.height());
 
         // Command-level charges: once, centrally, regardless of tiling.
@@ -136,32 +149,49 @@ impl RasterDevice for TiledDevice {
             }
         }
 
-        let run: fn(&CommandList, usize, usize, &mut FrameBuffer) -> BandResult = if self.simd {
-            run_band::<SIMD_LANES>
-        } else {
-            run_band::<1>
+        let run: fn(&CommandList, usize, usize, &mut FrameBuffer) -> Result<BandResult, DeviceError> =
+            if self.simd {
+                run_band::<SIMD_LANES>
+            } else {
+                run_band::<1>
+            };
+        let injected = self.fault_band.take();
+        let run_one = move |idx: usize, y0: usize, y1: usize, buf: &mut FrameBuffer| {
+            if let Some((band, err)) = injected {
+                if band == idx {
+                    return Err(err);
+                }
+            }
+            run(list, y0, y1, buf)
         };
 
         let bands = &self.bands;
-        let mut results: Vec<Option<BandResult>> = (0..bands.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<BandResult, DeviceError>>> =
+            (0..bands.len()).map(|_| None).collect();
         let workers = self.threads.min(bands.len()).max(1);
         if workers <= 1 {
-            for ((slot, &(y0, y1)), buf) in results.iter_mut().zip(bands).zip(&mut self.band_bufs) {
-                *slot = Some(run(list, y0, y1, buf));
+            for (idx, ((slot, &(y0, y1)), buf)) in results
+                .iter_mut()
+                .zip(bands)
+                .zip(&mut self.band_bufs)
+                .enumerate()
+            {
+                *slot = Some(run_one(idx, y0, y1, buf));
             }
         } else {
             let per = bands.len().div_ceil(workers);
             std::thread::scope(|s| {
-                for ((band_chunk, buf_chunk), res_chunk) in bands
+                for (chunk, ((band_chunk, buf_chunk), res_chunk)) in bands
                     .chunks(per)
                     .zip(self.band_bufs.chunks_mut(per))
                     .zip(results.chunks_mut(per))
+                    .enumerate()
                 {
                     s.spawn(move || {
-                        for ((slot, &(y0, y1)), buf) in
-                            res_chunk.iter_mut().zip(band_chunk).zip(buf_chunk)
+                        for (j, ((slot, &(y0, y1)), buf)) in
+                            res_chunk.iter_mut().zip(band_chunk).zip(buf_chunk).enumerate()
                         {
-                            *slot = Some(run(list, y0, y1, buf));
+                            *slot = Some(run_one(chunk * per + j, y0, y1, buf));
                         }
                     });
                 }
@@ -169,10 +199,13 @@ impl RasterDevice for TiledDevice {
         }
 
         // Deterministic merge: walk bands in order, whatever the workers'
-        // schedule was.
+        // schedule was. A failed band poisons the whole execution with the
+        // *first* failure in band order — workers always run to completion
+        // (the scope joins them), so the reported error cannot depend on
+        // thread scheduling.
         let mut merged: Vec<Readback> = Vec::new();
         for (i, res) in results.into_iter().enumerate() {
-            let res = res.expect("every band executed");
+            let res = res.expect("every band slot filled")?;
             stats.add(&res.stats);
             if i == 0 {
                 merged = res.readbacks;
@@ -182,10 +215,10 @@ impl RasterDevice for TiledDevice {
                 }
             }
         }
-        Execution {
+        Ok(Execution {
             stats,
             readbacks: merged,
-        }
+        })
     }
 
     fn snapshot(&self) -> Option<FrameBuffer> {

@@ -47,8 +47,9 @@ pub use context::{
 };
 pub use cost_model::HwCostModel;
 pub use device::{
-    Command, CommandList, DeviceKind, Execution, RasterDevice, Readback, RecordError, Recorder,
-    ReferenceDevice, SimdDevice, TiledDevice,
+    Command, CommandList, DeviceError, DeviceKind, Execution, FaultDevice, FaultKind, FaultPlan,
+    FaultTrigger, RasterDevice, Readback, RecordError, Recorder, ReferenceDevice, SimdDevice,
+    TiledDevice,
 };
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 use spatial_geom::{Point, Rect, Segment};
 use spatial_raster::framebuffer::HALF_GRAY;
 use spatial_raster::{
-    CommandList, OverlapStrategy, PixelRect, RasterDevice, Recorder, ReferenceDevice, SimdDevice,
-    TiledDevice, Viewport,
+    CommandList, DeviceError, FaultDevice, FaultKind, FaultPlan, FaultTrigger, OverlapStrategy,
+    PixelRect, RasterDevice, Recorder, ReferenceDevice, SimdDevice, TiledDevice, Viewport,
 };
 use spatial_raster::{FrameBuffer, WriteMode};
 
@@ -178,7 +178,7 @@ fn record(scene: &Scene) -> CommandList {
 
 fn reference_run(list: &CommandList) -> (spatial_raster::Execution, FrameBuffer) {
     let mut reference = ReferenceDevice::new();
-    let exec = reference.execute(list);
+    let exec = reference.execute(list).expect("reference is infallible");
     let fb = reference.snapshot().expect("executed at least once");
     (exec, fb)
 }
@@ -202,7 +202,8 @@ proptest! {
             }
         }
         for dev in &mut devices {
-            let exec = dev.execute(&list);
+            let exec = dev.execute(&list).expect("simulated executors are infallible");
+            prop_assert!(exec.validate(&list).is_ok(), "validation failed on {:?}", dev);
             prop_assert_eq!(
                 &exec.stats, &ref_exec.stats,
                 "stats diverged on {:?}", dev
@@ -227,8 +228,8 @@ proptest! {
             Box::new(TiledDevice::new_simd(3, 2)),
         ];
         for dev in &mut devices {
-            let first = dev.execute(&list);
-            let second = dev.execute(&list);
+            let first = dev.execute(&list).expect("simulated executors are infallible");
+            let second = dev.execute(&list).expect("simulated executors are infallible");
             prop_assert_eq!(first, second, "impure execution on {:?}", dev);
         }
     }
@@ -246,10 +247,75 @@ proptest! {
                 } else {
                     TiledDevice::new(tiles, threads)
                 };
-                let exec = tiled.execute(&list);
+                let exec = tiled.execute(&list).expect("simulated executors are infallible");
                 prop_assert_eq!(&exec.stats, &ref_exec.stats);
                 prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
                 prop_assert!(tiled.snapshot().expect("ran") == ref_fb);
+            }
+        }
+    }
+
+    /// A failed band worker poisons the whole execution with the same
+    /// typed error at every thread count — error reporting is a function
+    /// of the faulted band, never of thread scheduling — and the fault
+    /// does not stick: the next execute on the same device is clean and
+    /// bit-identical to the reference.
+    #[test]
+    fn band_worker_faults_poison_the_merge_deterministically(
+        scene in arb_scene(),
+        band in 0usize..5,
+        simd_pick in 0usize..2,
+    ) {
+        let simd = simd_pick == 1;
+        let list = record(&scene);
+        let (ref_exec, _) = reference_run(&list);
+        let mut outcomes: Vec<Result<(), DeviceError>> = Vec::new();
+        for threads in [1usize, 2, 3, 8] {
+            let mut dev = if simd {
+                TiledDevice::new_simd(5, threads)
+            } else {
+                TiledDevice::new(5, threads)
+            };
+            dev.inject_band_fault(band, DeviceError::OutOfMemory);
+            outcomes.push(dev.execute(&list).map(|_| ()));
+            let retry = dev.execute(&list).expect("injected faults are one-shot");
+            prop_assert_eq!(&retry.stats, &ref_exec.stats, "threads {}", threads);
+            prop_assert_eq!(&retry.readbacks, &ref_exec.readbacks, "threads {}", threads);
+        }
+        for o in &outcomes[1..] {
+            prop_assert_eq!(o, &outcomes[0], "error reporting depends on thread count");
+        }
+        // Band indices inside the partition must actually fault.
+        if band < list.height().min(5) {
+            prop_assert_eq!(outcomes[0], Err(DeviceError::OutOfMemory));
+        }
+    }
+
+    /// A fault-wrapped executor is transparent off-schedule and fails with
+    /// exactly the planned error on schedule, deterministically across
+    /// repeat runs of the same plan.
+    #[test]
+    fn fault_device_schedule_is_deterministic(
+        scene in arb_scene(),
+        seed in 0u64..u64::MAX,
+        every in 1u64..4,
+    ) {
+        let list = record(&scene);
+        let (ref_exec, _) = reference_run(&list);
+        let plan = FaultPlan::new(seed, FaultKind::ContextLost, FaultTrigger::EveryK(every));
+        let run = |n: usize| -> Vec<Result<spatial_raster::Execution, DeviceError>> {
+            let mut dev = FaultDevice::new(Box::new(SimdDevice::new()), plan);
+            (0..n).map(|_| dev.execute(&list)).collect()
+        };
+        let first = run(6);
+        let second = run(6);
+        prop_assert_eq!(&first, &second, "schedule must be reproducible");
+        for (i, r) in first.iter().enumerate() {
+            if (i as u64 + 1) % every == 0 {
+                prop_assert_eq!(r, &Err(DeviceError::ContextLost), "execute {}", i);
+            } else {
+                let exec = r.as_ref().expect("off-schedule executes are clean");
+                prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks, "execute {}", i);
             }
         }
     }
