@@ -104,7 +104,9 @@ fn bench_devices(c: &mut Criterion) {
         let mut device = kind.build();
         group.bench_with_input(BenchmarkId::new(name, config), &list, |b, list| {
             b.iter(|| {
-                let exec = device.execute(black_box(list)).expect("clean devices never fault");
+                let exec = device
+                    .execute(black_box(list))
+                    .expect("clean devices never fault");
                 (exec.stats.fragments_tested, exec.readbacks.len())
             })
         });

@@ -1,0 +1,95 @@
+//! Criterion microbenchmark for the recording cache & fusion layer: the
+//! same atlas-scale batch prepared three ways — cold recording (walk the
+//! choreography and emit every command), cold recording plus a fusion
+//! pass, and a warm-cache splice (instantiate a fused skeleton with
+//! fresh viewports and geometry). The acceptance figure is the splice
+//! beating cold recording: execution is bit-identical by contract
+//! (property-tested in `spatial-raster` and cross-checked in `verify`),
+//! so the only thing left to measure is preparation time.
+//!
+//! A fourth row times executing the fused list against the unfused one
+//! on the reference backend, pinning the claim that fusion never *costs*
+//! execution time (it only removes uncharged state churn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_geom::{Point, Rect, Segment};
+use spatial_raster::{AtlasJob, DeviceKind, ListTemplate, Viewport};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// An atlas-scale batch: many cells of dense random boundary work, the
+/// shape one batched `hw_batch` round submits on a real join.
+fn atlas_scale_jobs(jobs: usize, segments_per_side: usize, cell: usize) -> Vec<AtlasJob> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let seg = |rng: &mut StdRng| {
+        let p = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
+        let q = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
+        Segment::new(p, q)
+    };
+    (0..jobs)
+        .map(|_| AtlasJob {
+            viewport: Viewport::new(Rect::new(0.0, 0.0, 16.0, 16.0), cell, cell),
+            first_segments: (0..segments_per_side).map(|_| seg(&mut rng)).collect(),
+            first_points: Vec::new(),
+            second_segments: (0..segments_per_side).map(|_| seg(&mut rng)).collect(),
+            second_points: Vec::new(),
+        })
+        .collect()
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let width = spatial_raster::aa_line::DIAGONAL_WIDTH;
+    let jobs = atlas_scale_jobs(256, 48, 32);
+    let (cold, _) = spatial_raster::atlas::record_batch(&jobs, width, 1.0);
+    let (fused, _) = cold.fuse();
+    let template = ListTemplate::new(&fused);
+
+    let mut group = c.benchmark_group("recording");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_with_input(BenchmarkId::new("record", "cold"), &jobs, |b, jobs| {
+        b.iter(|| {
+            let (list, layout) = spatial_raster::atlas::record_batch(black_box(jobs), width, 1.0);
+            (list.width(), layout)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("record", "cold+fuse"), &jobs, |b, jobs| {
+        b.iter(|| {
+            let (list, _) = spatial_raster::atlas::record_batch(black_box(jobs), width, 1.0);
+            let (fused, elided) = list.fuse();
+            (fused.width(), elided)
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("record", "cached-splice"),
+        &(&jobs, &template),
+        |b, (jobs, template)| {
+            b.iter(|| {
+                let list = spatial_raster::atlas::splice_batch(black_box(jobs), template);
+                list.width()
+            })
+        },
+    );
+
+    // Execution side: the fused list must not be slower to execute.
+    for (name, list) in [("unfused", &cold), ("fused", &fused)] {
+        let mut device = DeviceKind::Reference.build();
+        group.bench_with_input(BenchmarkId::new("execute", name), list, |b, list| {
+            b.iter(|| {
+                let exec = device
+                    .execute(black_box(list))
+                    .expect("clean devices never fault");
+                (exec.stats.fragments_tested, exec.readbacks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording);
+criterion_main!(benches);

@@ -6,7 +6,8 @@
 
 use hwa_core::engine::{EngineConfig, GeometryTest, SpatialEngine};
 use hwa_core::{
-    CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecoveryPolicy,
+    CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecordingOptions,
+    RecoveryPolicy,
 };
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
 use spatial_raster::OverlapStrategy;
@@ -150,6 +151,7 @@ fn main() {
                     resolution: 8,
                     sw_threshold: 500,
                     strategy,
+                    ..HwConfig::recommended()
                 },
                 None,
                 false,
@@ -363,6 +365,124 @@ fn main() {
         println!("device cross-check verified: tiled/simd/tiled+simd ≡ reference on all pipelines");
     }
 
+    // Recording cache & fusion cross-check: reusing cached command-list
+    // skeletons and fusing uncharged dead state are pure recording-side
+    // optimizations, so every pipeline must produce bit-identical results
+    // AND bit-identical charged counters with any combination of the two
+    // knobs — on every device kind, per-pair and batched+threaded, and
+    // (under `--faults`) with a fault schedule firing underneath, since
+    // neither knob changes how many times the device executes.
+    {
+        let base_hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |recording, device, batch: usize, threads: usize| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                hw_batch: batch,
+                refine_threads: threads,
+                use_object_filters: true,
+                ..EngineConfig::hardware(base_hw.with_recording(recording))
+            })
+        };
+        let cache_only = RecordingOptions {
+            fuse: false,
+            ..RecordingOptions::recommended()
+        };
+        let fuse_only = RecordingOptions {
+            cache: false,
+            cache_entries: 0,
+            fuse: true,
+        };
+        let mut sweep = vec![
+            ("cache+fuse", "reference", DeviceKind::Reference),
+            (
+                "cache+fuse",
+                "tiled",
+                DeviceKind::Tiled {
+                    tiles: 5,
+                    threads: 3,
+                },
+            ),
+            ("cache+fuse", "simd", DeviceKind::Simd),
+            (
+                "cache+fuse",
+                "tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                },
+            ),
+            // The partial knobs only change recording-side behaviour, so
+            // one device kind suffices to pin their counter discipline.
+            ("cache-only", "reference", DeviceKind::Reference),
+            ("fuse-only", "reference", DeviceKind::Reference),
+        ];
+        if opts.faults {
+            sweep.push((
+                "cache+fuse",
+                "faulty reference",
+                DeviceKind::Reference.with_faults(FaultPlan::new(
+                    21,
+                    FaultKind::ContextLost,
+                    FaultTrigger::EveryK(3),
+                )),
+            ));
+            sweep.push((
+                "cache+fuse",
+                "faulty tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                }
+                .with_faults(FaultPlan::new(
+                    22,
+                    FaultKind::ReadbackBitFlip,
+                    FaultTrigger::EveryK(2),
+                )),
+            ));
+        }
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        for (opt_name, dev_name, device) in &sweep {
+            let recording = match *opt_name {
+                "cache+fuse" => RecordingOptions::recommended(),
+                "cache-only" => cache_only,
+                _ => fuse_only,
+            };
+            for (batch, threads) in [(1usize, 1usize), (64, 2)] {
+                let mut off = make(RecordingOptions::disabled(), device.clone(), batch, threads);
+                let mut on = make(recording, device.clone(), batch, threads);
+                let label = format!("{opt_name} on {dev_name} batch {batch} threads {threads}");
+                check_device_pair(
+                    &format!("intersection_selection {label}"),
+                    off.intersection_selection(&w.water, q),
+                    on.intersection_selection(&w.water, q),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("containment_selection {label}"),
+                    off.containment_selection(&w.water, q),
+                    on.containment_selection(&w.water, q),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("intersection_join {label}"),
+                    off.intersection_join(&w.landc, &w.lando),
+                    on.intersection_join(&w.landc, &w.lando),
+                    &mut failures,
+                );
+                check_device_pair(
+                    &format!("within_distance_join {label}"),
+                    off.within_distance_join(&w.landc, &w.lando, d),
+                    on.within_distance_join(&w.landc, &w.lando, d),
+                    &mut failures,
+                );
+            }
+        }
+        println!(
+            "recording cache & fusion verified: the knobs never change results or charged counters"
+        );
+    }
+
     // Fault-injection sweep (`--faults`): every seeded fault schedule —
     // transient submission errors, corrupted readbacks, and a permanent
     // failure that drives the circuit breaker — must leave results AND
@@ -423,9 +543,8 @@ fn main() {
                 for (plan_name, plan) in plans {
                     let mut clean = make(inner.clone(), batch, threads);
                     let mut faulty = make(inner.clone().with_faults(plan), batch, threads);
-                    let label = format!(
-                        "{plan_name} on {dev_name} batch {batch} threads {threads}"
-                    );
+                    let label =
+                        format!("{plan_name} on {dev_name} batch {batch} threads {threads}");
                     let runs = [
                         (
                             "intersection_selection",

@@ -103,6 +103,9 @@ pub enum ConfigError {
     ZeroThreads,
     /// A tiled device was configured with 0 bands.
     ZeroTiles,
+    /// The recording cache was enabled with zero capacity: every insert
+    /// would be dropped and every test would still pay the miss path.
+    ZeroCacheCapacity,
 }
 
 impl fmt::Display for ConfigError {
@@ -111,6 +114,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBatch => write!(f, "hw_batch must be at least 1"),
             ConfigError::ZeroThreads => write!(f, "refine_threads must be at least 1"),
             ConfigError::ZeroTiles => write!(f, "a tiled device needs at least 1 band"),
+            ConfigError::ZeroCacheCapacity => {
+                write!(f, "an enabled recording cache needs at least 1 entry")
+            }
         }
     }
 }
@@ -159,6 +165,9 @@ impl EngineConfig {
         }
         if self.refine_threads == 0 {
             return Err(ConfigError::ZeroThreads);
+        }
+        if self.hw.recording.cache && self.hw.recording.cache_entries == 0 {
+            return Err(ConfigError::ZeroCacheCapacity);
         }
         validate_device(&self.device)
     }
@@ -639,6 +648,21 @@ mod tests {
             ..EngineConfig::software()
         };
         assert_eq!(wrapped.validate(), Err(ConfigError::ZeroTiles));
+        let hollow_cache = EngineConfig {
+            hw: HwConfig::recommended().with_recording(crate::RecordingOptions {
+                cache: true,
+                cache_entries: 0,
+                fuse: true,
+            }),
+            ..EngineConfig::software()
+        };
+        assert_eq!(hollow_cache.validate(), Err(ConfigError::ZeroCacheCapacity));
+        // Cache off with zero entries is the valid "disabled" spelling.
+        let disabled = EngineConfig {
+            hw: HwConfig::recommended().with_recording(crate::RecordingOptions::disabled()),
+            ..EngineConfig::software()
+        };
+        assert!(disabled.validate().is_ok());
         assert!(EngineConfig::software().validate().is_ok());
     }
 

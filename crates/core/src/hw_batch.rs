@@ -27,6 +27,7 @@
 
 use crate::hw_distance::software_distance_test;
 use crate::hw_intersect::HwTester;
+use crate::recording::CacheKey;
 use crate::stats::TestStats;
 use spatial_geom::pip::point_in_polygon;
 use spatial_geom::{Point, Polygon, Rect};
@@ -171,7 +172,16 @@ impl HwTester {
                     .intersection(&large.mbr().expanded(half))
                 {
                     Some(r) => r,
-                    None => unreachable!("expanded MBRs must intersect when MBR distance <= d"),
+                    // Same f64 hazard as the per-pair path: an exact-touch
+                    // gap can pass the `min_dist` gate while the rounded
+                    // half-expansions miss each other. No projection
+                    // window → exact software answer, charged as a
+                    // capability fallback.
+                    None => {
+                        stats.width_limit_fallbacks += 1;
+                        stats.software_tests += 1;
+                        return Routed::Done(software_distance_test(p, q, d));
+                    }
                 };
                 let res = self.config().resolution;
                 let vp = Viewport::uniform(region, res, res);
@@ -263,7 +273,25 @@ impl HwTester {
                     }
                 })
                 .collect();
-            let (list, slot) = spatial_raster::atlas::record_batch(&jobs, width, width);
+            // Atlas skeletons are keyed on everything that fixes the
+            // grid layout and the recorded cell sequence: cell size, line
+            // width, and which jobs have geometry on which side.
+            let key = CacheKey::Atlas {
+                cell: res,
+                width_bits: wbits,
+                shape: spatial_raster::atlas::batch_shape(&jobs),
+            };
+            let (list, slot) = match self.cache_lookup(&key, stats) {
+                Some((template, slot)) => {
+                    (spatial_raster::atlas::splice_batch(&jobs, &template), slot)
+                }
+                None => {
+                    let (list, slot) = spatial_raster::atlas::record_batch(&jobs, width, width);
+                    let list = self.fuse_cold(list, stats);
+                    self.cache_store(key, &list, slot, stats);
+                    (list, slot)
+                }
+            };
             let outcome = self.execute_list(&list, stats).and_then(|exec| {
                 let flags: Vec<bool> = exec.cell_max(slot)?.iter().map(|&m| m >= 1.0).collect();
                 stats.hw_batches += 1;

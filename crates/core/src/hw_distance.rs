@@ -18,6 +18,7 @@
 //! scaled (Equation (1) presumes an aspect-preserving projection).
 
 use crate::hw_intersect::HwTester;
+use crate::recording::CacheKey;
 use crate::stats::TestStats;
 use spatial_geom::chains::frontier_clipped;
 use spatial_geom::distance::edges_within_pairwise;
@@ -131,8 +132,18 @@ impl HwTester {
             .intersection(&large.mbr().expanded(half))
         {
             Some(r) => r,
-            // MBR distance ≤ d guarantees the half-expansions meet.
-            None => unreachable!("expanded MBRs must intersect when MBR distance <= d"),
+            // MBR distance ≤ d *mathematically* guarantees the
+            // half-expansions meet, but not in f64: when the gap equals d
+            // exactly, `min_dist`'s rounding can pass the gate while
+            // `xmin + d/2` rounds below `xmax - d/2`, leaving an empty
+            // intersection. No projection window exists, so treat it like
+            // the width-limit capability fallback: answer exactly in
+            // software and charge the fallback ledger.
+            None => {
+                stats.width_limit_fallbacks += 1;
+                stats.software_tests += 1;
+                return software_distance_test(p, q, d);
+            }
         };
         let res = self.config().resolution;
         let vp = Viewport::uniform(region, res, res);
@@ -156,7 +167,37 @@ impl HwTester {
         let strategy = self.config().strategy;
         let model = self.cost_model();
         let wall = Instant::now();
-        let (list, slot) = Self::record_distance_test(region, res, strategy, width, small, large);
+        let key = CacheKey::Distance {
+            stencil: strategy == OverlapStrategy::Stencil,
+            resolution: res,
+            width_bits: width.to_bits(),
+        };
+        let (list, slot) = match self.cache_lookup(&key, stats) {
+            // Warm path: the tape (including the Equation (1) line and
+            // point widths, which are part of the key) is cached; splice
+            // this pair's projection window, edges and vertex caps.
+            Some((template, slot)) => {
+                let list = template.instantiate(
+                    &[vp],
+                    |i, out| out.extend(if i == 0 { small.edges() } else { large.edges() }),
+                    |i, out| {
+                        out.extend_from_slice(if i == 0 {
+                            small.vertices()
+                        } else {
+                            large.vertices()
+                        })
+                    },
+                );
+                (list, slot)
+            }
+            None => {
+                let (list, slot) =
+                    Self::record_distance_test(region, res, strategy, width, small, large);
+                let list = self.fuse_cold(list, stats);
+                self.cache_store(key, &list, slot, stats);
+                (list, slot)
+            }
+        };
         let result = self.execute_list(&list, stats).and_then(|exec| {
             let overlap = match strategy {
                 OverlapStrategy::Stencil => exec.stencil_value(slot)? >= 2,
@@ -313,5 +354,87 @@ mod tests {
         assert!(t.within_distance(&a, &b, 2.5, &mut st));
         assert_eq!(st.hw_tests, 0);
         assert_eq!(st.skipped_by_threshold, 1);
+    }
+
+    /// Two squares whose horizontal gap rounds to exactly the query
+    /// distance: `min_dist` returns `d` bit-for-bit (the MBR gate
+    /// passes), but `xmax + d/2` rounds below `xmin - d/2`, so the
+    /// half-expanded MBRs fail to intersect and no projection window
+    /// exists. This used to hit an `unreachable!`; it must fall back to
+    /// software, charge the fallback, and return what the shared
+    /// rounded `min_dist` kernel says (`true` here: the pairwise edge
+    /// distance rounds to exactly `d`, and every layer — MBR gate,
+    /// frontier clip, pairwise kernel — rounds the same way).
+    #[test]
+    fn exact_touch_distance_falls_back_instead_of_panicking() {
+        let x1b = f64::from_bits(0x400522e6a9308d77); // p's right edge
+        let x2a = f64::from_bits(0x40201f1ae6c2a9d5); // q's left edge
+        let d = f64::from_bits(0x4015acc278ed0cee); // fl(x2a - x1b)
+        let p = Polygon::from_coords(&[(x1b - 2.0, 0.0), (x1b, 0.0), (x1b, 2.0), (x1b - 2.0, 2.0)]);
+        let q = Polygon::from_coords(&[(x2a, 0.0), (x2a + 2.0, 0.0), (x2a + 2.0, 2.0), (x2a, 2.0)]);
+        // Pin the hazard: the gate passes yet the expansions miss.
+        assert_eq!(p.mbr().min_dist(&q.mbr()), d);
+        let half = d / 2.0;
+        assert!(
+            p.mbr()
+                .expanded(half)
+                .intersection(&q.mbr().expanded(half))
+                .is_none(),
+            "the one-ulp rounding this regression test exists for"
+        );
+
+        let mut t = HwTester::new(HwConfig::at_resolution(8));
+        let mut st = TestStats::default();
+        let got = t.within_distance(&p, &q, d, &mut st);
+        assert_eq!(got, software_distance_test(&p, &q, d));
+        assert!(got, "the rounded pairwise distance is exactly d");
+        assert_eq!(st.width_limit_fallbacks, 1, "charged as a fallback: {st:?}");
+        assert_eq!(st.software_tests, 1);
+        assert_eq!(st.hw_tests, 0);
+
+        // A d one ulp down must flip the verdict (sanity that the pair
+        // really straddles the boundary): the MBR gate itself rejects.
+        let d_down = f64::from_bits(d.to_bits() - 1);
+        let mut st = TestStats::default();
+        assert!(!t.within_distance(&p, &q, d_down, &mut st));
+
+        // The batched path shares the prologue and the fix.
+        let mut st = TestStats::default();
+        let flags = t.within_distance_batch(&[(&p, &q)], d, &mut st);
+        assert_eq!(flags, vec![true]);
+        assert_eq!(st.width_limit_fallbacks, 1, "{st:?}");
+    }
+
+    /// Warm-cache distance tests agree with cold ones, counter for
+    /// counter (minus the diagnostic cache fields themselves).
+    #[test]
+    fn cache_preserves_distance_results_and_charged_counters() {
+        let a = square(0.0, 0.0, 2.0);
+        let cases = [
+            square(5.0, 0.0, 2.0),
+            square(5.0, 5.0, 2.0),
+            square(2.5, 0.0, 1.0),
+        ];
+        let mut cached = HwTester::new(HwConfig::at_resolution(8));
+        let mut cold = HwTester::new(
+            HwConfig::at_resolution(8).with_recording(crate::RecordingOptions::disabled()),
+        );
+        for b in &cases {
+            for d in [0.5, 3.0, 4.3] {
+                let (mut s1, mut s2) = (TestStats::default(), TestStats::default());
+                assert_eq!(
+                    cached.within_distance(&a, b, d, &mut s1),
+                    cold.within_distance(&a, b, d, &mut s2)
+                );
+                assert_eq!(s1.hw_tests, s2.hw_tests);
+                assert_eq!(s1.rejected_by_hw, s2.rejected_by_hw);
+                assert_eq!(s1.software_tests, s2.software_tests);
+                assert_eq!(s1.hw.pixels_written, s2.hw.pixels_written);
+                assert_eq!(s1.hw.pixels_scanned, s2.hw.pixels_scanned);
+                assert_eq!(s1.hw.fragments_tested, s2.hw.fragments_tested);
+                assert_eq!(s1.hw.draw_calls, s2.hw.draw_calls);
+                assert_eq!(s1.gpu_modeled, s2.gpu_modeled);
+            }
+        }
     }
 }

@@ -28,6 +28,7 @@
 
 use crate::config::HwConfig;
 use crate::pipeline::recovery::{RecoveryPolicy, Supervisor};
+use crate::recording::{strategy_code, CacheKey, RecordingCache};
 use crate::stats::TestStats;
 use spatial_geom::intersect::restricted_edges;
 use spatial_geom::pip::point_in_polygon;
@@ -37,8 +38,8 @@ use spatial_geom::{Polygon, Rect, Segment};
 use spatial_raster::aa_line::DIAGONAL_WIDTH;
 use spatial_raster::framebuffer::HALF_GRAY;
 use spatial_raster::{
-    CommandList, DeviceError, DeviceKind, Execution, HwCostModel, OverlapStrategy, RasterDevice,
-    Recorder, Viewport, WriteMode,
+    CommandList, DeviceError, DeviceKind, Execution, HwCostModel, ListTemplate, OverlapStrategy,
+    RasterDevice, Recorder, Viewport, WriteMode,
 };
 use std::time::Instant;
 
@@ -46,7 +47,7 @@ use std::time::Instant;
 /// owns the executing [`RasterDevice`], so repeated tests (thousands per
 /// join) reuse one device window allocation.
 ///
-/// Every submission runs under a [`Supervisor`]: validated, retried per
+/// Every submission runs under a `Supervisor`: validated, retried per
 /// [`RecoveryPolicy`] with modeled backoff, and quarantined behind a
 /// circuit breaker after repeated faults. When the supervisor gives up,
 /// the tester answers the affected pair with the exact software test and
@@ -59,6 +60,7 @@ pub struct HwTester {
     device: Box<dyn RasterDevice>,
     model: HwCostModel,
     supervisor: Supervisor,
+    cache: RecordingCache,
 }
 
 impl HwTester {
@@ -86,6 +88,11 @@ impl HwTester {
             device_kind,
             model: HwCostModel::default(),
             supervisor: Supervisor::new(policy),
+            cache: RecordingCache::new(if cfg.recording.cache {
+                cfg.recording.cache_entries
+            } else {
+                0
+            }),
         }
     }
 
@@ -108,9 +115,16 @@ impl HwTester {
     }
 
     /// Replaces the configuration (the `sw_threshold` sweep of Figure 13
-    /// retunes a live tester).
+    /// retunes a live tester). Cached recording skeletons are dropped:
+    /// their keys embed the old configuration's shape inputs, and a
+    /// config swap is far rarer than a test.
     pub fn set_config(&mut self, cfg: HwConfig) {
         self.cfg = cfg;
+        self.cache = RecordingCache::new(if cfg.recording.cache {
+            cfg.recording.cache_entries
+        } else {
+            0
+        });
     }
 
     /// The retry/quarantine policy submissions run under.
@@ -127,6 +141,52 @@ impl HwTester {
     /// software.
     pub fn is_quarantined(&self) -> bool {
         self.supervisor.is_quarantined()
+    }
+
+    /// Applies the configured fusion pass to a cold recording, charging
+    /// the diagnostic elision counter. Fusion is set-preserving, so this
+    /// never changes results or charged work.
+    pub(crate) fn fuse_cold(&self, list: CommandList, stats: &mut TestStats) -> CommandList {
+        if self.cfg.recording.fuse {
+            let (fused, elided) = list.fuse();
+            stats.commands_elided += elided;
+            fused
+        } else {
+            list
+        }
+    }
+
+    /// Looks up a cached skeleton (None when the cache is off or cold),
+    /// charging the hit counter.
+    pub(crate) fn cache_lookup(
+        &mut self,
+        key: &CacheKey,
+        stats: &mut TestStats,
+    ) -> Option<(std::sync::Arc<ListTemplate>, usize)> {
+        if !self.cfg.recording.cache {
+            return None;
+        }
+        let hit = self.cache.lookup(key);
+        if hit.is_some() {
+            stats.cache_hits += 1;
+        }
+        hit
+    }
+
+    /// Stores a freshly recorded (and fused) skeleton, charging the miss
+    /// counter. No-op when the cache is off.
+    pub(crate) fn cache_store(
+        &mut self,
+        key: CacheKey,
+        list: &CommandList,
+        slot: usize,
+        stats: &mut TestStats,
+    ) {
+        if !self.cfg.recording.cache {
+            return;
+        }
+        stats.cache_misses += 1;
+        self.cache.insert(key, ListTemplate::new(list), slot);
     }
 
     /// Submits one recorded command list under supervision: validated,
@@ -342,7 +402,29 @@ impl HwTester {
         let wall = Instant::now();
         let res = self.cfg.resolution;
         let strategy = self.cfg.strategy;
-        let (list, slot) = Self::record_segment_test(region, res, strategy, p.edges(), q.edges());
+        let key = CacheKey::Segment {
+            strategy: strategy_code(strategy),
+            resolution: res,
+        };
+        let (list, slot) = match self.cache_lookup(&key, stats) {
+            // Warm path: splice this pair's viewport and edges into the
+            // cached skeleton — no re-recording, no re-validation.
+            Some((template, slot)) => {
+                let list = template.instantiate(
+                    &[Viewport::new(region, res, res)],
+                    |i, out| out.extend(if i == 0 { p.edges() } else { q.edges() }),
+                    |_, _| {},
+                );
+                (list, slot)
+            }
+            None => {
+                let (list, slot) =
+                    Self::record_segment_test(region, res, strategy, p.edges(), q.edges());
+                let list = self.fuse_cold(list, stats);
+                self.cache_store(key, &list, slot, stats);
+                (list, slot)
+            }
+        };
         let result = self.execute_list(&list, stats).and_then(|exec| {
             let overlap = match strategy {
                 OverlapStrategy::Stencil => exec.stencil_value(slot)? >= 2,
@@ -482,6 +564,7 @@ mod tests {
                 resolution: 16,
                 sw_threshold: 0,
                 strategy,
+                ..HwConfig::recommended()
             };
             let mut t = HwTester::new(cfg);
             for (p, q) in &cases {
@@ -507,6 +590,36 @@ mod tests {
             "clears/accum/minmax must be charged"
         );
         assert!(st.hw.primitives > 0);
+    }
+
+    #[test]
+    fn repeated_tests_hit_the_recording_cache() {
+        let (a, b) = parallel_slabs();
+        let mut t = HwTester::new(HwConfig::at_resolution(8));
+        let mut st = TestStats::default();
+        for _ in 0..4 {
+            t.intersects(&a, &b, &mut st);
+        }
+        assert_eq!(st.cache_misses, 1, "one cold recording: {st:?}");
+        assert_eq!(st.cache_hits, 3, "three spliced reuses: {st:?}");
+        assert!(
+            st.commands_elided > 0,
+            "the cold recording's write-mode no-op is fused away: {st:?}"
+        );
+
+        // Retuning drops the cache (the key embeds the resolution).
+        t.set_config(HwConfig::at_resolution(16));
+        let mut st = TestStats::default();
+        t.intersects(&a, &b, &mut st);
+        assert_eq!(st.cache_misses, 1);
+
+        // With recording features off, neither counter moves.
+        t.set_config(
+            HwConfig::at_resolution(8).with_recording(crate::RecordingOptions::disabled()),
+        );
+        let mut st = TestStats::default();
+        t.intersects(&a, &b, &mut st);
+        assert_eq!(st.cache_hits + st.cache_misses + st.commands_elided, 0);
     }
 
     #[test]

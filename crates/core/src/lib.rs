@@ -32,9 +32,10 @@ pub mod hw_distance;
 pub mod hw_intersect;
 pub mod nn;
 pub mod pipeline;
+pub(crate) mod recording;
 pub mod stats;
 
-pub use config::HwConfig;
+pub use config::{HwConfig, RecordingOptions};
 pub use engine::{ConfigError, EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;

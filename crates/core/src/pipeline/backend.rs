@@ -316,6 +316,57 @@ mod tests {
         assert_eq!(r1, r2);
         assert_eq!(s1.hw.draw_calls, s2.hw.draw_calls);
         assert_eq!(s1.hw.fragments_tested, s2.hw.fragments_tested);
+        // Recording knobs ride along on the config, so the fork records
+        // and caches exactly like the original — including the cold-start
+        // misses, since forks begin with an empty cache of their own.
+        assert_eq!(s1.cache_misses, s2.cache_misses);
+        assert_eq!(s1.commands_elided, s2.commands_elided);
+    }
+
+    /// The recording cache never changes what a backend answers or what
+    /// hardware work it charges: the same pairs through a cache-enabled
+    /// and a cache-disabled backend are identical in everything but the
+    /// diagnostic cache counters.
+    #[test]
+    fn recording_cache_is_set_preserving_across_backends() {
+        // Diagonal slabs: overlapping MBRs, no contained vertices — every
+        // pair survives the software prologue and reaches the hardware.
+        let polys: Vec<Polygon> = (0..5)
+            .map(|i| {
+                let x = i as f64 * 2.5;
+                Polygon::from_coords(&[(x, 0.0), (x + 2.0, 0.0), (x + 10.0, 8.0), (x + 8.0, 8.0)])
+            })
+            .collect();
+        let pairs: Vec<(&Polygon, &Polygon)> =
+            (1..polys.len()).map(|i| (&polys[0], &polys[i])).collect();
+        let cached_cfg = HwConfig::at_resolution(8);
+        let cold_cfg = cached_cfg.with_recording(crate::RecordingOptions::disabled());
+        for pred in [
+            Predicate::Intersects,
+            Predicate::ContainedIn,
+            Predicate::WithinDistance(1.5),
+        ] {
+            let mut warm = HardwareBackend::new(cached_cfg);
+            let mut cold = HardwareBackend::new(cold_cfg);
+            let (mut s1, mut s2) = (TestStats::default(), TestStats::default());
+            // Run twice so the second round hits the warm cache.
+            let _ = warm.test_batch(pred, &pairs, &mut s1);
+            let _ = cold.test_batch(pred, &pairs, &mut s2);
+            let r1 = warm.test_batch(pred, &pairs, &mut s1);
+            let r2 = cold.test_batch(pred, &pairs, &mut s2);
+            assert_eq!(r1, r2);
+            assert_eq!(s1.hw_tests, s2.hw_tests);
+            assert_eq!(s1.rejected_by_hw, s2.rejected_by_hw);
+            assert_eq!(s1.software_tests, s2.software_tests);
+            assert_eq!(s1.hw_batches, s2.hw_batches);
+            assert_eq!(s1.hw, s2.hw, "charged hardware work must be identical");
+            assert_eq!(s1.gpu_modeled, s2.gpu_modeled);
+            if s1.hw_tests > 0 {
+                assert!(s1.cache_hits > 0, "second round must hit: {s1:?}");
+            }
+            assert_eq!(s2.cache_hits, 0);
+            assert_eq!(s2.cache_misses, 0);
+        }
     }
 
     #[test]

@@ -120,7 +120,8 @@ impl Supervisor {
             }
         }
         self.consecutive_faults += 1;
-        if self.policy.quarantine_after > 0 && self.consecutive_faults >= self.policy.quarantine_after
+        if self.policy.quarantine_after > 0
+            && self.consecutive_faults >= self.policy.quarantine_after
         {
             self.quarantine = Some(last);
         }
@@ -131,10 +132,10 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spatial_geom::{Point, Rect, Segment};
     use spatial_raster::{
         DeviceKind, FaultDevice, FaultKind, FaultPlan, FaultTrigger, Recorder, Viewport,
     };
-    use spatial_geom::{Point, Rect, Segment};
 
     fn list() -> CommandList {
         let mut r = Recorder::new(8, 8);

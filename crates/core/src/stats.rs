@@ -42,6 +42,17 @@ pub struct TestStats {
     /// the supervisor instead of sleeping, and added to the reported
     /// geometry time the same way `gpu_modeled` is.
     pub recovery_ns: u64,
+    /// Hardware submissions built by splicing geometry into a cached
+    /// recording skeleton instead of re-recording the choreography.
+    /// Diagnostic: the cache is set-preserving, so every *other* counter
+    /// is independent of hits vs misses.
+    pub cache_hits: usize,
+    /// Hardware submissions that recorded cold and populated the cache
+    /// (only charged when the recording cache is enabled).
+    pub cache_misses: usize,
+    /// Commands elided by set-preserving fusion on cold recordings —
+    /// uncharged dead state removed from the tape before execution.
+    pub commands_elided: usize,
     /// Simulated-hardware work counters.
     pub hw: HwStats,
     /// GPU time from the calibrated cost model (what a real board would
@@ -67,6 +78,9 @@ impl TestStats {
         self.retries += o.retries;
         self.quarantined += o.quarantined;
         self.recovery_ns += o.recovery_ns;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.commands_elided += o.commands_elided;
         self.hw.add(&o.hw);
         self.gpu_modeled += o.gpu_modeled;
         self.sim_wall += o.sim_wall;
@@ -149,6 +163,9 @@ mod tests {
             retries: 2,
             quarantined: 1,
             recovery_ns: 100,
+            cache_hits: 7,
+            cache_misses: 3,
+            commands_elided: 9,
             hw: HwStats::default(),
             gpu_modeled: Duration::from_micros(2),
             sim_wall: Duration::from_micros(7),
@@ -156,6 +173,9 @@ mod tests {
         t.add(&other);
         t.add(&other);
         assert_eq!(t.rejected_by_hw, 4);
+        assert_eq!(t.cache_hits, 14);
+        assert_eq!(t.cache_misses, 6);
+        assert_eq!(t.commands_elided, 18);
         assert_eq!(t.hw_tests, 12);
         assert_eq!(t.fallback_tests, 4);
         assert_eq!(t.device_faults, 6);

@@ -60,7 +60,10 @@ fn check_strategy(strategy: OverlapStrategy, name: &str) {
             threads: 2,
         },
     ] {
-        let exec = device.build().execute(&list).expect("clean devices never fault");
+        let exec = device
+            .build()
+            .execute(&list)
+            .expect("clean devices never fault");
         match strategy {
             OverlapStrategy::Stencil => {
                 assert_eq!(exec.stencil_value(slot), Ok(2), "{device:?}")

@@ -70,7 +70,7 @@ proptest! {
             OverlapStrategy::Blending,
             OverlapStrategy::Stencil,
         ] {
-            let cfg = HwConfig { resolution: 8, sw_threshold: 0, strategy };
+            let cfg = HwConfig { resolution: 8, sw_threshold: 0, strategy, ..HwConfig::recommended() };
             let mut t = HwTester::new(cfg);
             let mut st = TestStats::default();
             prop_assert_eq!(t.intersects(&p, &q, &mut st), oracle, "{:?}", strategy);

@@ -141,14 +141,20 @@ pub fn frontier_edges(poly: &Polygon, other_mbr: &Rect) -> Vec<Segment> {
     indices.into_iter().map(|i| poly.edge(i)).collect()
 }
 
-/// Frontier chain clipped to the other MBR extended by `d` (the paper's
-/// second `minDist` optimization): only edges whose MBR intersects
-/// `other_mbr.expanded(d)` can participate in a within-distance-`d` pair.
+/// Frontier chain clipped to within `d` of the other MBR (the paper's
+/// second `minDist` optimization): only edges whose MBR is within `d` of
+/// `other_mbr` can participate in a within-distance-`d` pair.
+///
+/// The filter uses the same [`Rect::min_dist`] kernel as the pipeline's
+/// MBR gates and the pairwise edge prefilter — NOT an
+/// `intersects(expanded(d))` test, whose `x ± d` rounding can land one
+/// ulp past an edge that sits at *exactly* distance `d` and silently
+/// drop it, flipping a closed-predicate boundary answer. With one shared
+/// kernel, every layer of the distance test rounds the same way.
 pub fn frontier_clipped(poly: &Polygon, other_mbr: &Rect, d: f64) -> Vec<Segment> {
-    let ext = other_mbr.expanded(d);
     frontier_edges(poly, other_mbr)
         .into_iter()
-        .filter(|e| e.mbr().intersects(&ext))
+        .filter(|e| e.mbr().min_dist(other_mbr) <= d)
         .collect()
 }
 

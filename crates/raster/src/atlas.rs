@@ -70,6 +70,7 @@ struct Layout {
     cell: usize,
     gutter: usize,
     grid: usize,
+    rows: usize,
 }
 
 impl Layout {
@@ -79,7 +80,17 @@ impl Layout {
         // scissor. (The scissor makes this a second line of defense.)
         let gutter = (max_width / 2.0).ceil() as usize + 1;
         let grid = (jobs as f64).sqrt().ceil() as usize;
-        Layout { cell, gutter, grid }
+        // Only as many rows as the jobs fill: a square `grid × grid`
+        // window would charge whole rows of clears/accumulation/scans for
+        // cells no job occupies (5 jobs on a 3×3 grid is one empty row of
+        // `pixels_scanned` over-charged).
+        let rows = jobs.div_ceil(grid.max(1));
+        Layout {
+            cell,
+            gutter,
+            grid,
+            rows,
+        }
     }
 
     /// Pixel origin of cell `i` (row-major).
@@ -89,9 +100,15 @@ impl Layout {
         (self.gutter + col * pitch, self.gutter + row * pitch)
     }
 
-    /// Whole-atlas side length in pixels.
-    fn side(&self) -> usize {
+    /// Atlas width in pixels (`grid` columns plus gutters).
+    fn width(&self) -> usize {
         self.grid * (self.cell + self.gutter) + self.gutter
+    }
+
+    /// Atlas height in pixels — only the occupied rows, so whole-buffer
+    /// operations are charged over pixels a job can actually touch.
+    fn height(&self) -> usize {
+        self.rows * (self.cell + self.gutter) + self.gutter
     }
 }
 
@@ -172,8 +189,7 @@ pub fn record_batch(jobs: &[AtlasJob], line_width: f64, point_size: f64) -> (Com
         );
     }
     let layout = Layout::new(cell, jobs.len(), line_width.max(point_size));
-    let side = layout.side();
-    let mut rec = Recorder::new(side, side);
+    let mut rec = Recorder::new(layout.width(), layout.height());
     rec.begin_batch();
     rec.set_color(HALF_GRAY);
     rec.set_line_width(line_width)
@@ -200,6 +216,67 @@ pub fn record_batch(jobs: &[AtlasJob], line_width: f64, point_size: f64) -> (Com
     (rec.finish(), slot)
 }
 
+/// The splice shape of a batch: for each job, which of its four geometry
+/// lists (first segments, first points, second segments, second points)
+/// are non-empty. Two batches with equal shapes — plus equal cell
+/// resolution and line state — record identical command skeletons,
+/// differing only in viewport values and geometry runs. This is the
+/// choreography-shape component of the recording cache's key, and the
+/// contract [`splice_batch`] relies on.
+pub fn batch_shape(jobs: &[AtlasJob]) -> Vec<[bool; 4]> {
+    jobs.iter()
+        .map(|j| {
+            [
+                !j.first_segments.is_empty(),
+                !j.first_points.is_empty(),
+                !j.second_segments.is_empty(),
+                !j.second_points.is_empty(),
+            ]
+        })
+        .collect()
+}
+
+/// Re-instantiates a cached batch skeleton with `jobs`' viewports and
+/// geometry, walking the jobs in exactly the order [`record_batch`]
+/// records them (per pass: non-empty segment cells, then non-empty point
+/// cells). `template` must come from a [`record_batch`] list (optionally
+/// fused) of a batch with the same [`batch_shape`], cell resolution and
+/// line state — the cache key guarantees it.
+pub fn splice_batch(jobs: &[AtlasJob], template: &crate::device::ListTemplate) -> CommandList {
+    let mut viewports: Vec<Viewport> = Vec::new();
+    let mut seg_runs: Vec<&[Segment]> = Vec::new();
+    let mut point_runs: Vec<&[Point]> = Vec::new();
+    for pass in [Pass::First, Pass::Second] {
+        for job in jobs {
+            let segments: &[Segment] = match pass {
+                Pass::First => &job.first_segments,
+                Pass::Second => &job.second_segments,
+            };
+            if segments.is_empty() {
+                continue;
+            }
+            viewports.push(job.viewport);
+            seg_runs.push(segments);
+        }
+        for job in jobs {
+            let points: &[Point] = match pass {
+                Pass::First => &job.first_points,
+                Pass::Second => &job.second_points,
+            };
+            if points.is_empty() {
+                continue;
+            }
+            viewports.push(job.viewport);
+            point_runs.push(points);
+        }
+    }
+    template.instantiate(
+        &viewports,
+        |i, out| out.extend_from_slice(seg_runs[i]),
+        |i, out| out.extend_from_slice(point_runs[i]),
+    )
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Pass {
     First,
@@ -220,50 +297,58 @@ fn cell_rect(layout: &Layout, i: usize) -> PixelRect {
 /// lists in one merged submission, all point lists in another. Each job
 /// renders through its own cell-local window — scissor plus cell-sized
 /// viewport — so its fragments are identical to the per-pair path's.
+///
+/// Cells with no geometry in a loop are skipped entirely: recording their
+/// scissor/viewport churn (and an empty extend-draw) would be exactly the
+/// dead state `CommandList::fuse` elides, so the cold recording is already
+/// the fused form. The first *non-empty* job opens each loop's draw call
+/// — one `draw_calls` charge per loop with work in it, the same total the
+/// old open-unconditionally recording charged whenever any geometry
+/// existed.
 fn record_pass(rec: &mut Recorder, jobs: &[AtlasJob], layout: &Layout, pass: Pass) {
+    let mut opened = false;
     for (i, job) in jobs.iter().enumerate() {
-        rec.set_scissor(Some(cell_rect(layout, i)))
-            .expect("cells lie inside the atlas");
-        rec.set_viewport(job.viewport)
-            .expect("job viewport matches the cell");
         let segments = match pass {
             Pass::First => &job.first_segments,
             Pass::Second => &job.second_segments,
         };
-        // The first job opens the pass's draw call — even with an empty
-        // segment list, matching the immediate-mode pass that charged one
-        // submission unconditionally; the rest merge into it.
-        let recorded = if i == 0 {
-            rec.draw_segments(segments.iter().copied())
-        } else {
+        if segments.is_empty() {
+            continue;
+        }
+        rec.set_scissor(Some(cell_rect(layout, i)))
+            .expect("cells lie inside the atlas");
+        rec.set_viewport(job.viewport)
+            .expect("job viewport matches the cell");
+        let recorded = if opened {
             rec.extend_draw_segments(segments.iter().copied())
+        } else {
+            opened = true;
+            rec.draw_segments(segments.iter().copied())
         };
         recorded.expect("viewport recorded above");
     }
 
-    let any_points = jobs.iter().any(|j| match pass {
-        Pass::First => !j.first_points.is_empty(),
-        Pass::Second => !j.second_points.is_empty(),
-    });
-    if any_points {
-        for (i, job) in jobs.iter().enumerate() {
-            rec.set_scissor(Some(cell_rect(layout, i)))
-                .expect("cells lie inside the atlas");
-            rec.set_viewport(job.viewport)
-                .expect("job viewport matches the cell");
-            let points = match pass {
-                Pass::First => &job.first_points,
-                Pass::Second => &job.second_points,
-            };
-            let recorded = if i == 0 {
-                rec.draw_points(points.iter().copied())
-            } else {
-                rec.extend_draw_points(points.iter().copied())
-            };
-            recorded.expect("viewport recorded above");
+    let mut opened = false;
+    for (i, job) in jobs.iter().enumerate() {
+        let points = match pass {
+            Pass::First => &job.first_points,
+            Pass::Second => &job.second_points,
+        };
+        if points.is_empty() {
+            continue;
         }
+        rec.set_scissor(Some(cell_rect(layout, i)))
+            .expect("cells lie inside the atlas");
+        rec.set_viewport(job.viewport)
+            .expect("job viewport matches the cell");
+        let recorded = if opened {
+            rec.extend_draw_points(points.iter().copied())
+        } else {
+            opened = true;
+            rec.draw_points(points.iter().copied())
+        };
+        recorded.expect("viewport recorded above");
     }
-    rec.set_scissor(None).expect("lifting the scissor");
 }
 
 #[cfg(test)]
@@ -492,6 +577,123 @@ mod tests {
         let mut atlas = AtlasContext::new(8);
         assert!(atlas.run_batch(&[], 1.0, 1.0).is_empty());
         assert_eq!(atlas.stats(), HwStats::default());
+    }
+
+    #[test]
+    fn partial_last_row_is_not_charged() {
+        // 5 jobs → a 3-column grid needs only 2 rows; a square 3×3 atlas
+        // would charge a whole unused row of clears/accumulation/scans.
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let five: Vec<AtlasJob> = (0..5)
+            .map(|i| {
+                job(
+                    r,
+                    8,
+                    vec![seg(0.0, i as f64, 8.0, 8.0)],
+                    vec![seg(0.0, 8.0, 8.0, i as f64)],
+                )
+            })
+            .collect();
+        let (list, _) = record_batch(&five, DIAGONAL_WIDTH, 1.0);
+        assert!(
+            list.height() < list.width(),
+            "5 jobs over 3 columns occupy 2 rows, not 3 ({}x{})",
+            list.width(),
+            list.height()
+        );
+        let layout = Layout::new(8, 5, DIAGONAL_WIDTH);
+        assert_eq!(layout.grid, 3);
+        assert_eq!(layout.rows, 2);
+        // Every cell must still fit.
+        for i in 0..5 {
+            let c = cell_rect(&layout, i);
+            assert!(c.x + c.w <= list.width() && c.y + c.h <= list.height());
+        }
+        // The flags are unchanged by the tighter window.
+        let mut atlas = AtlasContext::new(8);
+        let flags = atlas.run_batch(&five, DIAGONAL_WIDTH, 1.0);
+        for (i, j) in five.iter().enumerate() {
+            assert_eq!(flags[i], per_pair_overlap(j, DIAGONAL_WIDTH), "job {i}");
+        }
+    }
+
+    #[test]
+    fn cold_recordings_are_already_fused() {
+        // Geometry-free cells are skipped at record time, so the fusion
+        // pass finds nothing to elide — the dead scissor/viewport churn it
+        // exists for is never recorded in the first place.
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let jobs = vec![
+            job(
+                r,
+                8,
+                vec![seg(0.0, 0.0, 8.0, 8.0)],
+                vec![seg(0.0, 8.0, 8.0, 0.0)],
+            ),
+            job(r, 8, vec![seg(1.0, 0.0, 1.0, 8.0)], vec![]),
+            job(r, 8, vec![], vec![seg(2.0, 0.0, 2.0, 8.0)]),
+        ];
+        let (list, _) = record_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        let (fused, elided) = list.fuse();
+        assert_eq!(elided, 0, "cold atlas recordings must be minimal");
+        assert_eq!(fused, list);
+    }
+
+    #[test]
+    fn skipping_empty_cells_preserves_counters_and_flags() {
+        // The one-sided jobs of the contamination test, re-checked for
+        // counter identity: skipping a cell elides only uncharged state.
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let jobs = vec![
+            job(
+                r,
+                8,
+                vec![seg(0.0, 0.0, 8.0, 8.0)],
+                vec![seg(0.0, 8.0, 8.0, 0.0)],
+            ),
+            job(r, 8, vec![seg(7.9, 0.0, 7.9, 8.0)], vec![]),
+            job(r, 8, vec![], vec![seg(0.1, 0.0, 0.1, 8.0)]),
+        ];
+        let mut atlas = AtlasContext::new(8);
+        let flags = atlas.run_batch(&jobs, DIAGONAL_WIDTH, 1.0);
+        assert_eq!(flags, vec![true, false, false]);
+        let s = atlas.stats();
+        assert_eq!(s.draw_calls, 2, "each pass still opens exactly one call");
+        assert_eq!(s.minmax_queries, 1);
+    }
+
+    #[test]
+    fn splice_batch_equals_cold_recording() {
+        use crate::device::ListTemplate;
+        let r1 = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let r2 = Rect::new(4.0, 4.0, 12.0, 12.0);
+        let mk = |r: Rect, a: f64| AtlasJob {
+            viewport: Viewport::uniform(r, 8, 8),
+            first_segments: vec![seg(a, 0.0, a, 8.0)],
+            first_points: vec![Point::new(a, 0.0), Point::new(a, 8.0)],
+            second_segments: vec![seg(0.0, a, 8.0, a)],
+            second_points: vec![Point::new(0.0, a), Point::new(8.0, a)],
+        };
+        let batch_a = vec![mk(r1, 1.0), mk(r1, 2.0), mk(r1, 3.0)];
+        let batch_b = vec![mk(r2, 5.0), mk(r2, 6.0), mk(r2, 7.0)];
+        assert_eq!(batch_shape(&batch_a), batch_shape(&batch_b));
+
+        let (cold_a, slot) = record_batch(&batch_a, 3.0, 3.0);
+        let (fused_a, _) = cold_a.fuse();
+        let template = ListTemplate::new(&fused_a);
+
+        // Splicing batch B into A's skeleton equals B's own recording.
+        let spliced = splice_batch(&batch_b, &template);
+        let (cold_b, slot_b) = record_batch(&batch_b, 3.0, 3.0);
+        let (fused_b, _) = cold_b.fuse();
+        assert_eq!(spliced, fused_b);
+        assert_eq!(slot, slot_b);
+
+        let mut dev = ReferenceDevice::new();
+        assert_eq!(
+            dev.execute(&spliced).unwrap(),
+            dev.execute(&cold_b).unwrap()
+        );
     }
 
     #[test]

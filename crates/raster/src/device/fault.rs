@@ -185,7 +185,7 @@ impl RasterDevice for FaultDevice {
         let fires = match self.plan.trigger {
             FaultTrigger::OnExecute(n) => index == n,
             FaultTrigger::OnCommand(n) => before <= n && n < self.commands,
-            FaultTrigger::EveryK(k) => k > 0 && (index + 1) % k == 0,
+            FaultTrigger::EveryK(k) => k > 0 && (index + 1).is_multiple_of(k),
         };
         if !fires {
             return self.inner.execute(list);

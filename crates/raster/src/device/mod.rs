@@ -21,6 +21,15 @@
 //!    a `CommandList` by replaying it, independent of which device (or
 //!    how many threads, or what lane width) ran it for real.
 //!
+//! Between validation and execution two optional, set-preserving
+//! transformations sit on the recording side: [`CommandList::fuse`] elides
+//! uncharged dead state from a recorded tape (see [`fuse`]), and a
+//! [`ListTemplate`] turns a recorded skeleton into a reusable tape that
+//! splices fresh viewports and geometry per instantiation (see
+//! [`template`]) — the machinery behind `hwa-core`'s recording cache.
+//! Neither changes what an executor observes being charged: framebuffer,
+//! readbacks and every `HwStats` counter stay bit-identical.
+//!
 //! Three executors ship:
 //!
 //! * [`ReferenceDevice`] replays the list onto [`crate::GlContext`]
@@ -58,8 +67,10 @@
 mod band;
 pub mod command;
 pub mod fault;
+pub mod fuse;
 mod reference;
 pub mod simd;
+pub mod template;
 mod tiled;
 
 pub use crate::context::PixelRect;
@@ -67,6 +78,7 @@ pub use command::{Command, CommandList, RecordError, Recorder};
 pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultTrigger};
 pub use reference::ReferenceDevice;
 pub use simd::SimdDevice;
+pub use template::ListTemplate;
 pub use tiled::TiledDevice;
 
 use crate::framebuffer::{Color, FrameBuffer};
@@ -192,9 +204,9 @@ impl Execution {
         let mut nonneg = true;
         for cmd in list.commands() {
             if let Command::SetColor(c) = *cmd {
-                for ch in 0..3 {
-                    hi = hi.max(c[ch]);
-                    nonneg &= c[ch] >= 0.0;
+                for v in c.iter().take(3) {
+                    hi = hi.max(*v);
+                    nonneg &= *v >= 0.0;
                 }
             }
         }
@@ -204,8 +216,9 @@ impl Execution {
         for cmd in list.commands() {
             let ok = match *cmd {
                 Command::Minmax => match &self.readbacks[slot] {
-                    Readback::Minmax(mn, mx) => (0..3)
-                        .all(|ch| in_range(mn[ch]) && in_range(mx[ch]) && mn[ch] <= mx[ch]),
+                    Readback::Minmax(mn, mx) => {
+                        (0..3).all(|ch| in_range(mn[ch]) && in_range(mx[ch]) && mn[ch] <= mx[ch])
+                    }
                     _ => false,
                 },
                 Command::StencilMax => {

@@ -149,12 +149,16 @@ impl RasterDevice for TiledDevice {
             }
         }
 
-        let run: fn(&CommandList, usize, usize, &mut FrameBuffer) -> Result<BandResult, DeviceError> =
-            if self.simd {
-                run_band::<SIMD_LANES>
-            } else {
-                run_band::<1>
-            };
+        let run: fn(
+            &CommandList,
+            usize,
+            usize,
+            &mut FrameBuffer,
+        ) -> Result<BandResult, DeviceError> = if self.simd {
+            run_band::<SIMD_LANES>
+        } else {
+            run_band::<1>
+        };
         let injected = self.fault_band.take();
         let run_one = move |idx: usize, y0: usize, y1: usize, buf: &mut FrameBuffer| {
             if let Some((band, err)) = injected {
@@ -188,8 +192,11 @@ impl RasterDevice for TiledDevice {
                     .enumerate()
                 {
                     s.spawn(move || {
-                        for (j, ((slot, &(y0, y1)), buf)) in
-                            res_chunk.iter_mut().zip(band_chunk).zip(buf_chunk).enumerate()
+                        for (j, ((slot, &(y0, y1)), buf)) in res_chunk
+                            .iter_mut()
+                            .zip(band_chunk)
+                            .zip(buf_chunk)
+                            .enumerate()
                         {
                             *slot = Some(run_one(chunk * per + j, y0, y1, buf));
                         }

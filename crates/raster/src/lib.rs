@@ -48,8 +48,8 @@ pub use context::{
 pub use cost_model::HwCostModel;
 pub use device::{
     Command, CommandList, DeviceError, DeviceKind, Execution, FaultDevice, FaultKind, FaultPlan,
-    FaultTrigger, RasterDevice, Readback, RecordError, Recorder, ReferenceDevice, SimdDevice,
-    TiledDevice,
+    FaultTrigger, ListTemplate, RasterDevice, Readback, RecordError, Recorder, ReferenceDevice,
+    SimdDevice, TiledDevice,
 };
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;

@@ -48,6 +48,7 @@ fn join_equivalence_across_strategies() {
             resolution: 8,
             sw_threshold: 0,
             strategy,
+            ..HwConfig::recommended()
         }));
         let (got, _) = hw.intersection_join(&a, &b);
         assert_eq!(got, expected, "{strategy:?}");
