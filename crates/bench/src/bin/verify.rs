@@ -50,6 +50,57 @@ fn check_device_pair<R: PartialEq>(
     }
 }
 
+/// Asserts two runs differing only in stage-1 filter knobs
+/// (`filter_simd` / `filter_threads`) agree on results, on the candidate
+/// stream the refinement stage saw, on the deterministic `node_tests`
+/// counter, and on every refinement counter — the "filter configs are
+/// pure optimizations" guarantee. Only the routing diagnostics
+/// (`simd_node_tests`, `filter_work_units`) may differ.
+fn check_filter_pair<R: PartialEq>(
+    label: &str,
+    reference: &(R, CostBreakdown),
+    tuned: &(R, CostBreakdown),
+    failures: &mut usize,
+) {
+    if reference.0 != tuned.0 {
+        println!("FAIL filter cross-check {label}: results differ");
+        *failures += 1;
+    }
+    let (r, t) = (&reference.1, &tuned.1);
+    if r.candidates != t.candidates
+        || r.filter_hits != t.filter_hits
+        || r.results != t.results
+        || r.node_tests != t.node_tests
+    {
+        println!(
+            "FAIL filter cross-check {label}: stage-1 counters diverged\n  \
+             reference: candidates {} hits {} results {} node_tests {}\n  \
+             tuned:     candidates {} hits {} results {} node_tests {}",
+            r.candidates,
+            r.filter_hits,
+            r.results,
+            r.node_tests,
+            t.candidates,
+            t.filter_hits,
+            t.results,
+            t.node_tests
+        );
+        *failures += 1;
+    }
+    let (rt, tt) = (&r.tests, &t.tests);
+    if rt.hw != tt.hw
+        || rt.hw_tests != tt.hw_tests
+        || rt.hw_batches != tt.hw_batches
+        || rt.software_tests != tt.software_tests
+        || rt.decided_by_pip != tt.decided_by_pip
+        || rt.width_limit_fallbacks != tt.width_limit_fallbacks
+        || rt.gpu_modeled != tt.gpu_modeled
+    {
+        println!("FAIL filter cross-check {label}: refinement counters diverged");
+        *failures += 1;
+    }
+}
+
 /// Widens a selection run to the join result shape so the fault sweep can
 /// treat all four pipelines uniformly.
 fn lift_selection(run: (Vec<usize>, CostBreakdown)) -> (Vec<(usize, usize)>, CostBreakdown) {
@@ -480,6 +531,96 @@ fn main() {
         }
         println!(
             "recording cache & fusion verified: the knobs never change results or charged counters"
+        );
+    }
+
+    // Filter-config cross-check: the stage-1 knobs (`filter_simd`,
+    // `filter_threads`) must never change results, the candidate stream,
+    // or any refinement counter, on all four pipelines — the vectorized
+    // threaded MBR filter is a pure optimization, like the device knobs.
+    // Under `--faults` the same sweep runs with a fault schedule firing
+    // underneath: the filter stage is upstream of the device, so recovery
+    // behaviour must be untouched by filter routing.
+    {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |filter_simd: bool, filter_threads: usize, device: DeviceKind| {
+            SpatialEngine::new(EngineConfig {
+                filter_simd,
+                filter_threads,
+                device,
+                use_object_filters: true,
+                interior_filter_level: Some(4),
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let mut devices = vec![("reference", DeviceKind::Reference)];
+        if opts.faults {
+            devices.push((
+                "faulty tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                }
+                .with_faults(FaultPlan::new(
+                    31,
+                    FaultKind::ContextLost,
+                    FaultTrigger::EveryK(3),
+                )),
+            ));
+        }
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        let mut simd_tests_seen = 0usize;
+        for (dev_name, device) in &devices {
+            let mut reference = make(false, 1, device.clone());
+            let ref_sel = reference.intersection_selection(&w.water, q);
+            let ref_con = reference.containment_selection(&w.water, q);
+            let ref_join = reference.intersection_join(&w.landc, &w.lando);
+            let ref_within = reference.within_distance_join(&w.landc, &w.lando, d);
+            if ref_sel.1.simd_node_tests != 0 {
+                println!("FAIL filter cross-check: scalar path charged SIMD tests");
+                failures += 1;
+            }
+            for filter_simd in [false, true] {
+                for filter_threads in [1usize, 4] {
+                    let mut e = make(filter_simd, filter_threads, device.clone());
+                    let label =
+                        format!("simd {filter_simd} threads {filter_threads} on {dev_name}");
+                    let got = e.intersection_selection(&w.water, q);
+                    simd_tests_seen += got.1.simd_node_tests;
+                    check_filter_pair(
+                        &format!("intersection_selection {label}"),
+                        &ref_sel,
+                        &got,
+                        &mut failures,
+                    );
+                    check_filter_pair(
+                        &format!("containment_selection {label}"),
+                        &ref_con,
+                        &e.containment_selection(&w.water, q),
+                        &mut failures,
+                    );
+                    check_filter_pair(
+                        &format!("intersection_join {label}"),
+                        &ref_join,
+                        &e.intersection_join(&w.landc, &w.lando),
+                        &mut failures,
+                    );
+                    check_filter_pair(
+                        &format!("within_distance_join {label}"),
+                        &ref_within,
+                        &e.within_distance_join(&w.landc, &w.lando, d),
+                        &mut failures,
+                    );
+                }
+            }
+        }
+        if simd_tests_seen == 0 {
+            println!("FAIL filter cross-check: SIMD kernels never routed any test");
+            failures += 1;
+        }
+        println!(
+            "filter configs verified: scalar/SIMD × sequential/threaded MBR filter ≡ reference on all pipelines"
         );
     }
 

@@ -19,7 +19,9 @@ use crate::pipeline::{
 };
 use crate::stats::CostBreakdown;
 use spatial_geom::Polygon;
-use spatial_index::{join_intersecting, join_within_distance, RTree};
+use spatial_index::{
+    join_intersecting_with, join_within_distance_with, FilterConfig, FilterStats, RTree,
+};
 use spatial_raster::DeviceKind;
 use std::fmt;
 
@@ -61,6 +63,19 @@ pub struct EngineConfig {
     /// threads partition the surviving candidates deterministically —
     /// results and merged counters are bit-identical to sequential.
     pub refine_threads: usize,
+    /// Worker threads for the stage-1 MBR filter: tree joins are split
+    /// into fixed-size page-pair work units pulled by this many workers
+    /// and merged back in unit order, so the candidate *sequence* — which
+    /// the intermediate filter chain depends on — is bit-identical to the
+    /// sequential traversal. `1` (the default) traverses on the calling
+    /// thread; selections are single-probe and always do.
+    pub filter_threads: usize,
+    /// Evaluate the filter stage's node-level MBR kernels at SIMD width
+    /// (AVX2-dispatched under the `simd-intrinsics` feature) instead of
+    /// one lane at a time. Candidates, order and the deterministic
+    /// `node_tests` counter are bit-identical either way; only wall-clock
+    /// time and the diagnostic `simd_node_tests` move.
+    pub filter_simd: bool,
     /// Which raster device executes the recorded command lists:
     /// [`DeviceKind::Reference`] (the default, single-threaded replay),
     /// [`DeviceKind::Tiled`] (banded multi-threaded execution),
@@ -87,6 +102,8 @@ impl Default for EngineConfig {
             use_object_filters: false,
             hw_batch: 1,
             refine_threads: 1,
+            filter_threads: 1,
+            filter_simd: true,
             device: DeviceKind::Reference,
             recovery: RecoveryPolicy::default(),
         }
@@ -101,6 +118,9 @@ pub enum ConfigError {
     ZeroBatch,
     /// `refine_threads` is 0: no worker would ever refine a candidate.
     ZeroThreads,
+    /// `filter_threads` is 0: no worker would ever pull a filter work
+    /// unit.
+    ZeroFilterThreads,
     /// A tiled device was configured with 0 bands.
     ZeroTiles,
     /// The recording cache was enabled with zero capacity: every insert
@@ -113,6 +133,7 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroBatch => write!(f, "hw_batch must be at least 1"),
             ConfigError::ZeroThreads => write!(f, "refine_threads must be at least 1"),
+            ConfigError::ZeroFilterThreads => write!(f, "filter_threads must be at least 1"),
             ConfigError::ZeroTiles => write!(f, "a tiled device needs at least 1 band"),
             ConfigError::ZeroCacheCapacity => {
                 write!(f, "an enabled recording cache needs at least 1 entry")
@@ -165,6 +186,9 @@ impl EngineConfig {
         }
         if self.refine_threads == 0 {
             return Err(ConfigError::ZeroThreads);
+        }
+        if self.filter_threads == 0 {
+            return Err(ConfigError::ZeroFilterThreads);
         }
         if self.hw.recording.cache && self.hw.recording.cache_entries == 0 {
             return Err(ConfigError::ZeroCacheCapacity);
@@ -271,6 +295,15 @@ impl SpatialEngine {
         }
     }
 
+    /// The stage-1 knobs in the index crate's terms.
+    fn filter_config(&self) -> FilterConfig {
+        FilterConfig {
+            threads: self.config.filter_threads,
+            simd: self.config.filter_simd,
+            ..FilterConfig::default()
+        }
+    }
+
     /// Intersection selection: all objects of `ds` intersecting `query`.
     pub fn intersection_selection(
         &mut self,
@@ -282,15 +315,19 @@ impl SpatialEngine {
             Some(level) => vec![Box::new(InteriorFilterStage::new(query, level, ds))],
             None => Vec::new(),
         };
+        let simd = self.config.filter_simd;
         self.executor().run(
             self.backend.as_mut(),
             Predicate::Intersects,
             || {
-                ds.tree
-                    .search_intersects(&query.mbr())
+                let mut fs = FilterStats::default();
+                let cands = ds
+                    .tree
+                    .search_intersects_stats(&query.mbr(), simd, &mut fs)
                     .into_iter()
                     .copied()
-                    .collect()
+                    .collect();
+                (cands, fs)
             },
             filters,
             |i| (query, ds.polygon(i)),
@@ -311,18 +348,22 @@ impl SpatialEngine {
             Some(level) => vec![Box::new(InteriorFilterStage::new(query, level, ds))],
             None => Vec::new(),
         };
+        let simd = self.config.filter_simd;
         self.executor().run(
             self.backend.as_mut(),
             Predicate::ContainedIn,
             || {
                 // Only objects whose MBR lies inside the query MBR can
                 // qualify.
-                ds.tree
-                    .search_intersects(&query.mbr())
+                let mut fs = FilterStats::default();
+                let cands = ds
+                    .tree
+                    .search_intersects_stats(&query.mbr(), simd, &mut fs)
                     .into_iter()
                     .copied()
                     .filter(|&i| query.mbr().contains_rect(&ds.polygon(i).mbr()))
-                    .collect()
+                    .collect();
+                (cands, fs)
             },
             filters,
             |i| (ds.polygon(i), query),
@@ -335,14 +376,17 @@ impl SpatialEngine {
         a: &PreparedDataset,
         b: &PreparedDataset,
     ) -> (Vec<(usize, usize)>, CostBreakdown) {
+        let fcfg = self.filter_config();
         self.executor().run(
             self.backend.as_mut(),
             Predicate::Intersects,
             || {
-                join_intersecting(&a.tree, &b.tree)
+                let mut fs = FilterStats::default();
+                let cands = join_intersecting_with(&a.tree, &b.tree, &fcfg, &mut fs)
                     .into_iter()
                     .map(|(x, y)| (*x, *y))
-                    .collect()
+                    .collect();
+                (cands, fs)
             },
             Vec::new(),
             |(i, j)| (a.polygon(i), b.polygon(j)),
@@ -362,14 +406,17 @@ impl SpatialEngine {
             } else {
                 Vec::new()
             };
+        let fcfg = self.filter_config();
         self.executor().run(
             self.backend.as_mut(),
             Predicate::WithinDistance(d),
             || {
-                join_within_distance(&a.tree, &b.tree, d)
+                let mut fs = FilterStats::default();
+                let cands = join_within_distance_with(&a.tree, &b.tree, d, &fcfg, &mut fs)
                     .into_iter()
                     .map(|(x, y)| (*x, *y))
-                    .collect()
+                    .collect();
+                (cands, fs)
             },
             filters,
             |(i, j)| (a.polygon(i), b.polygon(j)),
@@ -626,6 +673,14 @@ mod tests {
             ..EngineConfig::software()
         };
         assert_eq!(zero_threads.validate(), Err(ConfigError::ZeroThreads));
+        let zero_filter_threads = EngineConfig {
+            filter_threads: 0,
+            ..EngineConfig::software()
+        };
+        assert_eq!(
+            zero_filter_threads.validate(),
+            Err(ConfigError::ZeroFilterThreads)
+        );
         let zero_tiles = EngineConfig {
             device: DeviceKind::Tiled {
                 tiles: 0,
@@ -664,6 +719,58 @@ mod tests {
         };
         assert!(disabled.validate().is_ok());
         assert!(EngineConfig::software().validate().is_ok());
+    }
+
+    /// The stage-1 knobs never change observable behaviour: for every
+    /// scalar/SIMD × sequential/threaded filter configuration, all four
+    /// pipelines return identical results, identical candidate counts and
+    /// identical deterministic counters (`node_tests` included) — only the
+    /// routing diagnostics (`simd_node_tests`, `filter_work_units`) move.
+    #[test]
+    fn filter_configs_do_not_change_results_or_counters() {
+        let (a, b) = tiny_pair();
+        let queries = spatial_datagen::states50(14);
+        let q = &queries.polygons[0];
+        let d = avg_extent(&a).min(avg_extent(&b)) * 0.5;
+        let base = EngineConfig {
+            filter_simd: false,
+            filter_threads: 1,
+            ..EngineConfig::hardware(HwConfig::at_resolution(8))
+        };
+        let mut reference = SpatialEngine::new(base.clone());
+        let (s0, sc0) = reference.intersection_selection(&a, q);
+        let (c0, cc0) = reference.containment_selection(&a, q);
+        let (j0, jc0) = reference.intersection_join(&a, &b);
+        let (w0, wc0) = reference.within_distance_join(&a, &b, d);
+        assert!(jc0.node_tests > 0);
+        assert_eq!(sc0.simd_node_tests, 0, "scalar path must not route SIMD");
+        for filter_simd in [false, true] {
+            for filter_threads in [1usize, 4] {
+                let mut e = SpatialEngine::new(EngineConfig {
+                    filter_simd,
+                    filter_threads,
+                    ..base.clone()
+                });
+                let tag = format!("simd={filter_simd} threads={filter_threads}");
+                let (s, sc) = e.intersection_selection(&a, q);
+                assert_eq!(s, s0, "{tag}");
+                assert_eq!(sc.candidates, sc0.candidates, "{tag}");
+                assert_eq!(sc.node_tests, sc0.node_tests, "{tag}");
+                let (c, cc) = e.containment_selection(&a, q);
+                assert_eq!(c, c0, "{tag}");
+                assert_eq!(cc.node_tests, cc0.node_tests, "{tag}");
+                let (j, jc) = e.intersection_join(&a, &b);
+                assert_eq!(j, j0, "{tag}");
+                assert_eq!(jc.candidates, jc0.candidates, "{tag}");
+                assert_eq!(jc.node_tests, jc0.node_tests, "{tag}");
+                assert_eq!(jc.tests.hw_tests, jc0.tests.hw_tests, "{tag}");
+                let (w, wc) = e.within_distance_join(&a, &b, d);
+                assert_eq!(w, w0, "{tag}");
+                assert_eq!(wc.candidates, wc0.candidates, "{tag}");
+                assert_eq!(wc.node_tests, wc0.node_tests, "{tag}");
+                assert_eq!(wc.filter_hits, wc0.filter_hits, "{tag}");
+            }
+        }
     }
 
     /// The hybrid backend sweeps the §4.3 threshold spectrum without

@@ -45,5 +45,6 @@ pub use pipeline::{
     CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RecoveryPolicy,
     RefinementBackend, SoftwareBackend, StagedExecutor,
 };
+pub use spatial_index::{FilterConfig, FilterStats};
 pub use spatial_raster::{DeviceError, DeviceKind, FaultKind, FaultPlan, FaultTrigger};
 pub use stats::{CostBreakdown, TestStats};

@@ -30,6 +30,7 @@ use super::filter::{CandidateFilter, Decision};
 use super::Predicate;
 use crate::stats::{CostBreakdown, TestStats};
 use spatial_geom::Polygon;
+use spatial_index::FilterStats;
 use std::time::{Duration, Instant};
 
 /// Measured stage time with the simulation seconds swapped for modeled
@@ -55,13 +56,15 @@ pub struct StagedExecutor {
 }
 
 impl StagedExecutor {
-    /// Runs one query: `stage1` enumerates candidates, the `filters` chain
-    /// settles what it can, the backend refines the rest.
+    /// Runs one query: `stage1` enumerates candidates (returning its MBR
+    /// work counters alongside them), the `filters` chain settles what it
+    /// can, the backend refines the rest. Stage-1 time — tree traversal
+    /// and join scheduling included — lands in `cost.mbr_filter`.
     pub fn run<'p, C, R>(
         &self,
         backend: &mut dyn RefinementBackend,
         predicate: Predicate,
-        stage1: impl FnOnce() -> Vec<C>,
+        stage1: impl FnOnce() -> (Vec<C>, FilterStats),
         mut filters: Vec<Box<dyn CandidateFilter<C> + '_>>,
         resolve: R,
     ) -> (Vec<C>, CostBreakdown)
@@ -72,9 +75,12 @@ impl StagedExecutor {
         let mut cost = CostBreakdown::default();
 
         let t0 = Instant::now();
-        let candidates = stage1();
+        let (candidates, filter_stats) = stage1();
         cost.mbr_filter = t0.elapsed();
         cost.candidates = candidates.len();
+        cost.node_tests = filter_stats.node_tests;
+        cost.simd_node_tests = filter_stats.simd_node_tests;
+        cost.filter_work_units = filter_stats.work_units;
 
         let t1 = Instant::now();
         let mut confirmed: Vec<C> = Vec::new();
@@ -250,7 +256,7 @@ mod tests {
         let (results, cost) = exec.run(
             &mut backend,
             Predicate::Intersects,
-            || (0..10).collect(),
+            || ((0..10).collect(), FilterStats::default()),
             vec![Box::new(ParityFilter)],
             |i| (&query, &polys[i]),
         );
@@ -298,7 +304,7 @@ mod tests {
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
-                || cands.clone(),
+                || (cands.clone(), FilterStats::default()),
                 Vec::new(),
                 |(i, j)| (&left[i], &right[j]),
             )
@@ -339,7 +345,7 @@ mod tests {
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
-                || cands.clone(),
+                || (cands.clone(), FilterStats::default()),
                 Vec::new(),
                 |(i, j)| (&left[i], &right[j]),
             )

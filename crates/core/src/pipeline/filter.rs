@@ -30,7 +30,11 @@ pub enum Decision {
 /// 1-object filter's edge cache); implementations must stay deterministic
 /// in candidate order, which the executor keeps identical across
 /// configurations — filtering always runs sequentially, before candidates
-/// are partitioned for parallel refinement.
+/// are partitioned for parallel refinement. Stage 1 upholds its side of
+/// the contract even when the MBR filter itself is threaded: the join
+/// scheduler merges work-unit outputs in unit order, so the candidate
+/// sequence reaching this chain is bit-identical to a sequential
+/// traversal for every `filter_threads` / `filter_simd` setting.
 pub trait CandidateFilter<C> {
     fn examine(&mut self, candidate: &C) -> Decision;
 }

@@ -104,6 +104,19 @@ pub struct CostBreakdown {
     pub filter_hits: usize,
     /// Final result count.
     pub results: usize,
+    /// Child-slot MBR tests evaluated by the filter stage's node kernels.
+    /// Deterministic: kernels evaluate all real lanes of a node (no
+    /// short-circuiting), so the count is a pure function of the trees and
+    /// the query — independent of `filter_simd` / `filter_threads`.
+    pub node_tests: usize,
+    /// The subset of `node_tests` routed through the vectorized kernel
+    /// instantiation. Diagnostic (varies with `filter_simd`), like
+    /// `tests.cache_hits`.
+    pub simd_node_tests: usize,
+    /// Page-pair work units the join scheduler dispensed (0 for
+    /// selections). Diagnostic: varies with `filter_threads` and the unit
+    /// size, never changes the candidate sequence.
+    pub filter_work_units: usize,
     /// Refinement-stage counters.
     pub tests: TestStats,
 }
@@ -121,6 +134,9 @@ impl CostBreakdown {
         self.candidates += o.candidates;
         self.filter_hits += o.filter_hits;
         self.results += o.results;
+        self.node_tests += o.node_tests;
+        self.simd_node_tests += o.simd_node_tests;
+        self.filter_work_units += o.filter_work_units;
         self.tests.add(&o.tests);
     }
 }
@@ -138,12 +154,18 @@ mod tests {
             candidates: 10,
             filter_hits: 2,
             results: 5,
+            node_tests: 40,
+            simd_node_tests: 30,
+            filter_work_units: 3,
             tests: TestStats::default(),
         };
         assert_eq!(a.total(), Duration::from_millis(6));
         let b = a;
         a.add(&b);
         assert_eq!(a.candidates, 20);
+        assert_eq!(a.node_tests, 80);
+        assert_eq!(a.simd_node_tests, 60);
+        assert_eq!(a.filter_work_units, 6);
         assert_eq!(a.total(), Duration::from_millis(12));
     }
 

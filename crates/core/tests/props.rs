@@ -4,7 +4,7 @@
 //! and every query distance (DESIGN.md §5, invariants 1–2).
 
 use hwa_core::hw_intersect::HwTester;
-use hwa_core::{HardwareBackend, HwConfig, Predicate, StagedExecutor, TestStats};
+use hwa_core::{FilterStats, HardwareBackend, HwConfig, Predicate, StagedExecutor, TestStats};
 use proptest::prelude::*;
 use spatial_geom::{min_dist_brute, polygons_intersect_brute, Point, Polygon};
 use spatial_raster::OverlapStrategy;
@@ -234,7 +234,7 @@ proptest! {
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
-                || cands.clone(),
+                || (cands.clone(), FilterStats::default()),
                 Vec::new(),
                 |(i, j)| (&polys[i], &polys[j]),
             )

@@ -11,10 +11,24 @@
 //! The MBR filter's cost is reported separately by the engine (it is the
 //! flat-near-zero curve of Figure 10); candidates are identified by opaque
 //! payloads (dataset indices in the engine).
+//!
+//! Since the filter-stage rework, every node carries a struct-of-arrays
+//! mirror of its children's MBRs and traversals run lane-generic kernels
+//! over whole nodes ([`soa`]); the tree join schedules fixed-size page-pair
+//! work units across `FilterConfig::threads` workers with an ordered merge
+//! that keeps the candidate sequence bit-identical to the sequential
+//! traversal.
 
 pub mod join;
 pub mod nearest;
 pub mod rtree;
+pub mod soa;
 
-pub use join::{join_intersecting, join_within_distance};
+pub use join::{
+    join_intersecting, join_intersecting_with, join_within_distance, join_within_distance_with,
+};
 pub use rtree::RTree;
+pub use soa::{
+    ChildMbrs, FilterConfig, FilterStats, Intersects, MbrPredicate, WithinDist, DEFAULT_UNIT_PAIRS,
+    SIMD_LANES,
+};

@@ -7,7 +7,7 @@
 //! distance lower-bounds object distance, popping in order yields
 //! candidates whose true distances need only be refined by the caller.
 
-use crate::rtree::{visit_child, RTree, Visit};
+use crate::rtree::{Node, NodeKind, RTree};
 use spatial_geom::Point;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -19,7 +19,7 @@ struct HeapItem<'a, T> {
 }
 
 enum ItemKind<'a, T> {
-    Node(Visit<'a, T>),
+    Node(&'a Node<T>),
     Entry(&'a T),
 }
 
@@ -49,7 +49,7 @@ impl<T: Clone> RTree<T> {
     /// MBR distance, the search can stop.
     pub fn nearest_iter<'a>(&'a self, q: Point) -> NearestIter<'a, T> {
         let mut heap = BinaryHeap::new();
-        if let Some(root) = self.visit_root() {
+        if let Some(root) = self.root_node() {
             heap.push(HeapItem {
                 dist: 0.0,
                 kind: ItemKind::Node(root),
@@ -78,23 +78,24 @@ impl<'a, T> Iterator for NearestIter<'a, T> {
         while let Some(item) = self.heap.pop() {
             match item.kind {
                 ItemKind::Entry(v) => return Some((v, item.dist)),
-                ItemKind::Node(Visit::Leaf(entries)) => {
-                    for (r, v) in entries {
-                        self.heap.push(HeapItem {
-                            dist: r.min_dist_point(self.q),
-                            kind: ItemKind::Entry(v),
-                        });
+                ItemKind::Node(node) => match &node.kind {
+                    NodeKind::Leaf(entries) => {
+                        for (r, v) in entries {
+                            self.heap.push(HeapItem {
+                                dist: r.min_dist_point(self.q),
+                                kind: ItemKind::Entry(v),
+                            });
+                        }
                     }
-                }
-                ItemKind::Node(Visit::Internal(children)) => {
-                    for c in children {
-                        let (r, visit) = visit_child(c);
-                        self.heap.push(HeapItem {
-                            dist: r.min_dist_point(self.q),
-                            kind: ItemKind::Node(visit),
-                        });
+                    NodeKind::Internal(children) => {
+                        for (r, c) in children {
+                            self.heap.push(HeapItem {
+                                dist: r.min_dist_point(self.q),
+                                kind: ItemKind::Node(c),
+                            });
+                        }
                     }
-                }
+                },
             }
         }
         None

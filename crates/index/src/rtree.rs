@@ -1,5 +1,13 @@
 //! A Guttman R-tree with quadratic-split insertion and STR bulk loading.
+//!
+//! Every node carries a struct-of-arrays mirror of its children's MBRs
+//! ([`crate::soa::ChildMbrs`], lane-width padded), maintained at
+//! `bulk_load` and `insert` time, so the traversal hot loops — window
+//! searches, within-distance searches and the synchronized tree join —
+//! run lane-generic overlap kernels over whole nodes instead of
+//! pointer-chasing per-child branches.
 
+use crate::soa::{ChildMbrs, FilterStats, Intersects, MbrPredicate, WithinDist};
 use spatial_geom::Rect;
 
 /// Maximum entries per node.
@@ -7,24 +15,58 @@ pub const MAX_ENTRIES: usize = 16;
 /// Minimum entries per non-root node (40% of `MAX_ENTRIES`).
 pub const MIN_ENTRIES: usize = 6;
 
+/// One tree node: the pointer structure (`kind`) plus the lane-friendly
+/// SoA mirror of its children's MBRs, rebuilt whenever the entry list
+/// changes.
 #[derive(Debug, Clone)]
-pub(crate) enum Node<T> {
+pub(crate) struct Node<T> {
+    pub(crate) soa: ChildMbrs,
+    pub(crate) kind: NodeKind<T>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind<T> {
     Leaf(Vec<(Rect, T)>),
     Internal(Vec<(Rect, Box<Node<T>>)>),
 }
 
 impl<T> Node<T> {
+    fn leaf(entries: Vec<(Rect, T)>) -> Box<Node<T>> {
+        let soa = ChildMbrs::from_rects(entries.iter().map(|(r, _)| r));
+        Box::new(Node {
+            soa,
+            kind: NodeKind::Leaf(entries),
+        })
+    }
+
+    fn internal(children: Vec<(Rect, Box<Node<T>>)>) -> Box<Node<T>> {
+        let soa = ChildMbrs::from_rects(children.iter().map(|(r, _)| r));
+        Box::new(Node {
+            soa,
+            kind: NodeKind::Internal(children),
+        })
+    }
+
+    /// Rebuilds the SoA mirror from the entry list — called after every
+    /// structural mutation, once the entry count is back within bounds.
+    fn rebuild_soa(&mut self) {
+        self.soa = match &self.kind {
+            NodeKind::Leaf(es) => ChildMbrs::from_rects(es.iter().map(|(r, _)| r)),
+            NodeKind::Internal(cs) => ChildMbrs::from_rects(cs.iter().map(|(r, _)| r)),
+        };
+    }
+
     fn mbr(&self) -> Rect {
-        match self {
-            Node::Leaf(es) => es.iter().fold(Rect::EMPTY, |r, (m, _)| r.union(m)),
-            Node::Internal(cs) => cs.iter().fold(Rect::EMPTY, |r, (m, _)| r.union(m)),
+        match &self.kind {
+            NodeKind::Leaf(es) => es.iter().fold(Rect::EMPTY, |r, (m, _)| r.union(m)),
+            NodeKind::Internal(cs) => cs.iter().fold(Rect::EMPTY, |r, (m, _)| r.union(m)),
         }
     }
 
     fn len(&self) -> usize {
-        match self {
-            Node::Leaf(es) => es.len(),
-            Node::Internal(cs) => cs.len(),
+        match &self.kind {
+            NodeKind::Leaf(es) => es.len(),
+            NodeKind::Internal(cs) => cs.len(),
         }
     }
 }
@@ -79,7 +121,7 @@ impl<T: Clone> RTree<T> {
         for slice in items.chunks_mut(slice_size.max(1)) {
             slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             for run in slice.chunks(MAX_ENTRIES) {
-                leaves.push(Box::new(Node::Leaf(run.to_vec())));
+                leaves.push(Node::leaf(run.to_vec()));
             }
         }
         // Build internal levels bottom-up with the same tiling.
@@ -98,10 +140,10 @@ impl<T: Clone> RTree<T> {
                 buf.extend(slice);
                 while buf.len() >= MAX_ENTRIES {
                     let rest = buf.split_off(MAX_ENTRIES);
-                    next.push(Box::new(Node::Internal(std::mem::replace(&mut buf, rest))));
+                    next.push(Node::internal(std::mem::replace(&mut buf, rest)));
                 }
                 if !buf.is_empty() {
-                    next.push(Box::new(Node::Internal(std::mem::take(&mut buf))));
+                    next.push(Node::internal(std::mem::take(&mut buf)));
                 }
             }
             level = next;
@@ -113,18 +155,19 @@ impl<T: Clone> RTree<T> {
     }
 
     /// Inserts one entry (Guttman: least-enlargement descent, quadratic
-    /// split on overflow).
+    /// split on overflow). The SoA mirrors along the descent path are
+    /// rebuilt on the way back up.
     pub fn insert(&mut self, mbr: Rect, value: T) {
         self.len += 1;
         match self.root.take() {
             None => {
-                self.root = Some(Box::new(Node::Leaf(vec![(mbr, value)])));
+                self.root = Some(Node::leaf(vec![(mbr, value)]));
             }
             Some(mut root) => {
                 if let Some((r1, n1)) = insert_rec(&mut root, mbr, value) {
                     // Root split: grow the tree.
                     let old = (root.mbr(), root);
-                    self.root = Some(Box::new(Node::Internal(vec![old, (r1, n1)])));
+                    self.root = Some(Node::internal(vec![old, (r1, n1)]));
                 } else {
                     self.root = Some(root);
                 }
@@ -133,28 +176,55 @@ impl<T: Clone> RTree<T> {
     }
 
     /// All payloads whose MBR intersects `window` — the selection-side MBR
-    /// filter.
+    /// filter. Vectorized traversal; see
+    /// [`RTree::search_intersects_stats`] for the knob-and-counter form.
     pub fn search_intersects<'a>(&'a self, window: &Rect) -> Vec<&'a T> {
+        self.search_intersects_stats(window, true, &mut FilterStats::default())
+    }
+
+    /// [`RTree::search_intersects`] with an explicit kernel width choice
+    /// (`simd`) and filter-stage work counters. The result sequence and
+    /// `node_tests` are bit-identical for both `simd` settings.
+    pub fn search_intersects_stats<'a>(
+        &'a self,
+        window: &Rect,
+        simd: bool,
+        stats: &mut FilterStats,
+    ) -> Vec<&'a T> {
         let mut out = Vec::new();
         if let Some(root) = &self.root {
-            search_rec(root, window, &mut out);
+            search_rec(root, &Intersects, window, simd, stats, &mut out);
         }
         out
     }
 
     /// All payloads whose MBR lies within distance `d` of `query` — the
-    /// within-distance MBR filter (the MBR distance lower-bounds the object
-    /// distance).
+    /// within-distance MBR filter (the MBR distance lower-bounds the
+    /// object distance).
     pub fn search_within<'a>(&'a self, query: &Rect, d: f64) -> Vec<&'a T> {
+        self.search_within_stats(query, d, true, &mut FilterStats::default())
+    }
+
+    /// [`RTree::search_within`] with an explicit kernel width choice and
+    /// filter-stage work counters.
+    pub fn search_within_stats<'a>(
+        &'a self,
+        query: &Rect,
+        d: f64,
+        simd: bool,
+        stats: &mut FilterStats,
+    ) -> Vec<&'a T> {
         let mut out = Vec::new();
         if let Some(root) = &self.root {
-            within_rec(root, query, d, &mut out);
+            search_rec(root, &WithinDist(d), query, simd, stats, &mut out);
         }
         out
     }
 
-    /// Structural invariant check (tests): entry counts within bounds and
-    /// parent MBRs covering children. Returns the tree height.
+    /// Structural invariant check (tests): entry counts within bounds,
+    /// parent MBRs covering children, and every node's SoA mirror matching
+    /// its entry list bit for bit (real slots equal the entry rectangles,
+    /// padding slots empty). Returns the tree height.
     pub fn check_invariants(&self) -> usize {
         match &self.root {
             None => 0,
@@ -174,33 +244,40 @@ fn chunks_owned<T>(v: &mut Vec<T>, size: usize) -> Vec<Vec<T>> {
 }
 
 fn insert_rec<T>(node: &mut Node<T>, mbr: Rect, value: T) -> Option<(Rect, Box<Node<T>>)> {
-    match node {
-        Node::Leaf(entries) => {
+    let split = match &mut node.kind {
+        NodeKind::Leaf(entries) => {
             entries.push((mbr, value));
             if entries.len() > MAX_ENTRIES {
                 let (a, b) = quadratic_split(std::mem::take(entries));
                 *entries = a;
-                let sibling = Box::new(Node::Leaf(b));
-                return Some((sibling.mbr(), sibling));
+                Some(Node::leaf(b))
+            } else {
+                None
             }
-            None
         }
-        Node::Internal(children) => {
+        NodeKind::Internal(children) => {
             let idx = choose_subtree(children, &mbr);
-            let split = insert_rec(&mut children[idx].1, mbr, value);
+            let child_split = insert_rec(&mut children[idx].1, mbr, value);
             children[idx].0 = children[idx].1.mbr();
-            if let Some((r, n)) = split {
-                children.push((r, n));
-                if children.len() > MAX_ENTRIES {
-                    let (a, b) = quadratic_split(std::mem::take(children));
-                    *children = a;
-                    let sibling = Box::new(Node::Internal(b));
-                    return Some((sibling.mbr(), sibling));
+            match child_split {
+                Some((r, n)) => {
+                    children.push((r, n));
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = quadratic_split(std::mem::take(children));
+                        *children = a;
+                        Some(Node::internal(b))
+                    } else {
+                        None
+                    }
                 }
+                None => None,
             }
-            None
         }
-    }
+    };
+    // The entry list changed either way (push, MBR tighten or split);
+    // bring the SoA mirror back in sync before handing control up.
+    node.rebuild_soa();
+    split.map(|sibling| (sibling.mbr(), sibling))
 }
 
 /// Least-enlargement choice (ties by smaller area).
@@ -294,38 +371,30 @@ fn quadratic_split<E>(entries: Vec<(Rect, E)>) -> SplitHalves<E> {
     (group1, group2)
 }
 
-fn search_rec<'a, T>(node: &'a Node<T>, window: &Rect, out: &mut Vec<&'a T>) {
-    match node {
-        Node::Leaf(entries) => {
-            for (r, v) in entries {
-                if r.intersects(window) {
+/// Generic vectorized search: one kernel call tests the probe against all
+/// of a node's children, then the traversal walks the hit bits in slot
+/// order — the same visit order as the old per-child recursion.
+fn search_rec<'a, T, P: MbrPredicate>(
+    node: &'a Node<T>,
+    pred: &P,
+    probe: &Rect,
+    simd: bool,
+    stats: &mut FilterStats,
+    out: &mut Vec<&'a T>,
+) {
+    let mask = node.soa.mask(pred, probe, simd, stats);
+    match &node.kind {
+        NodeKind::Leaf(entries) => {
+            for (i, (_, v)) in entries.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
                     out.push(v);
                 }
             }
         }
-        Node::Internal(children) => {
-            for (r, c) in children {
-                if r.intersects(window) {
-                    search_rec(c, window, out);
-                }
-            }
-        }
-    }
-}
-
-fn within_rec<'a, T>(node: &'a Node<T>, query: &Rect, d: f64, out: &mut Vec<&'a T>) {
-    match node {
-        Node::Leaf(entries) => {
-            for (r, v) in entries {
-                if r.min_dist(query) <= d {
-                    out.push(v);
-                }
-            }
-        }
-        Node::Internal(children) => {
-            for (r, c) in children {
-                if r.min_dist(query) <= d {
-                    within_rec(c, query, d, out);
+        NodeKind::Internal(children) => {
+            for (i, (_, c)) in children.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    search_rec(c, pred, probe, simd, stats, out);
                 }
             }
         }
@@ -338,9 +407,10 @@ fn check_rec<T>(node: &Node<T>, is_root: bool) -> usize {
     if !is_root {
         assert!(len >= 1, "empty non-root node");
     }
-    match node {
-        Node::Leaf(_) => 1,
-        Node::Internal(children) => {
+    check_soa_mirror(node);
+    match &node.kind {
+        NodeKind::Leaf(_) => 1,
+        NodeKind::Internal(children) => {
             let mut height = None;
             for (r, c) in children {
                 assert!(
@@ -358,28 +428,36 @@ fn check_rec<T>(node: &Node<T>, is_root: bool) -> usize {
     }
 }
 
-// -- crate-internal access for the join module -------------------------------
-
-pub(crate) enum Visit<'a, T> {
-    Leaf(&'a [(Rect, T)]),
-    Internal(&'a [(Rect, Box<Node<T>>)]),
+/// Asserts the node's SoA arrays mirror its entry list exactly: slot `i`
+/// reassembles to the `i`-th entry rectangle bit for bit, and every
+/// padding slot holds the empty sentinel.
+fn check_soa_mirror<T>(node: &Node<T>) {
+    assert_eq!(node.soa.len(), node.len(), "SoA length diverged from node");
+    let rect_at = |i: usize| match &node.kind {
+        NodeKind::Leaf(es) => es[i].0,
+        NodeKind::Internal(cs) => cs[i].0,
+    };
+    for i in 0..node.len() {
+        let (s, r) = (node.soa.rect(i), rect_at(i));
+        assert!(
+            s.xmin.to_bits() == r.xmin.to_bits()
+                && s.ymin.to_bits() == r.ymin.to_bits()
+                && s.xmax.to_bits() == r.xmax.to_bits()
+                && s.ymax.to_bits() == r.ymax.to_bits(),
+            "SoA slot {i} diverged: {s:?} vs {r:?}"
+        );
+    }
+    for i in node.len()..crate::soa::SOA_WIDTH {
+        assert!(node.soa.rect(i).is_empty(), "padding slot {i} not empty");
+    }
 }
+
+// -- crate-internal access for the join and nearest modules ------------------
 
 impl<T> RTree<T> {
-    pub(crate) fn visit_root(&self) -> Option<Visit<'_, T>> {
-        self.root.as_ref().map(|n| visit(n))
+    pub(crate) fn root_node(&self) -> Option<&Node<T>> {
+        self.root.as_deref()
     }
-}
-
-pub(crate) fn visit<T>(node: &Node<T>) -> Visit<'_, T> {
-    match node {
-        Node::Leaf(es) => Visit::Leaf(es),
-        Node::Internal(cs) => Visit::Internal(cs),
-    }
-}
-
-pub(crate) fn visit_child<'a, T>(child: &'a (Rect, Box<Node<T>>)) -> (Rect, Visit<'a, T>) {
-    (child.0, visit(&child.1))
 }
 
 #[cfg(test)]
@@ -502,6 +580,45 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expected, "d = {d}");
         }
+    }
+
+    #[test]
+    fn scalar_and_simd_searches_agree_with_identical_counters() {
+        let items = grid_items(700);
+        let t = RTree::bulk_load(items.clone());
+        let window = rect(12.0, 9.0, 25.0);
+        let mut scalar = FilterStats::default();
+        let mut simd = FilterStats::default();
+        let a: Vec<usize> = t
+            .search_intersects_stats(&window, false, &mut scalar)
+            .into_iter()
+            .copied()
+            .collect();
+        let b: Vec<usize> = t
+            .search_intersects_stats(&window, true, &mut simd)
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(a, b, "result sequence must match, not just the set");
+        assert_eq!(scalar.node_tests, simd.node_tests);
+        assert_eq!(scalar.simd_node_tests, 0);
+        assert_eq!(simd.simd_node_tests, simd.node_tests);
+        assert!(scalar.node_tests > 0);
+
+        let mut scalar_w = FilterStats::default();
+        let mut simd_w = FilterStats::default();
+        let aw: Vec<usize> = t
+            .search_within_stats(&window, 7.5, false, &mut scalar_w)
+            .into_iter()
+            .copied()
+            .collect();
+        let bw: Vec<usize> = t
+            .search_within_stats(&window, 7.5, true, &mut simd_w)
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(aw, bw);
+        assert_eq!(scalar_w.node_tests, simd_w.node_tests);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use spatial_geom::{Point, Rect};
-use spatial_index::{join_intersecting, join_within_distance, RTree};
+use spatial_index::{
+    join_intersecting, join_intersecting_with, join_within_distance, join_within_distance_with,
+    FilterConfig, FilterStats, RTree,
+};
 
 prop_compose! {
     fn arb_rect()(
@@ -103,6 +106,104 @@ proptest! {
         }
         expected_d.sort_unstable();
         prop_assert_eq!(got_d, expected_d);
+    }
+
+    /// Structural invariants — including every node's SoA mirror matching
+    /// its entry list bit for bit — hold after bulk loading and after
+    /// every step of an incremental insert sequence (the insert/split
+    /// path rebuilds the mirrors on the way back up).
+    #[test]
+    fn invariants_and_soa_mirror_hold_under_construction(items in arb_items(150)) {
+        let bulk = RTree::bulk_load(items.clone());
+        bulk.check_invariants();
+        let mut incr = RTree::new();
+        for (i, (r, v)) in items.into_iter().enumerate() {
+            incr.insert(r, v);
+            // Checking at every prefix would be quadratic; sample the
+            // prefixes (always including the final tree).
+            if i % 17 == 0 {
+                incr.check_invariants();
+            }
+        }
+        incr.check_invariants();
+        prop_assert_eq!(bulk.len(), incr.len());
+    }
+
+    /// The filter knobs never change observable behaviour: for both join
+    /// predicates, the candidate *sequence* and the deterministic
+    /// `node_tests` counter are identical across scalar/SIMD kernels,
+    /// thread counts and work-unit sizes — and the candidate set equals
+    /// the brute-force nested-loop oracle.
+    #[test]
+    fn join_configs_bit_identical_and_match_oracle(
+        a in arb_items(50),
+        b in arb_items(50),
+        d in 0.0f64..50.0,
+    ) {
+        let ta = RTree::bulk_load(a.clone());
+        let tb = RTree::bulk_load(b.clone());
+
+        let mut oracle_int: Vec<(usize, usize)> = Vec::new();
+        let mut oracle_dist: Vec<(usize, usize)> = Vec::new();
+        for (ra, va) in &a {
+            for (rb, vb) in &b {
+                if ra.intersects(rb) {
+                    oracle_int.push((*va, *vb));
+                }
+                if ra.min_dist(rb) <= d {
+                    oracle_dist.push((*va, *vb));
+                }
+            }
+        }
+        oracle_int.sort_unstable();
+        oracle_dist.sort_unstable();
+
+        let deref = |v: Vec<(&usize, &usize)>| -> Vec<(usize, usize)> {
+            v.into_iter().map(|(x, y)| (*x, *y)).collect()
+        };
+        let mut ref_int_stats = FilterStats::default();
+        let mut ref_dist_stats = FilterStats::default();
+        let ref_int = deref(join_intersecting_with(
+            &ta, &tb, &FilterConfig::scalar(), &mut ref_int_stats,
+        ));
+        let ref_dist = deref(join_within_distance_with(
+            &ta, &tb, d, &FilterConfig::scalar(), &mut ref_dist_stats,
+        ));
+        let mut sorted_int = ref_int.clone();
+        sorted_int.sort_unstable();
+        prop_assert_eq!(sorted_int, oracle_int);
+        let mut sorted_dist = ref_dist.clone();
+        sorted_dist.sort_unstable();
+        prop_assert_eq!(sorted_dist, oracle_dist);
+
+        for threads in [1usize, 2, 8] {
+            for unit_pairs in [1usize, 7, 64] {
+                for simd in [false, true] {
+                    let cfg = FilterConfig { threads, simd, unit_pairs };
+                    let mut s_int = FilterStats::default();
+                    let got_int = deref(join_intersecting_with(&ta, &tb, &cfg, &mut s_int));
+                    prop_assert_eq!(
+                        &got_int, &ref_int,
+                        "intersection order diverged: {:?}", cfg
+                    );
+                    prop_assert_eq!(
+                        s_int.node_tests, ref_int_stats.node_tests,
+                        "intersection node_tests diverged: {:?}", cfg
+                    );
+                    let mut s_dist = FilterStats::default();
+                    let got_dist =
+                        deref(join_within_distance_with(&ta, &tb, d, &cfg, &mut s_dist));
+                    prop_assert_eq!(
+                        &got_dist, &ref_dist,
+                        "within-distance order diverged: {:?}", cfg
+                    );
+                    prop_assert_eq!(
+                        s_dist.node_tests, ref_dist_stats.node_tests,
+                        "within-distance node_tests diverged: {:?}", cfg
+                    );
+                }
+            }
+        }
     }
 
     /// The nearest iterator yields every entry exactly once, in
