@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks for PBSM spatial partitioning on the
+//! LANDC self-join: the unpartitioned engine vs grid² partitions fanned
+//! across device shards. Partitioning never changes results (DESIGN.md
+//! invariant 12), so the interesting comparison is pure scheduling
+//! overhead/benefit at identical work. Small scale and sample counts
+//! keep `cargo bench --workspace` in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwa_core::engine::PartitionConfig;
+use hwa_core::{EngineConfig, HwConfig, PreparedDataset, SpatialEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+fn landc() -> PreparedDataset {
+    let a = spatial_datagen::landc(SCALE, SEED);
+    PreparedDataset::new(a.name, a.polygons)
+}
+
+fn hw_base() -> EngineConfig {
+    EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(500))
+}
+
+/// Unpartitioned vs grid ∈ {2, 4} on a single shard: what the PBSM
+/// binning and per-partition dispatch cost on top of an identical test
+/// schedule (grid 1 is the unpartitioned baseline).
+fn bench_partition_grid(c: &mut Criterion) {
+    let a = landc();
+    let mut g = c.benchmark_group("partitioned_join_grid");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for grid in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |bch, &grid| {
+            let mut e = SpatialEngine::new(EngineConfig {
+                hw_batch: 64,
+                partition: PartitionConfig::grid(grid),
+                ..hw_base()
+            });
+            bch.iter(|| {
+                let (results, cost) = e.intersection_join(black_box(&a), black_box(&a));
+                (results.len(), cost.partitions_used)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Shard fan-out at a fixed 4×4 grid: each partition's submissions land
+/// on its own device instance (round-robin partition % shards).
+fn bench_partition_shards(c: &mut Criterion) {
+    let a = landc();
+    let mut g = c.benchmark_group("partitioned_join_shards");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |bch, &shards| {
+                let mut e = SpatialEngine::new(EngineConfig {
+                    hw_batch: 64,
+                    partition: PartitionConfig::grid(4).with_shards(shards),
+                    ..hw_base()
+                });
+                bch.iter(|| {
+                    let (results, _) = e.intersection_join(black_box(&a), black_box(&a));
+                    results.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition_grid, bench_partition_shards);
+criterion_main!(benches);

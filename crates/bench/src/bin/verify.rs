@@ -4,7 +4,7 @@
 //! disagreement. This is the "the hardware path is a pure optimization"
 //! guarantee, checked at workload scale rather than per-pair.
 
-use hwa_core::engine::{EngineConfig, GeometryTest, SpatialEngine};
+use hwa_core::engine::{EngineConfig, GeometryTest, PartitionConfig, SpatialEngine};
 use hwa_core::{
     CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecordingOptions,
     RecoveryPolicy,
@@ -722,6 +722,145 @@ fn main() {
         println!(
             "fault sweep verified: {faults_seen} injected faults absorbed with identical results"
         );
+    }
+
+    // Partition sweep (`--partition`): PBSM grid partitioning with
+    // sharded device execution must be invisible in every observable —
+    // for grid ∈ {1, 2, 4} × shards ∈ {1, 2, 4}, on reference, SIMD and
+    // tiled devices, all four pipelines must return bit-identical results
+    // and hardware counters to the unpartitioned engine (per-pair mode,
+    // so even the batching diagnostics have nowhere to move). With
+    // `--faults` the same matrix runs against per-shard fault schedules
+    // and the degradation ledger must balance per pipeline.
+    if opts.partition {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |device: DeviceKind, grid: usize, shards: usize| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                partition: PartitionConfig::grid(grid).with_shards(shards),
+                use_object_filters: true,
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        let devices = [
+            ("reference", DeviceKind::Reference),
+            ("simd", DeviceKind::Simd),
+            (
+                "tiled",
+                DeviceKind::Tiled {
+                    tiles: 3,
+                    threads: 2,
+                },
+            ),
+        ];
+        let mut partitions_seen = 0usize;
+        for (dev_name, device) in &devices {
+            let mut flat = make(device.clone(), 1, 1);
+            let ref_sel = flat.intersection_selection(&w.water, q);
+            let ref_con = flat.containment_selection(&w.water, q);
+            let ref_join = flat.intersection_join(&w.landc, &w.lando);
+            let ref_within = flat.within_distance_join(&w.landc, &w.lando, d);
+            for grid in [1usize, 2, 4] {
+                for shards in [1usize, 2, 4] {
+                    let mut e = make(device.clone(), grid, shards);
+                    let label = format!("{dev_name} grid {grid} shards {shards}");
+                    check_device_pair(
+                        &format!("partition intersection_selection {label}"),
+                        ref_sel.clone(),
+                        e.intersection_selection(&w.water, q),
+                        &mut failures,
+                    );
+                    check_device_pair(
+                        &format!("partition containment_selection {label}"),
+                        ref_con.clone(),
+                        e.containment_selection(&w.water, q),
+                        &mut failures,
+                    );
+                    let join = e.intersection_join(&w.landc, &w.lando);
+                    partitions_seen += join.1.partitions_used;
+                    check_device_pair(
+                        &format!("partition intersection_join {label}"),
+                        ref_join.clone(),
+                        join,
+                        &mut failures,
+                    );
+                    check_device_pair(
+                        &format!("partition within_distance_join {label}"),
+                        ref_within.clone(),
+                        e.within_distance_join(&w.landc, &w.lando, d),
+                        &mut failures,
+                    );
+                }
+            }
+        }
+        if partitions_seen == 0 {
+            println!("FAIL partition sweep: no partition ever held a candidate");
+            failures += 1;
+        }
+        println!("partition sweep verified: grid × shard engines ≡ unpartitioned on all pipelines");
+
+        // Fault overlay: each shard carries its own independently-seeded
+        // copy of the plan; results must match the clean partitioned run
+        // and every stolen hardware test must reappear as a fallback.
+        if opts.faults {
+            let plans = [
+                (
+                    "transient context loss",
+                    FaultPlan::new(41, FaultKind::ContextLost, FaultTrigger::EveryK(3)),
+                ),
+                (
+                    "readback bit-flips",
+                    FaultPlan::new(42, FaultKind::ReadbackBitFlip, FaultTrigger::EveryK(2)),
+                ),
+            ];
+            for (dev_name, device) in &devices {
+                for grid in [2usize, 4] {
+                    for shards in [2usize, 4] {
+                        for (plan_name, plan) in plans {
+                            let mut clean = make(device.clone(), grid, shards);
+                            let mut faulty = make(device.clone().with_faults(plan), grid, shards);
+                            let label =
+                                format!("{plan_name} on {dev_name} grid {grid} shards {shards}");
+                            let runs = [
+                                (
+                                    "intersection_selection",
+                                    lift_selection(clean.intersection_selection(&w.water, q)),
+                                    lift_selection(faulty.intersection_selection(&w.water, q)),
+                                ),
+                                (
+                                    "containment_selection",
+                                    lift_selection(clean.containment_selection(&w.water, q)),
+                                    lift_selection(faulty.containment_selection(&w.water, q)),
+                                ),
+                                (
+                                    "intersection_join",
+                                    clean.intersection_join(&w.landc, &w.lando),
+                                    faulty.intersection_join(&w.landc, &w.lando),
+                                ),
+                                (
+                                    "within_distance_join",
+                                    clean.within_distance_join(&w.landc, &w.lando, d),
+                                    faulty.within_distance_join(&w.landc, &w.lando, d),
+                                ),
+                            ];
+                            for (pipeline, c, f) in runs {
+                                check_fault_pair(
+                                    &format!("partition {pipeline} {label}"),
+                                    &c,
+                                    &f,
+                                    &mut failures,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            println!(
+                "partitioned fault sweep verified: per-shard fault schedules absorbed exactly"
+            );
+        }
     }
 
     if failures == 0 {

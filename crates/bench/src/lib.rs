@@ -29,6 +29,11 @@ pub struct BenchOpts {
     /// `--faults`: run the fault-injection sweep (verify harness only) —
     /// fault-injected engines must match clean ones bit for bit.
     pub faults: bool,
+    /// `--partition`: run the PBSM partition sweep (verify harness only) —
+    /// grid × shard partitioned engines must match the unpartitioned one
+    /// bit for bit, on every device kind and (with `--faults`) under
+    /// injected fault schedules.
+    pub partition: bool,
 }
 
 impl Default for BenchOpts {
@@ -38,13 +43,14 @@ impl Default for BenchOpts {
             seed: 42,
             queries: usize::MAX,
             faults: false,
+            partition: false,
         }
     }
 }
 
 impl BenchOpts {
-    /// Parses `--scale`, `--seed`, `--queries`, `--faults` from
-    /// `std::env::args`.
+    /// Parses `--scale`, `--seed`, `--queries`, `--faults`, `--partition`
+    /// from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = BenchOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -66,6 +72,10 @@ impl BenchOpts {
                 }
                 "--faults" => {
                     opts.faults = true;
+                    i += 1;
+                }
+                "--partition" => {
+                    opts.partition = true;
                     i += 1;
                 }
                 _ => i += 1,
@@ -201,6 +211,7 @@ mod tests {
             seed: 1,
             queries: 2,
             faults: false,
+            partition: false,
         };
         let w = Workloads::generate(opts);
         assert!(w.landc.len() >= 12);
@@ -215,6 +226,7 @@ mod tests {
             seed: 1,
             queries: 2,
             faults: false,
+            partition: false,
         };
         let w = Workloads::generate(opts);
         let mut e = software_engine();

@@ -18,9 +18,10 @@ use crate::pipeline::{
     Predicate, RecoveryPolicy, RefinementBackend, SoftwareBackend, StagedExecutor,
 };
 use crate::stats::CostBreakdown;
-use spatial_geom::Polygon;
+use spatial_geom::{Polygon, Rect};
 use spatial_index::{
     join_intersecting_with, join_within_distance_with, FilterConfig, FilterStats, RTree,
+    SpatialGrid,
 };
 use spatial_raster::DeviceKind;
 use std::fmt;
@@ -40,6 +41,44 @@ pub enum GeometryTest {
     /// test, the rest take the hardware filter. Generalizes the §4.3 mix
     /// without editing the hardware configuration.
     Hybrid { sw_threshold: usize },
+}
+
+/// PBSM-style spatial partitioning knobs (DESIGN.md §11): an n×n grid
+/// over the datasets' joint extent bins every candidate into the
+/// partition owning its reference point, and each partition's refinement
+/// submissions route to their own device shard. Both knobs are pure
+/// optimizations — results and every deterministic counter are
+/// bit-identical to the unpartitioned single-device run (invariant 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Cells per grid side: stages 2 and 3 operate over `grid²` spatial
+    /// partitions. `1` (the default) is the unpartitioned path.
+    pub grid: usize,
+    /// Independent device shards behind one [`spatial_raster::ShardedDevice`]
+    /// front; partition `p` submits to shard `p % shards`. `1` (the
+    /// default) keeps the single configured device.
+    pub shards: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { grid: 1, shards: 1 }
+    }
+}
+
+impl PartitionConfig {
+    /// A grid of `n × n` partitions on a single device shard.
+    pub fn grid(n: usize) -> Self {
+        PartitionConfig {
+            grid: n,
+            ..Self::default()
+        }
+    }
+
+    /// Fans partitions out across `k` device shards.
+    pub fn with_shards(self, k: usize) -> Self {
+        PartitionConfig { shards: k, ..self }
+    }
 }
 
 /// Engine configuration: which refinement path, the filters in front of
@@ -91,6 +130,12 @@ pub struct EngineConfig {
     /// [`RecoveryPolicy`]). Only consulted by hardware-using geometry
     /// tests.
     pub recovery: RecoveryPolicy,
+    /// PBSM spatial partitioning: grid cells for stages 2–3 and device
+    /// shards to fan their submissions across (see [`PartitionConfig`]).
+    /// Results and deterministic counters never change; at `hw_batch > 1`
+    /// only the submission-grouping diagnostics move, because batches
+    /// form within partitions.
+    pub partition: PartitionConfig,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +151,7 @@ impl Default for EngineConfig {
             filter_simd: true,
             device: DeviceKind::Reference,
             recovery: RecoveryPolicy::default(),
+            partition: PartitionConfig::default(),
         }
     }
 }
@@ -126,18 +172,43 @@ pub enum ConfigError {
     /// The recording cache was enabled with zero capacity: every insert
     /// would be dropped and every test would still pay the miss path.
     ZeroCacheCapacity,
+    /// `partition.grid` is 0: there would be no cell to own any
+    /// candidate.
+    ZeroPartitions,
+    /// `partition.shards` is 0 (or a sharded device was configured with
+    /// 0 inner backends): no shard could ever execute a submission.
+    ZeroShards,
 }
 
 impl fmt::Display for ConfigError {
+    /// Each message names the offending field and the value it held, so a
+    /// rejected configuration is diagnosable from the error alone.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::ZeroBatch => write!(f, "hw_batch must be at least 1"),
-            ConfigError::ZeroThreads => write!(f, "refine_threads must be at least 1"),
-            ConfigError::ZeroFilterThreads => write!(f, "filter_threads must be at least 1"),
-            ConfigError::ZeroTiles => write!(f, "a tiled device needs at least 1 band"),
-            ConfigError::ZeroCacheCapacity => {
-                write!(f, "an enabled recording cache needs at least 1 entry")
+            ConfigError::ZeroBatch => write!(f, "invalid EngineConfig: hw_batch = 0 (must be ≥ 1)"),
+            ConfigError::ZeroThreads => {
+                write!(f, "invalid EngineConfig: refine_threads = 0 (must be ≥ 1)")
             }
+            ConfigError::ZeroFilterThreads => {
+                write!(f, "invalid EngineConfig: filter_threads = 0 (must be ≥ 1)")
+            }
+            ConfigError::ZeroTiles => write!(
+                f,
+                "invalid EngineConfig: device tiles = 0 (a tiled device needs ≥ 1 band)"
+            ),
+            ConfigError::ZeroCacheCapacity => write!(
+                f,
+                "invalid EngineConfig: recording.cache_entries = 0 with recording.cache enabled \
+                 (an enabled cache needs ≥ 1 entry)"
+            ),
+            ConfigError::ZeroPartitions => {
+                write!(f, "invalid EngineConfig: partition.grid = 0 (must be ≥ 1)")
+            }
+            ConfigError::ZeroShards => write!(
+                f,
+                "invalid EngineConfig: partition.shards = 0 (a sharded device needs ≥ 1 inner \
+                 backend)"
+            ),
         }
     }
 }
@@ -149,7 +220,10 @@ fn validate_device(device: &DeviceKind) -> Result<(), ConfigError> {
         DeviceKind::Tiled { tiles: 0, .. } | DeviceKind::TiledSimd { tiles: 0, .. } => {
             Err(ConfigError::ZeroTiles)
         }
-        DeviceKind::Fault { inner, .. } => validate_device(inner),
+        DeviceKind::Sharded { shards: 0, .. } => Err(ConfigError::ZeroShards),
+        DeviceKind::Fault { inner, .. } | DeviceKind::Sharded { inner, .. } => {
+            validate_device(inner)
+        }
         _ => Ok(()),
     }
 }
@@ -177,9 +251,10 @@ impl EngineConfig {
 
     /// Structural validation, run by [`SpatialEngine::new`] /
     /// [`SpatialEngine::try_new`] before any backend is built: zero batch
-    /// sizes, zero thread counts and zero-band tiled devices (including
-    /// inside a [`DeviceKind::Fault`] wrapper) are configuration bugs, not
-    /// values to clamp quietly.
+    /// sizes, zero thread counts, zero partition grids or shard counts,
+    /// and zero-band tiled or zero-shard sharded devices (at any nesting
+    /// depth inside [`DeviceKind::Fault`] / [`DeviceKind::Sharded`]
+    /// wrappers) are configuration bugs, not values to clamp quietly.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.hw_batch == 0 {
             return Err(ConfigError::ZeroBatch);
@@ -192,6 +267,12 @@ impl EngineConfig {
         }
         if self.hw.recording.cache && self.hw.recording.cache_entries == 0 {
             return Err(ConfigError::ZeroCacheCapacity);
+        }
+        if self.partition.grid == 0 {
+            return Err(ConfigError::ZeroPartitions);
+        }
+        if self.partition.shards == 0 {
+            return Err(ConfigError::ZeroShards);
         }
         validate_device(&self.device)
     }
@@ -236,17 +317,25 @@ impl PreparedDataset {
 }
 
 fn build_backend(config: &EngineConfig) -> Box<dyn RefinementBackend> {
+    // With K > 1 shards the configured device (fault wrapper included)
+    // becomes the template every shard instantiates; partition p's
+    // submissions route to shard p % K.
+    let device = if config.partition.shards > 1 {
+        config.device.clone().sharded(config.partition.shards)
+    } else {
+        config.device.clone()
+    };
     match config.geometry_test {
         GeometryTest::Software => Box::new(SoftwareBackend),
         GeometryTest::Hardware => Box::new(HardwareBackend::with_device_and_policy(
             config.hw,
-            config.device.clone(),
+            device,
             config.recovery,
         )),
         GeometryTest::Hybrid { sw_threshold } => Box::new(HybridBackend::with_device_and_policy(
             config.hw,
             sw_threshold,
-            config.device.clone(),
+            device,
             config.recovery,
         )),
     }
@@ -289,10 +378,20 @@ impl SpatialEngine {
     }
 
     fn executor(&self) -> StagedExecutor {
+        let grid = self.config.partition.grid.max(1);
         StagedExecutor {
             batch: self.config.hw_batch,
             threads: self.config.refine_threads,
+            partitions: grid * grid,
+            shards: self.config.partition.shards.max(1),
         }
+    }
+
+    /// The partitioning grid for a query over `universe` — the n×n PBSM
+    /// grid whose reference-point rule bins every candidate into exactly
+    /// one partition.
+    fn partition_grid(&self, universe: Rect) -> SpatialGrid {
+        SpatialGrid::new(self.config.partition.grid.max(1), universe)
     }
 
     /// The stage-1 knobs in the index crate's terms.
@@ -316,6 +415,8 @@ impl SpatialEngine {
             None => Vec::new(),
         };
         let simd = self.config.filter_simd;
+        let qmbr = query.mbr();
+        let grid = self.partition_grid(ds.tree.mbr().union(&qmbr));
         self.executor().run(
             self.backend.as_mut(),
             Predicate::Intersects,
@@ -323,13 +424,14 @@ impl SpatialEngine {
                 let mut fs = FilterStats::default();
                 let cands = ds
                     .tree
-                    .search_intersects_stats(&query.mbr(), simd, &mut fs)
+                    .search_intersects_stats(&qmbr, simd, &mut fs)
                     .into_iter()
                     .copied()
                     .collect();
                 (cands, fs)
             },
             filters,
+            |&i| grid.assign_pair(&qmbr, &ds.polygon(i).mbr()),
             |i| (query, ds.polygon(i)),
         )
     }
@@ -349,6 +451,8 @@ impl SpatialEngine {
             None => Vec::new(),
         };
         let simd = self.config.filter_simd;
+        let qmbr = query.mbr();
+        let grid = self.partition_grid(ds.tree.mbr().union(&qmbr));
         self.executor().run(
             self.backend.as_mut(),
             Predicate::ContainedIn,
@@ -358,14 +462,15 @@ impl SpatialEngine {
                 let mut fs = FilterStats::default();
                 let cands = ds
                     .tree
-                    .search_intersects_stats(&query.mbr(), simd, &mut fs)
+                    .search_intersects_stats(&qmbr, simd, &mut fs)
                     .into_iter()
                     .copied()
-                    .filter(|&i| query.mbr().contains_rect(&ds.polygon(i).mbr()))
+                    .filter(|&i| qmbr.contains_rect(&ds.polygon(i).mbr()))
                     .collect();
                 (cands, fs)
             },
             filters,
+            |&i| grid.assign_pair(&qmbr, &ds.polygon(i).mbr()),
             |i| (ds.polygon(i), query),
         )
     }
@@ -377,6 +482,7 @@ impl SpatialEngine {
         b: &PreparedDataset,
     ) -> (Vec<(usize, usize)>, CostBreakdown) {
         let fcfg = self.filter_config();
+        let grid = self.partition_grid(a.tree.mbr().union(&b.tree.mbr()));
         self.executor().run(
             self.backend.as_mut(),
             Predicate::Intersects,
@@ -389,6 +495,7 @@ impl SpatialEngine {
                 (cands, fs)
             },
             Vec::new(),
+            |&(i, j)| grid.assign_pair(&a.polygon(i).mbr(), &b.polygon(j).mbr()),
             |(i, j)| (a.polygon(i), b.polygon(j)),
         )
     }
@@ -407,6 +514,7 @@ impl SpatialEngine {
                 Vec::new()
             };
         let fcfg = self.filter_config();
+        let grid = self.partition_grid(a.tree.mbr().union(&b.tree.mbr()));
         self.executor().run(
             self.backend.as_mut(),
             Predicate::WithinDistance(d),
@@ -419,6 +527,7 @@ impl SpatialEngine {
                 (cands, fs)
             },
             filters,
+            |&(i, j)| grid.assign_pair_within(&a.polygon(i).mbr(), &b.polygon(j).mbr(), d),
             |(i, j)| (a.polygon(i), b.polygon(j)),
         )
     }
@@ -718,7 +827,122 @@ mod tests {
             ..EngineConfig::software()
         };
         assert!(disabled.validate().is_ok());
+        let zero_grid = EngineConfig {
+            partition: PartitionConfig::grid(0),
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_grid.validate(), Err(ConfigError::ZeroPartitions));
+        let zero_shards = EngineConfig {
+            partition: PartitionConfig::grid(2).with_shards(0),
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_shards.validate(), Err(ConfigError::ZeroShards));
+        // A hand-built zero-shard device is caught too...
+        let zero_shard_device = EngineConfig {
+            device: DeviceKind::Reference.sharded(0),
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_shard_device.validate(), Err(ConfigError::ZeroShards));
+        // ...and the check recurses through a Sharded wrapper to the
+        // inner device, same as through a Fault wrapper.
+        let sharded_zero_tiles = EngineConfig {
+            device: DeviceKind::Tiled {
+                tiles: 0,
+                threads: 2,
+            }
+            .sharded(2),
+            ..EngineConfig::software()
+        };
+        assert_eq!(sharded_zero_tiles.validate(), Err(ConfigError::ZeroTiles));
         assert!(EngineConfig::software().validate().is_ok());
+    }
+
+    /// Every `ConfigError` message names the offending field (and the
+    /// value it held) so a rejected config is diagnosable from the error
+    /// alone — one assertion per variant.
+    #[test]
+    fn config_error_messages_name_the_offending_field() {
+        let cases = [
+            (ConfigError::ZeroBatch, "hw_batch = 0"),
+            (ConfigError::ZeroThreads, "refine_threads = 0"),
+            (ConfigError::ZeroFilterThreads, "filter_threads = 0"),
+            (ConfigError::ZeroTiles, "device tiles = 0"),
+            (
+                ConfigError::ZeroCacheCapacity,
+                "recording.cache_entries = 0",
+            ),
+            (ConfigError::ZeroPartitions, "partition.grid = 0"),
+            (ConfigError::ZeroShards, "partition.shards = 0"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle) && msg.contains("invalid EngineConfig"),
+                "{err:?} renders {msg:?}, expected it to mention {needle:?}"
+            );
+        }
+    }
+
+    /// Spatial partitioning is invisible in every observable: for each
+    /// backend, grid ∈ {2, 4} × shards ∈ {1, 2} returns bit-identical
+    /// results and deterministic counters to the unpartitioned engine on
+    /// all four pipelines (DESIGN.md invariant 12). `hw_batch` stays 1 so
+    /// even the submission-grouping diagnostics must match.
+    #[test]
+    fn partitioned_engine_matches_unpartitioned_on_all_pipelines() {
+        let (a, b) = tiny_pair();
+        let queries = spatial_datagen::states50(21);
+        let q = &queries.polygons[0];
+        let d = avg_extent(&a).min(avg_extent(&b)) * 0.5;
+        for base in [
+            EngineConfig::software(),
+            EngineConfig::hardware(HwConfig::at_resolution(8)),
+            EngineConfig::hybrid(HwConfig::at_resolution(8), 40),
+        ] {
+            let mut plain = SpatialEngine::new(base.clone());
+            let (s1, sc1) = plain.intersection_selection(&a, q);
+            let (c1, _) = plain.containment_selection(&a, q);
+            let (j1, jc1) = plain.intersection_join(&a, &b);
+            let (w1, wc1) = plain.within_distance_join(&a, &b, d);
+            assert!(sc1.partitions_used <= 1, "unpartitioned path uses ≤ 1");
+            for grid in [2usize, 4] {
+                for shards in [1usize, 2] {
+                    let mut part = SpatialEngine::new(EngineConfig {
+                        partition: PartitionConfig::grid(grid).with_shards(shards),
+                        ..base.clone()
+                    });
+                    let label = format!("grid {grid}, shards {shards}");
+                    let (s2, sc2) = part.intersection_selection(&a, q);
+                    assert_eq!(s1, s2, "selection, {label}");
+                    assert_eq!(sc1.candidates, sc2.candidates, "{label}");
+                    assert_eq!(sc1.node_tests, sc2.node_tests, "{label}");
+                    let (c2, _) = part.containment_selection(&a, q);
+                    assert_eq!(c1, c2, "containment, {label}");
+                    let (j2, jc2) = part.intersection_join(&a, &b);
+                    assert_eq!(j1, j2, "join, {label}");
+                    assert_eq!(jc1.tests.hw_tests, jc2.tests.hw_tests, "{label}");
+                    assert_eq!(jc1.tests.hw_batches, jc2.tests.hw_batches, "{label}");
+                    assert_eq!(
+                        jc1.tests.software_tests, jc2.tests.software_tests,
+                        "{label}"
+                    );
+                    assert_eq!(
+                        jc1.tests.decided_by_pip, jc2.tests.decided_by_pip,
+                        "{label}"
+                    );
+                    assert_eq!(jc1.tests.hw, jc2.tests.hw, "{label}");
+                    assert!(jc2.partitions_used >= 1, "{label}");
+                    assert!(jc2.partitions_used <= grid * grid, "{label}");
+                    let (w2, wc2) = part.within_distance_join(&a, &b, d);
+                    assert_eq!(w1, w2, "within-distance, {label}");
+                    assert_eq!(wc1.tests.hw_tests, wc2.tests.hw_tests, "{label}");
+                    assert_eq!(
+                        wc1.tests.software_tests, wc2.tests.software_tests,
+                        "{label}"
+                    );
+                }
+            }
+        }
     }
 
     /// The stage-1 knobs never change observable behaviour: for every

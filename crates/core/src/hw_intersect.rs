@@ -61,6 +61,11 @@ pub struct HwTester {
     model: HwCostModel,
     supervisor: Supervisor,
     cache: RecordingCache,
+    /// The device shard subsequent submissions route to (see
+    /// [`RasterDevice::route`]); 0 until the partitioned executor selects
+    /// one. Preserved across `fork` so parallel refinement workers keep
+    /// serving the partition that spawned them.
+    route: usize,
 }
 
 impl HwTester {
@@ -93,7 +98,23 @@ impl HwTester {
             } else {
                 0
             }),
+            route: 0,
         }
+    }
+
+    /// Routes subsequent submissions to device shard `shard` (modulo the
+    /// device's shard count — a no-op on unsharded devices). The
+    /// partitioned executor selects partition `p`'s shard before refining
+    /// partition `p`; the choice is a pure function of the partition
+    /// index, so sharded execution stays deterministic.
+    pub fn select_shard(&mut self, shard: usize) {
+        self.route = shard;
+        self.device.route(shard);
+    }
+
+    /// The shard subsequent submissions execute on.
+    pub(crate) fn route(&self) -> usize {
+        self.route
     }
 
     /// Overrides the simulated-hardware cost model (sensitivity benches).

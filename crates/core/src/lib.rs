@@ -36,7 +36,9 @@ pub(crate) mod recording;
 pub mod stats;
 
 pub use config::{HwConfig, RecordingOptions};
-pub use engine::{ConfigError, EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+pub use engine::{
+    ConfigError, EngineConfig, GeometryTest, PartitionConfig, PreparedDataset, SpatialEngine,
+};
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;
 pub use hw_intersect::HwTester;
@@ -45,6 +47,6 @@ pub use pipeline::{
     CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RecoveryPolicy,
     RefinementBackend, SoftwareBackend, StagedExecutor,
 };
-pub use spatial_index::{FilterConfig, FilterStats};
+pub use spatial_index::{FilterConfig, FilterStats, SpatialGrid};
 pub use spatial_raster::{DeviceError, DeviceKind, FaultKind, FaultPlan, FaultTrigger};
 pub use stats::{CostBreakdown, TestStats};

@@ -40,6 +40,15 @@ pub trait RefinementBackend: Send + std::fmt::Debug {
             .collect()
     }
 
+    /// Routes subsequent tests to device shard `shard` (modulo the
+    /// device's shard count). The partitioned executor calls this once per
+    /// partition before refining it; backends without a device — and
+    /// devices without shards — have nothing to route, so the default is
+    /// a no-op. Implementations must carry the selected shard across
+    /// [`RefinementBackend::fork`], so parallel refinement workers keep
+    /// serving the partition that spawned them.
+    fn select_shard(&mut self, _shard: usize) {}
+
     /// An independent backend with the same configuration, for a parallel
     /// refinement worker.
     fn fork(&self) -> Box<dyn RefinementBackend>;
@@ -134,6 +143,10 @@ impl RefinementBackend for HardwareBackend {
         }
     }
 
+    fn select_shard(&mut self, shard: usize) {
+        self.tester.select_shard(shard);
+    }
+
     fn fork(&self) -> Box<dyn RefinementBackend> {
         // The fork inherits the policy but starts with a closed breaker:
         // each worker earns its own quarantine verdict, deterministically,
@@ -144,6 +157,7 @@ impl RefinementBackend for HardwareBackend {
             self.tester.recovery_policy(),
         );
         b.tester.set_cost_model(self.tester.cost_model());
+        b.tester.select_shard(self.tester.route());
         Box::new(b)
     }
 }
@@ -206,14 +220,20 @@ impl RefinementBackend for HybridBackend {
         self.inner.test_batch(pred, pairs, stats)
     }
 
+    fn select_shard(&mut self, shard: usize) {
+        self.inner.select_shard(shard);
+    }
+
     fn fork(&self) -> Box<dyn RefinementBackend> {
         let hw = self.inner.tester.config();
-        Box::new(HybridBackend::with_device_and_policy(
+        let mut b = HybridBackend::with_device_and_policy(
             hw,
             hw.sw_threshold,
             self.inner.tester.device_kind(),
             self.inner.tester.recovery_policy(),
-        ))
+        );
+        b.inner.tester.select_shard(self.inner.tester.route());
+        Box::new(b)
     }
 }
 

@@ -24,6 +24,19 @@
 //! Hence results *and* merged statistics are bit-identical across thread
 //! counts (`sim_wall` aside, which measures the simulation's own wall
 //! clock and is excluded from all reported times).
+//!
+//! # Determinism under spatial partitioning
+//!
+//! With `partitions > 1` (DESIGN.md §11) the candidate stream is binned
+//! by a pure owner function before stages 2 and 3, each partition is
+//! processed independently — its submissions routed to device shard
+//! `p % shards` — and per-partition counters fold in ascending partition
+//! order. Binning is a permutation of the stream; filter decisions and
+//! per-pair test outcomes are pure per candidate; the final result sort
+//! erases the permutation. Results and every deterministic counter are
+//! therefore bit-identical to the unpartitioned run (invariant 12); at
+//! `batch > 1` only the submission-grouping diagnostics can move,
+//! because batches form within partitions instead of across them.
 
 use super::backend::RefinementBackend;
 use super::filter::{CandidateFilter, Decision};
@@ -53,6 +66,16 @@ pub struct StagedExecutor {
     pub batch: usize,
     /// Refinement worker threads; ≤ 1 runs sequentially.
     pub threads: usize,
+    /// Spatial partitions (grid cells) stages 2 and 3 operate over; ≤ 1
+    /// is the unpartitioned path. Candidates are binned by the `assign`
+    /// closure (the PBSM reference-point rule in the engine) and each
+    /// partition is filtered and refined independently, in ascending
+    /// partition order, so results and merged counters are deterministic
+    /// (DESIGN.md invariant 12).
+    pub partitions: usize,
+    /// Device shards: partition `p`'s submissions route to shard
+    /// `p % shards` before refinement. ≤ 1 leaves routing untouched.
+    pub shards: usize,
 }
 
 impl StagedExecutor {
@@ -60,12 +83,23 @@ impl StagedExecutor {
     /// work counters alongside them), the `filters` chain settles what it
     /// can, the backend refines the rest. Stage-1 time — tree traversal
     /// and join scheduling included — lands in `cost.mbr_filter`.
+    ///
+    /// When `partitions > 1` the candidate stream is first binned by
+    /// `assign` — a pure function of the candidate, so every candidate
+    /// belongs to exactly one partition and the binning is a permutation
+    /// of the stream, never a change to its contents. Stage 2 decisions
+    /// are per-candidate pure and stage-3 counters are per-pair pure at
+    /// `batch ≤ 1`, so the partitioned run's results and deterministic
+    /// counters are bit-identical to the unpartitioned run's; only
+    /// submission-grouping diagnostics can move at `batch > 1`, because
+    /// batches then form within partitions.
     pub fn run<'p, C, R>(
         &self,
         backend: &mut dyn RefinementBackend,
         predicate: Predicate,
         stage1: impl FnOnce() -> (Vec<C>, FilterStats),
         mut filters: Vec<Box<dyn CandidateFilter<C> + '_>>,
+        assign: impl Fn(&C) -> usize,
         resolve: R,
     ) -> (Vec<C>, CostBreakdown)
     where
@@ -83,34 +117,67 @@ impl StagedExecutor {
         cost.filter_work_units = filter_stats.work_units;
 
         let t1 = Instant::now();
-        let mut confirmed: Vec<C> = Vec::new();
-        let mut rest: Vec<C> = Vec::new();
-        'candidates: for c in candidates {
-            for f in filters.iter_mut() {
-                match f.examine(&c) {
-                    Decision::Confirm => {
-                        confirmed.push(c);
-                        continue 'candidates;
-                    }
-                    Decision::Reject => continue 'candidates,
-                    Decision::Refine => {}
-                }
+        // Bin the stream into partitions (one bin = the unpartitioned
+        // path, with the stream passed through untouched).
+        let parts = self.partitions.max(1);
+        let bins: Vec<Vec<C>> = if parts > 1 {
+            let mut bins: Vec<Vec<C>> = Vec::new();
+            bins.resize_with(parts, Vec::new);
+            for c in candidates {
+                bins[assign(&c) % parts].push(c);
             }
-            rest.push(c);
+            bins
+        } else {
+            vec![candidates]
+        };
+        cost.partitions_used = bins.iter().filter(|b| !b.is_empty()).count();
+
+        // Stage 2 per partition, ascending partition order. Filter
+        // decisions are per-candidate pure, so reordering examinations by
+        // partition changes no outcome.
+        let mut results: Vec<C> = Vec::new();
+        let mut rests: Vec<Vec<C>> = Vec::with_capacity(bins.len());
+        for bin in &bins {
+            let mut rest: Vec<C> = Vec::new();
+            'candidates: for &c in bin {
+                for f in filters.iter_mut() {
+                    match f.examine(&c) {
+                        Decision::Confirm => {
+                            results.push(c);
+                            continue 'candidates;
+                        }
+                        Decision::Reject => continue 'candidates,
+                        Decision::Refine => {}
+                    }
+                }
+                rest.push(c);
+            }
+            rests.push(rest);
         }
         cost.intermediate_filter = t1.elapsed();
-        cost.filter_hits = confirmed.len();
+        cost.filter_hits = results.len();
 
+        // Stage 3 per partition, ascending partition order: route the
+        // partition's shard, refine, and fold counters in that fixed
+        // order — the same merge discipline the tiled device uses for its
+        // bands, so merged stats never depend on shard timing.
         let t2 = Instant::now();
-        let mut results = confirmed;
-        self.refine(
-            backend,
-            predicate,
-            &rest,
-            &resolve,
-            &mut results,
-            &mut cost.tests,
-        );
+        for (p, rest) in rests.iter().enumerate() {
+            if parts > 1 {
+                if rest.is_empty() {
+                    continue;
+                }
+                backend.select_shard(p % self.shards.max(1));
+            }
+            self.refine(
+                backend,
+                predicate,
+                rest,
+                &resolve,
+                &mut results,
+                &mut cost.tests,
+            );
+        }
         cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
         results.sort_unstable();
         cost.results = results.len();
@@ -251,6 +318,8 @@ mod tests {
         let exec = StagedExecutor {
             batch: 1,
             threads: 1,
+            partitions: 1,
+            shards: 1,
         };
         let mut backend = SoftwareBackend;
         let (results, cost) = exec.run(
@@ -258,6 +327,7 @@ mod tests {
             Predicate::Intersects,
             || ((0..10).collect(), FilterStats::default()),
             vec![Box::new(ParityFilter)],
+            |_| 0,
             |i| (&query, &polys[i]),
         );
         // Confirmed: even non-multiples-of-5 {2,4,6,8}. Refined {1,3,7,9}:
@@ -299,13 +369,19 @@ mod tests {
         let cands: Vec<(usize, usize)> = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
 
         let run = |batch: usize, threads: usize| {
-            let exec = StagedExecutor { batch, threads };
+            let exec = StagedExecutor {
+                batch,
+                threads,
+                partitions: 1,
+                shards: 1,
+            };
             let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
                 || (cands.clone(), FilterStats::default()),
                 Vec::new(),
+                |_| 0,
                 |(i, j)| (&left[i], &right[j]),
             )
         };
@@ -340,13 +416,19 @@ mod tests {
         let (left, right) = bars();
         let cands: Vec<(usize, usize)> = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
         let run = |batch: usize| {
-            let exec = StagedExecutor { batch, threads: 1 };
+            let exec = StagedExecutor {
+                batch,
+                threads: 1,
+                partitions: 1,
+                shards: 1,
+            };
             let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
                 || (cands.clone(), FilterStats::default()),
                 Vec::new(),
+                |_| 0,
                 |(i, j)| (&left[i], &right[j]),
             )
         };

@@ -117,6 +117,11 @@ pub struct CostBreakdown {
     /// selections). Diagnostic: varies with `filter_threads` and the unit
     /// size, never changes the candidate sequence.
     pub filter_work_units: usize,
+    /// Spatial partitions that held at least one candidate (0 when the
+    /// query produced none, 1 on the unpartitioned path). Diagnostic:
+    /// varies with `PartitionConfig.grid`, never changes results or the
+    /// deterministic counters (DESIGN.md invariant 12).
+    pub partitions_used: usize,
     /// Refinement-stage counters.
     pub tests: TestStats,
 }
@@ -137,6 +142,7 @@ impl CostBreakdown {
         self.node_tests += o.node_tests;
         self.simd_node_tests += o.simd_node_tests;
         self.filter_work_units += o.filter_work_units;
+        self.partitions_used += o.partitions_used;
         self.tests.add(&o.tests);
     }
 }
@@ -157,6 +163,7 @@ mod tests {
             node_tests: 40,
             simd_node_tests: 30,
             filter_work_units: 3,
+            partitions_used: 4,
             tests: TestStats::default(),
         };
         assert_eq!(a.total(), Duration::from_millis(6));
@@ -166,6 +173,7 @@ mod tests {
         assert_eq!(a.node_tests, 80);
         assert_eq!(a.simd_node_tests, 60);
         assert_eq!(a.filter_work_units, 6);
+        assert_eq!(a.partitions_used, 8);
         assert_eq!(a.total(), Duration::from_millis(12));
     }
 

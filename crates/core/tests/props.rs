@@ -229,13 +229,14 @@ proptest! {
             .filter(|&(i, j)| i < j)
             .collect();
         let run = |threads: usize| {
-            let exec = StagedExecutor { batch, threads };
+            let exec = StagedExecutor { batch, threads, partitions: 1, shards: 1 };
             let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
             exec.run(
                 &mut backend,
                 Predicate::Intersects,
                 || (cands.clone(), FilterStats::default()),
                 Vec::new(),
+                |_| 0,
                 |(i, j)| (&polys[i], &polys[j]),
             )
         };

@@ -21,12 +21,14 @@
 
 pub mod join;
 pub mod nearest;
+pub mod partition;
 pub mod rtree;
 pub mod soa;
 
 pub use join::{
     join_intersecting, join_intersecting_with, join_within_distance, join_within_distance_with,
 };
+pub use partition::SpatialGrid;
 pub use rtree::RTree;
 pub use soa::{
     ChildMbrs, FilterConfig, FilterStats, Intersects, MbrPredicate, WithinDist, DEFAULT_UNIT_PAIRS,

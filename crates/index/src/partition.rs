@@ -1,0 +1,374 @@
+//! PBSM-style spatial partitioning: a uniform n×n grid over a universe
+//! rectangle, with boundary replication and reference-point duplicate
+//! suppression (Patel & DeWitt's Partition Based Spatial Merge join).
+//!
+//! Two layers of machinery live here:
+//!
+//! * **Bucketing + standalone joins** ([`SpatialGrid::bucket`],
+//!   [`SpatialGrid::join_intersecting`],
+//!   [`SpatialGrid::join_within_distance`]): both inputs are replicated
+//!   into every grid cell their MBR spans, each cell is joined
+//!   independently (a cell never looks outside its own buckets — the
+//!   out-of-core contract), and a qualifying pair is emitted only by the
+//!   cell that *owns* it under the reference-point rule, so replication
+//!   never produces duplicate results. This is the shape that ships each
+//!   partition to its own device, board or machine.
+//! * **Partition assignment** ([`SpatialGrid::assign_pair`],
+//!   [`SpatialGrid::assign_pair_within`], [`SpatialGrid::owner`]): the
+//!   same ownership rule as a pure function from a candidate to its one
+//!   owning cell. The query engine bins the globally-enumerated candidate
+//!   stream with these, which keeps stage-1 `FilterStats` a pure function
+//!   of the trees and the query (DESIGN.md invariant 11) while giving
+//!   every partition an independent refinement stream.
+//!
+//! **The reference-point rule.** For a candidate pair, the *reference
+//! point* is the lower-left corner of the intersection of the two (for
+//! within-distance: both-expanded-by-`d`) MBRs. Exactly one grid cell
+//! contains that point under half-open binning, and — because each input
+//! is replicated into every cell its (expanded) MBR spans, and the
+//! reference point lies inside both — that owning cell is guaranteed to
+//! hold replicas of both objects. Hence each qualifying pair is
+//! discovered by at least the owner and emitted by exactly the owner.
+//!
+//! Binning is *half-open*: a coordinate exactly on an interior cell
+//! boundary belongs to the cell on its upper/right side, matching
+//! `floor` semantics in [`SpatialGrid::cell_of`]. Replication spans are
+//! computed with the same binning, so ownership and replication can
+//! never disagree about boundary-touching geometry.
+
+use spatial_geom::{Point, Rect};
+
+/// A uniform n×n spatial grid over a universe rectangle.
+///
+/// The grid is a pure value: cell membership, replication spans and pair
+/// ownership are all deterministic functions of the universe, `n`, and
+/// the geometry — never of insertion order or thread scheduling. Points
+/// outside the universe clamp to the boundary cells, so every input is
+/// always bucketed somewhere even when the universe underestimates the
+/// data extent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialGrid {
+    n: usize,
+    universe: Rect,
+}
+
+impl SpatialGrid {
+    /// A grid of `n × n` cells over `universe`. `n` is clamped to at
+    /// least 1; a degenerate universe (zero extent on either axis)
+    /// collapses that axis to a single bin.
+    pub fn new(n: usize, universe: Rect) -> Self {
+        SpatialGrid {
+            n: n.max(1),
+            universe,
+        }
+    }
+
+    /// Cells per side.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total cell count (`n × n`).
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The rectangle the grid subdivides.
+    #[inline]
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Half-open bin of a coordinate along one axis, clamped to the grid.
+    fn axis_bin(&self, v: f64, min: f64, extent: f64) -> usize {
+        if self.n <= 1 || extent.is_nan() || extent <= 0.0 {
+            return 0;
+        }
+        let t = ((v - min) / extent * self.n as f64).floor();
+        // `as usize` maps NaN and negatives to 0; the `.min` clamps the
+        // upper boundary (v == max bins into the last cell, not past it).
+        (t.max(0.0) as usize).min(self.n - 1)
+    }
+
+    #[inline]
+    fn col_of(&self, x: f64) -> usize {
+        self.axis_bin(x, self.universe.xmin, self.universe.width())
+    }
+
+    #[inline]
+    fn row_of(&self, y: f64) -> usize {
+        self.axis_bin(y, self.universe.ymin, self.universe.height())
+    }
+
+    /// The cell containing `p` (clamped to the grid).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> usize {
+        self.row_of(p.y) * self.n + self.col_of(p.x)
+    }
+
+    /// The rectangle of cell `c`. Boundary cells absorb everything the
+    /// clamping in [`SpatialGrid::cell_of`] assigns to them, but the
+    /// reported rectangle is the universe slice.
+    pub fn cell_rect(&self, c: usize) -> Rect {
+        let (col, row) = (c % self.n, c / self.n);
+        let (w, h) = (self.universe.width(), self.universe.height());
+        let edge = |min: f64, extent: f64, i: usize| {
+            if i >= self.n {
+                min + extent
+            } else {
+                min + extent * i as f64 / self.n as f64
+            }
+        };
+        Rect::new(
+            edge(self.universe.xmin, w, col),
+            edge(self.universe.ymin, h, row),
+            edge(self.universe.xmin, w, col + 1),
+            edge(self.universe.ymin, h, row + 1),
+        )
+    }
+
+    /// The cells `r` spans under half-open binning — the replication set
+    /// of an object with MBR `r` — as a row-major iterator in ascending
+    /// cell order.
+    pub fn cover(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
+        let (c0, c1) = (self.col_of(r.xmin), self.col_of(r.xmax));
+        let (r0, r1) = (self.row_of(r.ymin), self.row_of(r.ymax));
+        (r0..=r1).flat_map(move |row| (c0..=c1).map(move |col| row * self.n + col))
+    }
+
+    /// The cell owning `r` under the reference-point rule: the cell
+    /// containing `r`'s lower-left corner. Always a member of
+    /// [`SpatialGrid::cover`]`(r)`.
+    #[inline]
+    pub fn owner(&self, r: &Rect) -> usize {
+        self.cell_of(Point::new(r.xmin, r.ymin))
+    }
+
+    /// The partition owning an intersection-join candidate: the cell
+    /// containing the lower-left corner of `a ∩ b`. A pure function of
+    /// the two MBRs — each candidate pair belongs to exactly one
+    /// partition, which is what makes partitioned refinement emit every
+    /// result exactly once. (Computed directly from the corner maxima, so
+    /// it stays deterministic even for barely-touching MBRs.)
+    #[inline]
+    pub fn assign_pair(&self, a: &Rect, b: &Rect) -> usize {
+        self.cell_of(Point::new(a.xmin.max(b.xmin), a.ymin.max(b.ymin)))
+    }
+
+    /// The partition owning a within-distance candidate: the cell
+    /// containing the lower-left corner of `a.expanded(d) ∩ b.expanded(d)`
+    /// (which is `(max(a.xmin, b.xmin) − d, max(a.ymin, b.ymin) − d)` —
+    /// `max` commutes with the monotone `· − d`).
+    #[inline]
+    pub fn assign_pair_within(&self, a: &Rect, b: &Rect, d: f64) -> usize {
+        self.cell_of(Point::new(a.xmin.max(b.xmin) - d, a.ymin.max(b.ymin) - d))
+    }
+
+    /// Buckets `mbrs` into the grid: `out[c]` holds the indices of every
+    /// MBR spanning cell `c`, in input order. Boundary-spanning objects
+    /// are replicated into each cell they span; each index appears at
+    /// most once per cell.
+    pub fn bucket(&self, mbrs: &[Rect]) -> Vec<Vec<usize>> {
+        self.bucket_expanded(mbrs, 0.0)
+    }
+
+    /// [`SpatialGrid::bucket`] with every MBR expanded by `d` first — the
+    /// replication rule of the within-distance join, where an object must
+    /// reach every cell a partner within distance `d` could be owned by.
+    pub fn bucket_expanded(&self, mbrs: &[Rect], d: f64) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.cells()];
+        for (i, r) in mbrs.iter().enumerate() {
+            let r = if d > 0.0 { r.expanded(d) } else { *r };
+            for c in self.cover(&r) {
+                out[c].push(i);
+            }
+        }
+        out
+    }
+
+    /// The standalone PBSM intersection join: bucket both inputs, join
+    /// each cell's buckets independently, and emit a qualifying pair only
+    /// from the cell owning its reference point. Returns index pairs in
+    /// deterministic (cell-major, then bucket-order) sequence, each
+    /// qualifying pair exactly once.
+    pub fn join_intersecting(&self, a: &[Rect], b: &[Rect]) -> Vec<(usize, usize)> {
+        self.join_with(
+            a,
+            b,
+            0.0,
+            |x, y| x.intersects(y),
+            |x, y| self.assign_pair(x, y),
+        )
+    }
+
+    /// The standalone PBSM within-distance join: like
+    /// [`SpatialGrid::join_intersecting`], with both inputs replicated
+    /// under `d`-expansion and ownership taken on the expanded
+    /// intersection.
+    pub fn join_within_distance(&self, a: &[Rect], b: &[Rect], d: f64) -> Vec<(usize, usize)> {
+        self.join_with(
+            a,
+            b,
+            d,
+            |x, y| x.min_dist(y) <= d,
+            |x, y| self.assign_pair_within(x, y, d),
+        )
+    }
+
+    /// Shared per-cell join loop: each cell sees only its own buckets
+    /// (the out-of-core contract) and emits only the pairs it owns.
+    fn join_with(
+        &self,
+        a: &[Rect],
+        b: &[Rect],
+        d: f64,
+        qualifies: impl Fn(&Rect, &Rect) -> bool,
+        owner_of: impl Fn(&Rect, &Rect) -> usize,
+    ) -> Vec<(usize, usize)> {
+        let buckets_a = self.bucket_expanded(a, d);
+        let buckets_b = self.bucket_expanded(b, d);
+        let mut out = Vec::new();
+        for (cell, (ba, bb)) in buckets_a.iter().zip(&buckets_b).enumerate() {
+            for &i in ba {
+                for &j in bb {
+                    if qualifies(&a[i], &b[j]) && owner_of(&a[i], &b[j]) == cell {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    fn unit_universe() -> Rect {
+        Rect::new(0.0, 0.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn single_cell_grid_owns_everything() {
+        let g = SpatialGrid::new(1, unit_universe());
+        assert_eq!(g.cells(), 1);
+        assert_eq!(g.owner(&rect(3.0, 3.0, 2.0, 2.0)), 0);
+        assert_eq!(g.cover(&rect(-5.0, -5.0, 100.0, 100.0)).count(), 1);
+    }
+
+    #[test]
+    fn boundary_spanning_objects_replicate() {
+        let g = SpatialGrid::new(2, unit_universe());
+        // Centered square spans all four cells.
+        let spanning = rect(3.0, 3.0, 2.0, 2.0);
+        let cover: Vec<usize> = g.cover(&spanning).collect();
+        assert_eq!(cover, vec![0, 1, 2, 3]);
+        // Its owner is the lower-left cell.
+        assert_eq!(g.owner(&spanning), 0);
+        // A cell-interior square lands in exactly one bucket.
+        assert_eq!(g.cover(&rect(5.0, 1.0, 1.0, 1.0)).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn half_open_binning_assigns_boundaries_upward() {
+        let g = SpatialGrid::new(4, unit_universe());
+        // x = 2.0 is the boundary between columns 0 and 1: bins to 1.
+        assert_eq!(g.cell_of(Point::new(2.0, 0.0)), 1);
+        // The universe maximum clamps into the last cell.
+        assert_eq!(g.cell_of(Point::new(8.0, 8.0)), 15);
+        // Outside points clamp to boundary cells.
+        assert_eq!(g.cell_of(Point::new(-3.0, 100.0)), 12);
+    }
+
+    #[test]
+    fn owner_is_always_within_cover() {
+        let g = SpatialGrid::new(4, unit_universe());
+        for r in [
+            rect(0.0, 0.0, 8.0, 8.0),
+            rect(1.9, 1.9, 0.2, 0.2),
+            rect(2.0, 2.0, 0.0, 0.0),
+            rect(-2.0, 7.9, 20.0, 5.0),
+        ] {
+            let cover: Vec<usize> = g.cover(&r).collect();
+            assert!(cover.contains(&g.owner(&r)), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn pair_assignment_matches_intersection_owner() {
+        let g = SpatialGrid::new(4, unit_universe());
+        let a = rect(1.0, 1.0, 3.0, 3.0);
+        let b = rect(3.0, 2.0, 4.0, 4.0);
+        let isect = a.intersection(&b).unwrap();
+        assert_eq!(g.assign_pair(&a, &b), g.owner(&isect));
+    }
+
+    #[test]
+    fn standalone_joins_match_brute_force_without_duplicates() {
+        let a: Vec<Rect> = (0..40)
+            .map(|i| rect((i % 8) as f64, (i / 8) as f64 * 1.5, 1.3, 1.1))
+            .collect();
+        let b: Vec<Rect> = (0..30)
+            .map(|i| {
+                rect(
+                    (i % 6) as f64 * 1.4 + 0.3,
+                    (i / 6) as f64 * 1.2 + 0.2,
+                    0.9,
+                    1.6,
+                )
+            })
+            .collect();
+        let universe = a.iter().chain(&b).fold(Rect::EMPTY, |u, r| u.union(r));
+        for n in [1, 2, 3, 5] {
+            let g = SpatialGrid::new(n, universe);
+            let mut got = g.join_intersecting(&a, &b);
+            let mut expected: Vec<(usize, usize)> = Vec::new();
+            for (i, ra) in a.iter().enumerate() {
+                for (j, rb) in b.iter().enumerate() {
+                    if ra.intersects(rb) {
+                        expected.push((i, j));
+                    }
+                }
+            }
+            let raw_len = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(raw_len, got.len(), "n={n}: duplicate emissions");
+            expected.sort_unstable();
+            assert_eq!(got, expected, "n={n}");
+
+            for d in [0.0, 0.4, 2.0] {
+                let mut got = g.join_within_distance(&a, &b, d);
+                let mut expected: Vec<(usize, usize)> = Vec::new();
+                for (i, ra) in a.iter().enumerate() {
+                    for (j, rb) in b.iter().enumerate() {
+                        if ra.min_dist(rb) <= d {
+                            expected.push((i, j));
+                        }
+                    }
+                }
+                let raw_len = got.len();
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(raw_len, got.len(), "n={n} d={d}: duplicate emissions");
+                expected.sort_unstable();
+                assert_eq!(got, expected, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_universe_collapses_to_one_bin() {
+        let g = SpatialGrid::new(4, Rect::new(3.0, 3.0, 3.0, 3.0));
+        assert_eq!(g.cell_of(Point::new(3.0, 3.0)), 0);
+        assert_eq!(g.cell_of(Point::new(100.0, -4.0)), 0);
+        assert_eq!(g.cover(&rect(0.0, 0.0, 10.0, 10.0)).count(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the PBSM partitioner: bucketing covers every input,
+//! replicas are exact copies of their originals, ownership is consistent
+//! with replication, and the reference-point rule makes the standalone
+//! per-cell joins emit each qualifying pair exactly once versus the
+//! brute-force oracle.
+
+use proptest::prelude::*;
+use spatial_geom::{Point, Rect};
+use spatial_index::SpatialGrid;
+
+prop_compose! {
+    fn arb_rect()(
+        x in -100.0f64..100.0,
+        y in -100.0f64..100.0,
+        w in 0.0f64..40.0,
+        h in 0.0f64..40.0,
+    ) -> Rect {
+        Rect::new(x, y, x + w, y + h)
+    }
+}
+
+prop_compose! {
+    fn arb_rects(max: usize)(
+        rects in prop::collection::vec(arb_rect(), 1..max),
+    ) -> Vec<Rect> {
+        rects
+    }
+}
+
+fn universe_of(sets: &[&[Rect]]) -> Rect {
+    sets.iter()
+        .flat_map(|s| s.iter())
+        .fold(Rect::EMPTY, |u, r| u.union(r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every input object lands in at least one bucket, each bucketed
+    /// replica is an exact copy of the original (buckets store indices,
+    /// so the rect a cell sees is bitwise the input rect), no index
+    /// appears twice in the same cell, and the owner cell always carries
+    /// a replica.
+    #[test]
+    fn bucketing_covers_every_object(
+        rects in arb_rects(80),
+        n in 1usize..6,
+        shrink in 0.0f64..0.9,
+    ) {
+        // A universe smaller than the data exercises the boundary-cell
+        // clamping path too.
+        let full = universe_of(&[&rects]);
+        let universe = Rect::new(
+            full.xmin + full.width() * shrink * 0.5,
+            full.ymin + full.height() * shrink * 0.5,
+            full.xmax - full.width() * shrink * 0.5,
+            full.ymax - full.height() * shrink * 0.5,
+        );
+        let grid = SpatialGrid::new(n, universe);
+        let buckets = grid.bucket(&rects);
+        prop_assert_eq!(buckets.len(), grid.cells());
+
+        let mut seen = vec![0usize; rects.len()];
+        for (cell, bucket) in buckets.iter().enumerate() {
+            let mut in_cell = std::collections::HashSet::new();
+            for &i in bucket {
+                prop_assert!(i < rects.len());
+                // Replicas are exact copies: a bucket entry is an index
+                // into the original slice, so the rect a cell sees is
+                // bitwise the input rect; the cell must be in its cover.
+                prop_assert!(grid.cover(&rects[i]).any(|c| c == cell),
+                    "index {} bucketed into cell {} outside its cover", i, cell);
+                prop_assert!(in_cell.insert(i), "index {} twice in cell {}", i, cell);
+                seen[i] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            prop_assert!(count >= 1, "object {} landed in no bucket", i);
+            // Replication count equals the cover size exactly.
+            prop_assert_eq!(count, grid.cover(&rects[i]).count());
+        }
+        for r in &rects {
+            let owner = grid.owner(r);
+            prop_assert!(buckets[owner].iter().any(|&i| rects[i] == *r),
+                "owner cell {} holds no replica", owner);
+        }
+    }
+
+    /// The owner of any candidate pair is a cell where both members are
+    /// replicated — the guarantee that makes per-cell joins complete.
+    #[test]
+    fn pair_owner_is_within_both_covers(
+        a in arb_rect(),
+        b in arb_rect(),
+        n in 1usize..6,
+        d in 0.0f64..10.0,
+    ) {
+        let grid = SpatialGrid::new(n, universe_of(&[&[a], &[b]]));
+        if a.intersects(&b) {
+            let cell = grid.assign_pair(&a, &b);
+            prop_assert!(grid.cover(&a).any(|c| c == cell));
+            prop_assert!(grid.cover(&b).any(|c| c == cell));
+            // The reference point is the intersection's lower-left corner.
+            let isect = a.intersection(&b).unwrap();
+            prop_assert_eq!(cell, grid.cell_of(Point::new(isect.xmin, isect.ymin)));
+        }
+        if a.min_dist(&b) <= d {
+            let cell = grid.assign_pair_within(&a, &b, d);
+            prop_assert!(grid.cover(&a.expanded(d)).any(|c| c == cell));
+            prop_assert!(grid.cover(&b.expanded(d)).any(|c| c == cell));
+        }
+    }
+
+    /// The standalone PBSM intersection join equals the brute-force
+    /// oracle with each qualifying pair emitted exactly once — boundary
+    /// replication never produces duplicates.
+    #[test]
+    fn partitioned_intersection_join_matches_oracle(
+        a in arb_rects(60),
+        b in arb_rects(60),
+        n in 1usize..6,
+    ) {
+        let grid = SpatialGrid::new(n, universe_of(&[&a, &b]));
+        let got = grid.join_intersecting(&a, &b);
+
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        let deduped_len = {
+            let mut d = sorted.clone();
+            d.dedup();
+            d.len()
+        };
+        prop_assert_eq!(got.len(), deduped_len, "duplicate pair emissions");
+
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if ra.intersects(rb) {
+                    expected.push((i, j));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Same exactly-once-vs-oracle property for the within-distance join,
+    /// whose replication expands both inputs by `d`.
+    #[test]
+    fn partitioned_within_distance_join_matches_oracle(
+        a in arb_rects(50),
+        b in arb_rects(50),
+        n in 1usize..6,
+        d in 0.0f64..25.0,
+    ) {
+        let grid = SpatialGrid::new(n, universe_of(&[&a, &b]));
+        let got = grid.join_within_distance(&a, &b, d);
+
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        let deduped_len = {
+            let mut dd = sorted.clone();
+            dd.dedup();
+            dd.len()
+        };
+        prop_assert_eq!(got.len(), deduped_len, "duplicate pair emissions");
+
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if ra.min_dist(rb) <= d {
+                    expected.push((i, j));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Partition assignment is grid-deterministic: the same pair always
+    /// maps to the same cell, and with n = 1 everything maps to cell 0.
+    #[test]
+    fn assignment_is_deterministic(a in arb_rect(), b in arb_rect(), n in 1usize..6) {
+        let u = universe_of(&[&[a], &[b]]);
+        let grid = SpatialGrid::new(n, u);
+        prop_assert_eq!(grid.assign_pair(&a, &b), grid.assign_pair(&a, &b));
+        let single = SpatialGrid::new(1, u);
+        prop_assert_eq!(single.assign_pair(&a, &b), 0);
+        prop_assert_eq!(single.assign_pair_within(&a, &b, 3.0), 0);
+    }
+}

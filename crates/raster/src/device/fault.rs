@@ -208,6 +208,12 @@ impl RasterDevice for FaultDevice {
         }
     }
 
+    fn route(&mut self, shard: usize) {
+        // Routing is not a submission: it never advances the fault
+        // schedule, it only forwards to whatever the injector wraps.
+        self.inner.route(shard);
+    }
+
     fn snapshot(&self) -> Option<FrameBuffer> {
         self.inner.snapshot()
     }

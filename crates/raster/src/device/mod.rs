@@ -69,6 +69,7 @@ pub mod command;
 pub mod fault;
 pub mod fuse;
 mod reference;
+pub mod shard;
 pub mod simd;
 pub mod template;
 mod tiled;
@@ -77,6 +78,7 @@ pub use crate::context::PixelRect;
 pub use command::{Command, CommandList, RecordError, Recorder};
 pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultTrigger};
 pub use reference::ReferenceDevice;
+pub use shard::ShardedDevice;
 pub use simd::SimdDevice;
 pub use template::ListTemplate;
 pub use tiled::TiledDevice;
@@ -272,6 +274,15 @@ pub trait RasterDevice: Send + std::fmt::Debug {
     /// injector) plug into.
     fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError>;
 
+    /// Selects which shard subsequent [`RasterDevice::execute`] calls land
+    /// on. Single-backend executors have nothing to route — the default is
+    /// a no-op — while [`ShardedDevice`] switches its active inner backend
+    /// (modulo its shard count) and [`FaultDevice`] forwards to whatever it
+    /// wraps. Callers route by partition index (`partition % shards`), a
+    /// pure function of the partition, so sharded execution stays
+    /// deterministic.
+    fn route(&mut self, _shard: usize) {}
+
     /// The final framebuffer of the most recent [`RasterDevice::execute`],
     /// if any — for equivalence tests and debugging dumps, not for the
     /// query hot path (readback is what Minmax exists to avoid).
@@ -314,6 +325,17 @@ pub enum DeviceKind {
         /// The deterministic fault schedule.
         plan: FaultPlan,
     },
+    /// [`ShardedDevice`]: `shards` independent instances of the `inner`
+    /// kind behind one routing front — the multi-device fan-out the
+    /// partitioned query path dispatches to (one shard per partition,
+    /// `partition % shards`). Each shard is a full inner device, fault
+    /// injector included when `inner` is `Fault`-wrapped.
+    Sharded {
+        /// The device kind each shard instantiates.
+        inner: Box<DeviceKind>,
+        /// How many independent inner backends to build.
+        shards: usize,
+    },
 }
 
 impl DeviceKind {
@@ -327,6 +349,7 @@ impl DeviceKind {
                 Box::new(TiledDevice::new_simd(*tiles, *threads))
             }
             DeviceKind::Fault { inner, plan } => Box::new(FaultDevice::new(inner.build(), *plan)),
+            DeviceKind::Sharded { inner, shards } => Box::new(ShardedDevice::new(inner, *shards)),
         }
     }
 
@@ -336,6 +359,16 @@ impl DeviceKind {
         DeviceKind::Fault {
             inner: Box::new(self),
             plan,
+        }
+    }
+
+    /// Fans `self` out across `shards` independent instances behind one
+    /// routing front (convenience for building [`DeviceKind::Sharded`]
+    /// configurations).
+    pub fn sharded(self, shards: usize) -> DeviceKind {
+        DeviceKind::Sharded {
+            inner: Box::new(self),
+            shards,
         }
     }
 }

@@ -1,0 +1,174 @@
+//! Sharded execution: K independent inner backends behind one device.
+//!
+//! The partitioned query path (DESIGN.md §11) splits a join into grid
+//! cells and dispatches each partition's command lists to its own device
+//! instance — its own board, machine, or simulated backend.
+//! [`ShardedDevice`] is that fan-out point: it owns `K` inner executors
+//! built from one [`DeviceKind`] (any kind, including `Fault`-wrapped
+//! ones, so every shard gets its own identically-seeded injector and the
+//! whole ensemble stays deterministic), and routes each submission to the
+//! shard selected by the most recent [`RasterDevice::route`] call.
+//!
+//! Routing is state the *caller* owns: partition `p` routes to shard
+//! `p % K`, a pure function of the partition index, never of thread
+//! timing. Each shard is an ordinary [`RasterDevice`] and keeps the
+//! purity contract (same list → same [`Execution`]), so the ensemble is
+//! as deterministic as its parts.
+//!
+//! Cross-shard results are combined with [`ShardedDevice::merge`], which
+//! folds a sequence of per-partition executions *in the order given* —
+//! counters summed, readbacks concatenated — exactly the discipline
+//! [`super::TiledDevice`] uses to merge its horizontal bands: a fixed
+//! walk order makes the merged stats independent of which shard finished
+//! first. The staged executor in `core` merges per-partition
+//! `TestStats`/`CostBreakdown` the same way, in ascending partition
+//! order (invariant 12).
+
+use super::command::CommandList;
+use super::{DeviceError, DeviceKind, Execution, RasterDevice};
+use crate::framebuffer::FrameBuffer;
+use crate::stats::HwStats;
+
+/// K independent inner backends behind one [`RasterDevice`] front.
+///
+/// Submissions execute on the *active* shard — shard 0 until the first
+/// [`RasterDevice::route`] call. Shards share nothing: each has its own
+/// framebuffer, its own fault-injection schedule when the inner kind is
+/// `Fault`-wrapped, and its own submission history.
+#[derive(Debug)]
+pub struct ShardedDevice {
+    shards: Vec<Box<dyn RasterDevice>>,
+    active: usize,
+}
+
+impl ShardedDevice {
+    /// Builds `shards` independent instances of `inner` (clamped to at
+    /// least one).
+    pub fn new(inner: &DeviceKind, shards: usize) -> Self {
+        ShardedDevice {
+            shards: (0..shards.max(1)).map(|_| inner.build()).collect(),
+            active: 0,
+        }
+    }
+
+    /// How many inner backends this device owns.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index submissions currently execute on.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Folds per-partition executions into one, **in the order given**:
+    /// [`HwStats`] counters are summed and readbacks concatenated exactly
+    /// as [`super::TiledDevice`] walks its bands in fixed band order.
+    /// Callers merging partitions must iterate in ascending partition
+    /// order so the result is independent of shard completion timing.
+    pub fn merge(executions: impl IntoIterator<Item = Execution>) -> Execution {
+        let mut merged = Execution {
+            stats: HwStats::default(),
+            readbacks: Vec::new(),
+        };
+        for exec in executions {
+            merged.stats.add(&exec.stats);
+            merged.readbacks.extend(exec.readbacks);
+        }
+        merged
+    }
+}
+
+impl RasterDevice for ShardedDevice {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn execute(&mut self, list: &CommandList) -> Result<Execution, DeviceError> {
+        self.shards[self.active].execute(list)
+    }
+
+    fn route(&mut self, shard: usize) {
+        self.active = shard % self.shards.len();
+    }
+
+    fn snapshot(&self) -> Option<FrameBuffer> {
+        self.shards[self.active].snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Recorder;
+    use super::*;
+    use crate::framebuffer::HALF_GRAY;
+    use crate::viewport::Viewport;
+    use spatial_geom::{Rect, Segment};
+
+    fn minmax_list() -> CommandList {
+        let mut rec = Recorder::new(8, 8);
+        rec.set_viewport(Viewport::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8))
+            .unwrap();
+        rec.set_color(HALF_GRAY);
+        rec.clear_color();
+        rec.draw_segments([Segment::new((1.0, 1.0).into(), (7.0, 7.0).into())])
+            .unwrap();
+        rec.minmax();
+        rec.finish()
+    }
+
+    #[test]
+    fn every_shard_matches_the_reference() {
+        let list = minmax_list();
+        let reference = DeviceKind::Reference.build().execute(&list).unwrap();
+        let mut dev = ShardedDevice::new(&DeviceKind::Simd, 3);
+        for shard in 0..7 {
+            dev.route(shard);
+            assert_eq!(dev.active(), shard % 3);
+            assert_eq!(dev.execute(&list).unwrap(), reference, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn shards_have_independent_fault_schedules() {
+        use super::super::{FaultKind, FaultPlan, FaultTrigger};
+        let plan = FaultPlan::new(11, FaultKind::ContextLost, FaultTrigger::OnExecute(0));
+        let kind = DeviceKind::Reference.with_faults(plan);
+        let mut dev = ShardedDevice::new(&kind, 2);
+        let list = minmax_list();
+        // Each shard's injector counts its own submissions: the first
+        // execute on *each* shard faults, the second succeeds.
+        for shard in 0..2 {
+            dev.route(shard);
+            assert_eq!(dev.execute(&list), Err(DeviceError::ContextLost));
+            assert!(dev.execute(&list).is_ok(), "shard {shard} retry");
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_readbacks_in_order() {
+        let list = minmax_list();
+        let one = DeviceKind::Reference.build().execute(&list).unwrap();
+        let merged = ShardedDevice::merge([one.clone(), one.clone(), one.clone()]);
+        assert_eq!(merged.readbacks.len(), 3 * one.readbacks.len());
+        assert_eq!(merged.stats.draw_calls, 3 * one.stats.draw_calls);
+        assert_eq!(merged.readbacks[0], one.readbacks[0]);
+    }
+
+    #[test]
+    fn zero_shard_request_clamps_to_one() {
+        let dev = ShardedDevice::new(&DeviceKind::Reference, 0);
+        assert_eq!(dev.shards(), 1);
+    }
+
+    #[test]
+    fn sharded_kind_builds_and_routes() {
+        let kind = DeviceKind::Simd.sharded(4);
+        let mut dev = kind.build();
+        assert_eq!(dev.name(), "sharded");
+        let list = minmax_list();
+        dev.route(3);
+        let reference = DeviceKind::Reference.build().execute(&list).unwrap();
+        assert_eq!(dev.execute(&list).unwrap(), reference);
+    }
+}

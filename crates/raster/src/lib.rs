@@ -49,7 +49,7 @@ pub use cost_model::HwCostModel;
 pub use device::{
     Command, CommandList, DeviceError, DeviceKind, Execution, FaultDevice, FaultKind, FaultPlan,
     FaultTrigger, ListTemplate, RasterDevice, Readback, RecordError, Recorder, ReferenceDevice,
-    SimdDevice, TiledDevice,
+    ShardedDevice, SimdDevice, TiledDevice,
 };
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;

@@ -360,4 +360,38 @@ proptest! {
             }
         }
     }
+
+    /// A sharded ensemble is bit-identical to the reference on every
+    /// shard, whatever routing sequence selects them, and merging a fixed
+    /// partition order of executions equals executing the concatenation's
+    /// parts one by one — sharding is pure fan-out, never a semantic knob.
+    #[test]
+    fn sharded_device_matches_reference_on_every_route(
+        scene in arb_scene(),
+        shards in 1usize..5,
+        routes in prop::collection::vec(0usize..8, 1..6),
+    ) {
+        use spatial_raster::{DeviceKind, ShardedDevice};
+        let list = record(&scene);
+        let (ref_exec, ref_fb) = reference_run(&list);
+        for inner in [DeviceKind::Reference, DeviceKind::Simd,
+                      DeviceKind::Tiled { tiles: 3, threads: 2 }] {
+            let mut dev = ShardedDevice::new(&inner, shards);
+            let mut per_route = Vec::new();
+            for &r in &routes {
+                dev.route(r);
+                prop_assert_eq!(dev.active(), r % shards);
+                let exec = dev.execute(&list).expect("simulated executors are infallible");
+                prop_assert_eq!(&exec.stats, &ref_exec.stats, "stats diverged on {:?}", inner);
+                prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
+                prop_assert!(dev.snapshot().expect("ran") == ref_fb);
+                per_route.push(exec);
+            }
+            // Fixed-order merge: counters sum, readbacks concatenate.
+            let n = per_route.len();
+            let merged = ShardedDevice::merge(per_route);
+            prop_assert_eq!(merged.readbacks.len(), n * ref_exec.readbacks.len());
+            prop_assert_eq!(merged.stats.draw_calls, n * ref_exec.stats.draw_calls);
+        }
+    }
 }
