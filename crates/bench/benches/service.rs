@@ -1,0 +1,178 @@
+//! Criterion microbenchmarks for the serving layer: what does online
+//! replay-cost planning cost, and where does the planner put the
+//! hw-vs-sw crossover as the candidate set grows?
+//!
+//! Three groups:
+//!
+//! * `service_planner_overhead` — the same selection served with the
+//!   adaptive planner vs forced-software: the delta is admission +
+//!   probe + pricing (the memo makes repeat shapes nearly free).
+//! * `service_crossover` — an intersection join over synthetic rings of
+//!   growing vertex count, adaptive mode: prints which plan the planner
+//!   picked per complexity point (the data behind the EXPERIMENTS.md
+//!   "Planner crossover" table).
+//! * `service_throughput` — queries/sec through one engine at default
+//!   admission capacity, selection workload.
+//!
+//! Small scales and sample counts keep `cargo bench --workspace` in
+//! minutes; CI runs these with `-- --test` (compile + one iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwa_core::service::{
+    PlannerConfig, PlannerMode, QueryEngine, QueryRequest, ServiceConfig, ServiceSnapshot,
+};
+use hwa_core::{EngineConfig, HwConfig, PreparedDataset};
+use spatial_geom::Polygon;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+fn snapshot() -> ServiceSnapshot {
+    ServiceSnapshot::new()
+        .with(PreparedDataset::new(
+            "landc",
+            spatial_datagen::landc(SCALE, SEED).polygons,
+        ))
+        .with(PreparedDataset::new(
+            "lando",
+            spatial_datagen::lando(SCALE, SEED).polygons,
+        ))
+}
+
+fn service_config(mode: PlannerMode) -> ServiceConfig {
+    ServiceConfig {
+        base: EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(0)),
+        planner: PlannerConfig {
+            mode,
+            ..PlannerConfig::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// A ring polygon with `n` vertices — complexity dial for the crossover.
+fn ring(cx: f64, cy: f64, r: f64, n: usize) -> Polygon {
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            (cx + r * t.cos(), cy + r * t.sin())
+        })
+        .collect();
+    Polygon::from_coords(&pts)
+}
+
+fn bench_planner_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_planner_overhead");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let queries = spatial_datagen::states50(SEED);
+    for (name, mode) in [
+        ("adaptive", PlannerMode::Adaptive),
+        ("forced_sw", PlannerMode::ForceSoftware),
+    ] {
+        g.bench_function(name, |b| {
+            let engine = QueryEngine::new(service_config(mode), snapshot());
+            let q = queries.polygons[0].clone();
+            b.iter(|| {
+                let resp = engine
+                    .execute(&QueryRequest::intersection_selection(
+                        "landc",
+                        black_box(q.clone()),
+                    ))
+                    .unwrap();
+                resp.rows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The Figure-13 crossover, served: joins over rings of growing vertex
+/// count. Prints the plan chosen at each complexity so the
+/// EXPERIMENTS.md table can be read straight off the bench output.
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_crossover");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    // Probe the full verts × candidate-count grid first: one served join
+    // per point, printing the plan the adaptive planner picked. These
+    // lines are the EXPERIMENTS.md "Planner crossover" table.
+    for verts in [4usize, 16, 64, 256, 1024] {
+        for per_side in [2usize, 8, 32] {
+            let a: Vec<_> = (0..per_side)
+                .map(|i| ring(i as f64 * 0.5, 0.0, 4.0, verts))
+                .collect();
+            let b: Vec<_> = (0..per_side)
+                .map(|i| ring(i as f64 * 0.5, 1.0, 4.0, verts))
+                .collect();
+            let snap = ServiceSnapshot::new()
+                .with(PreparedDataset::new("a", a))
+                .with(PreparedDataset::new("b", b));
+            let engine = QueryEngine::new(service_config(PlannerMode::Adaptive), snap);
+            let probe = engine
+                .execute(&QueryRequest::intersection_join("a", "b"))
+                .unwrap();
+            println!(
+                "crossover: verts/poly {verts:>5} candidates {:>5} -> plan {:?}",
+                probe.candidates, probe.plan
+            );
+        }
+    }
+    for verts in [4usize, 16, 64, 256, 1024] {
+        let a: Vec<_> = (0..8)
+            .map(|i| ring(i as f64 * 0.5, 0.0, 4.0, verts))
+            .collect();
+        let b: Vec<_> = (0..8)
+            .map(|i| ring(i as f64 * 0.5, 1.0, 4.0, verts))
+            .collect();
+        let snap = ServiceSnapshot::new()
+            .with(PreparedDataset::new("a", a))
+            .with(PreparedDataset::new("b", b));
+        let engine = QueryEngine::new(service_config(PlannerMode::Adaptive), snap);
+        g.bench_with_input(BenchmarkId::from_parameter(verts), &verts, |bch, _| {
+            bch.iter(|| {
+                let resp = engine
+                    .execute(&QueryRequest::intersection_join(
+                        black_box("a"),
+                        black_box("b"),
+                    ))
+                    .unwrap();
+                resp.rows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_throughput");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let queries = spatial_datagen::states50(SEED);
+    g.bench_function("selection_stream", |b| {
+        let engine = QueryEngine::new(service_config(PlannerMode::Adaptive), snapshot());
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = queries.polygons[i % queries.polygons.len()].clone();
+            i += 1;
+            let resp = engine
+                .execute(&QueryRequest::intersection_selection("landc", q))
+                .unwrap();
+            black_box(resp.rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planner_overhead,
+    bench_crossover,
+    bench_throughput
+);
+criterion_main!(benches);

@@ -5,6 +5,9 @@
 //! guarantee, checked at workload scale rather than per-pair.
 
 use hwa_core::engine::{EngineConfig, GeometryTest, PartitionConfig, SpatialEngine};
+use hwa_core::service::{
+    PlannerConfig, PlannerMode, QueryEngine, QueryRequest, ServiceConfig, ServiceSnapshot,
+};
 use hwa_core::{
     CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecordingOptions,
     RecoveryPolicy,
@@ -861,6 +864,139 @@ fn main() {
                 "partitioned fault sweep verified: per-shard fault schedules absorbed exactly"
             );
         }
+    }
+
+    // Serving-layer sweep (`--service`): the online replay-cost planner
+    // must be invisible in rows (DESIGN.md invariant 13) — for every
+    // device kind, serving all four pipelines under the adaptive planner
+    // returns bit-identical rows to forcing software and to forcing
+    // hardware, and every engine's ServiceStats ledger balances. With
+    // `--faults` the same matrix runs on fault-wrapped devices, where
+    // the supervisor's exact fallback keeps the invariant intact.
+    if opts.service {
+        let make_snapshot = || {
+            ServiceSnapshot::new()
+                .with(hwa_core::PreparedDataset::new(
+                    "landc",
+                    spatial_datagen::landc(opts.scale, opts.seed).polygons,
+                ))
+                .with(hwa_core::PreparedDataset::new(
+                    "lando",
+                    spatial_datagen::lando(opts.scale, opts.seed).polygons,
+                ))
+        };
+        let queries: Vec<_> = w
+            .states50
+            .polygons
+            .iter()
+            .take(opts.queries.min(2))
+            .collect();
+        let d = w.base_d_landc_lando;
+        let devices = [
+            ("reference", DeviceKind::Reference),
+            ("simd", DeviceKind::Simd),
+            (
+                "tiled",
+                DeviceKind::Tiled {
+                    tiles: 3,
+                    threads: 2,
+                },
+            ),
+        ];
+        let modes = [
+            ("adaptive", PlannerMode::Adaptive),
+            ("forced-sw", PlannerMode::ForceSoftware),
+            ("forced-hw", PlannerMode::ForceHardware),
+        ];
+        let fault_plan = FaultPlan::new(73, FaultKind::ContextLost, FaultTrigger::EveryK(3));
+        for (dev_name, device) in &devices {
+            let mut variants = vec![(dev_name.to_string(), device.clone())];
+            if opts.faults {
+                variants.push((
+                    format!("{dev_name}+faults"),
+                    device.clone().with_faults(fault_plan),
+                ));
+            }
+            for (variant_name, dev) in variants {
+                let mut serve = |mode: PlannerMode, mode_name: &str| -> Vec<Vec<(usize, usize)>> {
+                    let engine = QueryEngine::new(
+                        ServiceConfig {
+                            base: EngineConfig {
+                                device: dev.clone(),
+                                use_object_filters: true,
+                                ..EngineConfig::hardware(
+                                    HwConfig::at_resolution(8).with_threshold(0),
+                                )
+                            },
+                            planner: PlannerConfig {
+                                mode,
+                                ..PlannerConfig::default()
+                            },
+                            ..ServiceConfig::default()
+                        },
+                        make_snapshot(),
+                    );
+                    let mut rows = Vec::new();
+                    for q in &queries {
+                        let reqs = [
+                            QueryRequest::intersection_selection("landc", (*q).clone()),
+                            QueryRequest::containment_selection("landc", (*q).clone()),
+                            QueryRequest::intersection_join("landc", "lando"),
+                            QueryRequest::within_distance_join("landc", "lando", d),
+                        ];
+                        for req in reqs {
+                            match engine.execute(&req) {
+                                Ok(resp) => rows.push(resp.rows.as_pairs()),
+                                Err(e) => {
+                                    println!(
+                                        "FAIL service {variant_name} {mode_name}: \
+                                         unbudgeted query errored: {e}"
+                                    );
+                                    failures += 1;
+                                    rows.push(Vec::new());
+                                }
+                            }
+                        }
+                    }
+                    let stats = engine.stats();
+                    if !stats.balanced() {
+                        println!(
+                            "FAIL service {variant_name} {mode_name}: unbalanced ledger {stats:?}"
+                        );
+                        failures += 1;
+                    }
+                    rows
+                };
+                let [adaptive, forced_sw, forced_hw] =
+                    modes.map(|(mode_name, mode)| serve(mode, mode_name));
+                for (i, ((ad, sw), hw)) in
+                    adaptive.iter().zip(&forced_sw).zip(&forced_hw).enumerate()
+                {
+                    let pipeline = ["isect_sel", "contain_sel", "isect_join", "within_join"][i % 4];
+                    if ad != sw {
+                        println!(
+                            "FAIL service {variant_name} {pipeline}: adaptive != forced-software"
+                        );
+                        failures += 1;
+                    }
+                    if ad != hw {
+                        println!(
+                            "FAIL service {variant_name} {pipeline}: adaptive != forced-hardware"
+                        );
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "service sweep verified: planner modes ≡ on all pipelines across {} devices{}",
+            devices.len(),
+            if opts.faults {
+                " (clean + faulted)"
+            } else {
+                ""
+            }
+        );
     }
 
     if failures == 0 {

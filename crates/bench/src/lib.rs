@@ -34,6 +34,13 @@ pub struct BenchOpts {
     /// bit for bit, on every device kind and (with `--faults`) under
     /// injected fault schedules.
     pub partition: bool,
+    /// `--service`: run the serving-layer sweep (verify harness only) —
+    /// adaptive, forced-software and forced-hardware planner modes must
+    /// return bit-identical rows on every device kind and all four
+    /// pipelines (DESIGN.md invariant 13), with a balanced
+    /// `ServiceStats` ledger; with `--faults` the same matrix runs on
+    /// fault-wrapped devices.
+    pub service: bool,
 }
 
 impl Default for BenchOpts {
@@ -44,13 +51,14 @@ impl Default for BenchOpts {
             queries: usize::MAX,
             faults: false,
             partition: false,
+            service: false,
         }
     }
 }
 
 impl BenchOpts {
-    /// Parses `--scale`, `--seed`, `--queries`, `--faults`, `--partition`
-    /// from `std::env::args`.
+    /// Parses `--scale`, `--seed`, `--queries`, `--faults`,
+    /// `--partition`, `--service` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = BenchOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -76,6 +84,10 @@ impl BenchOpts {
                 }
                 "--partition" => {
                     opts.partition = true;
+                    i += 1;
+                }
+                "--service" => {
+                    opts.service = true;
                     i += 1;
                 }
                 _ => i += 1,
@@ -212,6 +224,7 @@ mod tests {
             queries: 2,
             faults: false,
             partition: false,
+            service: false,
         };
         let w = Workloads::generate(opts);
         assert!(w.landc.len() >= 12);
@@ -227,6 +240,7 @@ mod tests {
             queries: 2,
             faults: false,
             partition: false,
+            service: false,
         };
         let w = Workloads::generate(opts);
         let mut e = software_engine();

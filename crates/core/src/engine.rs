@@ -178,6 +178,18 @@ pub enum ConfigError {
     /// `partition.shards` is 0 (or a sharded device was configured with
     /// 0 inner backends): no shard could ever execute a submission.
     ZeroShards,
+    /// `ServiceConfig::admission_capacity` is 0: every query would be
+    /// rejected at the door.
+    ZeroAdmissionCapacity,
+    /// `PlannerConfig::resolutions` is empty or contains a zero: the
+    /// planner would have no (usable) hardware plan to price.
+    BadPlannerResolutions,
+    /// `PlannerConfig::sample` is 0: the planner could never price a
+    /// candidate pair.
+    ZeroPlannerSample,
+    /// `PlannerConfig::batch` is 0: the batched hardware plan could
+    /// never submit anything.
+    ZeroPlannerBatch,
 }
 
 impl fmt::Display for ConfigError {
@@ -209,6 +221,21 @@ impl fmt::Display for ConfigError {
                 "invalid EngineConfig: partition.shards = 0 (a sharded device needs ≥ 1 inner \
                  backend)"
             ),
+            ConfigError::ZeroAdmissionCapacity => write!(
+                f,
+                "invalid ServiceConfig: admission_capacity = 0 (no query could ever be admitted)"
+            ),
+            ConfigError::BadPlannerResolutions => write!(
+                f,
+                "invalid ServiceConfig: planner.resolutions is empty or contains 0 (the planner \
+                 needs ≥ 1 non-zero window resolution to price)"
+            ),
+            ConfigError::ZeroPlannerSample => {
+                write!(f, "invalid ServiceConfig: planner.sample = 0 (must be ≥ 1)")
+            }
+            ConfigError::ZeroPlannerBatch => {
+                write!(f, "invalid ServiceConfig: planner.batch = 0 (must be ≥ 1)")
+            }
         }
     }
 }
@@ -873,11 +900,15 @@ mod tests {
             ),
             (ConfigError::ZeroPartitions, "partition.grid = 0"),
             (ConfigError::ZeroShards, "partition.shards = 0"),
+            (ConfigError::ZeroAdmissionCapacity, "admission_capacity = 0"),
+            (ConfigError::BadPlannerResolutions, "planner.resolutions"),
+            (ConfigError::ZeroPlannerSample, "planner.sample = 0"),
+            (ConfigError::ZeroPlannerBatch, "planner.batch = 0"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(
-                msg.contains(needle) && msg.contains("invalid EngineConfig"),
+                msg.contains(needle) && msg.starts_with("invalid "),
                 "{err:?} renders {msg:?}, expected it to mention {needle:?}"
             );
         }

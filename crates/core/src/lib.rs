@@ -17,7 +17,10 @@
 //!   per-stage wall-clock and hardware-counter breakdowns;
 //! * [`ablation`] — the filled-polygon variant (Hoff et al.) that the
 //!   paper rejects: requires triangulation and is *not* exact; kept to
-//!   quantify that design decision.
+//!   quantify that design decision;
+//! * [`service`] — the always-on serving layer: snapshot epochs,
+//!   admission control, per-query budgets and the online replay-cost
+//!   planner (the paper's Figure 13 break-even analysis, per query).
 //!
 //! The "hardware" is the simulated rasterizer from `spatial-raster`, which
 //! implements the OpenGL rasterization rules the correctness argument
@@ -33,6 +36,7 @@ pub mod hw_intersect;
 pub mod nn;
 pub mod pipeline;
 pub(crate) mod recording;
+pub mod service;
 pub mod stats;
 
 pub use config::{HwConfig, RecordingOptions};
@@ -46,6 +50,10 @@ pub use nn::{sw_nearest, VoronoiNn};
 pub use pipeline::{
     CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RecoveryPolicy,
     RefinementBackend, SoftwareBackend, StagedExecutor,
+};
+pub use service::{
+    PlanChoice, PlannerConfig, PlannerMode, QueryBudget, QueryEngine, QueryRequest, QueryResponse,
+    ServiceConfig, ServiceSnapshot, ServiceStats,
 };
 pub use spatial_index::{FilterConfig, FilterStats, SpatialGrid};
 pub use spatial_raster::{DeviceError, DeviceKind, FaultKind, FaultPlan, FaultTrigger};

@@ -1,0 +1,113 @@
+//! Bounded admission control: a lock-free in-flight counter with RAII
+//! release.
+//!
+//! The serving layer bounds tail latency the blunt, reliable way: at
+//! most `capacity` queries execute at once, and anything beyond that is
+//! rejected immediately (fail fast) rather than queued behind work the
+//! caller can't see. A compare-and-swap loop claims a slot; the returned
+//! [`AdmissionPermit`] releases it on drop, so every exit path — rows,
+//! budget abort, panic unwinding through a stage — gives the slot back.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    capacity: usize,
+    in_flight: AtomicUsize,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the current occupancy (advisory; races with permits).
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Claims a slot, or reports the occupancy that blocked the claim.
+    pub(crate) fn try_enter(&self) -> Result<AdmissionPermit<'_>, usize> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return Err(cur);
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(AdmissionPermit { queue: self }),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// An occupied admission slot; releases on drop.
+#[derive(Debug)]
+pub(crate) struct AdmissionPermit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.queue.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_at_capacity_and_releases_on_drop() {
+        let q = AdmissionQueue::new(2);
+        let a = q.try_enter().expect("slot 1");
+        let _b = q.try_enter().expect("slot 2");
+        assert_eq!(q.in_flight(), 2);
+        assert_eq!(q.try_enter().err(), Some(2));
+        drop(a);
+        assert_eq!(q.in_flight(), 1);
+        assert!(q.try_enter().is_ok());
+    }
+
+    #[test]
+    fn concurrent_claims_never_exceed_capacity() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        use std::thread;
+
+        let q = Arc::new(AdmissionQueue::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        if let Ok(_permit) = q.try_enter() {
+                            let seen = q.in_flight();
+                            peak.fetch_max(seen, Ordering::Relaxed);
+                            assert!(seen <= 3, "over-admitted: {seen}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.in_flight(), 0);
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+    }
+}

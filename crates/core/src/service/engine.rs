@@ -1,0 +1,629 @@
+//! The long-lived [`QueryEngine`]: snapshot store, admission control,
+//! per-query budgets and planner orchestration.
+//!
+//! One `QueryEngine` is shared (by `&self`) across any number of client
+//! threads. Each query pins exactly one snapshot epoch for its whole
+//! lifetime, is admitted through a bounded slot counter, probed through
+//! the same deterministic MBR filter the pipelines run, priced by the
+//! replay-cost planner, and executed on the chosen backend. The
+//! [`ServiceStats`] ledger accounts every submission exactly once.
+
+use crate::engine::{ConfigError, EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
+use crate::service::admission::AdmissionQueue;
+use crate::service::planner::{PlanChoice, Planned, Planner, PlannerConfig, PlannerMode};
+use crate::service::request::{
+    QueryBudget, QueryKind, QueryRequest, QueryResponse, QueryRows, ServiceError, Stage,
+};
+use crate::service::stats::ServiceStats;
+use spatial_geom::Polygon;
+use spatial_index::{
+    join_intersecting_with, join_within_distance_with, FilterConfig, FilterStats, Snapshot,
+    SnapshotHandle,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Serving-layer configuration: the per-query [`EngineConfig`] template
+/// plus planner, admission and default-budget knobs.
+///
+/// `base.geometry_test` is a placeholder — the planner overwrites it per
+/// query with its [`PlanChoice`] (software, or hardware at the chosen
+/// resolution/batch). Every other `base` field (device, recovery,
+/// filters, partitioning, threads) applies to served queries unchanged.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Template for the per-query engine; see the struct docs for how
+    /// `geometry_test`, `hw.resolution` and `hw_batch` interact with
+    /// the planner.
+    pub base: EngineConfig,
+    /// Replay-cost planner knobs (mode, priced resolutions, sample).
+    pub planner: PlannerConfig,
+    /// Admission slots: at most this many queries execute concurrently;
+    /// the rest are rejected immediately.
+    pub admission_capacity: usize,
+    /// Budget applied to requests that don't carry their own (field by
+    /// field — a request may set only a deadline and inherit the
+    /// default candidate cap).
+    pub default_budget: QueryBudget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            base: EngineConfig::hardware(crate::HwConfig::recommended()),
+            planner: PlannerConfig::default(),
+            admission_capacity: 64,
+            default_budget: QueryBudget::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Structural validation, run by [`QueryEngine::new`] /
+    /// [`QueryEngine::try_new`] — same philosophy as
+    /// [`EngineConfig::validate`]: impossible knob values are
+    /// construction errors, not values to clamp quietly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.base.validate()?;
+        if self.admission_capacity == 0 {
+            return Err(ConfigError::ZeroAdmissionCapacity);
+        }
+        if self.planner.resolutions.is_empty() || self.planner.resolutions.contains(&0) {
+            return Err(ConfigError::BadPlannerResolutions);
+        }
+        if self.planner.sample == 0 {
+            return Err(ConfigError::ZeroPlannerSample);
+        }
+        if self.planner.batch == 0 {
+            return Err(ConfigError::ZeroPlannerBatch);
+        }
+        Ok(())
+    }
+}
+
+/// An immutable named-dataset catalog — the unit of atomic reload.
+/// Datasets are held behind `Arc` so a rebuilt snapshot can carry
+/// unchanged datasets over without copying polygons or trees.
+#[derive(Debug, Default)]
+pub struct ServiceSnapshot {
+    datasets: BTreeMap<String, Arc<PreparedDataset>>,
+}
+
+impl ServiceSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert (keyed on `dataset.name`).
+    pub fn with(mut self, dataset: PreparedDataset) -> Self {
+        self.insert(dataset);
+        self
+    }
+
+    /// Adds or replaces a dataset under its own name.
+    pub fn insert(&mut self, dataset: PreparedDataset) {
+        self.datasets
+            .insert(dataset.name.clone(), Arc::new(dataset));
+    }
+
+    /// Adds or replaces a dataset shared with another snapshot.
+    pub fn insert_shared(&mut self, dataset: Arc<PreparedDataset>) {
+        self.datasets.insert(dataset.name.clone(), dataset);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<PreparedDataset>> {
+        self.datasets.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.datasets.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+}
+
+/// Stage-1 probe output: what the planner prices and budgets are
+/// checked against. `sample` holds the first few candidate pairs in the
+/// filter's deterministic order.
+struct Probe<'a> {
+    candidates: usize,
+    sample: Vec<(&'a Polygon, &'a Polygon)>,
+    distance: Option<f64>,
+}
+
+/// The always-on query service (DESIGN.md §12).
+///
+/// All methods take `&self`; wrap the engine in an `Arc` and share it
+/// freely across threads. See the [module docs](crate::service) for a
+/// complete example.
+#[derive(Debug)]
+pub struct QueryEngine {
+    config: ServiceConfig,
+    snapshot: SnapshotHandle<ServiceSnapshot>,
+    admission: AdmissionQueue,
+    planner: Mutex<Planner>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl QueryEngine {
+    /// Builds the engine, panicking on an invalid configuration (use
+    /// [`try_new`](Self::try_new) to handle the error).
+    pub fn new(config: ServiceConfig, snapshot: ServiceSnapshot) -> Self {
+        Self::try_new(config, snapshot).expect("invalid ServiceConfig")
+    }
+
+    pub fn try_new(config: ServiceConfig, snapshot: ServiceSnapshot) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let planner = Planner::new(config.planner.clone(), config.base.hw.strategy);
+        let admission = AdmissionQueue::new(config.admission_capacity);
+        Ok(QueryEngine {
+            config,
+            snapshot: SnapshotHandle::new(snapshot),
+            admission,
+            planner: Mutex::new(planner),
+            stats: Mutex::new(ServiceStats::default()),
+        })
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Atomically publishes a new snapshot; queries already in flight
+    /// keep the epoch they loaded. Returns the new epoch.
+    pub fn reload(&self, snapshot: ServiceSnapshot) -> u64 {
+        let epoch = self.snapshot.swap(snapshot);
+        self.lock_stats().reloads += 1;
+        epoch
+    }
+
+    /// The current snapshot epoch (0 until the first reload).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Pins and returns the current snapshot (what a query admitted
+    /// right now would execute against).
+    pub fn snapshot(&self) -> Snapshot<ServiceSnapshot> {
+        self.snapshot.load()
+    }
+
+    /// A consistent copy of the serving ledger.
+    pub fn stats(&self) -> ServiceStats {
+        self.lock_stats().clone()
+    }
+
+    /// Queries currently holding admission slots (advisory snapshot).
+    pub fn in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+
+    fn lock_stats(&self) -> MutexGuard<'_, ServiceStats> {
+        self.stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Serves one query: admission → snapshot pin → filter probe →
+    /// budget checks → plan → refine. Every call is accounted exactly
+    /// once in [`ServiceStats`] (the `balanced` identity).
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+        self.lock_stats().submitted += 1;
+        let permit = match self.admission.try_enter() {
+            Ok(p) => p,
+            Err(in_flight) => {
+                self.lock_stats().rejected += 1;
+                return Err(ServiceError::Rejected {
+                    in_flight,
+                    capacity: self.admission.capacity(),
+                });
+            }
+        };
+        self.lock_stats().admitted += 1;
+        let result = self.run(request);
+        drop(permit);
+        let mut s = self.lock_stats();
+        match &result {
+            Ok(_) => s.completed += 1,
+            Err(ServiceError::UnknownDataset(_)) => s.unknown_dataset += 1,
+            Err(ServiceError::DeadlineExceeded { .. }) => s.deadline_aborts += 1,
+            Err(ServiceError::CandidateBudgetExceeded { .. }) => s.budget_aborts += 1,
+            // `run` never rejects; admission already happened.
+            Err(ServiceError::Rejected { .. }) => unreachable!("run() cannot reject"),
+        }
+        result
+    }
+
+    fn run(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+        let start = Instant::now();
+        let budget = request.budget.or(self.config.default_budget);
+        // One load; the query never sees another epoch.
+        let snap = self.snapshot.load();
+        let epoch = snap.epoch();
+
+        check_deadline(&budget, start, Stage::Filter)?;
+        let filter_t = Instant::now();
+        let probe = self.probe(&request.kind, &snap)?;
+        self.lock_stats()
+            .latencies
+            .filter
+            .record(filter_t.elapsed());
+
+        if let Some(max) = budget.max_candidates {
+            if probe.candidates > max {
+                return Err(ServiceError::CandidateBudgetExceeded {
+                    candidates: probe.candidates,
+                    max_candidates: max,
+                });
+            }
+        }
+        check_deadline(&budget, start, Stage::Plan)?;
+
+        let plan_t = Instant::now();
+        let planned = match self.config.planner.mode {
+            PlannerMode::ForceSoftware => Planned {
+                choice: PlanChoice::Software,
+                memo_hit: false,
+            },
+            PlannerMode::ForceHardware => Planned {
+                choice: PlanChoice::Hardware {
+                    resolution: self.config.base.hw.resolution,
+                    batch: self.config.base.hw_batch,
+                },
+                memo_hit: false,
+            },
+            PlannerMode::Adaptive => {
+                let mut planner = self.planner.lock().unwrap_or_else(|p| p.into_inner());
+                planner.plan(
+                    request.kind.code(),
+                    probe.distance,
+                    probe.candidates,
+                    &probe.sample,
+                )
+            }
+        };
+        {
+            let mut s = self.lock_stats();
+            if planned.choice.is_hardware() {
+                s.planned_hw += 1;
+            } else {
+                s.planned_sw += 1;
+            }
+            if self.config.planner.mode == PlannerMode::Adaptive {
+                if planned.memo_hit {
+                    s.plan_cache_hits += 1;
+                } else {
+                    s.plan_cache_misses += 1;
+                }
+            }
+            s.latencies.plan.record(plan_t.elapsed());
+        }
+        check_deadline(&budget, start, Stage::Refine)?;
+
+        let refine_t = Instant::now();
+        let mut cfg = self.config.base.clone();
+        match planned.choice {
+            PlanChoice::Software => cfg.geometry_test = GeometryTest::Software,
+            PlanChoice::Hardware { resolution, batch } => {
+                cfg.geometry_test = GeometryTest::Hardware;
+                cfg.hw.resolution = resolution;
+                cfg.hw_batch = batch;
+            }
+        }
+        let mut engine = SpatialEngine::new(cfg);
+        let (rows, cost) = match &request.kind {
+            QueryKind::IntersectionSelection { dataset, query } => {
+                let ds = snap.get(dataset).expect("probe resolved the dataset");
+                let (rows, cost) = engine.intersection_selection(ds, query);
+                (QueryRows::Selection(rows), cost)
+            }
+            QueryKind::ContainmentSelection { dataset, query } => {
+                let ds = snap.get(dataset).expect("probe resolved the dataset");
+                let (rows, cost) = engine.containment_selection(ds, query);
+                (QueryRows::Selection(rows), cost)
+            }
+            QueryKind::IntersectionJoin { left, right } => {
+                let a = snap.get(left).expect("probe resolved the dataset");
+                let b = snap.get(right).expect("probe resolved the dataset");
+                let (rows, cost) = engine.intersection_join(a, b);
+                (QueryRows::Join(rows), cost)
+            }
+            QueryKind::WithinDistanceJoin {
+                left,
+                right,
+                distance,
+            } => {
+                let a = snap.get(left).expect("probe resolved the dataset");
+                let b = snap.get(right).expect("probe resolved the dataset");
+                let (rows, cost) = engine.within_distance_join(a, b, *distance);
+                (QueryRows::Join(rows), cost)
+            }
+        };
+        self.lock_stats()
+            .latencies
+            .refine
+            .record(refine_t.elapsed());
+
+        Ok(QueryResponse {
+            rows,
+            plan: planned.choice,
+            plan_cached: planned.memo_hit,
+            epoch,
+            candidates: probe.candidates,
+            cost,
+        })
+    }
+
+    /// Stage-1 probe: runs the same deterministic MBR filter the chosen
+    /// pipeline will run (the flat-near-zero curve of Figure 10, so the
+    /// duplicated work is cheap) and collects the leading candidate
+    /// pairs as the planner's pricing sample.
+    fn probe<'a>(
+        &self,
+        kind: &'a QueryKind,
+        snap: &'a ServiceSnapshot,
+    ) -> Result<Probe<'a>, ServiceError> {
+        let simd = self.config.base.filter_simd;
+        let fcfg = FilterConfig {
+            threads: self.config.base.filter_threads,
+            simd,
+            ..FilterConfig::default()
+        };
+        let sample_size = self
+            .planner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .sample_size();
+        let mut fs = FilterStats::default();
+        let resolve = |name: &str| -> Result<&'a Arc<PreparedDataset>, ServiceError> {
+            snap.get(name)
+                .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+        };
+        Ok(match kind {
+            QueryKind::IntersectionSelection { dataset, query } => {
+                let ds = resolve(dataset)?;
+                let cands = ds.tree.search_intersects_stats(&query.mbr(), simd, &mut fs);
+                Probe {
+                    candidates: cands.len(),
+                    sample: cands
+                        .iter()
+                        .take(sample_size)
+                        .map(|&&i| (query, ds.polygon(i)))
+                        .collect(),
+                    distance: None,
+                }
+            }
+            QueryKind::ContainmentSelection { dataset, query } => {
+                let ds = resolve(dataset)?;
+                let qmbr = query.mbr();
+                let cands: Vec<usize> = ds
+                    .tree
+                    .search_intersects_stats(&qmbr, simd, &mut fs)
+                    .into_iter()
+                    .copied()
+                    .filter(|&i| qmbr.contains_rect(&ds.polygon(i).mbr()))
+                    .collect();
+                Probe {
+                    candidates: cands.len(),
+                    sample: cands
+                        .iter()
+                        .take(sample_size)
+                        .map(|&i| (ds.polygon(i), query))
+                        .collect(),
+                    distance: None,
+                }
+            }
+            QueryKind::IntersectionJoin { left, right } => {
+                let a = resolve(left)?;
+                let b = resolve(right)?;
+                let cands = join_intersecting_with(&a.tree, &b.tree, &fcfg, &mut fs);
+                Probe {
+                    candidates: cands.len(),
+                    sample: cands
+                        .iter()
+                        .take(sample_size)
+                        .map(|&(&i, &j)| (a.polygon(i), b.polygon(j)))
+                        .collect(),
+                    distance: None,
+                }
+            }
+            QueryKind::WithinDistanceJoin {
+                left,
+                right,
+                distance,
+            } => {
+                let a = resolve(left)?;
+                let b = resolve(right)?;
+                let cands = join_within_distance_with(&a.tree, &b.tree, *distance, &fcfg, &mut fs);
+                Probe {
+                    candidates: cands.len(),
+                    sample: cands
+                        .iter()
+                        .take(sample_size)
+                        .map(|&(&i, &j)| (a.polygon(i), b.polygon(j)))
+                        .collect(),
+                    distance: Some(*distance),
+                }
+            }
+        })
+    }
+}
+
+fn check_deadline(budget: &QueryBudget, start: Instant, stage: Stage) -> Result<(), ServiceError> {
+    if let Some(deadline) = budget.deadline {
+        let elapsed = start.elapsed();
+        if elapsed >= deadline {
+            return Err(ServiceError::DeadlineExceeded { stage, elapsed });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_geom::Polygon;
+    use std::time::Duration;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    fn tiny_engine(config: ServiceConfig) -> QueryEngine {
+        let data = vec![square(0.0, 0.0, 4.0), square(10.0, 10.0, 4.0)];
+        QueryEngine::new(
+            config,
+            ServiceSnapshot::new().with(PreparedDataset::new("boxes", data)),
+        )
+    }
+
+    fn selection() -> QueryRequest {
+        QueryRequest::intersection_selection("boxes", square(1.0, 1.0, 5.0))
+    }
+
+    /// Admission rejection is deterministic: with every slot occupied
+    /// (held directly through the internal queue), the next query is
+    /// turned away and accounted as rejected — and the slot count
+    /// recovers once the permits drop.
+    #[test]
+    fn admission_rejection_is_accounted() {
+        let engine = tiny_engine(ServiceConfig {
+            admission_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let _a = engine.admission.try_enter().expect("slot 1");
+        let _b = engine.admission.try_enter().expect("slot 2");
+        let err = engine.execute(&selection()).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Rejected {
+                in_flight: 2,
+                capacity: 2
+            }
+        );
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!((stats.submitted, stats.rejected, stats.admitted), (1, 1, 0));
+        drop(_a);
+        drop(_b);
+        assert!(engine.execute(&selection()).is_ok());
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.completed, 1);
+    }
+
+    /// A zero deadline trips the very first between-stage check, before
+    /// the filter stage, and lands in `deadline_aborts`.
+    #[test]
+    fn deadline_abort_is_accounted() {
+        let engine = tiny_engine(ServiceConfig::default());
+        let req = selection().with_budget(QueryBudget {
+            deadline: Some(Duration::ZERO),
+            max_candidates: None,
+        });
+        let err = engine.execute(&req).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::DeadlineExceeded {
+                    stage: Stage::Filter,
+                    ..
+                }
+            ),
+            "unexpected error: {err:?}"
+        );
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.deadline_aborts, 1);
+        assert_eq!(stats.completed, 0);
+        // The slot was released despite the abort.
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    /// `max_candidates = 0` aborts after the filter stage with exact
+    /// candidate accounting.
+    #[test]
+    fn candidate_budget_abort_is_accounted() {
+        let engine = tiny_engine(ServiceConfig::default());
+        let req = selection().with_budget(QueryBudget {
+            deadline: None,
+            max_candidates: Some(0),
+        });
+        let err = engine.execute(&req).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::CandidateBudgetExceeded {
+                candidates: 1,
+                max_candidates: 0
+            }
+        );
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.budget_aborts, 1);
+    }
+
+    /// The default budget applies field-by-field when a request carries
+    /// none.
+    #[test]
+    fn default_budget_applies() {
+        let engine = tiny_engine(ServiceConfig {
+            default_budget: QueryBudget {
+                deadline: None,
+                max_candidates: Some(0),
+            },
+            ..ServiceConfig::default()
+        });
+        let err = engine.execute(&selection()).unwrap_err();
+        assert!(matches!(err, ServiceError::CandidateBudgetExceeded { .. }));
+    }
+
+    /// Service config validation rejects impossible knobs with errors
+    /// naming the field.
+    #[test]
+    fn service_config_validation() {
+        let bad = [
+            ServiceConfig {
+                admission_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                planner: PlannerConfig {
+                    resolutions: vec![],
+                    ..PlannerConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                planner: PlannerConfig {
+                    resolutions: vec![8, 0],
+                    ..PlannerConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                planner: PlannerConfig {
+                    sample: 0,
+                    ..PlannerConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                planner: PlannerConfig {
+                    batch: 0,
+                    ..PlannerConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        ];
+        for cfg in bad {
+            let err = cfg.validate().expect_err("must be rejected");
+            assert!(err.to_string().starts_with("invalid ServiceConfig"));
+        }
+        assert!(ServiceConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,431 @@
+//! The replay-cost planner: the paper's Figure 13 break-even analysis,
+//! run online per query.
+//!
+//! Figure 13 plots hardware vs software refinement cost against object
+//! complexity and finds a crossover: below it the fixed per-test
+//! hardware overhead (draw calls, min/max readback) dominates and
+//! software wins; above it rasterization's vertex-rate scanning wins.
+//! The paper draws that curve offline; a serving engine has to locate
+//! the crossover *per query*, because every candidate set has its own
+//! complexity profile and size.
+//!
+//! The planner exploits the retained command-stream architecture
+//! (DESIGN.md §7): recording a test's `CommandList` is pure and cheap,
+//! and [`HwCostModel::replay_cost`] prices a recorded list *without
+//! executing it*. So for each query the planner takes a small sample of
+//! the candidate set, records the sample's choreography at each
+//! configured resolution — reusing a [`RecordingCache`] so repeat
+//! shapes splice instead of re-record — prices per-pair and batched
+//! variants arithmetically from the replayed counters, compares against
+//! a calibrated software sweep estimate, and picks the cheapest plan.
+//! A small memo keyed on the query's shape (pipeline, candidate-count
+//! bucket, sampled complexity) makes repeat queries plan for free.
+//!
+//! Whatever the planner picks, results are bit-identical (invariant 13):
+//! every backend is exact, so planning is purely a latency decision and
+//! a wrong estimate can never corrupt an answer.
+
+use crate::hw_intersect::HwTester;
+use crate::recording::{strategy_code, CacheKey, RecordingCache};
+use spatial_geom::Polygon;
+use spatial_raster::{HwCostModel, ListTemplate, OverlapStrategy, Viewport, MAX_AA_LINE_WIDTH};
+use std::collections::HashMap;
+
+/// The backend a query will refine on, as selected by the planner (or
+/// forced by [`PlannerMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanChoice {
+    /// Exact software refinement (plane sweep / PiP) — below the
+    /// modeled crossover.
+    Software,
+    /// Hardware refinement at `resolution`, submitting `batch` tests
+    /// per atlas round (`batch == 1` is the per-pair path).
+    Hardware { resolution: usize, batch: usize },
+}
+
+impl PlanChoice {
+    pub fn is_hardware(&self) -> bool {
+        matches!(self, PlanChoice::Hardware { .. })
+    }
+}
+
+/// Planner operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Price each query and pick the cheaper side of the crossover.
+    #[default]
+    Adaptive,
+    /// Always refine in software (planning skipped).
+    ForceSoftware,
+    /// Always refine on the configured hardware (planning skipped).
+    ForceHardware,
+}
+
+/// Planner knobs, validated by `ServiceConfig::validate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    pub mode: PlannerMode,
+    /// Window resolutions to price hardware plans at (2–3 entries keeps
+    /// planning cheap; must be non-empty).
+    pub resolutions: Vec<usize>,
+    /// Atlas batch size priced for the batched hardware variant.
+    pub batch: usize,
+    /// Candidate pairs sampled per pricing pass (≥ 1).
+    pub sample: usize,
+    /// Calibrated software refinement throughput, in nanoseconds per
+    /// polygon vertex — the software side of Figure 13. The default
+    /// matches the tree-sweep calibration note in
+    /// `spatial_raster::cost_model`.
+    pub sweep_ns_per_vertex: f64,
+    /// Capacity of the planner's skeleton `RecordingCache` (the §9
+    /// template cache, reused for pricing).
+    pub cache_entries: usize,
+    /// Capacity of the plan memo (cleared wholesale when full — plans
+    /// are cheap to recompute and the memo is purely an optimization).
+    pub memo_entries: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            mode: PlannerMode::Adaptive,
+            resolutions: vec![4, 8, 16],
+            batch: 32,
+            sample: 16,
+            sweep_ns_per_vertex: 10.0,
+            cache_entries: 16,
+            memo_entries: 256,
+        }
+    }
+}
+
+/// A planning decision plus whether it came from the memo.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Planned {
+    pub choice: PlanChoice,
+    pub memo_hit: bool,
+}
+
+/// Memo key: everything that determines a pricing pass's output.
+/// Candidate counts are bucketed by log2 so "the same query against the
+/// same data" hits while materially different workloads don't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    kind: u8,
+    candidates_log2: u32,
+    sample_vertices: u64,
+    width_bits: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Planner {
+    cfg: PlannerConfig,
+    strategy: OverlapStrategy,
+    model: HwCostModel,
+    skeletons: RecordingCache,
+    memo: HashMap<MemoKey, PlanChoice>,
+}
+
+fn ns(d: std::time::Duration) -> f64 {
+    d.as_nanos() as f64
+}
+
+impl Planner {
+    pub(crate) fn new(cfg: PlannerConfig, strategy: OverlapStrategy) -> Self {
+        let skeletons = RecordingCache::new(cfg.cache_entries);
+        Planner {
+            cfg,
+            strategy,
+            model: HwCostModel::default(),
+            skeletons,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn sample_size(&self) -> usize {
+        self.cfg.sample
+    }
+
+    /// Prices the query described by (`kind`, `distance`, `candidates`,
+    /// `sample`) and returns the cheapest plan. `sample` holds up to
+    /// [`PlannerConfig::sample`] candidate pairs in the filter stage's
+    /// deterministic order.
+    pub(crate) fn plan(
+        &mut self,
+        kind: u8,
+        distance: Option<f64>,
+        candidates: usize,
+        sample: &[(&Polygon, &Polygon)],
+    ) -> Planned {
+        if candidates == 0 || sample.is_empty() {
+            // Nothing to refine: the backend is irrelevant, software
+            // avoids standing up a device.
+            return Planned {
+                choice: PlanChoice::Software,
+                memo_hit: false,
+            };
+        }
+
+        let sample_vertices: u64 = sample
+            .iter()
+            .map(|(p, q)| (p.vertex_count() + q.vertex_count()) as u64)
+            .sum();
+        let key = MemoKey {
+            kind,
+            candidates_log2: (usize::BITS - 1).saturating_sub(candidates.leading_zeros()),
+            sample_vertices,
+            width_bits: distance.map_or(0, f64::to_bits),
+        };
+        if let Some(&choice) = self.memo.get(&key) {
+            return Planned {
+                choice,
+                memo_hit: true,
+            };
+        }
+
+        let choice = self.price(distance, candidates, sample, sample_vertices);
+        if self.memo.len() >= self.cfg.memo_entries {
+            self.memo.clear();
+        }
+        self.memo.insert(key, choice);
+        Planned {
+            choice,
+            memo_hit: false,
+        }
+    }
+
+    /// The Figure-13 comparison: software sweep estimate vs per-pair and
+    /// batched hardware at every configured resolution.
+    fn price(
+        &mut self,
+        distance: Option<f64>,
+        candidates: usize,
+        sample: &[(&Polygon, &Polygon)],
+        sample_vertices: u64,
+    ) -> PlanChoice {
+        let n = candidates as f64;
+        let mean_vertices = sample_vertices as f64 / sample.len() as f64;
+        let sw_total = n * mean_vertices * self.cfg.sweep_ns_per_vertex;
+
+        let mut best = (sw_total, PlanChoice::Software);
+        // Fixed per-test overhead a batched submission amortizes: two
+        // boundary draw calls and one verdict readback per pair.
+        let fixed = 2.0 * self.model.draw_call_ns + self.model.minmax_ns;
+        let resolutions = self.cfg.resolutions.clone();
+        for r in resolutions {
+            let mut total_ns = 0.0;
+            let mut priced = 0usize;
+            for &(p, q) in sample {
+                if let Some(pair_ns) = self.price_pair(distance, r, p, q) {
+                    total_ns += pair_ns;
+                    priced += 1;
+                }
+            }
+            if priced == 0 {
+                // Hardware infeasible at this resolution (every sampled
+                // pair hit the width limit or had no projection window).
+                continue;
+            }
+            let mean_pair = total_ns / priced as f64;
+
+            let per_pair_total = n * mean_pair;
+            if per_pair_total < best.0 {
+                best = (
+                    per_pair_total,
+                    PlanChoice::Hardware {
+                        resolution: r,
+                        batch: 1,
+                    },
+                );
+            }
+
+            let rounds = (candidates as u64).div_ceil(self.cfg.batch as u64) as f64;
+            let batched_total =
+                n * (mean_pair - fixed).max(0.0) + rounds * (fixed + self.model.batch_ns);
+            if batched_total < best.0 {
+                best = (
+                    batched_total,
+                    PlanChoice::Hardware {
+                        resolution: r,
+                        batch: self.cfg.batch,
+                    },
+                );
+            }
+        }
+        best.1
+    }
+
+    /// Prices one sampled pair's choreography at `resolution` by
+    /// recording (or warm-splicing) its command list and replaying it
+    /// against the cost model. `None` means hardware can't take this
+    /// pair (no projection window, or the Equation (1) line width
+    /// exceeds the hardware limit) and it would fall back to software.
+    fn price_pair(
+        &mut self,
+        distance: Option<f64>,
+        resolution: usize,
+        p: &Polygon,
+        q: &Polygon,
+    ) -> Option<f64> {
+        let list = match distance {
+            None => {
+                let region = p.mbr().intersection(&q.mbr())?;
+                let key = CacheKey::Segment {
+                    strategy: strategy_code(self.strategy),
+                    resolution,
+                };
+                match self.skeletons.lookup(&key) {
+                    Some((template, _slot)) => template.instantiate(
+                        &[Viewport::new(region, resolution, resolution)],
+                        |i, out| out.extend(if i == 0 { p.edges() } else { q.edges() }),
+                        |_, _| {},
+                    ),
+                    None => {
+                        let (list, slot) = HwTester::record_segment_test(
+                            region,
+                            resolution,
+                            self.strategy,
+                            p.edges(),
+                            q.edges(),
+                        );
+                        self.skeletons.insert(key, ListTemplate::new(&list), slot);
+                        list
+                    }
+                }
+            }
+            Some(d) => {
+                // Mirror the distance test's projection-window and
+                // Equation (1) width computation (hw_distance.rs).
+                let (small, large) = if p.mbr().area() <= q.mbr().area() {
+                    (p, q)
+                } else {
+                    (q, p)
+                };
+                let half = d / 2.0;
+                let region = small
+                    .mbr()
+                    .expanded(half)
+                    .intersection(&large.mbr().expanded(half))?;
+                let vp = Viewport::uniform(region, resolution, resolution);
+                let width = vp.line_width_for_distance(d.max(f64::MIN_POSITIVE));
+                if width > MAX_AA_LINE_WIDTH {
+                    return None;
+                }
+                let key = CacheKey::Distance {
+                    stencil: self.strategy == OverlapStrategy::Stencil,
+                    resolution,
+                    width_bits: width.to_bits(),
+                };
+                match self.skeletons.lookup(&key) {
+                    Some((template, _slot)) => template.instantiate(
+                        &[vp],
+                        |i, out| out.extend(if i == 0 { small.edges() } else { large.edges() }),
+                        |i, out| {
+                            out.extend_from_slice(if i == 0 {
+                                small.vertices()
+                            } else {
+                                large.vertices()
+                            })
+                        },
+                    ),
+                    None => {
+                        let (list, slot) = HwTester::record_distance_test(
+                            region,
+                            resolution,
+                            self.strategy,
+                            width,
+                            small,
+                            large,
+                        );
+                        self.skeletons.insert(key, ListTemplate::new(&list), slot);
+                        list
+                    }
+                }
+            }
+        };
+        Some(ns(self.model.replay_cost(&list)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect_poly(x: f64, y: f64, w: f64, h: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + w, y), (x + w, y + h), (x, y + h)])
+    }
+
+    /// Dense many-vertex ring: expensive for the software sweep.
+    fn ring(cx: f64, cy: f64, r: f64, n: usize) -> Polygon {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                (cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect();
+        Polygon::from_coords(&pts)
+    }
+
+    #[test]
+    fn empty_candidate_set_plans_software() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let planned = pl.plan(0, None, 0, &[]);
+        assert_eq!(planned.choice, PlanChoice::Software);
+        assert!(!planned.memo_hit);
+    }
+
+    #[test]
+    fn small_simple_pairs_stay_in_software() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = rect_poly(0.0, 0.0, 10.0, 10.0);
+        let b = rect_poly(5.0, 5.0, 10.0, 10.0);
+        // A handful of 4-vertex pairs: the fixed draw/readback overhead
+        // can never pay off.
+        let planned = pl.plan(0, None, 4, &[(&a, &b)]);
+        assert_eq!(planned.choice, PlanChoice::Software);
+    }
+
+    #[test]
+    fn complex_pairs_at_scale_cross_over_to_hardware() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = ring(5.0, 5.0, 4.0, 600);
+        let b = ring(6.0, 5.0, 4.0, 600);
+        // 1200 vertices/pair × 10 ns ≫ the modeled raster cost at a
+        // small window.
+        let planned = pl.plan(2, None, 10_000, &[(&a, &b)]);
+        assert!(
+            planned.choice.is_hardware(),
+            "expected hardware, got {:?}",
+            planned.choice
+        );
+    }
+
+    #[test]
+    fn repeat_shapes_hit_the_memo() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = rect_poly(0.0, 0.0, 10.0, 10.0);
+        let b = rect_poly(5.0, 5.0, 10.0, 10.0);
+        let first = pl.plan(0, None, 4, &[(&a, &b)]);
+        let second = pl.plan(0, None, 4, &[(&a, &b)]);
+        assert!(!first.memo_hit);
+        assert!(second.memo_hit);
+        assert_eq!(first.choice, second.choice);
+    }
+
+    #[test]
+    fn distance_pricing_handles_width_limit() {
+        // At high window resolutions the Equation (1) pixel width for a
+        // distance comparable to the window extent exceeds the hardware
+        // line-width limit; every sampled pair is then infeasible and
+        // the plan must fall back to software rather than panic.
+        let cfg = PlannerConfig {
+            resolutions: vec![128, 256],
+            ..PlannerConfig::default()
+        };
+        let mut pl = Planner::new(cfg, OverlapStrategy::Accumulation);
+        let a = rect_poly(0.0, 0.0, 1.0, 1.0);
+        let b = rect_poly(1.5, 0.0, 1.0, 1.0);
+        let planned = pl.plan(3, Some(2.0), 50, &[(&a, &b)]);
+        assert_eq!(planned.choice, PlanChoice::Software);
+    }
+}

@@ -23,6 +23,7 @@ pub mod join;
 pub mod nearest;
 pub mod partition;
 pub mod rtree;
+pub mod snapshot;
 pub mod soa;
 
 pub use join::{
@@ -30,6 +31,7 @@ pub use join::{
 };
 pub use partition::SpatialGrid;
 pub use rtree::RTree;
+pub use snapshot::{Snapshot, SnapshotHandle};
 pub use soa::{
     ChildMbrs, FilterConfig, FilterStats, Intersects, MbrPredicate, WithinDist, DEFAULT_UNIT_PAIRS,
     SIMD_LANES,

@@ -35,6 +35,27 @@
 //! `floor` semantics in [`SpatialGrid::cell_of`]. Replication spans are
 //! computed with the same binning, so ownership and replication can
 //! never disagree about boundary-touching geometry.
+//!
+//! # Example
+//!
+//! ```
+//! use spatial_geom::Rect;
+//! use spatial_index::SpatialGrid;
+//!
+//! let grid = SpatialGrid::new(2, Rect::new(0.0, 0.0, 10.0, 10.0));
+//!
+//! // Both rectangles straddle the x = 5 cell boundary, so each is
+//! // replicated into two cells...
+//! let a = [Rect::new(4.0, 1.0, 6.0, 2.0)];
+//! let b = [Rect::new(4.5, 1.5, 6.5, 2.5)];
+//! assert_eq!(grid.cover(&a[0]).count(), 2);
+//! assert_eq!(grid.cover(&b[0]).count(), 2);
+//!
+//! // ...and both cells discover the overlapping pair, but only the cell
+//! // owning the reference point (4.5, 1.5) emits it — exactly once.
+//! assert_eq!(grid.join_intersecting(&a, &b), vec![(0, 0)]);
+//! assert_eq!(grid.assign_pair(&a[0], &b[0]), grid.cell_of((4.5, 1.5).into()));
+//! ```
 
 use spatial_geom::{Point, Rect};
 

@@ -20,6 +20,27 @@
 //! runtime. Rust float semantics are strict IEEE at every vector width, so
 //! every lane count produces the same mask bit for bit; the knob only
 //! moves wall-clock time.
+//!
+//! # Example
+//!
+//! ```
+//! use spatial_geom::Rect;
+//! use spatial_index::{ChildMbrs, FilterStats, Intersects};
+//!
+//! // A node holding two children, mirrored into SoA form.
+//! let children = [Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(5.0, 5.0, 6.0, 6.0)];
+//! let node = ChildMbrs::from_rects(&children);
+//!
+//! // One kernel call tests the probe against every child slot at once.
+//! let probe = Rect::new(0.5, 0.5, 2.0, 2.0);
+//! let mut stats = FilterStats::default();
+//! let scalar = node.mask(&Intersects, &probe, false, &mut stats);
+//! let simd = node.mask(&Intersects, &probe, true, &mut stats);
+//!
+//! assert_eq!(scalar, 0b01); // only the first child overlaps the probe
+//! assert_eq!(scalar, simd); // lane width never changes the mask...
+//! assert_eq!(stats.node_tests, 4); // ...or the per-call charge (2 real lanes each)
+//! ```
 
 use crate::rtree::MAX_ENTRIES;
 use spatial_geom::Rect;

@@ -23,6 +23,30 @@
 //! first. The staged executor in `core` merges per-partition
 //! `TestStats`/`CostBreakdown` the same way, in ascending partition
 //! order (invariant 12).
+//!
+//! # Example
+//!
+//! ```
+//! use spatial_raster::device::{DeviceKind, RasterDevice, Recorder, ShardedDevice};
+//!
+//! // Record once; execute on whichever shard the partition routes to.
+//! let mut rec = Recorder::new(4, 4);
+//! rec.clear_color();
+//! rec.minmax();
+//! let list = rec.finish();
+//!
+//! let mut dev = ShardedDevice::new(&DeviceKind::Reference, 2);
+//! dev.route(3); // partition 3 → shard 3 % 2 = 1, a pure function of the index
+//! assert_eq!(dev.active(), 1);
+//!
+//! let exec = dev.execute(&list).unwrap();
+//! assert_eq!(exec.readbacks.len(), 1);
+//!
+//! // Per-partition executions merge in the order given (ascending
+//! // partition order in the engine), so stats are completion-order-free.
+//! let merged = ShardedDevice::merge([exec]);
+//! assert_eq!(merged.stats.minmax_queries, 1);
+//! ```
 
 use super::command::CommandList;
 use super::{DeviceError, DeviceKind, Execution, RasterDevice};

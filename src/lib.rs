@@ -13,7 +13,7 @@
 //! | [`raster`] | `spatial-raster` | simulated OpenGL rasterizer, buffers, cost model |
 //! | [`index`] | `spatial-index` | R-tree, spatial joins, nearest-neighbor search |
 //! | [`filters`] | `spatial-filters` | interior filter, 0/1-object filters |
-//! | [`core`] | `hwa-core` | Algorithm 3.1, distance test, query engine, Voronoi NN |
+//! | [`core`] | `hwa-core` | Algorithm 3.1, distance test, query engine, serving layer, Voronoi NN |
 //! | [`datagen`] | `spatial-datagen` | Table 2 dataset stand-ins |
 //!
 //! ## Sixty-second tour
