@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks for the resilience ladder: what does a
+//! shard failover cost relative to a clean sharded run, and what does
+//! the floor — every shard quarantined, pure software fallback — look
+//! like?
+//!
+//! One group, `chaos_failover`, four engines over the same selection
+//! workload on a 4-way sharded reference device:
+//!
+//! * `clean`            — no faults; the sharded baseline.
+//! * `one_dead`         — shard 0 permanently dead, no probation: after
+//!   the breaker opens every route-0 submission pays one stable rehash.
+//! * `one_dead_probation` — same, with a 5 µs modeled cool-down: the
+//!   failover path plus periodic (failing) half-open probes.
+//! * `all_quarantined`  — every shard dead: the ladder's floor, all
+//!   refinement in software fallback.
+//!
+//! Before measuring, each engine runs one warm-up query and prints its
+//! resilience counters — those lines are the EXPERIMENTS.md "Failover
+//! overhead" table. Small scales keep `cargo bench --workspace` in
+//! minutes; CI runs these with `-- --test` (compile + one iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwa_core::engine::{EngineConfig, PreparedDataset, SpatialEngine};
+use hwa_core::{DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecoveryPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+const SHARDS: usize = 4;
+
+fn policy(probation_ns: Option<u64>) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_retries: 1,
+        backoff_ns: 1_000,
+        quarantine_after: 2,
+        probation_ns,
+    }
+}
+
+fn engine(device: DeviceKind, probation_ns: Option<u64>) -> SpatialEngine {
+    SpatialEngine::new(EngineConfig {
+        device,
+        use_object_filters: true,
+        recovery: policy(probation_ns),
+        ..EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(0))
+    })
+}
+
+/// A permanent timeout on one shard (or, untargeted, on all of them).
+fn dead(shard: Option<usize>) -> FaultPlan {
+    let plan = FaultPlan::new(7, FaultKind::Timeout, FaultTrigger::EveryK(1));
+    match shard {
+        Some(s) => plan.on_shard(s),
+        None => plan,
+    }
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_failover");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let ds = PreparedDataset::new("landc", spatial_datagen::landc(SCALE, SEED).polygons);
+    let queries = spatial_datagen::states50(SEED);
+    let cases: [(&str, DeviceKind, Option<u64>); 4] = [
+        ("clean", DeviceKind::Reference.sharded(SHARDS), None),
+        (
+            "one_dead",
+            DeviceKind::Reference
+                .with_faults(dead(Some(0)))
+                .sharded(SHARDS),
+            None,
+        ),
+        (
+            "one_dead_probation",
+            DeviceKind::Reference
+                .with_faults(dead(Some(0)))
+                .sharded(SHARDS),
+            Some(5_000),
+        ),
+        (
+            "all_quarantined",
+            DeviceKind::Reference
+                .with_faults(dead(None))
+                .sharded(SHARDS),
+            None,
+        ),
+    ];
+    for (name, device, probation_ns) in cases {
+        let mut e = engine(device, probation_ns);
+        // One warm query opens whatever breakers the schedule will open
+        // and surfaces the per-query resilience counters — this line is
+        // the EXPERIMENTS.md "Failover overhead" table.
+        let (rows, cost) = e.intersection_selection(&ds, &queries.polygons[0]);
+        let t = &cost.tests;
+        println!(
+            "failover: {name:>18} rows {:>4} | hw {:>5} fallback {:>5} \
+             failovers {:>5} quarantined {:>2} probes {:>4} refusals {:>5}",
+            rows.len(),
+            t.hw_tests,
+            t.fallback_tests,
+            t.shard_failovers,
+            t.shard_quarantined,
+            t.probes,
+            t.quarantined,
+        );
+        let mut i = 0usize;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let q = &queries.polygons[i % queries.polygons.len()];
+                i += 1;
+                let (r, _) = e.intersection_selection(&ds, black_box(q));
+                black_box(r.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

@@ -6,7 +6,8 @@
 
 use hwa_core::engine::{EngineConfig, GeometryTest, PartitionConfig, SpatialEngine};
 use hwa_core::service::{
-    PlannerConfig, PlannerMode, QueryEngine, QueryRequest, ServiceConfig, ServiceSnapshot,
+    BrownoutConfig, BrownoutRung, PlannerConfig, PlannerMode, QueryBudget, QueryEngine,
+    QueryRequest, ServiceConfig, ServiceSnapshot,
 };
 use hwa_core::{
     CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecordingOptions,
@@ -647,6 +648,7 @@ fn main() {
                     max_retries: 1,
                     backoff_ns: 1_000,
                     quarantine_after: 4,
+                    probation_ns: None,
                 },
                 ..EngineConfig::hardware(hw)
             })
@@ -996,6 +998,256 @@ fn main() {
             } else {
                 ""
             }
+        );
+    }
+
+    // Chaos sweep (`--chaos`): shard failover, probation and quarantine
+    // under seeded per-shard fault schedules (DESIGN.md §13). For every
+    // inner device × shard count × probation config, a sharded engine
+    // with one permanently dead shard — and one with every shard dead —
+    // must return bit-identical results to the clean sharded engine on
+    // all four pipelines, with the failover ledger balanced (invariant
+    // 14: per-shard hw_tests summed across failovers + fallback_tests
+    // == clean hw_tests, which `check_fault_pair` states as
+    // hw + fallback == clean hw).
+    if opts.chaos {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |device: DeviceKind, probation_ns: Option<u64>| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                use_object_filters: true,
+                recovery: RecoveryPolicy {
+                    max_retries: 1,
+                    backoff_ns: 1_000,
+                    quarantine_after: 2,
+                    probation_ns,
+                },
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let q = &w.states50.polygons[0];
+        let d = w.base_d_landc_lando;
+        let inners = [
+            ("reference", DeviceKind::Reference),
+            ("simd", DeviceKind::Simd),
+            (
+                "tiled",
+                DeviceKind::Tiled {
+                    tiles: 3,
+                    threads: 2,
+                },
+            ),
+        ];
+        let probations = [("no-probation", None), ("probation-5us", Some(5_000u64))];
+        let mut failovers_seen = 0usize;
+        let mut probes_seen = 0usize;
+        let mut quarantines_seen = 0usize;
+        for (dev_name, inner) in &inners {
+            for shards in [2usize, 4] {
+                for (prob_name, probation_ns) in probations {
+                    // One permanently dead shard: work routed at it must
+                    // deterministically fail over to the next healthy
+                    // shard (after the breaker opens); with probation,
+                    // ripe breakers are probed and re-opened.
+                    let dead_shard =
+                        FaultPlan::new(91, FaultKind::Timeout, FaultTrigger::EveryK(1)).on_shard(0);
+                    // Every shard dead: the supervisor quarantines the
+                    // whole device and the ladder bottoms out in exact
+                    // software.
+                    let all_dead = FaultPlan::new(92, FaultKind::Timeout, FaultTrigger::EveryK(1));
+                    let cases = [("dead shard 0", dead_shard), ("all shards dead", all_dead)];
+                    for (case_name, plan) in cases {
+                        let mut clean = make(inner.clone().sharded(shards), probation_ns);
+                        let mut chaotic = make(
+                            inner.clone().with_faults(plan).sharded(shards),
+                            probation_ns,
+                        );
+                        let label =
+                            format!("{case_name} on {dev_name} shards {shards} {prob_name}");
+                        let runs = [
+                            (
+                                "intersection_selection",
+                                lift_selection(clean.intersection_selection(&w.water, q)),
+                                lift_selection(chaotic.intersection_selection(&w.water, q)),
+                            ),
+                            (
+                                "containment_selection",
+                                lift_selection(clean.containment_selection(&w.water, q)),
+                                lift_selection(chaotic.containment_selection(&w.water, q)),
+                            ),
+                            (
+                                "intersection_join",
+                                clean.intersection_join(&w.landc, &w.lando),
+                                chaotic.intersection_join(&w.landc, &w.lando),
+                            ),
+                            (
+                                "within_distance_join",
+                                clean.within_distance_join(&w.landc, &w.lando, d),
+                                chaotic.within_distance_join(&w.landc, &w.lando, d),
+                            ),
+                        ];
+                        for (pipeline, c, f) in runs {
+                            let t = &f.1.tests;
+                            failovers_seen += t.shard_failovers;
+                            probes_seen += t.probes;
+                            quarantines_seen += t.shard_quarantined;
+                            if t.probe_reinstates > 0 {
+                                // Both schedules are permanent: a probe
+                                // can never succeed.
+                                println!(
+                                    "FAIL chaos sweep {pipeline} {label}: \
+                                     permanent fault was reinstated"
+                                );
+                                failures += 1;
+                            }
+                            check_fault_pair(
+                                &format!("chaos {pipeline} {label}"),
+                                &c,
+                                &f,
+                                &mut failures,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if failovers_seen == 0 {
+            println!("FAIL chaos sweep: no submission ever failed over");
+            failures += 1;
+        }
+        if probes_seen == 0 {
+            println!("FAIL chaos sweep: probation never probed an open breaker");
+            failures += 1;
+        }
+        if quarantines_seen == 0 {
+            println!("FAIL chaos sweep: no shard was ever quarantined");
+            failures += 1;
+        }
+        println!(
+            "chaos sweep verified: {failovers_seen} failovers, {probes_seen} probes, \
+             {quarantines_seen} shard quarantines absorbed with identical results"
+        );
+    }
+
+    // Brownout cross-check (`--chaos --service`): drive a browned-out
+    // engine through the full ladder (deadline pressure up to Shed,
+    // then clean traffic back down to Normal) and require every query
+    // that completes on the way to return exactly the rows an
+    // undegraded engine returns (invariant 13 at every rung), with both
+    // ledgers balanced and the shed rung observed as a typed error.
+    if opts.chaos && opts.service {
+        let window = 4u32;
+        let make_snapshot = || {
+            ServiceSnapshot::new()
+                .with(hwa_core::PreparedDataset::new(
+                    "landc",
+                    spatial_datagen::landc(opts.scale, opts.seed).polygons,
+                ))
+                .with(hwa_core::PreparedDataset::new(
+                    "lando",
+                    spatial_datagen::lando(opts.scale, opts.seed).polygons,
+                ))
+        };
+        let service_config = |brownout: Option<BrownoutConfig>| ServiceConfig {
+            base: EngineConfig {
+                use_object_filters: true,
+                ..EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(0))
+            },
+            brownout,
+            ..ServiceConfig::default()
+        };
+        let reference = QueryEngine::new(service_config(None), make_snapshot());
+        let browned = QueryEngine::new(
+            service_config(Some(BrownoutConfig {
+                window,
+                ..BrownoutConfig::default()
+            })),
+            make_snapshot(),
+        );
+        let q = w.states50.polygons[0].clone();
+        let d = w.base_d_landc_lando;
+        let reqs = [
+            QueryRequest::intersection_selection("landc", q.clone()),
+            QueryRequest::containment_selection("landc", q.clone()),
+            QueryRequest::intersection_join("landc", "lando"),
+            QueryRequest::within_distance_join("landc", "lando", d),
+        ];
+        let expected: Vec<Vec<(usize, usize)>> = reqs
+            .iter()
+            .map(|r| {
+                reference
+                    .execute(r)
+                    .expect("reference engine serves unbudgeted queries")
+                    .rows
+                    .as_pairs()
+            })
+            .collect();
+        // Phase 1 — climb: zero-deadline queries abort deterministically
+        // between stages, breaching every window until the ladder sheds.
+        let doomed = reqs[0].clone().with_budget(QueryBudget {
+            deadline: Some(std::time::Duration::ZERO),
+            max_candidates: None,
+        });
+        let mut sheds_observed = 0usize;
+        for _ in 0..window * 5 {
+            if let Err(hwa_core::service::ServiceError::Overloaded { .. }) =
+                browned.execute(&doomed)
+            {
+                sheds_observed += 1;
+            }
+        }
+        if sheds_observed == 0 {
+            println!("FAIL brownout cross-check: ladder never reached the shed rung");
+            failures += 1;
+        }
+        // Phase 2 — recover: clean traffic steps the ladder back down;
+        // every completion must be row-identical to the reference.
+        let mut completions = 0usize;
+        for i in 0..(16 * window as usize) {
+            let req = &reqs[i % reqs.len()];
+            match browned.execute(req) {
+                Ok(resp) => {
+                    completions += 1;
+                    if resp.rows.as_pairs() != expected[i % reqs.len()] {
+                        println!(
+                            "FAIL brownout cross-check: degraded rows differ on {}",
+                            req.kind.name()
+                        );
+                        failures += 1;
+                    }
+                }
+                Err(hwa_core::service::ServiceError::Overloaded { .. }) => {}
+                Err(e) => {
+                    println!("FAIL brownout cross-check: unexpected error {e}");
+                    failures += 1;
+                }
+            }
+            if browned.brownout_rung() == BrownoutRung::Normal {
+                break;
+            }
+        }
+        let stats = browned.stats();
+        if browned.brownout_rung() != BrownoutRung::Normal {
+            println!("FAIL brownout cross-check: ladder never recovered ({stats:?})");
+            failures += 1;
+        }
+        if completions == 0 {
+            println!("FAIL brownout cross-check: no query ever completed during recovery");
+            failures += 1;
+        }
+        if !stats.balanced() {
+            println!("FAIL brownout cross-check: unbalanced browned ledger {stats:?}");
+            failures += 1;
+        }
+        let ref_stats = reference.stats();
+        if !ref_stats.balanced() {
+            println!("FAIL brownout cross-check: unbalanced reference ledger {ref_stats:?}");
+            failures += 1;
+        }
+        println!(
+            "brownout cross-check verified: {} steps up, {} recoveries, {} sheds, \
+             {completions} degraded completions row-identical to reference",
+            stats.brownout_steps, stats.brownout_recoveries, stats.overload_sheds
         );
     }
 

@@ -41,6 +41,13 @@ pub struct BenchOpts {
     /// `ServiceStats` ledger; with `--faults` the same matrix runs on
     /// fault-wrapped devices.
     pub service: bool,
+    /// `--chaos`: run the shard-failover chaos sweep (verify harness
+    /// only) — per-shard seeded fault plans × probation configs across
+    /// all four pipelines must match the clean run bit for bit with a
+    /// balanced failover ledger (DESIGN.md invariant 14); with
+    /// `--service` a browned-out engine is cross-checked row-for-row
+    /// against an undegraded one.
+    pub chaos: bool,
 }
 
 impl Default for BenchOpts {
@@ -52,13 +59,14 @@ impl Default for BenchOpts {
             faults: false,
             partition: false,
             service: false,
+            chaos: false,
         }
     }
 }
 
 impl BenchOpts {
     /// Parses `--scale`, `--seed`, `--queries`, `--faults`,
-    /// `--partition`, `--service` from `std::env::args`.
+    /// `--partition`, `--service`, `--chaos` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = BenchOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -88,6 +96,10 @@ impl BenchOpts {
                 }
                 "--service" => {
                     opts.service = true;
+                    i += 1;
+                }
+                "--chaos" => {
+                    opts.chaos = true;
                     i += 1;
                 }
                 _ => i += 1,
@@ -225,6 +237,7 @@ mod tests {
             faults: false,
             partition: false,
             service: false,
+            chaos: false,
         };
         let w = Workloads::generate(opts);
         assert!(w.landc.len() >= 12);
@@ -241,6 +254,7 @@ mod tests {
             faults: false,
             partition: false,
             service: false,
+            chaos: false,
         };
         let w = Workloads::generate(opts);
         let mut e = software_engine();

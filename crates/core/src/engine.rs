@@ -190,6 +190,14 @@ pub enum ConfigError {
     /// `PlannerConfig::batch` is 0: the batched hardware plan could
     /// never submit anything.
     ZeroPlannerBatch,
+    /// `RecoveryPolicy::probation_ns` is `Some(0)`: every breaker would
+    /// be ripe the instant it opened, so each submission would probe a
+    /// known-bad shard (spell "no probation" as `None`).
+    ZeroProbationNs,
+    /// `BrownoutConfig::window` is 0: the controller would evaluate an
+    /// empty window on every submission and the ladder could never
+    /// settle.
+    ZeroBrownoutWindow,
 }
 
 impl fmt::Display for ConfigError {
@@ -236,6 +244,16 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroPlannerBatch => {
                 write!(f, "invalid ServiceConfig: planner.batch = 0 (must be ≥ 1)")
             }
+            ConfigError::ZeroProbationNs => write!(
+                f,
+                "invalid EngineConfig: recovery.probation_ns = Some(0) (a zero cool-down would \
+                 probe a known-bad shard on every submission; spell \"no probation\" as None)"
+            ),
+            ConfigError::ZeroBrownoutWindow => write!(
+                f,
+                "invalid ServiceConfig: brownout.window = 0 (the controller needs ≥ 1 submission \
+                 per evaluation window)"
+            ),
         }
     }
 }
@@ -300,6 +318,9 @@ impl EngineConfig {
         }
         if self.partition.shards == 0 {
             return Err(ConfigError::ZeroShards);
+        }
+        if self.recovery.probation_ns == Some(0) {
+            return Err(ConfigError::ZeroProbationNs);
         }
         validate_device(&self.device)
     }
@@ -881,6 +902,24 @@ mod tests {
             ..EngineConfig::software()
         };
         assert_eq!(sharded_zero_tiles.validate(), Err(ConfigError::ZeroTiles));
+        // A zero probation cool-down is an error; `None` is the valid
+        // "no probation" spelling (and the default).
+        let zero_probation = EngineConfig {
+            recovery: crate::RecoveryPolicy {
+                probation_ns: Some(0),
+                ..crate::RecoveryPolicy::default()
+            },
+            ..EngineConfig::software()
+        };
+        assert_eq!(zero_probation.validate(), Err(ConfigError::ZeroProbationNs));
+        let some_probation = EngineConfig {
+            recovery: crate::RecoveryPolicy {
+                probation_ns: Some(1_000),
+                ..crate::RecoveryPolicy::default()
+            },
+            ..EngineConfig::software()
+        };
+        assert!(some_probation.validate().is_ok());
         assert!(EngineConfig::software().validate().is_ok());
     }
 
@@ -904,6 +943,11 @@ mod tests {
             (ConfigError::BadPlannerResolutions, "planner.resolutions"),
             (ConfigError::ZeroPlannerSample, "planner.sample = 0"),
             (ConfigError::ZeroPlannerBatch, "planner.batch = 0"),
+            (
+                ConfigError::ZeroProbationNs,
+                "recovery.probation_ns = Some(0)",
+            ),
+            (ConfigError::ZeroBrownoutWindow, "brownout.window = 0"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

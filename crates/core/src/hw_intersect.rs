@@ -158,10 +158,16 @@ impl HwTester {
         self.supervisor = Supervisor::new(policy);
     }
 
-    /// Whether the circuit breaker has permanently routed this tester to
-    /// software.
+    /// Whether every device shard's circuit breaker has opened, routing
+    /// this tester entirely to software (until a probation probe
+    /// reinstates a shard, when probation is configured).
     pub fn is_quarantined(&self) -> bool {
         self.supervisor.is_quarantined()
+    }
+
+    /// How many device shards currently sit behind an open breaker.
+    pub fn open_shards(&self) -> usize {
+        self.supervisor.open_shards()
     }
 
     /// Applies the configured fusion pass to a cold recording, charging
@@ -211,14 +217,35 @@ impl HwTester {
     }
 
     /// Submits one recorded command list under supervision: validated,
-    /// retried, quarantined. Failed attempts charge only the recovery
-    /// counters in `stats` — never hardware work.
+    /// retried, failed over across healthy shards, quarantined. Failed
+    /// attempts charge only the recovery counters in `stats` — never
+    /// hardware work. Successful executions advance the supervisor's
+    /// modeled clock by their modeled GPU time, which is what ripens
+    /// probation cool-downs (DESIGN.md §13) without ever consulting the
+    /// wall clock.
     pub(crate) fn execute_list(
         &mut self,
         list: &CommandList,
         stats: &mut TestStats,
     ) -> Result<Execution, DeviceError> {
-        self.supervisor.submit(self.device.as_mut(), list, stats)
+        let result = self
+            .supervisor
+            .submit_routed(self.device.as_mut(), self.route, list, stats);
+        if let Ok(exec) = &result {
+            self.supervisor
+                .advance(self.model.time(&exec.stats).as_nanos() as u64);
+        }
+        result
+    }
+
+    /// Adopts `parent`'s supervision state — per-shard breaker verdicts
+    /// and the modeled probation clock — and pushes the verdicts into this
+    /// tester's (freshly built) device health mask. Called by backend
+    /// forks so a parallel refinement worker never re-pays the full
+    /// retry/backoff ladder for a shard its parent already proved dead.
+    pub(crate) fn inherit_supervision(&mut self, parent: &HwTester) {
+        self.supervisor = parent.supervisor.clone();
+        self.supervisor.sync_device(self.device.as_mut());
     }
 
     /// Records the hardware segment-intersection choreography for one pair

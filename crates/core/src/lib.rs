@@ -52,8 +52,8 @@ pub use pipeline::{
     RefinementBackend, SoftwareBackend, StagedExecutor,
 };
 pub use service::{
-    PlanChoice, PlannerConfig, PlannerMode, QueryBudget, QueryEngine, QueryRequest, QueryResponse,
-    ServiceConfig, ServiceSnapshot, ServiceStats,
+    BrownoutConfig, BrownoutRung, PlanChoice, PlannerConfig, PlannerMode, QueryBudget, QueryEngine,
+    QueryRequest, QueryResponse, ServiceConfig, ServiceSnapshot, ServiceStats,
 };
 pub use spatial_index::{FilterConfig, FilterStats, SpatialGrid};
 pub use spatial_raster::{DeviceError, DeviceKind, FaultKind, FaultPlan, FaultTrigger};

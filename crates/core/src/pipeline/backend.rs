@@ -148,15 +148,18 @@ impl RefinementBackend for HardwareBackend {
     }
 
     fn fork(&self) -> Box<dyn RefinementBackend> {
-        // The fork inherits the policy but starts with a closed breaker:
-        // each worker earns its own quarantine verdict, deterministically,
-        // from the faults its own submissions observe.
+        // The fork inherits the parent's full supervision state — policy,
+        // per-shard breaker verdicts, and the modeled probation clock — so
+        // a worker refining pairs for a shard the parent already proved
+        // dead fails over (or falls back) immediately instead of re-paying
+        // the whole retry/backoff ladder per pair.
         let mut b = HardwareBackend::with_device_and_policy(
             self.tester.config(),
             self.tester.device_kind(),
             self.tester.recovery_policy(),
         );
         b.tester.set_cost_model(self.tester.cost_model());
+        b.tester.inherit_supervision(&self.tester);
         b.tester.select_shard(self.tester.route());
         Box::new(b)
     }
@@ -232,6 +235,9 @@ impl RefinementBackend for HybridBackend {
             self.inner.tester.device_kind(),
             self.inner.tester.recovery_policy(),
         );
+        // Same inheritance as `HardwareBackend::fork`: the worker adopts
+        // the parent's per-shard verdicts instead of re-earning them.
+        b.inner.tester.inherit_supervision(&self.inner.tester);
         b.inner.tester.select_shard(self.inner.tester.route());
         Box::new(b)
     }
@@ -387,6 +393,55 @@ mod tests {
             assert_eq!(s2.cache_hits, 0);
             assert_eq!(s2.cache_misses, 0);
         }
+    }
+
+    /// Regression: forks used to start with a fresh (un-quarantined)
+    /// supervisor, so every parallel refinement worker re-paid the full
+    /// retry/backoff ladder for a shard the parent had already proved
+    /// dead. A fork must adopt the parent's per-shard verdicts and fail
+    /// over immediately.
+    #[test]
+    fn fork_inherits_the_parents_shard_verdicts() {
+        use crate::pipeline::RecoveryPolicy;
+        use spatial_raster::{DeviceKind, FaultKind, FaultPlan, FaultTrigger};
+        // Diagonal slabs: overlapping MBRs, no contained vertices — the
+        // pair survives the software prologue and reaches the hardware.
+        let p = Polygon::from_coords(&[(0.0, 0.0), (2.0, 0.0), (10.0, 8.0), (8.0, 8.0)]);
+        let q = Polygon::from_coords(&[(2.5, 0.0), (4.5, 0.0), (12.5, 8.0), (10.5, 8.0)]);
+        let plan = FaultPlan::new(9, FaultKind::Timeout, FaultTrigger::EveryK(1)).on_shard(0);
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 10,
+            quarantine_after: 1,
+            probation_ns: None,
+        };
+        let mut parent = HardwareBackend::with_device_and_policy(
+            HwConfig::at_resolution(8),
+            DeviceKind::Reference.with_faults(plan).sharded(2),
+            policy,
+        );
+        let mut st = TestStats::default();
+        let verdict = parent.test(Predicate::Intersects, &p, &q, &mut st);
+        assert!(st.fallback_tests > 0, "shard 0's submission faults: {st:?}");
+        assert_eq!(st.shard_quarantined, 1);
+        // The fork adopts the open breaker: immediate failover to shard 1,
+        // no ladder re-paid, same answer and hardware work as a clean run.
+        let mut forked = parent.fork();
+        let mut fst = TestStats::default();
+        assert_eq!(
+            forked.test(Predicate::Intersects, &p, &q, &mut fst),
+            verdict
+        );
+        assert_eq!(fst.device_faults, 0, "fork re-paid the ladder: {fst:?}");
+        assert_eq!(fst.fallback_tests, 0);
+        assert_eq!(fst.shard_failovers, 1);
+        let mut clean = HardwareBackend::new(HwConfig::at_resolution(8));
+        let mut cst = TestStats::default();
+        assert_eq!(clean.test(Predicate::Intersects, &p, &q, &mut cst), verdict);
+        assert_eq!(
+            fst.hw_tests, cst.hw_tests,
+            "invariant 14: failover moved the work"
+        );
     }
 
     #[test]

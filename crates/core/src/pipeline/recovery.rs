@@ -1,28 +1,49 @@
-//! Supervised device submission: bounded retry, modeled backoff, and a
-//! circuit breaker — the middle rungs of the degradation ladder.
+//! Supervised device submission: bounded retry, modeled backoff, per-shard
+//! circuit breakers with failover, and half-open probation — the middle
+//! rungs of the degradation ladder.
 //!
-//! The ladder (DESIGN.md §8) runs: **submit → validate → retry (with
-//! modeled backoff) → quarantine → software fallback**. This module owns
-//! the first four rungs; the callers in `hw_intersect`, `hw_distance` and
-//! `hw_batch` own the last one, because only they know the exact software
-//! test that answers the pair the device could not.
+//! The ladder (DESIGN.md §8, §13) runs: **submit → validate → retry (with
+//! modeled backoff) → shard failover → probation → quarantine → software
+//! fallback**. This module owns every rung but the last; the callers in
+//! `hw_intersect`, `hw_distance` and `hw_batch` own that one, because only
+//! they know the exact software test that answers the pair the device
+//! could not.
 //!
-//! Two properties the whole fault-tolerance story rests on:
+//! The supervisor keeps one breaker *per device shard*
+//! ([`RasterDevice::shards`]; a single entry for unsharded executors).
+//! When a shard's breaker opens, submissions aimed at it are rerouted to
+//! the next healthy shard by the stable rehash
+//! ([`spatial_raster::failover_route`]) instead of falling straight to
+//! software; only when *every* breaker is open are submissions refused.
+//! With [`RecoveryPolicy::probation_ns`] set, an open breaker ripens after
+//! a charged cool-down on the supervisor's modeled clock, and the next
+//! submission aimed at (or failed over to) that shard is let through as a
+//! half-open *probe*: success closes the breaker, failure re-opens it for
+//! another cool-down.
 //!
-//! * **No wall-clock sleeps.** Retry backoff is *charged*, not slept:
-//!   each retry adds an exponentially growing `recovery_ns` to
-//!   [`TestStats`], and the executor folds it into reported geometry time
-//!   exactly like `gpu_modeled`. Runs stay deterministic and fast while
-//!   the accounting still shows what recovery would have cost.
+//! Three properties the whole fault-tolerance story rests on:
+//!
+//! * **No wall-clock sleeps.** Retry backoff and probation cool-downs are
+//!   *charged*, not slept: each adds to `recovery_ns` in [`TestStats`],
+//!   and the executor folds that into reported geometry time exactly like
+//!   `gpu_modeled`. The probation clock advances on *modeled* time
+//!   (charged backoffs plus modeled execution time), so runs stay
+//!   deterministic and fast while the accounting still shows what
+//!   recovery would have cost.
 //! * **Failed submissions charge nothing else.** A faulted execute adds no
 //!   hardware counters, so a retry-recovered run is bit-identical to a
 //!   clean run everywhere except the recovery counters themselves — the
 //!   headline property `fault_props` pins across all four pipelines.
+//! * **Failover moves work, never results.** Every shard computes the
+//!   same [`Execution`] for the same list (the bit-identity invariant),
+//!   so rerouting changes only the routing counters — the invariant-14
+//!   ledger `hw_tests + fallback_tests == clean hw_tests` balances under
+//!   any schedule (`chaos_props`).
 
 use crate::stats::TestStats;
-use spatial_raster::{CommandList, DeviceError, Execution, RasterDevice};
+use spatial_raster::{failover_route, CommandList, DeviceError, Execution, RasterDevice};
 
-/// Retry/quarantine policy for supervised submission.
+/// Retry/quarantine/probation policy for supervised submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
     /// Resubmissions attempted after the first fault of a submission
@@ -34,9 +55,18 @@ pub struct RecoveryPolicy {
     /// [`TestStats::recovery_ns`], never slept.
     pub backoff_ns: u64,
     /// Consecutive faulted *submissions* (retries exhausted) after which
-    /// the breaker opens and every later submission is refused without
-    /// touching the device. `0` disables the breaker.
+    /// a shard's breaker opens and submissions stop touching that shard.
+    /// `0` disables the breaker.
     pub quarantine_after: u32,
+    /// Half-open probation: the modeled cool-down, in nanoseconds, after
+    /// which an open breaker ripens and one probe submission may try to
+    /// re-admit the shard. The cool-down is charged to
+    /// [`TestStats::recovery_ns`] when the breaker opens — never slept —
+    /// and elapses on the supervisor's modeled clock. `None` disables
+    /// probation (an open breaker stays open, the pre-probation
+    /// behavior); `Some(0)` is rejected by `EngineConfig::validate`
+    /// (`ConfigError::ZeroProbationNs`).
+    pub probation_ns: Option<u64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -45,30 +75,65 @@ impl Default for RecoveryPolicy {
             max_retries: 2,
             backoff_ns: 50_000,
             quarantine_after: 8,
+            probation_ns: None,
         }
     }
 }
 
-/// Wraps a device with the retry/quarantine state machine. One supervisor
-/// lives inside each `HwTester`; forks start fresh (a quarantined parent
-/// does not poison its children — each worker earns its own verdict).
+/// One shard's breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    /// Open since some modeled instant; `ripe_at` is when probation lets a
+    /// probe through (`u64::MAX` when probation is disabled). `err` is
+    /// replayed for every refused submission so the caller's fallback
+    /// reason stays stable.
+    Open {
+        err: DeviceError,
+        ripe_at: u64,
+    },
+}
+
+/// Per-shard retry/breaker bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ShardHealth {
+    /// Submissions (not attempts) that ended in a fault since the shard's
+    /// last success.
+    consecutive_faults: u32,
+    breaker: Breaker,
+}
+
+impl Default for ShardHealth {
+    fn default() -> Self {
+        ShardHealth {
+            consecutive_faults: 0,
+            breaker: Breaker::Closed,
+        }
+    }
+}
+
+/// Wraps a device with the retry/failover/quarantine state machine. One
+/// supervisor lives inside each `HwTester`; forks *inherit* the parent's
+/// per-shard verdicts (`HwTester::inherit_supervision`), so a worker never
+/// re-pays the retry ladder for a shard its parent already proved dead.
 #[derive(Debug, Clone)]
 pub(crate) struct Supervisor {
     policy: RecoveryPolicy,
-    /// Submissions (not attempts) that ended in a fault since the last
-    /// success.
-    consecutive_faults: u32,
-    /// The error that tripped the breaker, replayed for every refused
-    /// submission so the caller's fallback reason stays stable.
-    quarantine: Option<DeviceError>,
+    /// The modeled clock probation ripens on, in nanoseconds: advanced by
+    /// charged retry backoffs and by the modeled GPU time of successful
+    /// executions (`HwTester::execute_list`). Never wall clock.
+    now_ns: u64,
+    /// One entry per device shard, grown on first contact with a device
+    /// that reports more shards.
+    shards: Vec<ShardHealth>,
 }
 
 impl Supervisor {
     pub(crate) fn new(policy: RecoveryPolicy) -> Self {
         Supervisor {
             policy,
-            consecutive_faults: 0,
-            quarantine: None,
+            now_ns: 0,
+            shards: vec![ShardHealth::default()],
         }
     }
 
@@ -76,26 +141,85 @@ impl Supervisor {
         self.policy
     }
 
-    /// Whether the circuit breaker has opened.
+    /// Whether every shard's circuit breaker has opened — the state in
+    /// which submissions are refused outright and the caller serves
+    /// everything from exact software.
     pub(crate) fn is_quarantined(&self) -> bool {
-        self.quarantine.is_some()
+        self.shards
+            .iter()
+            .all(|h| matches!(h.breaker, Breaker::Open { .. }))
     }
 
-    /// Submits `list`, validating the execution against what was recorded,
-    /// retrying per policy, and keeping the fault counters in `stats`.
-    ///
-    /// On `Err` the caller must answer its pairs in exact software and
-    /// charge `fallback_tests`; it must *not* charge any hardware counters
-    /// for the failed submission.
+    /// How many shards currently sit behind an open breaker.
+    pub(crate) fn open_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|h| matches!(h.breaker, Breaker::Open { .. }))
+            .count()
+    }
+
+    /// Advances the modeled clock (charged backoff advances it internally;
+    /// callers add the modeled GPU time of successful executions).
+    pub(crate) fn advance(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+
+    /// Pushes this supervisor's per-shard verdicts into `device`'s health
+    /// mask, so the device's own failover rehash agrees with ours. Used
+    /// when a fork adopts its parent's supervision state onto a freshly
+    /// built device.
+    pub(crate) fn sync_device(&self, device: &mut dyn RasterDevice) {
+        for (shard, health) in self.shards.iter().enumerate() {
+            device.set_shard_health(shard, matches!(health.breaker, Breaker::Closed));
+        }
+    }
+
+    /// Submits `list` to the device's shard 0 — the unsharded entry point
+    /// (kept for single-backend callers and tests).
+    #[cfg(test)]
     pub(crate) fn submit(
         &mut self,
         device: &mut dyn RasterDevice,
         list: &CommandList,
         stats: &mut TestStats,
     ) -> Result<Execution, DeviceError> {
-        if let Some(err) = self.quarantine {
+        self.submit_routed(device, 0, list, stats)
+    }
+
+    /// Submits `list` aimed at shard `route % shards`, validating the
+    /// execution against what was recorded, retrying per policy, failing
+    /// over to the next healthy shard when the aimed shard's breaker is
+    /// open, probing ripe breakers, and keeping the fault counters in
+    /// `stats`.
+    ///
+    /// On `Err` the caller must answer its pairs in exact software and
+    /// charge `fallback_tests`; it must *not* charge any hardware counters
+    /// for the failed submission.
+    pub(crate) fn submit_routed(
+        &mut self,
+        device: &mut dyn RasterDevice,
+        route: usize,
+        list: &CommandList,
+        stats: &mut TestStats,
+    ) -> Result<Execution, DeviceError> {
+        let n = device.shards().max(1);
+        if self.shards.len() < n {
+            self.shards.resize(n, ShardHealth::default());
+        }
+        let desired = route % n;
+        let Some((target, probing)) = self.resolve(desired, stats) else {
+            // Every breaker is open and none is ripe: refuse without
+            // touching the device, replaying the aimed shard's error.
             stats.quarantined += 1;
-            return Err(err);
+            return Err(self.open_error(desired));
+        };
+        if probing {
+            // Half-open: tentatively re-admit the shard so the device's
+            // own failover rehash lets the probe reach it.
+            device.set_shard_health(target, true);
+        }
+        if n > 1 {
+            device.route(target);
         }
         let mut backoff = self.policy.backoff_ns;
         let mut last = DeviceError::ContextLost;
@@ -105,7 +229,12 @@ impl Supervisor {
                 .and_then(|exec| exec.validate(list).map(|()| exec));
             match outcome {
                 Ok(exec) => {
-                    self.consecutive_faults = 0;
+                    let health = &mut self.shards[target];
+                    health.consecutive_faults = 0;
+                    if probing {
+                        health.breaker = Breaker::Closed;
+                        stats.probe_reinstates += 1;
+                    }
                     return Ok(exec);
                 }
                 Err(err) => {
@@ -114,18 +243,75 @@ impl Supervisor {
                     if attempt < self.policy.max_retries {
                         stats.retries += 1;
                         stats.recovery_ns = stats.recovery_ns.saturating_add(backoff);
+                        self.now_ns = self.now_ns.saturating_add(backoff);
                         backoff = backoff.saturating_mul(2);
                     }
                 }
             }
         }
-        self.consecutive_faults += 1;
-        if self.policy.quarantine_after > 0
-            && self.consecutive_faults >= self.policy.quarantine_after
-        {
-            self.quarantine = Some(last);
+        // Retries exhausted: the submission failed on `target`.
+        self.shards[target].consecutive_faults += 1;
+        let opens = probing
+            || (self.policy.quarantine_after > 0
+                && self.shards[target].consecutive_faults >= self.policy.quarantine_after);
+        if opens {
+            let ripe_at = self
+                .policy
+                .probation_ns
+                .map_or(u64::MAX, |p| self.now_ns.saturating_add(p));
+            let was_open = matches!(self.shards[target].breaker, Breaker::Open { .. });
+            self.shards[target].breaker = Breaker::Open { err: last, ripe_at };
+            if !was_open {
+                // First opening of this breaker (a failed probe re-opens,
+                // counted once at the original opening).
+                stats.shard_quarantined += 1;
+            }
+            if let Some(p) = self.policy.probation_ns {
+                // Each cool-down period is charged up front, never slept.
+                stats.recovery_ns = stats.recovery_ns.saturating_add(p);
+            }
+            device.set_shard_health(target, false);
         }
         Err(last)
+    }
+
+    /// Picks the physical shard a submission aimed at `desired` executes
+    /// on: the first shard in stable-rehash order whose breaker is closed
+    /// (or open-and-ripe, which makes the submission a probe). `None`
+    /// when every breaker is open and unripe.
+    fn resolve(&self, desired: usize, stats: &mut TestStats) -> Option<(usize, bool)> {
+        let usable: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|h| match h.breaker {
+                Breaker::Closed => true,
+                Breaker::Open { ripe_at, .. } => {
+                    self.policy.probation_ns.is_some() && self.now_ns >= ripe_at
+                }
+            })
+            .collect();
+        let target = failover_route(desired, &usable)?;
+        if target != desired {
+            stats.shard_failovers += 1;
+        }
+        let probing = matches!(self.shards[target].breaker, Breaker::Open { .. });
+        if probing {
+            stats.probes += 1;
+        }
+        Some((target, probing))
+    }
+
+    /// The error stored when shard `desired`'s breaker opened (any open
+    /// breaker's error when `desired`'s is somehow closed — only reachable
+    /// when every shard is open).
+    fn open_error(&self, desired: usize) -> DeviceError {
+        let open = |h: &ShardHealth| match h.breaker {
+            Breaker::Open { err, .. } => Some(err),
+            Breaker::Closed => None,
+        };
+        open(&self.shards[desired])
+            .or_else(|| self.shards.iter().find_map(open))
+            .unwrap_or(DeviceError::ContextLost)
     }
 }
 
@@ -197,6 +383,7 @@ mod tests {
             max_retries: 2,
             backoff_ns: 100,
             quarantine_after: 0,
+            probation_ns: None,
         });
         let mut dev = faulty(FaultTrigger::EveryK(1), FaultKind::OutOfMemory);
         let mut stats = TestStats::default();
@@ -216,6 +403,7 @@ mod tests {
             max_retries: 0,
             backoff_ns: 1,
             quarantine_after: 2,
+            probation_ns: None,
         });
         let mut dev = faulty(FaultTrigger::EveryK(1), FaultKind::ContextLost);
         let mut stats = TestStats::default();
@@ -235,11 +423,125 @@ mod tests {
     }
 
     #[test]
+    fn open_breaker_fails_over_to_the_next_healthy_shard() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 1,
+            probation_ns: None,
+        });
+        // Only shard 0 is sick, permanently.
+        let plan = FaultPlan::new(3, FaultKind::Timeout, FaultTrigger::EveryK(1)).on_shard(0);
+        let mut dev = DeviceKind::Reference.with_faults(plan).sharded(2).build();
+        let mut stats = TestStats::default();
+        let l = list();
+        // First submission pays the fault and opens shard 0's breaker.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        assert_eq!(stats.shard_quarantined, 1);
+        assert!(!sup.is_quarantined(), "shard 1 still serves");
+        // Later submissions aimed at shard 0 fail over to shard 1.
+        for _ in 0..3 {
+            assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_ok());
+        }
+        assert_eq!(stats.shard_failovers, 3);
+        assert_eq!(stats.quarantined, 0, "failover, not refusal");
+    }
+
+    #[test]
+    fn ripe_breaker_is_probed_and_a_clean_probe_reinstates() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 1,
+            probation_ns: Some(1_000),
+        });
+        // Shard 0 faults exactly once (its first execute), then recovers.
+        let plan =
+            FaultPlan::new(3, FaultKind::ContextLost, FaultTrigger::OnExecute(0)).on_shard(0);
+        let mut dev = DeviceKind::Reference.with_faults(plan).sharded(2).build();
+        let mut stats = TestStats::default();
+        let l = list();
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        assert_eq!(stats.shard_quarantined, 1);
+        assert_eq!(stats.recovery_ns, 1_000, "cool-down charged at opening");
+        // Cool-down not yet elapsed on the modeled clock: fail over.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_ok());
+        assert_eq!(stats.shard_failovers, 1);
+        assert_eq!(stats.probes, 0);
+        // Modeled work elapses the cool-down; the next aim is a probe.
+        sup.advance(2_000);
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_ok());
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.probe_reinstates, 1);
+        // Reinstated: no further failover or probing.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_ok());
+        assert_eq!(stats.shard_failovers, 1);
+        assert_eq!(stats.probes, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_charged_cooldown() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 1,
+            probation_ns: Some(500),
+        });
+        let plan = FaultPlan::new(3, FaultKind::Timeout, FaultTrigger::EveryK(1)).on_shard(0);
+        let mut dev = DeviceKind::Reference.with_faults(plan).sharded(2).build();
+        let mut stats = TestStats::default();
+        let l = list();
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        sup.advance(1_000);
+        // Ripe: the probe runs, faults again, and re-opens the breaker.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.probe_reinstates, 0);
+        assert_eq!(
+            stats.shard_quarantined, 1,
+            "re-opening is not a new opening"
+        );
+        assert_eq!(stats.recovery_ns, 2 * 500, "each cool-down period charged");
+        // Unripe again: back to failover.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_ok());
+        assert_eq!(stats.shard_failovers, 1);
+    }
+
+    #[test]
+    fn all_shards_open_refuses_without_touching_the_device() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 1,
+            quarantine_after: 1,
+            probation_ns: None,
+        });
+        let plan = FaultPlan::new(3, FaultKind::OutOfMemory, FaultTrigger::EveryK(1));
+        let mut dev = DeviceKind::Reference.with_faults(plan).sharded(2).build();
+        let mut stats = TestStats::default();
+        let l = list();
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        // Failover reaches shard 1, which is just as sick.
+        assert!(sup.submit_routed(dev.as_mut(), 0, &l, &mut stats).is_err());
+        assert_eq!(stats.shard_failovers, 1);
+        assert_eq!(stats.shard_quarantined, 2);
+        assert!(sup.is_quarantined());
+        assert_eq!(sup.open_shards(), 2);
+        let faults_before = stats.device_faults;
+        assert_eq!(
+            sup.submit_routed(dev.as_mut(), 0, &l, &mut stats),
+            Err(DeviceError::OutOfMemory)
+        );
+        assert_eq!(stats.device_faults, faults_before, "device untouched");
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
     fn success_resets_the_consecutive_count() {
         let mut sup = Supervisor::new(RecoveryPolicy {
             max_retries: 0,
             backoff_ns: 1,
             quarantine_after: 2,
+            probation_ns: None,
         });
         // Faults on every second execute — never two submissions in a row.
         let mut dev = faulty(FaultTrigger::EveryK(2), FaultKind::Timeout);

@@ -10,6 +10,7 @@
 
 use crate::engine::{ConfigError, EngineConfig, GeometryTest, PreparedDataset, SpatialEngine};
 use crate::service::admission::AdmissionQueue;
+use crate::service::brownout::{Brownout, BrownoutConfig, BrownoutRung};
 use crate::service::planner::{PlanChoice, Planned, Planner, PlannerConfig, PlannerMode};
 use crate::service::request::{
     QueryBudget, QueryKind, QueryRequest, QueryResponse, QueryRows, ServiceError, Stage,
@@ -46,6 +47,10 @@ pub struct ServiceConfig {
     /// field — a request may set only a deadline and inherit the
     /// default candidate cap).
     pub default_budget: QueryBudget,
+    /// Graceful-degradation controller (DESIGN.md §13 tier 2); `None`
+    /// disables brownouts entirely — the engine then only rejects at
+    /// the admission door.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +60,7 @@ impl Default for ServiceConfig {
             planner: PlannerConfig::default(),
             admission_capacity: 64,
             default_budget: QueryBudget::default(),
+            brownout: None,
         }
     }
 }
@@ -77,6 +83,11 @@ impl ServiceConfig {
         }
         if self.planner.batch == 0 {
             return Err(ConfigError::ZeroPlannerBatch);
+        }
+        if let Some(b) = &self.brownout {
+            if b.window == 0 {
+                return Err(ConfigError::ZeroBrownoutWindow);
+            }
         }
         Ok(())
     }
@@ -150,6 +161,7 @@ pub struct QueryEngine {
     admission: AdmissionQueue,
     planner: Mutex<Planner>,
     stats: Mutex<ServiceStats>,
+    brownout: Option<Mutex<Brownout>>,
 }
 
 impl QueryEngine {
@@ -163,12 +175,14 @@ impl QueryEngine {
         config.validate()?;
         let planner = Planner::new(config.planner.clone(), config.base.hw.strategy);
         let admission = AdmissionQueue::new(config.admission_capacity);
+        let brownout = config.brownout.map(|cfg| Mutex::new(Brownout::new(cfg)));
         Ok(QueryEngine {
             config,
             snapshot: SnapshotHandle::new(snapshot),
             admission,
             planner: Mutex::new(planner),
             stats: Mutex::new(ServiceStats::default()),
+            brownout,
         })
     }
 
@@ -209,15 +223,50 @@ impl QueryEngine {
         self.stats.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Serves one query: admission → snapshot pin → filter probe →
-    /// budget checks → plan → refine. Every call is accounted exactly
-    /// once in [`ServiceStats`] (the `balanced` identity).
+    /// The brownout ladder rung the *next* submission will run under
+    /// (`Normal` when brownouts are disabled).
+    pub fn brownout_rung(&self) -> BrownoutRung {
+        self.brownout.as_ref().map_or(BrownoutRung::Normal, |b| {
+            b.lock().unwrap_or_else(|p| p.into_inner()).rung()
+        })
+    }
+
+    fn note_brownout(&self, f: impl FnOnce(&mut Brownout)) {
+        if let Some(b) = &self.brownout {
+            f(&mut b.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+    }
+
+    /// Serves one query: brownout gate → admission → snapshot pin →
+    /// filter probe → budget checks → plan → refine. Every call is
+    /// accounted exactly once in [`ServiceStats`] (the `balanced`
+    /// identity); the brownout controller sees every submission and
+    /// every rejection/deadline-abort signal.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
         self.lock_stats().submitted += 1;
+        let mut rung = BrownoutRung::Normal;
+        if let Some(b) = &self.brownout {
+            let decision = b.lock().unwrap_or_else(|p| p.into_inner()).on_submit();
+            let mut s = self.lock_stats();
+            if decision.stepped_up {
+                s.brownout_steps += 1;
+            }
+            if decision.stepped_down {
+                s.brownout_recoveries += 1;
+            }
+            if decision.rung == BrownoutRung::Shed {
+                s.overload_sheds += 1;
+                return Err(ServiceError::Overloaded {
+                    retry_after_queries: decision.retry_after_queries,
+                });
+            }
+            rung = decision.rung;
+        }
         let permit = match self.admission.try_enter() {
             Ok(p) => p,
             Err(in_flight) => {
                 self.lock_stats().rejected += 1;
+                self.note_brownout(Brownout::note_rejected);
                 return Err(ServiceError::Rejected {
                     in_flight,
                     capacity: self.admission.capacity(),
@@ -225,21 +274,36 @@ impl QueryEngine {
             }
         };
         self.lock_stats().admitted += 1;
-        let result = self.run(request);
+        let result = self.run(request, rung);
         drop(permit);
         let mut s = self.lock_stats();
         match &result {
-            Ok(_) => s.completed += 1,
+            Ok(resp) => {
+                s.completed += 1;
+                // Surface tier-1 resilience in the serving ledger.
+                s.shard_failovers += resp.cost.tests.shard_failovers as u64;
+                s.probe_reinstates += resp.cost.tests.probe_reinstates as u64;
+            }
             Err(ServiceError::UnknownDataset(_)) => s.unknown_dataset += 1,
-            Err(ServiceError::DeadlineExceeded { .. }) => s.deadline_aborts += 1,
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                s.deadline_aborts += 1;
+                drop(s);
+                self.note_brownout(Brownout::note_deadline_abort);
+            }
             Err(ServiceError::CandidateBudgetExceeded { .. }) => s.budget_aborts += 1,
-            // `run` never rejects; admission already happened.
-            Err(ServiceError::Rejected { .. }) => unreachable!("run() cannot reject"),
+            // `run` never rejects or sheds; both happen before admission.
+            Err(ServiceError::Rejected { .. } | ServiceError::Overloaded { .. }) => {
+                unreachable!("run() cannot reject or shed")
+            }
         }
         result
     }
 
-    fn run(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+    fn run(
+        &self,
+        request: &QueryRequest,
+        rung: BrownoutRung,
+    ) -> Result<QueryResponse, ServiceError> {
         let start = Instant::now();
         let budget = request.budget.or(self.config.default_budget);
         // One load; the query never sees another epoch.
@@ -265,26 +329,46 @@ impl QueryEngine {
         check_deadline(&budget, start, Stage::Plan)?;
 
         let plan_t = Instant::now();
-        let planned = match self.config.planner.mode {
-            PlannerMode::ForceSoftware => Planned {
+        // The brownout ladder outranks the configured planner mode:
+        // `ForceSoftware` and above shed all device pressure (exactness
+        // is backend-independent, so rows cannot change — invariant
+        // 13), `CoarsePlans` caps adaptive pricing to the coarsest
+        // window.
+        let mut adaptive = false;
+        let planned = if rung >= BrownoutRung::ForceSoftware {
+            Planned {
                 choice: PlanChoice::Software,
                 memo_hit: false,
-            },
-            PlannerMode::ForceHardware => Planned {
-                choice: PlanChoice::Hardware {
-                    resolution: self.config.base.hw.resolution,
-                    batch: self.config.base.hw_batch,
+            }
+        } else {
+            match self.config.planner.mode {
+                PlannerMode::ForceSoftware => Planned {
+                    choice: PlanChoice::Software,
+                    memo_hit: false,
                 },
-                memo_hit: false,
-            },
-            PlannerMode::Adaptive => {
-                let mut planner = self.planner.lock().unwrap_or_else(|p| p.into_inner());
-                planner.plan(
-                    request.kind.code(),
-                    probe.distance,
-                    probe.candidates,
-                    &probe.sample,
-                )
+                PlannerMode::ForceHardware => Planned {
+                    choice: PlanChoice::Hardware {
+                        resolution: self.config.base.hw.resolution,
+                        batch: self.config.base.hw_batch,
+                    },
+                    memo_hit: false,
+                },
+                PlannerMode::Adaptive => {
+                    adaptive = true;
+                    let res_limit = if rung == BrownoutRung::CoarsePlans {
+                        1
+                    } else {
+                        usize::MAX
+                    };
+                    let mut planner = self.planner.lock().unwrap_or_else(|p| p.into_inner());
+                    planner.plan_limited(
+                        request.kind.code(),
+                        probe.distance,
+                        probe.candidates,
+                        &probe.sample,
+                        res_limit,
+                    )
+                }
             }
         };
         {
@@ -294,7 +378,7 @@ impl QueryEngine {
             } else {
                 s.planned_sw += 1;
             }
-            if self.config.planner.mode == PlannerMode::Adaptive {
+            if adaptive {
                 if planned.memo_hit {
                     s.plan_cache_hits += 1;
                 } else {
@@ -619,11 +703,135 @@ mod tests {
                 },
                 ..ServiceConfig::default()
             },
+            ServiceConfig {
+                brownout: Some(BrownoutConfig {
+                    window: 0,
+                    ..BrownoutConfig::default()
+                }),
+                ..ServiceConfig::default()
+            },
         ];
         for cfg in bad {
             let err = cfg.validate().expect_err("must be rejected");
             assert!(err.to_string().starts_with("invalid ServiceConfig"));
         }
         assert!(ServiceConfig::default().validate().is_ok());
+        assert!(ServiceConfig {
+            brownout: Some(BrownoutConfig::default()),
+            ..ServiceConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    /// Sustained deadline aborts climb the brownout ladder one rung per
+    /// window until the service sheds, with every step and shed
+    /// accounted and the ledger still balanced.
+    #[test]
+    fn brownout_climbs_to_shed_under_sustained_deadline_aborts() {
+        let engine = tiny_engine(ServiceConfig {
+            brownout: Some(BrownoutConfig {
+                window: 2,
+                ..BrownoutConfig::default()
+            }),
+            ..ServiceConfig::default()
+        });
+        let doomed = selection().with_budget(QueryBudget {
+            deadline: Some(Duration::ZERO),
+            max_candidates: None,
+        });
+        // Windows of 2: submissions 1-6 abort on their deadline and
+        // breach three consecutive windows (Normal → CoarsePlans →
+        // ForceSoftware → Shed); submission 7 is shed at the door.
+        for _ in 0..6 {
+            assert!(matches!(
+                engine.execute(&doomed).unwrap_err(),
+                ServiceError::DeadlineExceeded { .. }
+            ));
+        }
+        assert_eq!(engine.brownout_rung(), BrownoutRung::ForceSoftware);
+        let err = engine.execute(&doomed).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Overloaded {
+                retry_after_queries: 2
+            }
+        );
+        assert_eq!(engine.brownout_rung(), BrownoutRung::Shed);
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.brownout_steps, 3);
+        assert_eq!(stats.overload_sheds, 1);
+        assert_eq!(stats.deadline_aborts, 6);
+        assert_eq!(stats.completed, 0);
+    }
+
+    /// Clean windows walk the ladder back down one rung at a time, and
+    /// the queries that complete on the way down return exactly the
+    /// rows an undegraded engine returns (invariant 13).
+    #[test]
+    fn brownout_recovers_on_clean_windows_with_identical_rows() {
+        let engine = tiny_engine(ServiceConfig {
+            brownout: Some(BrownoutConfig {
+                window: 2,
+                ..BrownoutConfig::default()
+            }),
+            ..ServiceConfig::default()
+        });
+        let doomed = selection().with_budget(QueryBudget {
+            deadline: Some(Duration::ZERO),
+            max_candidates: None,
+        });
+        for _ in 0..7 {
+            let _ = engine.execute(&doomed);
+        }
+        assert_eq!(engine.brownout_rung(), BrownoutRung::Shed);
+        let clean_rows = tiny_engine(ServiceConfig::default())
+            .execute(&selection())
+            .expect("reference engine completes")
+            .rows;
+        // One more shed fills the all-shed (hence clean) window; the
+        // following submissions step down a rung per clean window and
+        // complete with undegraded rows.
+        assert!(matches!(
+            engine.execute(&selection()).unwrap_err(),
+            ServiceError::Overloaded { .. }
+        ));
+        let mut completions = 0;
+        for _ in 0..6 {
+            if let Ok(resp) = engine.execute(&selection()) {
+                assert_eq!(resp.rows, clean_rows, "brownout must not change rows");
+                completions += 1;
+            }
+        }
+        assert_eq!(engine.brownout_rung(), BrownoutRung::Normal);
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.brownout_recoveries, 3);
+        assert_eq!(stats.completed, completions);
+        assert!(completions > 0, "recovery must let queries through");
+    }
+
+    /// With brownouts disabled (the default) nothing sheds and the new
+    /// counters stay zero, whatever the outcome mix.
+    #[test]
+    fn disabled_brownout_never_sheds() {
+        let engine = tiny_engine(ServiceConfig::default());
+        let doomed = selection().with_budget(QueryBudget {
+            deadline: Some(Duration::ZERO),
+            max_candidates: None,
+        });
+        for _ in 0..20 {
+            assert!(matches!(
+                engine.execute(&doomed).unwrap_err(),
+                ServiceError::DeadlineExceeded { .. }
+            ));
+        }
+        assert_eq!(engine.brownout_rung(), BrownoutRung::Normal);
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.overload_sheds, 0);
+        assert_eq!(stats.brownout_steps, 0);
+        assert_eq!(stats.brownout_recoveries, 0);
     }
 }

@@ -29,10 +29,15 @@
 //!   batched hardware} wins. Invariant 13: the choice never changes
 //!   results — every backend is exact, so planning is purely a latency
 //!   decision.
+//! * **Brownouts** — under sustained overload a deterministic
+//!   controller ([`BrownoutConfig`]) steps a degradation ladder —
+//!   coarser plans → forced software → typed shedding
+//!   ([`ServiceError::Overloaded`]) — and walks back down as windows
+//!   come back clean (DESIGN.md §13). Rows never change on any rung.
 //! * **Accounting** — [`ServiceStats`] balances exactly:
-//!   `submitted == admitted + rejected` and `admitted == completed +
-//!   deadline_aborts + budget_aborts + unknown_dataset`, with per-stage
-//!   latency histograms.
+//!   `submitted == admitted + rejected + overload_sheds` and
+//!   `admitted == completed + deadline_aborts + budget_aborts +
+//!   unknown_dataset`, with per-stage latency histograms.
 //!
 //! # Example
 //!
@@ -60,11 +65,13 @@
 //! ```
 
 mod admission;
+mod brownout;
 mod engine;
 mod planner;
 mod request;
 mod stats;
 
+pub use brownout::{BrownoutConfig, BrownoutRung};
 pub use engine::{QueryEngine, ServiceConfig, ServiceSnapshot};
 pub use planner::{PlanChoice, PlannerConfig, PlannerMode};
 pub use request::{

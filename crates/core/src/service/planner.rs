@@ -115,6 +115,10 @@ struct MemoKey {
     candidates_log2: u32,
     sample_vertices: u64,
     width_bits: u64,
+    /// Resolution cap in force (brownout `CoarsePlans` prices fewer
+    /// resolutions, so its plans must not be served to — or from — an
+    /// uncapped pricing pass).
+    res_limit: u8,
 }
 
 #[derive(Debug)]
@@ -149,13 +153,32 @@ impl Planner {
     /// Prices the query described by (`kind`, `distance`, `candidates`,
     /// `sample`) and returns the cheapest plan. `sample` holds up to
     /// [`PlannerConfig::sample`] candidate pairs in the filter stage's
-    /// deterministic order.
+    /// deterministic order. (The engine always goes through
+    /// [`plan_limited`](Self::plan_limited); this uncapped spelling
+    /// keeps the planner's own tests readable.)
+    #[cfg(test)]
     pub(crate) fn plan(
         &mut self,
         kind: u8,
         distance: Option<f64>,
         candidates: usize,
         sample: &[(&Polygon, &Polygon)],
+    ) -> Planned {
+        self.plan_limited(kind, distance, candidates, sample, usize::MAX)
+    }
+
+    /// [`plan`](Self::plan) with a cap on how many of the configured
+    /// resolutions are priced, coarsest first — the brownout
+    /// controller's `CoarsePlans` rung passes 1 so pricing (and the
+    /// resulting hardware passes) run at the cheapest window only.
+    /// Whatever the cap, the chosen plan is exact (invariant 13).
+    pub(crate) fn plan_limited(
+        &mut self,
+        kind: u8,
+        distance: Option<f64>,
+        candidates: usize,
+        sample: &[(&Polygon, &Polygon)],
+        res_limit: usize,
     ) -> Planned {
         if candidates == 0 || sample.is_empty() {
             // Nothing to refine: the backend is irrelevant, software
@@ -175,6 +198,7 @@ impl Planner {
             candidates_log2: (usize::BITS - 1).saturating_sub(candidates.leading_zeros()),
             sample_vertices,
             width_bits: distance.map_or(0, f64::to_bits),
+            res_limit: res_limit.min(u8::MAX as usize) as u8,
         };
         if let Some(&choice) = self.memo.get(&key) {
             return Planned {
@@ -183,7 +207,7 @@ impl Planner {
             };
         }
 
-        let choice = self.price(distance, candidates, sample, sample_vertices);
+        let choice = self.price(distance, candidates, sample, sample_vertices, res_limit);
         if self.memo.len() >= self.cfg.memo_entries {
             self.memo.clear();
         }
@@ -202,6 +226,7 @@ impl Planner {
         candidates: usize,
         sample: &[(&Polygon, &Polygon)],
         sample_vertices: u64,
+        res_limit: usize,
     ) -> PlanChoice {
         let n = candidates as f64;
         let mean_vertices = sample_vertices as f64 / sample.len() as f64;
@@ -211,7 +236,11 @@ impl Planner {
         // Fixed per-test overhead a batched submission amortizes: two
         // boundary draw calls and one verdict readback per pair.
         let fixed = 2.0 * self.model.draw_call_ns + self.model.minmax_ns;
-        let resolutions = self.cfg.resolutions.clone();
+        // Under a brownout cap only the coarsest (cheapest) windows are
+        // candidates; sort so "coarsest first" holds for any config.
+        let mut resolutions = self.cfg.resolutions.clone();
+        resolutions.sort_unstable();
+        resolutions.truncate(res_limit.max(1));
         for r in resolutions {
             let mut total_ns = 0.0;
             let mut priced = 0usize;
@@ -410,6 +439,29 @@ mod tests {
         assert!(!first.memo_hit);
         assert!(second.memo_hit);
         assert_eq!(first.choice, second.choice);
+    }
+
+    #[test]
+    fn resolution_cap_prices_only_the_coarsest_windows() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = ring(5.0, 5.0, 4.0, 600);
+        let b = ring(6.0, 5.0, 4.0, 600);
+        let capped = pl.plan_limited(2, None, 10_000, &[(&a, &b)], 1);
+        match capped.choice {
+            PlanChoice::Hardware { resolution, .. } => {
+                assert_eq!(
+                    resolution, 4,
+                    "cap of 1 must price the coarsest window only"
+                );
+            }
+            PlanChoice::Software => panic!("this workload crosses over to hardware"),
+        }
+        // The capped pass memoizes under its own key: the uncapped plan
+        // still runs a fresh pricing pass over every resolution.
+        let uncapped = pl.plan(2, None, 10_000, &[(&a, &b)]);
+        assert!(!uncapped.memo_hit, "cap must partition the memo");
+        // And a repeat capped plan hits the capped entry.
+        assert!(pl.plan_limited(2, None, 10_000, &[(&a, &b)], 1).memo_hit);
     }
 
     #[test]

@@ -217,6 +217,11 @@ pub enum ServiceError {
         candidates: usize,
         max_candidates: usize,
     },
+    /// The brownout controller's shed rung refused the query before it
+    /// reached admission. `retry_after_queries` is the number of
+    /// submissions until the controller re-evaluates at its next window
+    /// boundary — the earliest point at which shedding can stop.
+    Overloaded { retry_after_queries: u32 },
 }
 
 impl fmt::Display for ServiceError {
@@ -243,6 +248,12 @@ impl fmt::Display for ServiceError {
                 f,
                 "candidate budget exceeded: filter produced {candidates} candidates, \
                  budget allows {max_candidates}"
+            ),
+            ServiceError::Overloaded {
+                retry_after_queries,
+            } => write!(
+                f,
+                "service overloaded: shedding load, retry after {retry_after_queries} queries"
             ),
         }
     }

@@ -7,9 +7,14 @@
 //! states the closed-form identity the property tests pin:
 //!
 //! ```text
-//! submitted == admitted + rejected
+//! submitted == admitted + rejected + overload_sheds
 //! admitted  == completed + deadline_aborts + budget_aborts + unknown_dataset
 //! ```
+//!
+//! `overload_sheds` counts queries the brownout controller (DESIGN.md
+//! §13) refused before admission; the brownout and failover counters
+//! below make tier-2 degradation and tier-1 shard failover observable
+//! from the serving layer without breaking either identity.
 
 use std::time::Duration;
 
@@ -120,6 +125,20 @@ pub struct ServiceStats {
     pub plan_cache_hits: u64,
     /// Plans that ran a fresh pricing pass.
     pub plan_cache_misses: u64,
+    /// Queries refused by the brownout controller's shed rung before
+    /// admission (typed `ServiceError::Overloaded`).
+    pub overload_sheds: u64,
+    /// Brownout ladder steps toward shedding (one per breached window).
+    pub brownout_steps: u64,
+    /// Brownout ladder steps back toward normal (one per clean window).
+    pub brownout_recoveries: u64,
+    /// Shard failovers observed by completed queries, summed from their
+    /// pipelines' `TestStats::shard_failovers` — the serving-layer view
+    /// of tier-1 resilience.
+    pub shard_failovers: u64,
+    /// Quarantined-shard probe reinstatements observed by completed
+    /// queries (summed from `TestStats::probe_reinstates`).
+    pub probe_reinstates: u64,
     /// Snapshot swaps (`QueryEngine::reload`).
     pub reloads: u64,
     /// Per-stage latency histograms for admitted queries.
@@ -127,9 +146,11 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// The ledger identity: every submission is accounted exactly once.
+    /// The ledger identity: every submission is accounted exactly once
+    /// — admitted, rejected at the door, or shed by the brownout
+    /// controller before admission.
     pub fn balanced(&self) -> bool {
-        self.submitted == self.admitted + self.rejected
+        self.submitted == self.admitted + self.rejected + self.overload_sheds
             && self.admitted
                 == self.completed + self.deadline_aborts + self.budget_aborts + self.unknown_dataset
     }
@@ -176,6 +197,23 @@ mod tests {
         };
         assert!(s.balanced());
         s.completed = 6;
+        assert!(!s.balanced());
+    }
+
+    /// Sheds sit outside admission: they balance against `submitted`
+    /// directly, not against the admitted-outcome identity.
+    #[test]
+    fn balance_identity_with_sheds() {
+        let mut s = ServiceStats {
+            submitted: 12,
+            admitted: 8,
+            rejected: 2,
+            overload_sheds: 2,
+            completed: 8,
+            ..ServiceStats::default()
+        };
+        assert!(s.balanced());
+        s.overload_sheds = 3;
         assert!(!s.balanced());
     }
 }

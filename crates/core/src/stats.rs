@@ -35,9 +35,23 @@ pub struct TestStats {
     /// Faulted submissions that were retried against the device.
     pub retries: usize,
     /// Times the circuit breaker tripped: a submission was refused without
-    /// touching the device because too many consecutive faults had been
-    /// observed.
+    /// touching the device because *every* shard sat behind an open,
+    /// unripe breaker.
     pub quarantined: usize,
+    /// Submissions aimed at a shard whose breaker was open and executed on
+    /// another shard instead (the stable rehash over healthy shards —
+    /// DESIGN.md §13 tier 1). Failover moves work, never results: the
+    /// invariant-14 ledger `hw_tests + fallback_tests == clean hw_tests`
+    /// balances whichever shard serves.
+    pub shard_failovers: usize,
+    /// Per-shard breaker openings (each shard counted once per opening; a
+    /// failed probe re-arms the same opening without recounting it).
+    pub shard_quarantined: usize,
+    /// Half-open probe submissions let through to a shard whose charged
+    /// probation cool-down had elapsed on the modeled clock.
+    pub probes: usize,
+    /// Probes that succeeded and closed their shard's breaker again.
+    pub probe_reinstates: usize,
     /// Modeled recovery cost (retry backoff), in nanoseconds. Charged by
     /// the supervisor instead of sleeping, and added to the reported
     /// geometry time the same way `gpu_modeled` is.
@@ -77,6 +91,10 @@ impl TestStats {
         self.device_faults += o.device_faults;
         self.retries += o.retries;
         self.quarantined += o.quarantined;
+        self.shard_failovers += o.shard_failovers;
+        self.shard_quarantined += o.shard_quarantined;
+        self.probes += o.probes;
+        self.probe_reinstates += o.probe_reinstates;
         self.recovery_ns += o.recovery_ns;
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
@@ -192,6 +210,10 @@ mod tests {
             device_faults: 3,
             retries: 2,
             quarantined: 1,
+            shard_failovers: 4,
+            shard_quarantined: 2,
+            probes: 3,
+            probe_reinstates: 1,
             recovery_ns: 100,
             cache_hits: 7,
             cache_misses: 3,
@@ -211,6 +233,10 @@ mod tests {
         assert_eq!(t.device_faults, 6);
         assert_eq!(t.retries, 4);
         assert_eq!(t.quarantined, 2);
+        assert_eq!(t.shard_failovers, 8);
+        assert_eq!(t.shard_quarantined, 4);
+        assert_eq!(t.probes, 6);
+        assert_eq!(t.probe_reinstates, 2);
         assert_eq!(t.recovery_ns, 200);
         assert_eq!(t.gpu_modeled, Duration::from_micros(4));
         assert_eq!(t.sim_wall, Duration::from_micros(14));

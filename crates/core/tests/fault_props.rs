@@ -168,6 +168,7 @@ proptest! {
                 max_retries: 1,
                 backoff_ns: 10,
                 quarantine_after: 2,
+                probation_ns: None,
             },
             ..EngineConfig::hardware(hw)
         });

@@ -71,16 +71,43 @@ pub struct FaultPlan {
     pub kind: FaultKind,
     /// When faults fire.
     pub trigger: FaultTrigger,
+    /// Restricts the schedule to one shard of a sharded ensemble: when
+    /// [`super::DeviceKind::for_shard`] builds shard `i`, a plan targeting
+    /// `Some(s)` with `s != i` is stripped entirely, so only shard `s`
+    /// faults. `None` (the default) schedules faults on every shard.
+    pub shard: Option<usize>,
 }
 
 impl FaultPlan {
     /// A plan faulting as `kind` whenever `trigger` fires, seeded for the
-    /// per-fault choices.
+    /// per-fault choices, on every shard it is instantiated for.
     pub fn new(seed: u64, kind: FaultKind, trigger: FaultTrigger) -> Self {
         FaultPlan {
             seed,
             kind,
             trigger,
+            shard: None,
+        }
+    }
+
+    /// The same plan restricted to shard `shard` of a sharded ensemble —
+    /// the chaos-test shape "exactly one shard is sick".
+    pub fn on_shard(self, shard: usize) -> Self {
+        FaultPlan {
+            shard: Some(shard),
+            ..self
+        }
+    }
+
+    /// The same schedule with the per-fault choices (which float a
+    /// bit-flip corrupts) decorrelated for shard `shard`. The trigger is
+    /// untouched — *when* faults fire stays identical across shards —
+    /// and shard 0 keeps the original seed, so a one-shard ensemble
+    /// replays the flat plan bit for bit.
+    pub fn salted(self, shard: usize) -> Self {
+        FaultPlan {
+            seed: self.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..self
         }
     }
 }
@@ -212,6 +239,15 @@ impl RasterDevice for FaultDevice {
         // Routing is not a submission: it never advances the fault
         // schedule, it only forwards to whatever the injector wraps.
         self.inner.route(shard);
+    }
+
+    fn shards(&self) -> usize {
+        self.inner.shards()
+    }
+
+    fn set_shard_health(&mut self, shard: usize, healthy: bool) {
+        // Health bookkeeping is not a submission either: forward verbatim.
+        self.inner.set_shard_health(shard, healthy);
     }
 
     fn snapshot(&self) -> Option<FrameBuffer> {

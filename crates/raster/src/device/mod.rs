@@ -78,7 +78,7 @@ pub use crate::context::PixelRect;
 pub use command::{Command, CommandList, RecordError, Recorder};
 pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultTrigger};
 pub use reference::ReferenceDevice;
-pub use shard::ShardedDevice;
+pub use shard::{failover_route, ShardedDevice};
 pub use simd::SimdDevice;
 pub use template::ListTemplate;
 pub use tiled::TiledDevice;
@@ -277,11 +277,29 @@ pub trait RasterDevice: Send + std::fmt::Debug {
     /// Selects which shard subsequent [`RasterDevice::execute`] calls land
     /// on. Single-backend executors have nothing to route — the default is
     /// a no-op — while [`ShardedDevice`] switches its active inner backend
-    /// (modulo its shard count) and [`FaultDevice`] forwards to whatever it
-    /// wraps. Callers route by partition index (`partition % shards`), a
-    /// pure function of the partition, so sharded execution stays
-    /// deterministic.
+    /// (modulo its shard count, rehashed over its healthy shards) and
+    /// [`FaultDevice`] forwards to whatever it wraps. Callers route by
+    /// partition index (`partition % shards`), a pure function of the
+    /// partition, so sharded execution stays deterministic.
     fn route(&mut self, _shard: usize) {}
+
+    /// How many independently routable shards this device fans out to.
+    /// `1` for single-backend executors (the default); [`ShardedDevice`]
+    /// reports its inner-backend count and [`FaultDevice`] forwards. The
+    /// supervisor in `core` sizes its per-shard health table from this.
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// Marks one shard healthy or unhealthy for routing purposes:
+    /// [`ShardedDevice::route`] rehashes submissions aimed at an unhealthy
+    /// shard onto the next healthy one ([`shard::failover_route`]). A
+    /// no-op on unsharded executors (the default) — a single-backend
+    /// device has nowhere else to send work, so health lives entirely in
+    /// the caller's breaker. Health never affects *what* a shard computes,
+    /// only which shard computes it, so the bit-identity invariant is
+    /// untouched.
+    fn set_shard_health(&mut self, _shard: usize, _healthy: bool) {}
 
     /// The final framebuffer of the most recent [`RasterDevice::execute`],
     /// if any — for equivalence tests and debugging dumps, not for the
@@ -369,6 +387,29 @@ impl DeviceKind {
         DeviceKind::Sharded {
             inner: Box::new(self),
             shards,
+        }
+    }
+
+    /// The kind shard `shard` of a [`ShardedDevice`] instantiates:
+    /// fault plans targeted at a *different* shard ([`FaultPlan::on_shard`])
+    /// are stripped, and untargeted plans keep their trigger schedule but
+    /// get a shard-salted seed ([`FaultPlan::salted`]) so each shard's
+    /// injector draws independent per-fault choices. Shard 0 keeps the
+    /// plan verbatim, so a one-shard ensemble faults exactly like the flat
+    /// device it wraps.
+    pub fn for_shard(&self, shard: usize) -> DeviceKind {
+        match self {
+            DeviceKind::Fault { inner, plan } => {
+                let inner = inner.for_shard(shard);
+                match plan.shard {
+                    Some(target) if target != shard => inner,
+                    _ => DeviceKind::Fault {
+                        inner: Box::new(inner),
+                        plan: plan.salted(shard),
+                    },
+                }
+            }
+            other => other.clone(),
         }
     }
 }

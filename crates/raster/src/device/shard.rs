@@ -5,15 +5,20 @@
 //! instance — its own board, machine, or simulated backend.
 //! [`ShardedDevice`] is that fan-out point: it owns `K` inner executors
 //! built from one [`DeviceKind`] (any kind, including `Fault`-wrapped
-//! ones, so every shard gets its own identically-seeded injector and the
-//! whole ensemble stays deterministic), and routes each submission to the
-//! shard selected by the most recent [`RasterDevice::route`] call.
+//! ones, so every shard gets its own deterministically seeded injector —
+//! see [`DeviceKind::for_shard`] — and the whole ensemble stays
+//! deterministic), and routes each submission to the shard selected by
+//! the most recent [`RasterDevice::route`] call.
 //!
 //! Routing is state the *caller* owns: partition `p` routes to shard
 //! `p % K`, a pure function of the partition index, never of thread
-//! timing. Each shard is an ordinary [`RasterDevice`] and keeps the
-//! purity contract (same list → same [`Execution`]), so the ensemble is
-//! as deterministic as its parts.
+//! timing. When the caller's breaker marks a shard unhealthy
+//! ([`RasterDevice::set_shard_health`]), the requested index is rehashed
+//! over the healthy set by [`failover_route`] — still a pure function of
+//! (index, mask), so failover is exactly as deterministic as the happy
+//! path (DESIGN.md §13). Each shard is an ordinary [`RasterDevice`] and
+//! keeps the purity contract (same list → same [`Execution`]), so the
+//! ensemble is as deterministic as its parts.
 //!
 //! Cross-shard results are combined with [`ShardedDevice::merge`], which
 //! folds a sequence of per-partition executions *in the order given* —
@@ -53,24 +58,56 @@ use super::{DeviceError, DeviceKind, Execution, RasterDevice};
 use crate::framebuffer::FrameBuffer;
 use crate::stats::HwStats;
 
+/// The stable rehash the failover tier routes by: starting at `desired`,
+/// walk shard indices in order (wrapping) and return the first healthy
+/// one, or `None` when no shard is healthy. A pure function of its
+/// arguments — the same desired shard and health mask always pick the
+/// same physical shard, so failover never depends on submission history
+/// or thread timing, and a fully healthy mask is the identity
+/// (`desired % len`).
+pub fn failover_route(desired: usize, healthy: &[bool]) -> Option<usize> {
+    let n = healthy.len();
+    if n == 0 {
+        return None;
+    }
+    (0..n)
+        .map(|step| (desired + step) % n)
+        .find(|&s| healthy[s])
+}
+
 /// K independent inner backends behind one [`RasterDevice`] front.
 ///
 /// Submissions execute on the *active* shard — shard 0 until the first
 /// [`RasterDevice::route`] call. Shards share nothing: each has its own
 /// framebuffer, its own fault-injection schedule when the inner kind is
-/// `Fault`-wrapped, and its own submission history.
+/// `Fault`-wrapped, and its own submission history. Shard `i` is built
+/// from [`DeviceKind::for_shard`], so an untargeted fault plan salts its
+/// per-fault seed per shard and a [`super::FaultPlan::on_shard`] plan
+/// faults exactly one shard.
+///
+/// Each shard also carries a health bit
+/// ([`RasterDevice::set_shard_health`], all healthy at construction):
+/// [`RasterDevice::route`] resolves the requested shard through
+/// [`failover_route`], so submissions aimed at a shard the caller's
+/// breaker has opened land on the next healthy shard instead. When every
+/// shard is unhealthy, routing falls back to the requested index — the
+/// caller is expected to stop submitting (software fallback) before that
+/// matters.
 #[derive(Debug)]
 pub struct ShardedDevice {
     shards: Vec<Box<dyn RasterDevice>>,
+    healthy: Vec<bool>,
     active: usize,
 }
 
 impl ShardedDevice {
     /// Builds `shards` independent instances of `inner` (clamped to at
-    /// least one).
+    /// least one), all healthy.
     pub fn new(inner: &DeviceKind, shards: usize) -> Self {
+        let n = shards.max(1);
         ShardedDevice {
-            shards: (0..shards.max(1)).map(|_| inner.build()).collect(),
+            shards: (0..n).map(|i| inner.for_shard(i).build()).collect(),
+            healthy: vec![true; n],
             active: 0,
         }
     }
@@ -83,6 +120,11 @@ impl ShardedDevice {
     /// The shard index submissions currently execute on.
     pub fn active(&self) -> usize {
         self.active
+    }
+
+    /// The current health mask, in shard order.
+    pub fn healthy(&self) -> &[bool] {
+        &self.healthy
     }
 
     /// Folds per-partition executions into one, **in the order given**:
@@ -113,7 +155,21 @@ impl RasterDevice for ShardedDevice {
     }
 
     fn route(&mut self, shard: usize) {
-        self.active = shard % self.shards.len();
+        let desired = shard % self.shards.len();
+        self.active = failover_route(desired, &self.healthy).unwrap_or(desired);
+    }
+
+    fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn set_shard_health(&mut self, shard: usize, healthy: bool) {
+        let n = self.shards.len();
+        self.healthy[shard % n] = healthy;
+        // Keep the active shard consistent with the new mask: a submission
+        // routed before the health change must not land on a shard that
+        // just went dark.
+        self.active = failover_route(self.active, &self.healthy).unwrap_or(self.active);
     }
 
     fn snapshot(&self) -> Option<FrameBuffer> {
@@ -183,6 +239,54 @@ mod tests {
     fn zero_shard_request_clamps_to_one() {
         let dev = ShardedDevice::new(&DeviceKind::Reference, 0);
         assert_eq!(dev.shards(), 1);
+    }
+
+    #[test]
+    fn unhealthy_shards_are_rehashed_around() {
+        let list = minmax_list();
+        let reference = DeviceKind::Reference.build().execute(&list).unwrap();
+        let mut dev = ShardedDevice::new(&DeviceKind::Reference, 4);
+        dev.set_shard_health(1, false);
+        dev.route(1);
+        assert_eq!(dev.active(), 2, "desired shard is sick: next one serves");
+        assert_eq!(dev.execute(&list).unwrap(), reference);
+        dev.set_shard_health(1, true);
+        dev.route(1);
+        assert_eq!(dev.active(), 1, "re-admitted shard serves again");
+    }
+
+    #[test]
+    fn failover_route_is_a_stable_rehash() {
+        assert_eq!(failover_route(2, &[true, true, true, true]), Some(2));
+        assert_eq!(failover_route(2, &[true, true, false, true]), Some(3));
+        assert_eq!(failover_route(3, &[true, false, false, false]), Some(0));
+        assert_eq!(failover_route(1, &[false, false]), None);
+        assert_eq!(failover_route(0, &[]), None);
+        // Indices past the mask length wrap like route() does.
+        assert_eq!(failover_route(6, &[true, false, true]), Some(0));
+    }
+
+    #[test]
+    fn health_change_moves_the_active_shard_off_a_dead_one() {
+        let mut dev = ShardedDevice::new(&DeviceKind::Reference, 3);
+        dev.route(2);
+        assert_eq!(dev.active(), 2);
+        dev.set_shard_health(2, false);
+        assert_eq!(dev.active(), 0, "active shard rehashed after it died");
+    }
+
+    #[test]
+    fn targeted_plans_fault_only_their_shard() {
+        use super::super::{FaultKind, FaultPlan, FaultTrigger};
+        let plan = FaultPlan::new(5, FaultKind::Timeout, FaultTrigger::EveryK(1)).on_shard(1);
+        let kind = DeviceKind::Reference.with_faults(plan);
+        let mut dev = ShardedDevice::new(&kind, 3);
+        let list = minmax_list();
+        for shard in 0..3 {
+            dev.route(shard);
+            let r = dev.execute(&list);
+            assert_eq!(r.is_err(), shard == 1, "shard {shard}");
+        }
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub use context::{
 };
 pub use cost_model::HwCostModel;
 pub use device::{
-    Command, CommandList, DeviceError, DeviceKind, Execution, FaultDevice, FaultKind, FaultPlan,
-    FaultTrigger, ListTemplate, RasterDevice, Readback, RecordError, Recorder, ReferenceDevice,
-    ShardedDevice, SimdDevice, TiledDevice,
+    failover_route, Command, CommandList, DeviceError, DeviceKind, Execution, FaultDevice,
+    FaultKind, FaultPlan, FaultTrigger, ListTemplate, RasterDevice, Readback, RecordError,
+    Recorder, ReferenceDevice, ShardedDevice, SimdDevice, TiledDevice,
 };
 pub use framebuffer::FrameBuffer;
 pub use stats::HwStats;

@@ -394,4 +394,79 @@ proptest! {
             prop_assert_eq!(merged.stats.draw_calls, n * ref_exec.stats.draw_calls);
         }
     }
+
+    /// `failover_route` is a stable rehash: the identity when the
+    /// desired shard is healthy, otherwise the nearest healthy
+    /// successor in cyclic scan order, and `None` exactly when no shard
+    /// is healthy. Pure function of (desired, mask) — calling it twice
+    /// can never disagree.
+    #[test]
+    fn failover_route_is_identity_or_nearest_healthy_successor(
+        desired in 0usize..64,
+        // 0/1 per shard (the vendored proptest has no `any::<bool>()`).
+        health_bits in prop::collection::vec(0usize..2, 1..8),
+    ) {
+        use spatial_raster::failover_route;
+        let healthy: Vec<bool> = health_bits.into_iter().map(|b| b == 1).collect();
+        let n = healthy.len();
+        let d = desired % n;
+        let got = failover_route(d, &healthy);
+        prop_assert_eq!(got, failover_route(d, &healthy), "must be pure");
+        match got {
+            None => prop_assert!(healthy.iter().all(|&h| !h)),
+            Some(s) => {
+                prop_assert!(healthy[s], "routed to an unhealthy shard");
+                if healthy[d] {
+                    prop_assert_eq!(s, d, "healthy desired shard must be kept");
+                }
+                // No healthy shard sits strictly between desired and the
+                // pick in scan order — the rehash is minimal.
+                let steps = (s + n - d) % n;
+                for k in 0..steps {
+                    prop_assert!(!healthy[(d + k) % n]);
+                }
+            }
+        }
+    }
+
+    /// With one shard marked dead, every route still executes — on the
+    /// rehashed shard — and stays bit-identical to the reference across
+    /// shard counts {1, 2, 4}: the health mask moves work, never
+    /// results.
+    #[test]
+    fn dead_shard_rehash_is_bit_identical(
+        scene in arb_scene(),
+        dead in 0usize..4,
+        routes in prop::collection::vec(0usize..8, 1..5),
+    ) {
+        use spatial_raster::{DeviceKind, ShardedDevice};
+        let list = record(&scene);
+        let (ref_exec, ref_fb) = reference_run(&list);
+        for shards in [1usize, 2, 4] {
+            let mut dev = ShardedDevice::new(&DeviceKind::Simd, shards);
+            let dead = dead % shards;
+            if shards > 1 {
+                dev.set_shard_health(dead, false);
+            }
+            for &r in &routes {
+                dev.route(r);
+                if shards > 1 {
+                    prop_assert_ne!(
+                        dev.active(), dead,
+                        "route {} landed on the dead shard of {}", r, shards
+                    );
+                }
+                let exec = dev.execute(&list).expect("simulated executors are infallible");
+                prop_assert_eq!(&exec.stats, &ref_exec.stats, "stats diverged, {} shards", shards);
+                prop_assert_eq!(&exec.readbacks, &ref_exec.readbacks);
+                prop_assert!(dev.snapshot().expect("ran") == ref_fb);
+            }
+            // Reinstating the shard restores identity routing.
+            if shards > 1 {
+                dev.set_shard_health(dead, true);
+                dev.route(dead);
+                prop_assert_eq!(dev.active(), dead);
+            }
+        }
+    }
 }
