@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the area-of-overlap aggregation
+//! pipeline (DESIGN.md §14) on the LANDC ⋈ LANDO join: the recorded
+//! stencil choreography across the resolution ladder, against the exact
+//! polygon-clipping oracle over the same candidate pairs. Quantization
+//! is the whole trade — per-pair hardware cost grows with the stencil
+//! raster area while the oracle pays per clipped triangle pair — so the
+//! two groups together price the §14 envelope. Small scale and sample
+//! counts keep `cargo bench --workspace` in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwa_core::{EngineConfig, HwConfig, PreparedDataset, SpatialEngine};
+use spatial_geom::overlap_area_exact;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+fn pair() -> (PreparedDataset, PreparedDataset) {
+    let a = spatial_datagen::landc(SCALE, SEED);
+    let b = spatial_datagen::lando(SCALE, SEED);
+    (
+        PreparedDataset::new(a.name, a.polygons),
+        PreparedDataset::new(b.name, b.polygons),
+    )
+}
+
+fn hw_base() -> EngineConfig {
+    EngineConfig::hardware(HwConfig::at_resolution(8).with_threshold(0))
+}
+
+/// The hardware choreography across the contractual resolution ladder:
+/// cost per pair scales with the stencil raster, precision with the
+/// per-pixel cell area.
+fn bench_overlap_resolution(c: &mut Criterion) {
+    let (a, b) = pair();
+    let mut g = c.benchmark_group("overlap_area_resolution");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for res in [4usize, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(res), &res, |bch, &res| {
+            let mut e = SpatialEngine::new(hw_base());
+            bch.iter(|| {
+                let (rows, _) = e.overlap_area_join(black_box(&a), black_box(&b), res);
+                rows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The exact polygon-clipping oracle over the same candidate pairs —
+/// what an application pays in software when it cannot accept
+/// quantization. The candidate set is computed once outside the timed
+/// region: the MBR filter stage is shared by both sides, so only the
+/// per-pair area work is measured.
+fn bench_overlap_exact_baseline(c: &mut Criterion) {
+    let (a, b) = pair();
+    let (pairs, _) = SpatialEngine::new(EngineConfig::software()).intersection_join(&a, &b);
+    let mut g = c.benchmark_group("overlap_area_exact_baseline");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("clip_all_pairs", |bch| {
+        bch.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|&(i, j)| {
+                    overlap_area_exact(black_box(a.polygon(i)), black_box(b.polygon(j)))
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overlap_resolution,
+    bench_overlap_exact_baseline
+);
+criterion_main!(benches);

@@ -10,10 +10,11 @@ use hwa_core::service::{
     QueryRequest, ServiceConfig, ServiceSnapshot,
 };
 use hwa_core::{
-    CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig, RecordingOptions,
-    RecoveryPolicy,
+    overlap_cell_area, CostBreakdown, DeviceKind, FaultKind, FaultPlan, FaultTrigger, HwConfig,
+    RecordingOptions, RecoveryPolicy,
 };
 use spatial_bench::{engine_with, header, software_engine, BenchOpts, Workloads};
+use spatial_geom::overlap_area_exact;
 use spatial_raster::OverlapStrategy;
 
 /// Asserts a reference-device run and an alternate-device run (tiled,
@@ -150,6 +151,34 @@ fn check_fault_pair(
     if ft.fallback_tests > 0 && ft.device_faults == 0 && ft.quarantined == 0 {
         println!("FAIL fault sweep {label}: fallbacks charged without any fault");
         *failures += 1;
+    }
+}
+
+/// Asserts two area-of-overlap row sets are bit-identical: same pairs in
+/// the same order with the same quantized f64 area bits (DESIGN.md §14).
+fn check_aggregate_rows(
+    label: &str,
+    reference: &[(usize, usize, f64)],
+    got: &[(usize, usize, f64)],
+    failures: &mut usize,
+) {
+    if reference.len() != got.len() {
+        println!(
+            "FAIL aggregate rows {label}: {} rows vs {} in reference",
+            got.len(),
+            reference.len()
+        );
+        *failures += 1;
+        return;
+    }
+    for ((i, j, a), (ri, rj, ra)) in got.iter().zip(reference) {
+        if (i, j) != (ri, rj) || a.to_bits() != ra.to_bits() {
+            println!(
+                "FAIL aggregate rows {label}: ({i}, {j}, {a}) vs reference ({ri}, {rj}, {ra})"
+            );
+            *failures += 1;
+            return;
+        }
     }
 }
 
@@ -1248,6 +1277,141 @@ fn main() {
             "brownout cross-check verified: {} steps up, {} recoveries, {} sheds, \
              {completions} degraded completions row-identical to reference",
             stats.brownout_steps, stats.brownout_recoveries, stats.overload_sheds
+        );
+    }
+
+    // Aggregation sweep (`--aggregate`): the area-of-overlap pipeline
+    // (DESIGN.md §14) is a *measurement*, so it carries two contracts at
+    // once — every backend × partition grid × seeded fault plan must
+    // report bit-identical `(i, j, area)` rows with a balanced
+    // degradation ledger, and every reported area must sit inside the
+    // quantization envelope of the exact clipped-polygon oracle.
+    if opts.aggregate {
+        let hw = HwConfig::at_resolution(8).with_threshold(0);
+        let make = |device: DeviceKind, grid: usize, shards: usize| {
+            SpatialEngine::new(EngineConfig {
+                device,
+                partition: PartitionConfig::grid(grid).with_shards(shards),
+                use_object_filters: true,
+                ..EngineConfig::hardware(hw)
+            })
+        };
+        let devices = [
+            ("reference", DeviceKind::Reference),
+            ("simd", DeviceKind::Simd),
+            (
+                "tiled",
+                DeviceKind::Tiled {
+                    tiles: 3,
+                    threads: 2,
+                },
+            ),
+            (
+                "tiled+simd",
+                DeviceKind::TiledSimd {
+                    tiles: 4,
+                    threads: 2,
+                },
+            ),
+        ];
+        let plans = [
+            (
+                "transient context loss",
+                FaultPlan::new(51, FaultKind::ContextLost, FaultTrigger::EveryK(3)),
+            ),
+            (
+                "readback bit-flips",
+                FaultPlan::new(52, FaultKind::ReadbackBitFlip, FaultTrigger::EveryK(2)),
+            ),
+        ];
+        let mut pairs_checked = 0usize;
+        for res in [4usize, 16, 48] {
+            let (base, base_cost) =
+                make(DeviceKind::Reference, 1, 1).overlap_area_join(&w.landc, &w.lando, res);
+            if base.is_empty() {
+                println!("FAIL aggregate sweep: no overlapping pairs at res {res}");
+                failures += 1;
+                continue;
+            }
+            // Oracle envelope: the fill rule emits a cell iff its center
+            // lies inside P ∩ Q, so hardware and oracle can disagree
+            // only on cells the clipped boundary crosses — at most
+            // 2·res + 3 per segment over at most 2·(Vp + Vq) segments.
+            for &(i, j, area) in &base {
+                let (p, q) = (w.landc.polygon(i), w.lando.polygon(j));
+                let Some(exact) = overlap_area_exact(p, q) else {
+                    continue;
+                };
+                let region = p
+                    .mbr()
+                    .intersection(&q.mbr())
+                    .expect("measured pairs overlap on MBRs");
+                let bound = 2.0
+                    * (p.vertex_count() + q.vertex_count()) as f64
+                    * (2.0 * res as f64 + 3.0)
+                    * overlap_cell_area(region, res);
+                if (area - exact).abs() > bound {
+                    println!(
+                        "FAIL aggregate oracle res {res} pair ({i}, {j}): \
+                         hw {area} exact {exact} envelope {bound}"
+                    );
+                    failures += 1;
+                }
+                pairs_checked += 1;
+            }
+            for (dev_name, device) in &devices {
+                for grid in [1usize, 2, 4] {
+                    for shards in [1usize, 4] {
+                        let label = format!("res {res} {dev_name} grid {grid} shards {shards}");
+                        let (rows, cost) = make(device.clone(), grid, shards)
+                            .overlap_area_join(&w.landc, &w.lando, res);
+                        check_aggregate_rows(&label, &base, &rows, &mut failures);
+                        if cost.tests.overlap_tests != base_cost.tests.overlap_tests
+                            || cost.tests.hw_tests != base_cost.tests.hw_tests
+                        {
+                            println!(
+                                "FAIL aggregate counters {label}: overlap {} hw {} vs \
+                                 reference overlap {} hw {}",
+                                cost.tests.overlap_tests,
+                                cost.tests.hw_tests,
+                                base_cost.tests.overlap_tests,
+                                base_cost.tests.hw_tests
+                            );
+                            failures += 1;
+                        }
+                        for (plan_name, plan) in plans {
+                            let flabel = format!("{label} under {plan_name}");
+                            let (frows, fcost) =
+                                make(device.clone().with_faults(plan), grid, shards)
+                                    .overlap_area_join(&w.landc, &w.lando, res);
+                            check_aggregate_rows(&flabel, &base, &frows, &mut failures);
+                            if fcost.tests.overlap_tests != base_cost.tests.overlap_tests {
+                                println!(
+                                    "FAIL aggregate faulted counters {flabel}: overlap {} vs {}",
+                                    fcost.tests.overlap_tests, base_cost.tests.overlap_tests
+                                );
+                                failures += 1;
+                            }
+                            if fcost.tests.hw_tests + fcost.tests.fallback_tests
+                                != base_cost.tests.hw_tests
+                            {
+                                println!(
+                                    "FAIL aggregate faulted {flabel}: ledger leak — hw {} + \
+                                     fallback {} != clean hw {}",
+                                    fcost.tests.hw_tests,
+                                    fcost.tests.fallback_tests,
+                                    base_cost.tests.hw_tests
+                                );
+                                failures += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "aggregate sweep verified: {pairs_checked} areas inside the §14 envelope, \
+             backends × partitions × faults row-identical"
         );
     }
 

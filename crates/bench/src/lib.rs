@@ -48,6 +48,12 @@ pub struct BenchOpts {
     /// `--service` a browned-out engine is cross-checked row-for-row
     /// against an undegraded one.
     pub chaos: bool,
+    /// `--aggregate`: run the area-of-overlap aggregation sweep (verify
+    /// harness only) — every device kind × partition grid × seeded
+    /// fault plan must report bit-identical `(i, j, area)` rows, a
+    /// balanced degradation ledger, and areas within the DESIGN.md §14
+    /// quantization envelope of the exact clipped-polygon oracle.
+    pub aggregate: bool,
 }
 
 impl Default for BenchOpts {
@@ -60,13 +66,15 @@ impl Default for BenchOpts {
             partition: false,
             service: false,
             chaos: false,
+            aggregate: false,
         }
     }
 }
 
 impl BenchOpts {
     /// Parses `--scale`, `--seed`, `--queries`, `--faults`,
-    /// `--partition`, `--service`, `--chaos` from `std::env::args`.
+    /// `--partition`, `--service`, `--chaos`, `--aggregate` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = BenchOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -100,6 +108,10 @@ impl BenchOpts {
                 }
                 "--chaos" => {
                     opts.chaos = true;
+                    i += 1;
+                }
+                "--aggregate" => {
+                    opts.aggregate = true;
                     i += 1;
                 }
                 _ => i += 1,
@@ -238,6 +250,7 @@ mod tests {
             partition: false,
             service: false,
             chaos: false,
+            aggregate: false,
         };
         let w = Workloads::generate(opts);
         assert!(w.landc.len() >= 12);
@@ -255,6 +268,7 @@ mod tests {
             partition: false,
             service: false,
             chaos: false,
+            aggregate: false,
         };
         let w = Workloads::generate(opts);
         let mut e = software_engine();

@@ -579,6 +579,47 @@ impl SpatialEngine {
             |(i, j)| (a.polygon(i), b.polygon(j)),
         )
     }
+
+    /// Area-of-overlap aggregation join: every pair `(i, j)` whose
+    /// interiors share area, with the area of `a[i] ∩ b[j]` quantized to
+    /// a `resolution × resolution` grid over the pair's shared MBR — the
+    /// recorded fragment-counting choreography of DESIGN.md §14. Pairs
+    /// measuring zero are dropped; rows come back sorted by `(i, j)`.
+    ///
+    /// The query's resolution is its own parameter (it sets the
+    /// quantization of the *answer*, not of a filter); the configured
+    /// `hw.resolution` keeps tuning only the boolean choreographies.
+    /// Rows and areas are bit-identical across backends, devices,
+    /// partition grids, shards, threads and seeded fault plans.
+    pub fn overlap_area_join(
+        &mut self,
+        a: &PreparedDataset,
+        b: &PreparedDataset,
+        resolution: usize,
+    ) -> (Vec<(usize, usize, f64)>, CostBreakdown) {
+        let fcfg = self.filter_config();
+        let grid = self.partition_grid(a.tree.mbr().union(&b.tree.mbr()));
+        let (rows, cost) = self.executor().run_measure(
+            self.backend.as_mut(),
+            resolution,
+            || {
+                let mut fs = FilterStats::default();
+                let cands = join_intersecting_with(&a.tree, &b.tree, &fcfg, &mut fs)
+                    .into_iter()
+                    .map(|(x, y)| (*x, *y))
+                    .collect();
+                (cands, fs)
+            },
+            |&(i, j)| grid.assign_pair(&a.polygon(i).mbr(), &b.polygon(j).mbr()),
+            |(i, j)| (a.polygon(i), b.polygon(j)),
+        );
+        (
+            rows.into_iter()
+                .map(|((i, j), area)| (i, j, area))
+                .collect(),
+            cost,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -686,6 +727,62 @@ mod tests {
             assert!(min_dist_brute(a.polygon(*i), b.polygon(*j)) <= d + 1e-9);
         }
         assert!(cost_s.filter_hits + cost_s.tests.software_tests > 0);
+    }
+
+    #[test]
+    fn overlap_join_is_identical_across_backends_and_bounded_by_oracle() {
+        let (a, b) = tiny_pair();
+        let res = 32usize;
+        let mut sw = SpatialEngine::new(EngineConfig::software());
+        let mut hw = SpatialEngine::new(EngineConfig::hardware(HwConfig::at_resolution(8)));
+        let (rs, cost_s) = sw.overlap_area_join(&a, &b, res);
+        let (rh, cost_h) = hw.overlap_area_join(&a, &b, res);
+        assert!(!rs.is_empty(), "coverage datasets must overlap somewhere");
+        assert_eq!(rs.len(), rh.len());
+        for ((i, j, sa), (hi, hj, ha)) in rs.iter().zip(&rh) {
+            assert_eq!((i, j), (hi, hj));
+            assert_eq!(sa.to_bits(), ha.to_bits(), "pair ({i},{j})");
+        }
+        assert_eq!(cost_s.tests.overlap_tests, cost_h.tests.overlap_tests);
+        // Error bound spot-check: within the §14 envelope of the exact
+        // clipped area (boundary-crossed cells × cell area, bounded
+        // generously by a perimeter estimate).
+        for (i, j, area) in rs.iter().take(20) {
+            let (p, q) = (a.polygon(*i), b.polygon(*j));
+            if let Some(exact) = spatial_geom::overlap_area_exact(p, q) {
+                let region = p.mbr().intersection(&q.mbr()).unwrap();
+                let cell = crate::hw_overlap::overlap_cell_area(region, res);
+                let envelope = (p.vertex_count() + q.vertex_count() + 4 * res) as f64 * 2.0 * cell;
+                assert!(
+                    (area - exact).abs() <= envelope,
+                    "pair ({i},{j}): hw {area} exact {exact} envelope {envelope}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_join_is_invariant_across_partitions_and_threads() {
+        let (a, b) = tiny_pair();
+        let base_cfg = EngineConfig::hardware(HwConfig::at_resolution(8));
+        let mut base_engine = SpatialEngine::new(base_cfg.clone());
+        let (base, base_cost) = base_engine.overlap_area_join(&a, &b, 16);
+        assert!(!base.is_empty());
+        for (grid, shards, threads) in [(2, 1, 1), (3, 2, 4), (1, 1, 4)] {
+            let mut e = SpatialEngine::new(EngineConfig {
+                partition: PartitionConfig::grid(grid).with_shards(shards),
+                refine_threads: threads,
+                ..base_cfg.clone()
+            });
+            let (rows, cost) = e.overlap_area_join(&a, &b, 16);
+            assert_eq!(rows.len(), base.len(), "g{grid} s{shards} t{threads}");
+            for ((i, j, ar), (bi, bj, br)) in rows.iter().zip(&base) {
+                assert_eq!((i, j), (bi, bj));
+                assert_eq!(ar.to_bits(), br.to_bits(), "pair ({i},{j}) drifted");
+            }
+            assert_eq!(cost.tests.overlap_tests, base_cost.tests.overlap_tests);
+            assert_eq!(cost.tests.hw, base_cost.tests.hw);
+        }
     }
 
     #[test]

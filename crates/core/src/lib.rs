@@ -33,6 +33,7 @@ pub mod engine;
 pub mod hw_batch;
 pub mod hw_distance;
 pub mod hw_intersect;
+pub mod hw_overlap;
 pub mod nn;
 pub mod pipeline;
 pub(crate) mod recording;
@@ -46,6 +47,7 @@ pub use engine::{
 pub use hw_distance::hw_within_distance;
 pub use hw_intersect::hw_intersects;
 pub use hw_intersect::HwTester;
+pub use hw_overlap::overlap_cell_area;
 pub use nn::{sw_nearest, VoronoiNn};
 pub use pipeline::{
     CandidateFilter, Decision, HardwareBackend, HybridBackend, Predicate, RecoveryPolicy,

@@ -22,6 +22,13 @@ use std::time::Instant;
 
 /// Software nearest polygon to `q`: `(index, distance)`, `None` on an
 /// empty dataset. Distance is 0 when `q` lies inside a polygon.
+///
+/// Ties are deterministic: among polygons at exactly equal distance
+/// (including a query point on a shared edge, where both distances are
+/// exactly 0) the lowest index wins — the best-first iterator's visit
+/// order depends on MBR geometry, so "first found" would not be a
+/// stable winner. [`VoronoiNn::nearest`] applies the same rule, so the
+/// two paths agree on ties, not just on distances.
 pub fn sw_nearest(ds: &PreparedDataset, q: Point) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (&idx, lower) in ds.tree.nearest_iter(q) {
@@ -30,12 +37,12 @@ pub fn sw_nearest(ds: &PreparedDataset, q: Point) -> Option<(usize, f64)> {
                 break; // MBR lower bound proves nothing closer remains
             }
         }
+        // No early exit at d == 0: other polygons may also contain `q`
+        // (their MBR lower bounds are 0 too, so the bound above cannot
+        // prune them) and a lower-index one must win the tie.
         let d = point_polygon_dist(q, ds.polygon(idx));
-        if best.is_none_or(|(_, bd)| d < bd) {
+        if best.is_none_or(|(bi, bd)| d < bd || (d == bd && idx < bi)) {
             best = Some((idx, d));
-            if d == 0.0 {
-                break;
-            }
         }
     }
     best
@@ -97,10 +104,11 @@ impl VoronoiNn {
             }
             None => None,
         };
-        if let Some((_, 0.0)) = best {
-            stats.decided_by_pip += 1;
-            return best;
-        }
+        // Even a containing hint (distance 0) must not answer outright:
+        // a *lower-index* polygon may also contain `q`, and the texel
+        // winner depends on render order, not index. The walk below
+        // settles ties by lowest index — the same rule as `sw_nearest`,
+        // so the two paths agree on constructed ties.
         for (&idx, lower) in ds.tree.nearest_iter(q) {
             if let Some((_, bd)) = best {
                 if lower > bd {
@@ -109,11 +117,8 @@ impl VoronoiNn {
             }
             stats.software_tests += 1;
             let d = point_polygon_dist(q, ds.polygon(idx));
-            if best.is_none_or(|(_, bd)| d < bd) {
+            if best.is_none_or(|(bi, bd)| d < bd || (d == bd && idx < bi)) {
                 best = Some((idx, d));
-                if d == 0.0 {
-                    break;
-                }
             }
         }
         best
@@ -203,5 +208,102 @@ mod tests {
         let nn = VoronoiNn::build(&ds, 32);
         assert!(nn.build_gpu > std::time::Duration::ZERO);
         assert!(nn.build_sim_wall > std::time::Duration::ZERO);
+    }
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    use spatial_geom::Polygon;
+
+    /// Builds a dataset holding two distance-tied polygons at the given
+    /// insertion positions among far-away decoys, returning the dataset
+    /// and the two tied polygons' final indices.
+    fn tied_dataset(
+        tied: [Polygon; 2],
+        decoys: usize,
+        ins: [usize; 2],
+    ) -> (PreparedDataset, usize, usize) {
+        let mut polys: Vec<Polygon> = (0..decoys)
+            .map(|i| square(1000.0 + 10.0 * i as f64, 1000.0, 1.0))
+            .collect();
+        let [a, b] = tied;
+        let i1 = ins[0] % (polys.len() + 1);
+        polys.insert(i1, a);
+        let i2 = ins[1] % (polys.len() + 1);
+        polys.insert(i2, b);
+        let (ia, ib) = if i2 <= i1 { (i1 + 1, i2) } else { (i1, i2) };
+        (PreparedDataset::new("tied", polys), ia, ib)
+    }
+
+    mod tie_breaking {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Two polygons at exactly equal (nonzero) distance: both
+            /// paths return the lowest index, whatever the dataset
+            /// order, decoy count or field resolution.
+            #[test]
+            fn equal_distance_ties_pick_the_lowest_index_on_both_paths(
+                s in 1u32..20,
+                g in 1u32..50,
+                decoys in 0usize..6,
+                ins in (0usize..16, 0usize..16),
+                res in 8usize..33,
+            ) {
+                // Integer coordinates make the mirror distances exactly
+                // equal in f64: q sits midway in the gap of width 2g.
+                let (s, g) = (s as f64, g as f64);
+                let left = square(0.0, 0.0, s);
+                let right = square(s + 2.0 * g, 0.0, s);
+                let q = Point::new(s + g, s / 2.0);
+                let (ds, ia, ib) = tied_dataset([left, right], decoys, [ins.0, ins.1]);
+                let want = ia.min(ib);
+
+                let (si, sd) = sw_nearest(&ds, q).unwrap();
+                prop_assert_eq!(si, want, "sw winner must be the lowest tied index");
+                prop_assert_eq!(sd, g, "mirror-tie distance is exact");
+
+                let nn = VoronoiNn::build(&ds, res);
+                let mut st = TestStats::default();
+                let (hi, hd) = nn.nearest(&ds, q, &mut st).unwrap();
+                prop_assert_eq!(hi, si, "voronoi path must agree on the tie");
+                prop_assert_eq!(hd, sd);
+            }
+
+            /// A query point lying exactly on the edge two polygons
+            /// share: both contain it (distance exactly 0 to each), and
+            /// both paths must return the lowest index — the texel
+            /// hint's render-order winner must not leak through.
+            #[test]
+            fn shared_edge_query_points_pick_the_lowest_index_on_both_paths(
+                s in 1u32..20,
+                ynum in 0u32..=8,
+                decoys in 0usize..6,
+                ins in (0usize..16, 0usize..16),
+                res in 8usize..33,
+            ) {
+                let s = s as f64;
+                let left = square(0.0, 0.0, s);
+                let right = square(s, 0.0, s);
+                // Anywhere on the shared edge x = s, endpoints included.
+                let q = Point::new(s, s * ynum as f64 / 8.0);
+                let (ds, ia, ib) = tied_dataset([left, right], decoys, [ins.0, ins.1]);
+                let want = ia.min(ib);
+
+                let (si, sd) = sw_nearest(&ds, q).unwrap();
+                prop_assert_eq!(si, want, "sw winner must be the lowest tied index");
+                prop_assert_eq!(sd, 0.0, "on the shared edge both distances are 0");
+
+                let nn = VoronoiNn::build(&ds, res);
+                let mut st = TestStats::default();
+                let (hi, hd) = nn.nearest(&ds, q, &mut st).unwrap();
+                prop_assert_eq!(hi, si, "voronoi path must agree on the tie");
+                prop_assert_eq!(hd, 0.0);
+            }
+        }
     }
 }

@@ -40,6 +40,27 @@ pub trait RefinementBackend: Send + std::fmt::Debug {
             .collect()
     }
 
+    /// Measures the area of `P ∩ Q`, quantized to a `resolution ×
+    /// resolution` grid over the pair's shared MBR (the aggregation
+    /// contract of `HwTester::overlap_area`, DESIGN.md §14). Every
+    /// backend answers the *identical* quantized area — the software
+    /// default replays the recorded tape on a reference executor — so
+    /// routing (planner choice, fault fallback, brownout) never changes
+    /// a reported area.
+    fn measure_overlap(
+        &mut self,
+        p: &Polygon,
+        q: &Polygon,
+        resolution: usize,
+        stats: &mut TestStats,
+    ) -> f64 {
+        if crate::hw_overlap::overlap_region(p, q).is_some() {
+            stats.software_tests += 1;
+            stats.overlap_tests += 1;
+        }
+        crate::hw_overlap::sw_overlap_area(p, q, resolution)
+    }
+
     /// Routes subsequent tests to device shard `shard` (modulo the
     /// device's shard count). The partitioned executor calls this once per
     /// partition before refining it; backends without a device — and
@@ -143,6 +164,16 @@ impl RefinementBackend for HardwareBackend {
         }
     }
 
+    fn measure_overlap(
+        &mut self,
+        p: &Polygon,
+        q: &Polygon,
+        resolution: usize,
+        stats: &mut TestStats,
+    ) -> f64 {
+        self.tester.overlap_area(p, q, resolution, stats)
+    }
+
     fn select_shard(&mut self, shard: usize) {
         self.tester.select_shard(shard);
     }
@@ -223,6 +254,16 @@ impl RefinementBackend for HybridBackend {
         self.inner.test_batch(pred, pairs, stats)
     }
 
+    fn measure_overlap(
+        &mut self,
+        p: &Polygon,
+        q: &Polygon,
+        resolution: usize,
+        stats: &mut TestStats,
+    ) -> f64 {
+        self.inner.measure_overlap(p, q, resolution, stats)
+    }
+
     fn select_shard(&mut self, shard: usize) {
         self.inner.select_shard(shard);
     }
@@ -290,6 +331,38 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn all_backends_measure_identical_overlap_areas() {
+        let cases = [
+            (square(0.0, 0.0, 2.0), square(1.0, 1.0, 2.0)),
+            (square(0.0, 0.0, 10.0), square(4.0, 4.0, 1.0)), // containment
+            (square(0.0, 0.0, 1.0), square(5.0, 5.0, 1.0)),  // disjoint
+            (square(0.0, 0.0, 2.0), square(2.0, 0.0, 2.0)),  // edge contact
+        ];
+        for (p, q) in &cases {
+            for res in [1usize, 16, 64] {
+                let areas: Vec<u64> = backends()
+                    .iter_mut()
+                    .map(|b| {
+                        b.measure_overlap(p, q, res, &mut TestStats::default())
+                            .to_bits()
+                    })
+                    .collect();
+                assert!(
+                    areas.windows(2).all(|w| w[0] == w[1]),
+                    "res {res}: {areas:?}"
+                );
+            }
+        }
+        // The measurement counter is routing-independent.
+        let (p, q) = &cases[0];
+        for b in backends().iter_mut() {
+            let mut st = TestStats::default();
+            b.measure_overlap(p, q, 16, &mut st);
+            assert_eq!(st.overlap_tests, 1, "{b:?}");
         }
     }
 

@@ -184,6 +184,147 @@ impl StagedExecutor {
         (results, cost)
     }
 
+    /// Runs one *aggregation* query: `stage1` enumerates candidate pairs,
+    /// stage 3 measures each pair's quantized area of overlap at
+    /// `resolution` (DESIGN.md §14) and keeps the pairs with a positive
+    /// area. There is no intermediate filter stage — a boolean filter
+    /// cannot settle an area — and no atlas batching: aggregations are
+    /// per-pair submissions, so `batch` only shapes the thread units.
+    ///
+    /// Determinism matches [`StagedExecutor::run`]: binning is a
+    /// permutation, each measurement is a pure function of its pair and
+    /// the resolution (identical on every backend, shard and fallback
+    /// path), counters merge by addition in fixed order, and the final
+    /// sort by candidate erases the partition permutation — so the rows,
+    /// their areas and every deterministic counter are bit-identical
+    /// across partition grids, shard counts, thread counts and seeded
+    /// fault plans.
+    pub fn run_measure<'p, C, R>(
+        &self,
+        backend: &mut dyn RefinementBackend,
+        resolution: usize,
+        stage1: impl FnOnce() -> (Vec<C>, FilterStats),
+        assign: impl Fn(&C) -> usize,
+        resolve: R,
+    ) -> (Vec<(C, f64)>, CostBreakdown)
+    where
+        C: Copy + Ord + Send + Sync,
+        R: Fn(C) -> (&'p Polygon, &'p Polygon) + Sync,
+    {
+        let mut cost = CostBreakdown::default();
+
+        let t0 = Instant::now();
+        let (candidates, filter_stats) = stage1();
+        cost.mbr_filter = t0.elapsed();
+        cost.candidates = candidates.len();
+        cost.node_tests = filter_stats.node_tests;
+        cost.simd_node_tests = filter_stats.simd_node_tests;
+        cost.filter_work_units = filter_stats.work_units;
+
+        let parts = self.partitions.max(1);
+        let bins: Vec<Vec<C>> = if parts > 1 {
+            let mut bins: Vec<Vec<C>> = Vec::new();
+            bins.resize_with(parts, Vec::new);
+            for c in candidates {
+                bins[assign(&c) % parts].push(c);
+            }
+            bins
+        } else {
+            vec![candidates]
+        };
+        cost.partitions_used = bins.iter().filter(|b| !b.is_empty()).count();
+
+        let t2 = Instant::now();
+        let mut results: Vec<(C, f64)> = Vec::new();
+        for (p, bin) in bins.iter().enumerate() {
+            if parts > 1 {
+                if bin.is_empty() {
+                    continue;
+                }
+                backend.select_shard(p % self.shards.max(1));
+            }
+            self.measure(
+                backend,
+                resolution,
+                bin,
+                &resolve,
+                &mut results,
+                &mut cost.tests,
+            );
+        }
+        cost.geometry_comparison = adjusted(t2.elapsed(), &cost.tests);
+        results.sort_unstable_by_key(|r| r.0);
+        cost.results = results.len();
+        (results, cost)
+    }
+
+    /// Stage 3 of the aggregation path: measure `bin`, keeping positive
+    /// areas, honoring `threads` with the same unit/round-robin/merge
+    /// discipline as [`StagedExecutor::refine`].
+    fn measure<'p, C, R>(
+        &self,
+        backend: &mut dyn RefinementBackend,
+        resolution: usize,
+        bin: &[C],
+        resolve: &R,
+        out: &mut Vec<(C, f64)>,
+        tests: &mut TestStats,
+    ) where
+        C: Copy + Ord + Send + Sync,
+        R: Fn(C) -> (&'p Polygon, &'p Polygon) + Sync,
+    {
+        let measure_span = |backend: &mut dyn RefinementBackend,
+                            span: &[C],
+                            out: &mut Vec<(C, f64)>,
+                            tests: &mut TestStats| {
+            for &c in span {
+                let (p, q) = resolve(c);
+                let area = backend.measure_overlap(p, q, resolution, tests);
+                if area > 0.0 {
+                    out.push((c, area));
+                }
+            }
+        };
+
+        let threads = self.threads.max(1);
+        if threads <= 1 || bin.len() < 2 {
+            measure_span(backend, bin, out, tests);
+            return;
+        }
+        let unit = if self.batch > 1 {
+            self.batch
+        } else {
+            bin.len().div_ceil(threads).max(1)
+        };
+        let units: Vec<&[C]> = bin.chunks(unit).collect();
+        let workers = threads.min(units.len());
+        let per_worker: Vec<(Vec<(C, f64)>, TestStats)> = std::thread::scope(|scope| {
+            let units = &units;
+            let measure_span = &measure_span;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let mut wb = backend.fork();
+                    scope.spawn(move || {
+                        let mut res = Vec::new();
+                        let mut st = TestStats::default();
+                        for u in (w..units.len()).step_by(workers) {
+                            measure_span(wb.as_mut(), units[u], &mut res, &mut st);
+                        }
+                        (res, st)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("measurement worker panicked"))
+                .collect()
+        });
+        for (res, st) in per_worker {
+            out.extend(res);
+            tests.add(&st);
+        }
+    }
+
     /// Stage 3: decide `rest` with the backend, honoring `batch` and
     /// `threads`.
     fn refine<'p, C, R>(
@@ -408,6 +549,49 @@ mod tests {
                 "batch={batch} threads={threads}"
             );
             assert_eq!(cc.tests.hw, t.hw, "batch={batch} threads={threads}");
+        }
+    }
+
+    /// The aggregation path's invariant: rows, areas (bit-for-bit) and
+    /// deterministic counters are identical across batch, thread,
+    /// partition and shard settings.
+    #[test]
+    fn measured_areas_are_invariant_across_execution_shapes() {
+        let (left, right) = bars();
+        let cands: Vec<(usize, usize)> = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
+        let run = |batch: usize, threads: usize, partitions: usize, shards: usize| {
+            let exec = StagedExecutor {
+                batch,
+                threads,
+                partitions,
+                shards,
+            };
+            let mut backend = HardwareBackend::new(HwConfig::at_resolution(8));
+            exec.run_measure(
+                &mut backend,
+                32,
+                || (cands.clone(), FilterStats::default()),
+                |&(i, _)| i,
+                |(i, j)| (&left[i], &right[j]),
+            )
+        };
+        let (base, base_cost) = run(1, 1, 1, 1);
+        assert!(!base.is_empty(), "bars must overlap");
+        assert!(base.iter().all(|&(_, a)| a > 0.0));
+        assert!(base_cost.tests.overlap_tests > 0);
+        for (batch, threads, partitions, shards) in
+            [(1, 4, 1, 1), (4, 2, 1, 1), (1, 1, 4, 2), (4, 3, 5, 3)]
+        {
+            let (rows, cost) = run(batch, threads, partitions, shards);
+            assert_eq!(rows.len(), base.len(), "b{batch} t{threads} p{partitions}");
+            for ((c, a), (bc, ba)) in rows.iter().zip(&base) {
+                assert_eq!(c, bc);
+                assert_eq!(a.to_bits(), ba.to_bits(), "area drifted at {c:?}");
+            }
+            assert_eq!(cost.tests.overlap_tests, base_cost.tests.overlap_tests);
+            assert_eq!(cost.tests.hw, base_cost.tests.hw);
+            assert_eq!(cost.candidates, base_cost.candidates);
+            assert_eq!(cost.results, base_cost.results);
         }
     }
 

@@ -41,6 +41,11 @@ pub(crate) enum CacheKey {
         resolution: usize,
         width_bits: u64,
     },
+    /// Per-pair area-of-overlap aggregation: the tape (clears, stencil
+    /// write modes, two filled-polygon draws, stencil-count readback)
+    /// depends only on the window resolution — the pair's viewport and
+    /// both vertex rings are spliced at instantiation.
+    Overlap { resolution: usize },
     /// Atlas batch: cell resolution and line width fix the grid layout,
     /// and the per-job geometry-emptiness shape fixes which cells record
     /// scissor/viewport/draw commands (see `spatial_raster::atlas`).

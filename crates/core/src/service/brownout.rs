@@ -171,7 +171,12 @@ impl Brownout {
             rung: self.rung,
             stepped_up,
             stepped_down,
-            retry_after_queries: self.cfg.window.saturating_sub(self.seen) + 1,
+            // Never 0, even for a shed landing exactly on the window
+            // boundary: a hint of 0 would tell clients to retry
+            // immediately back into `Shed`. The boundary submission
+            // itself just re-evaluated, so the earliest useful retry is
+            // always at least one submission away.
+            retry_after_queries: (self.cfg.window.saturating_sub(self.seen) + 1).max(1),
         }
     }
 
@@ -287,6 +292,32 @@ mod tests {
         assert_eq!(b.on_submit().retry_after_queries, 1);
         // Boundary submission starts the next window.
         assert_eq!(b.on_submit().retry_after_queries, 4);
+    }
+
+    /// The retry hint is never 0 — in particular not for the submission
+    /// landing exactly on a window boundary while the ladder sits on
+    /// `Shed` (a 0 hint would invite an immediate retry straight back
+    /// into the shed rung).
+    #[test]
+    fn retry_hint_is_at_least_one_on_the_boundary_submission() {
+        for window in [1u32, 2, 4] {
+            let mut b = Brownout::new(cfg(window));
+            // Climb to Shed, then keep submitting across several full
+            // windows; every decision — boundary submissions included —
+            // must carry a hint ≥ 1.
+            for _ in 0..6 {
+                dirty_window(&mut b, window);
+            }
+            assert_eq!(b.rung(), BrownoutRung::Shed);
+            for i in 0..(4 * window + 1) {
+                let d = b.on_submit();
+                assert!(
+                    d.retry_after_queries >= 1,
+                    "window {window}, submission {i}: hint {} < 1",
+                    d.retry_after_queries
+                );
+            }
+        }
     }
 
     #[test]

@@ -147,6 +147,9 @@ struct Probe<'a> {
     candidates: usize,
     sample: Vec<(&'a Polygon, &'a Polygon)>,
     distance: Option<f64>,
+    /// `Some` for area-of-overlap aggregations: the contractual grid
+    /// resolution the planner must price at (DESIGN.md §14).
+    overlap_resolution: Option<usize>,
 }
 
 /// The always-on query service (DESIGN.md §12).
@@ -334,17 +337,18 @@ impl QueryEngine {
         // is backend-independent, so rows cannot change — invariant
         // 13), `CoarsePlans` caps adaptive pricing to the coarsest
         // window.
-        let mut adaptive = false;
         let planned = if rung >= BrownoutRung::ForceSoftware {
             Planned {
                 choice: PlanChoice::Software,
                 memo_hit: false,
+                priced: false,
             }
         } else {
             match self.config.planner.mode {
                 PlannerMode::ForceSoftware => Planned {
                     choice: PlanChoice::Software,
                     memo_hit: false,
+                    priced: false,
                 },
                 PlannerMode::ForceHardware => Planned {
                     choice: PlanChoice::Hardware {
@@ -352,9 +356,9 @@ impl QueryEngine {
                         batch: self.config.base.hw_batch,
                     },
                     memo_hit: false,
+                    priced: false,
                 },
                 PlannerMode::Adaptive => {
-                    adaptive = true;
                     let res_limit = if rung == BrownoutRung::CoarsePlans {
                         1
                     } else {
@@ -364,6 +368,7 @@ impl QueryEngine {
                     planner.plan_limited(
                         request.kind.code(),
                         probe.distance,
+                        probe.overlap_resolution,
                         probe.candidates,
                         &probe.sample,
                         res_limit,
@@ -378,7 +383,11 @@ impl QueryEngine {
             } else {
                 s.planned_sw += 1;
             }
-            if adaptive {
+            // Only real pricing passes move the plan-cache counters: the
+            // planner's zero-candidate short-circuit (and the forced
+            // modes) never consult the memo, so they are neither hits
+            // nor misses.
+            if planned.priced {
                 if planned.memo_hit {
                     s.plan_cache_hits += 1;
                 } else {
@@ -426,6 +435,19 @@ impl QueryEngine {
                 let b = snap.get(right).expect("probe resolved the dataset");
                 let (rows, cost) = engine.within_distance_join(a, b, *distance);
                 (QueryRows::Join(rows), cost)
+            }
+            QueryKind::OverlapArea {
+                left,
+                right,
+                resolution,
+            } => {
+                let a = snap.get(left).expect("probe resolved the dataset");
+                let b = snap.get(right).expect("probe resolved the dataset");
+                // The request's resolution is the contract; the plan
+                // only moves the fragment counting between backends
+                // (both answer the identical quantized area — §14).
+                let (rows, cost) = engine.overlap_area_join(a, b, *resolution);
+                (QueryRows::AreaJoin(rows), cost)
             }
         };
         self.lock_stats()
@@ -480,6 +502,7 @@ impl QueryEngine {
                         .map(|&&i| (query, ds.polygon(i)))
                         .collect(),
                     distance: None,
+                    overlap_resolution: None,
                 }
             }
             QueryKind::ContainmentSelection { dataset, query } => {
@@ -500,6 +523,7 @@ impl QueryEngine {
                         .map(|&i| (ds.polygon(i), query))
                         .collect(),
                     distance: None,
+                    overlap_resolution: None,
                 }
             }
             QueryKind::IntersectionJoin { left, right } => {
@@ -514,6 +538,28 @@ impl QueryEngine {
                         .map(|&(&i, &j)| (a.polygon(i), b.polygon(j)))
                         .collect(),
                     distance: None,
+                    overlap_resolution: None,
+                }
+            }
+            QueryKind::OverlapArea {
+                left,
+                right,
+                resolution,
+            } => {
+                // Same candidate generation as the intersection join —
+                // only MBR-overlapping pairs can have nonzero area.
+                let a = resolve(left)?;
+                let b = resolve(right)?;
+                let cands = join_intersecting_with(&a.tree, &b.tree, &fcfg, &mut fs);
+                Probe {
+                    candidates: cands.len(),
+                    sample: cands
+                        .iter()
+                        .take(sample_size)
+                        .map(|&(&i, &j)| (a.polygon(i), b.polygon(j)))
+                        .collect(),
+                    distance: None,
+                    overlap_resolution: Some(*resolution),
                 }
             }
             QueryKind::WithinDistanceJoin {
@@ -532,6 +578,7 @@ impl QueryEngine {
                         .map(|&(&i, &j)| (a.polygon(i), b.polygon(j)))
                         .collect(),
                     distance: Some(*distance),
+                    overlap_resolution: None,
                 }
             }
         })
@@ -722,6 +769,76 @@ mod tests {
         }
         .validate()
         .is_ok());
+    }
+
+    /// A stage-1 probe that finds zero candidates short-circuits to
+    /// software without a pricing pass: no choreography is recorded, no
+    /// skeleton cache entry is created, and the plan-cache counters do
+    /// not move (satellite fix: this used to count a spurious
+    /// `plan_cache_misses` per empty query under the adaptive planner).
+    #[test]
+    fn zero_candidate_probe_skips_plan_cache_accounting() {
+        let engine = tiny_engine(ServiceConfig::default());
+        // Far away from both dataset squares: the MBR filter returns
+        // nothing.
+        let req = QueryRequest::intersection_selection("boxes", square(500.0, 500.0, 1.0));
+        for _ in 0..3 {
+            let resp = engine.execute(&req).expect("empty queries complete");
+            assert!(resp.rows.is_empty());
+            assert_eq!(resp.plan, PlanChoice::Software);
+            assert!(!resp.plan_cached);
+            assert_eq!(resp.cost.tests.cache_misses, 0, "no choreography recorded");
+        }
+        let stats = engine.stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.planned_sw, 3);
+        assert_eq!(stats.plan_cache_hits, 0);
+        assert_eq!(
+            stats.plan_cache_misses, 0,
+            "zero-candidate plans are not pricing passes"
+        );
+    }
+
+    /// The overlap-area aggregation serves end-to-end, and the planner's
+    /// routing never changes the reported areas: forced-software and
+    /// forced-hardware services answer bit-identical `AreaJoin` rows
+    /// (invariant 13 extended to aggregations — DESIGN.md §14).
+    #[test]
+    fn overlap_area_rows_are_identical_across_forced_backends() {
+        let data_a = vec![square(0.0, 0.0, 4.0), square(10.0, 10.0, 4.0)];
+        let data_b = vec![square(2.0, 2.0, 4.0), square(11.0, 9.0, 4.0)];
+        let snap = || {
+            ServiceSnapshot::new()
+                .with(PreparedDataset::new("a", data_a.clone()))
+                .with(PreparedDataset::new("b", data_b.clone()))
+        };
+        let make = |mode: PlannerMode| {
+            QueryEngine::new(
+                ServiceConfig {
+                    planner: PlannerConfig {
+                        mode,
+                        ..PlannerConfig::default()
+                    },
+                    ..ServiceConfig::default()
+                },
+                snap(),
+            )
+        };
+        let req = QueryRequest::overlap_area_join("a", "b", 32);
+        let sw = make(PlannerMode::ForceSoftware).execute(&req).unwrap();
+        let hw = make(PlannerMode::ForceHardware).execute(&req).unwrap();
+        let ad = make(PlannerMode::Adaptive).execute(&req).unwrap();
+        assert_eq!(sw.rows, hw.rows, "routing must not change quantized areas");
+        assert_eq!(sw.rows, ad.rows);
+        match &sw.rows {
+            QueryRows::AreaJoin(rows) => {
+                assert!(!rows.is_empty(), "the constructed pairs overlap");
+                assert!(rows.iter().all(|&(_, _, area)| area > 0.0));
+            }
+            other => panic!("expected AreaJoin rows, got {other:?}"),
+        }
+        assert_eq!(sw.cost.tests.overlap_tests, hw.cost.tests.overlap_tests);
     }
 
     /// Sustained deadline aborts climb the brownout ladder one rung per

@@ -104,6 +104,12 @@ impl Default for PlannerConfig {
 pub(crate) struct Planned {
     pub choice: PlanChoice,
     pub memo_hit: bool,
+    /// Whether the planner actually consulted its memo / ran a pricing
+    /// pass. False for the zero-candidate short-circuit (and for forced
+    /// modes, which skip planning entirely): those decisions must not
+    /// count as plan-cache hits *or* misses in the serving ledger —
+    /// nothing was priced, recorded or cached.
+    pub priced: bool,
 }
 
 /// Memo key: everything that determines a pricing pass's output.
@@ -164,7 +170,7 @@ impl Planner {
         candidates: usize,
         sample: &[(&Polygon, &Polygon)],
     ) -> Planned {
-        self.plan_limited(kind, distance, candidates, sample, usize::MAX)
+        self.plan_limited(kind, distance, None, candidates, sample, usize::MAX)
     }
 
     /// [`plan`](Self::plan) with a cap on how many of the configured
@@ -172,20 +178,32 @@ impl Planner {
     /// controller's `CoarsePlans` rung passes 1 so pricing (and the
     /// resulting hardware passes) run at the cheapest window only.
     /// Whatever the cap, the chosen plan is exact (invariant 13).
+    ///
+    /// `overlap_resolution` is `Some` for area-of-overlap aggregations:
+    /// their grid resolution is part of the query contract, so the
+    /// planner prices hardware at exactly that resolution (the
+    /// configured resolution ladder and the brownout cap tune *boolean*
+    /// choreographies only) and its choice moves the counting between
+    /// backends without ever changing the quantized answer (§14).
     pub(crate) fn plan_limited(
         &mut self,
         kind: u8,
         distance: Option<f64>,
+        overlap_resolution: Option<usize>,
         candidates: usize,
         sample: &[(&Polygon, &Polygon)],
         res_limit: usize,
     ) -> Planned {
         if candidates == 0 || sample.is_empty() {
             // Nothing to refine: the backend is irrelevant, software
-            // avoids standing up a device.
+            // avoids standing up a device. Short-circuit *before*
+            // touching the memo or the skeleton cache — no choreography
+            // is recorded and the serving ledger must not count this as
+            // a pricing pass (`priced: false`).
             return Planned {
                 choice: PlanChoice::Software,
                 memo_hit: false,
+                priced: false,
             };
         }
 
@@ -197,17 +215,26 @@ impl Planner {
             kind,
             candidates_log2: (usize::BITS - 1).saturating_sub(candidates.leading_zeros()),
             sample_vertices,
-            width_bits: distance.map_or(0, f64::to_bits),
+            // Kind codes disambiguate the reuse: distance bits for
+            // within-distance joins, the contractual grid resolution
+            // for overlap aggregations, 0 otherwise.
+            width_bits: overlap_resolution
+                .map(|r| r as u64)
+                .unwrap_or_else(|| distance.map_or(0, f64::to_bits)),
             res_limit: res_limit.min(u8::MAX as usize) as u8,
         };
         if let Some(&choice) = self.memo.get(&key) {
             return Planned {
                 choice,
                 memo_hit: true,
+                priced: true,
             };
         }
 
-        let choice = self.price(distance, candidates, sample, sample_vertices, res_limit);
+        let choice = match overlap_resolution {
+            Some(r) => self.price_overlap(r, candidates, sample, sample_vertices),
+            None => self.price(distance, candidates, sample, sample_vertices, res_limit),
+        };
         if self.memo.len() >= self.cfg.memo_entries {
             self.memo.clear();
         }
@@ -215,6 +242,7 @@ impl Planner {
         Planned {
             choice,
             memo_hit: false,
+            priced: true,
         }
     }
 
@@ -282,6 +310,74 @@ impl Planner {
             }
         }
         best.1
+    }
+
+    /// The Figure-13 comparison for area-of-overlap aggregations. Only
+    /// the query's own contractual resolution is priced (there is no
+    /// resolution *choice* to make), and there is no atlas-batched
+    /// variant — aggregations submit per pair (DESIGN.md §14). The
+    /// software side prices the exact Sutherland–Hodgman clip as a
+    /// vertex sweep with the same calibrated per-vertex rate.
+    fn price_overlap(
+        &mut self,
+        resolution: usize,
+        candidates: usize,
+        sample: &[(&Polygon, &Polygon)],
+        sample_vertices: u64,
+    ) -> PlanChoice {
+        let n = candidates as f64;
+        let mean_vertices = sample_vertices as f64 / sample.len() as f64;
+        let sw_total = n * mean_vertices * self.cfg.sweep_ns_per_vertex;
+
+        let mut total_ns = 0.0;
+        let mut priced = 0usize;
+        for &(p, q) in sample {
+            if let Some(pair_ns) = self.price_overlap_pair(resolution, p, q) {
+                total_ns += pair_ns;
+                priced += 1;
+            }
+        }
+        if priced == 0 {
+            // Every sampled pair was disjoint or degenerate: nothing to
+            // render, software answers the zeros for free.
+            return PlanChoice::Software;
+        }
+        if n * (total_ns / priced as f64) < sw_total {
+            PlanChoice::Hardware {
+                resolution,
+                batch: 1,
+            }
+        } else {
+            PlanChoice::Software
+        }
+    }
+
+    /// Prices one sampled overlap pair by recording (or warm-splicing)
+    /// the §14 fragment-counting choreography and replaying it against
+    /// the cost model. `None` when the pair's shared MBR is empty or
+    /// degenerate — such pairs answer `0.0` without touching a device.
+    fn price_overlap_pair(&mut self, resolution: usize, p: &Polygon, q: &Polygon) -> Option<f64> {
+        let region = crate::hw_overlap::overlap_region(p, q)?;
+        let key = CacheKey::Overlap { resolution };
+        let list = match self.skeletons.lookup(&key) {
+            Some((template, _slot)) => template.instantiate_with_polys(
+                &[Viewport::new(region, resolution, resolution)],
+                |_, _| {},
+                |_, _| {},
+                |i, out| out.extend_from_slice(if i == 0 { p.vertices() } else { q.vertices() }),
+            ),
+            None => {
+                let (list, slot) = HwTester::record_overlap_area(
+                    region,
+                    resolution,
+                    p.vertices().iter().copied(),
+                    q.vertices().iter().copied(),
+                );
+                self.skeletons.insert(key, ListTemplate::new(&list), slot);
+                list
+            }
+        };
+        Some(ns(self.model.replay_cost(&list)))
     }
 
     /// Prices one sampled pair's choreography at `resolution` by
@@ -401,6 +497,62 @@ mod tests {
         let planned = pl.plan(0, None, 0, &[]);
         assert_eq!(planned.choice, PlanChoice::Software);
         assert!(!planned.memo_hit);
+        // The short-circuit is not a pricing pass: no choreography was
+        // recorded, nothing entered the memo or the skeleton cache, and
+        // the serving ledger must not count a plan-cache miss for it.
+        assert!(!planned.priced);
+        assert!(pl.memo.is_empty(), "zero-candidate plans must not memoize");
+    }
+
+    /// Real pricing passes (and their memo hits) report `priced`, so
+    /// the service can tell them apart from short-circuits.
+    #[test]
+    fn pricing_passes_report_priced() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = rect_poly(0.0, 0.0, 10.0, 10.0);
+        let b = rect_poly(5.0, 5.0, 10.0, 10.0);
+        assert!(pl.plan(0, None, 4, &[(&a, &b)]).priced);
+        assert!(pl.plan(0, None, 4, &[(&a, &b)]).priced);
+    }
+
+    /// Overlap aggregations price hardware at the query's own
+    /// contractual resolution — never one from the configured boolean
+    /// ladder — and batch per pair.
+    #[test]
+    fn overlap_plans_keep_the_contractual_resolution() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = ring(5.0, 5.0, 4.0, 600);
+        let b = ring(6.0, 5.0, 4.0, 600);
+        let planned = pl.plan_limited(4, None, Some(48), 10_000, &[(&a, &b)], usize::MAX);
+        assert!(planned.priced);
+        match planned.choice {
+            PlanChoice::Hardware { resolution, batch } => {
+                assert_eq!(resolution, 48, "resolution is part of the query contract");
+                assert_eq!(batch, 1, "aggregations submit per pair");
+            }
+            PlanChoice::Software => panic!("this workload crosses over to hardware"),
+        }
+        // A repeat plan at the same resolution hits the memo; a
+        // different resolution is a different query shape.
+        assert!(
+            pl.plan_limited(4, None, Some(48), 10_000, &[(&a, &b)], usize::MAX)
+                .memo_hit
+        );
+        assert!(
+            !pl.plan_limited(4, None, Some(16), 10_000, &[(&a, &b)], usize::MAX)
+                .memo_hit
+        );
+    }
+
+    /// An overlap sample of entirely disjoint pairs has nothing to
+    /// render: software answers the zeros for free.
+    #[test]
+    fn disjoint_overlap_sample_plans_software() {
+        let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
+        let a = rect_poly(0.0, 0.0, 1.0, 1.0);
+        let b = rect_poly(5.0, 5.0, 1.0, 1.0);
+        let planned = pl.plan_limited(4, None, Some(16), 1_000_000, &[(&a, &b)], usize::MAX);
+        assert_eq!(planned.choice, PlanChoice::Software);
     }
 
     #[test]
@@ -446,7 +598,7 @@ mod tests {
         let mut pl = Planner::new(PlannerConfig::default(), OverlapStrategy::Accumulation);
         let a = ring(5.0, 5.0, 4.0, 600);
         let b = ring(6.0, 5.0, 4.0, 600);
-        let capped = pl.plan_limited(2, None, 10_000, &[(&a, &b)], 1);
+        let capped = pl.plan_limited(2, None, None, 10_000, &[(&a, &b)], 1);
         match capped.choice {
             PlanChoice::Hardware { resolution, .. } => {
                 assert_eq!(
@@ -461,7 +613,10 @@ mod tests {
         let uncapped = pl.plan(2, None, 10_000, &[(&a, &b)]);
         assert!(!uncapped.memo_hit, "cap must partition the memo");
         // And a repeat capped plan hits the capped entry.
-        assert!(pl.plan_limited(2, None, 10_000, &[(&a, &b)], 1).memo_hit);
+        assert!(
+            pl.plan_limited(2, None, None, 10_000, &[(&a, &b)], 1)
+                .memo_hit
+        );
     }
 
     #[test]

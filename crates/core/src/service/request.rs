@@ -7,7 +7,7 @@ use spatial_geom::Polygon;
 use std::fmt;
 use std::time::Duration;
 
-/// One of the four query pipelines, addressed by dataset name against
+/// One of the five query pipelines, addressed by dataset name against
 /// the engine's current snapshot.
 #[derive(Debug, Clone)]
 pub enum QueryKind {
@@ -23,6 +23,16 @@ pub enum QueryKind {
         right: String,
         distance: f64,
     },
+    /// All overlapping pairs with their area of overlap, quantized to a
+    /// `resolution × resolution` grid over each pair's shared MBR
+    /// (DESIGN.md §14). The resolution is part of the query contract:
+    /// planner routing, brownouts and fault fallback never change the
+    /// reported areas, only where the counting runs.
+    OverlapArea {
+        left: String,
+        right: String,
+        resolution: usize,
+    },
 }
 
 impl QueryKind {
@@ -33,6 +43,7 @@ impl QueryKind {
             QueryKind::ContainmentSelection { .. } => "containment_selection",
             QueryKind::IntersectionJoin { .. } => "intersection_join",
             QueryKind::WithinDistanceJoin { .. } => "within_distance_join",
+            QueryKind::OverlapArea { .. } => "overlap_area",
         }
     }
 
@@ -43,6 +54,7 @@ impl QueryKind {
             QueryKind::ContainmentSelection { .. } => 1,
             QueryKind::IntersectionJoin { .. } => 2,
             QueryKind::WithinDistanceJoin { .. } => 3,
+            QueryKind::OverlapArea { .. } => 4,
         }
     }
 }
@@ -122,6 +134,22 @@ impl QueryRequest {
         })
     }
 
+    /// An area-of-overlap aggregation join at the given grid resolution
+    /// (must be ≥ 1 — it defines the quantization of every reported
+    /// area, see [`QueryKind::OverlapArea`]).
+    pub fn overlap_area_join(
+        left: impl Into<String>,
+        right: impl Into<String>,
+        resolution: usize,
+    ) -> Self {
+        assert!(resolution > 0, "overlap resolution must be >= 1");
+        Self::new(QueryKind::OverlapArea {
+            left: left.into(),
+            right: right.into(),
+            resolution,
+        })
+    }
+
     /// Replaces the request's budget.
     pub fn with_budget(mut self, budget: QueryBudget) -> Self {
         self.budget = budget;
@@ -129,11 +157,18 @@ impl QueryRequest {
     }
 }
 
-/// Result rows: dataset indices for selections, index pairs for joins.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Result rows: dataset indices for selections, index pairs for joins,
+/// index pairs with their quantized overlap area for aggregations.
+///
+/// Areas are `f64`, so `QueryRows` is `PartialEq` but not `Eq`; the
+/// aggregation contract still makes `==` meaningful — every backend,
+/// shard count and fault plan reports bit-identical areas (DESIGN.md
+/// §14), so invariant-13 tests compare responses with plain equality.
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryRows {
     Selection(Vec<usize>),
     Join(Vec<(usize, usize)>),
+    AreaJoin(Vec<(usize, usize, f64)>),
 }
 
 impl QueryRows {
@@ -141,6 +176,7 @@ impl QueryRows {
         match self {
             QueryRows::Selection(v) => v.len(),
             QueryRows::Join(v) => v.len(),
+            QueryRows::AreaJoin(v) => v.len(),
         }
     }
 
@@ -148,12 +184,14 @@ impl QueryRows {
         self.len() == 0
     }
 
-    /// Uniform pair view (selections lift index `i` to `(i, i)`), handy
-    /// for comparing all four pipelines with one code path.
+    /// Uniform pair view (selections lift index `i` to `(i, i)`,
+    /// aggregations drop their area column), handy for comparing all
+    /// the pipelines with one code path.
     pub fn as_pairs(&self) -> Vec<(usize, usize)> {
         match self {
             QueryRows::Selection(v) => v.iter().map(|&i| (i, i)).collect(),
             QueryRows::Join(v) => v.clone(),
+            QueryRows::AreaJoin(v) => v.iter().map(|&(i, j, _)| (i, j)).collect(),
         }
     }
 }

@@ -59,21 +59,32 @@ impl LatencyHistogram {
         &self.buckets
     }
 
-    /// Upper-bound latency such that at least `q` (0..=1) of the
-    /// observations fall at or below it — bucket-granular, so it
-    /// over-reports by at most 2×. Zero when empty.
+    /// Upper-bound latency such that at least `q` of the observations
+    /// fall at or below it — bucket-granular, so it over-reports by at
+    /// most 2×.
+    ///
+    /// Edge semantics (pinned by tests): an empty histogram reports
+    /// `Duration::ZERO` for every `q`; on a non-empty histogram the
+    /// result is always a recorded bucket's upper bound, never zero.
+    /// `q` is clamped into `[0, 1]` — `q <= 0` reports the smallest
+    /// recorded bucket, `q >= 1` the largest — and a NaN rank reports
+    /// the conservative upper bound (`q = 1`), not the minimum a
+    /// NaN-to-zero cast would silently pick.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= target.max(1) {
+            if seen >= target {
                 return Duration::from_nanos(1u64 << (i + 1).min(63));
             }
         }
+        // count == Σ buckets by construction, so the loop always
+        // returns; keep a conservative bound rather than panicking.
         Duration::from_nanos(u64::MAX)
     }
 }
@@ -181,6 +192,42 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.quantile(0.99), Duration::ZERO);
+        // Every rank, including degenerate ones, reports zero on empty.
+        assert_eq!(h.quantile(-1.0), Duration::ZERO);
+        assert_eq!(h.quantile(2.0), Duration::ZERO);
+        assert_eq!(h.quantile(f64::NAN), Duration::ZERO);
+    }
+
+    /// One sample: every rank reports that sample's bucket bound, never
+    /// zero.
+    #[test]
+    fn one_sample_quantiles_report_its_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(100)); // bucket 6 → bound 2^7
+        let bound = Duration::from_nanos(128);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), bound, "q = {q}");
+        }
+        assert_ne!(h.quantile(1.0), Duration::ZERO);
+    }
+
+    /// Out-of-range and NaN ranks clamp to defined endpoints: `q <= 0`
+    /// is the smallest recorded bucket, `q >= 1` the largest, and NaN
+    /// takes the conservative upper bound.
+    #[test]
+    fn degenerate_ranks_clamp_to_the_recorded_extremes() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1)); // bucket 0 → bound 2
+        h.record(Duration::from_nanos(1024)); // bucket 10 → bound 2048
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(0.0), Duration::from_nanos(2));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(2048));
+        assert_eq!(
+            h.quantile(f64::NAN),
+            Duration::from_nanos(2048),
+            "NaN must report the conservative bound, not the minimum"
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct TestStats {
     pub width_limit_fallbacks: usize,
     /// Hardware tests actually executed.
     pub hw_tests: usize,
+    /// Area-of-overlap aggregations answered (hardware count or fallback
+    /// replay — the two produce the identical quantized area, so this
+    /// counts queries, not where they ran).
+    pub overlap_tests: usize,
     /// Batched submission rounds: each groups many hardware tests behind
     /// one pair of draw calls and one Minmax scan (0 on the per-pair path).
     pub hw_batches: usize,
@@ -86,6 +90,7 @@ impl TestStats {
         self.skipped_by_threshold += o.skipped_by_threshold;
         self.width_limit_fallbacks += o.width_limit_fallbacks;
         self.hw_tests += o.hw_tests;
+        self.overlap_tests += o.overlap_tests;
         self.hw_batches += o.hw_batches;
         self.fallback_tests += o.fallback_tests;
         self.device_faults += o.device_faults;
@@ -205,6 +210,7 @@ mod tests {
             skipped_by_threshold: 4,
             width_limit_fallbacks: 5,
             hw_tests: 6,
+            overlap_tests: 5,
             hw_batches: 1,
             fallback_tests: 2,
             device_faults: 3,
@@ -229,6 +235,7 @@ mod tests {
         assert_eq!(t.cache_misses, 6);
         assert_eq!(t.commands_elided, 18);
         assert_eq!(t.hw_tests, 12);
+        assert_eq!(t.overlap_tests, 10);
         assert_eq!(t.fallback_tests, 4);
         assert_eq!(t.device_faults, 6);
         assert_eq!(t.retries, 4);

@@ -108,6 +108,9 @@ fn concurrent_queries_see_exactly_one_snapshot_across_a_swap() {
                         QueryRows::Join(rows) => {
                             assert_eq!(rows, &expect[epoch].1, "epoch {epoch} join");
                         }
+                        QueryRows::AreaJoin(_) => {
+                            unreachable!("this test issues no aggregation queries")
+                        }
                     }
                     // Monotonicity: after the swap is published, new
                     // loads must be epoch 1... but an in-flight query

@@ -24,6 +24,7 @@
 //! graphics-hardware concerns; the simulated GPU lives in `spatial-raster`.
 
 pub mod chains;
+pub mod clip;
 pub mod distance;
 pub mod hull;
 pub mod intersect;
@@ -38,6 +39,7 @@ pub mod sweep;
 pub mod triangulate;
 pub mod wkt;
 
+pub use clip::{convex_clip, convex_overlap_area, overlap_area_exact};
 pub use intersect::{
     polygon_contained_in, polygons_intersect, polygons_intersect_brute, IntersectStats,
 };

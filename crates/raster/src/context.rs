@@ -454,6 +454,14 @@ impl GlContext {
         self.fb.stencil_max(&mut self.stats)
     }
 
+    /// Number of pixels whose stencil value is at least `min` — one
+    /// whole-buffer scan, the counting readback the area-of-overlap
+    /// choreography reads back instead of transferring pixels.
+    pub fn stencil_count_ge(&mut self, min: u8) -> u64 {
+        self.stats.minmax_queries += 1;
+        self.fb.stencil_count_ge(min, &mut self.stats)
+    }
+
     /// One whole-buffer scan reducing each of `cells` to the maximum red
     /// value inside it — the batched stand-in for per-cell Minmax queries
     /// (a histogram/reduction pass over the full buffer).

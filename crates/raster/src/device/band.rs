@@ -64,7 +64,10 @@ pub(super) fn command_level_stats(list: &CommandList) -> HwStats {
                 stats.draw_calls += 1;
                 stats.primitives += 1;
             }
-            Command::Minmax | Command::StencilMax | Command::CellMax { .. } => {
+            Command::Minmax
+            | Command::StencilMax
+            | Command::StencilCount { .. }
+            | Command::CellMax { .. } => {
                 stats.minmax_queries += 1;
             }
             Command::BeginBatch => stats.batches += 1,
@@ -87,6 +90,9 @@ pub(super) fn merge_readback(acc: &mut Readback, part: Readback) {
             }
         }
         (Readback::StencilMax(v), Readback::StencilMax(pv)) => *v = (*v).max(pv),
+        // Rows partition the window across bands, so per-band counts sum
+        // to the whole-window count exactly (integer addition).
+        (Readback::StencilCount(n), Readback::StencilCount(pn)) => *n += pn,
         (Readback::CellMax(vals), Readback::CellMax(pvals)) => {
             for (a, b) in vals.iter_mut().zip(pvals) {
                 *a = a.max(b);
@@ -434,6 +440,11 @@ fn run_band_body<const LANES: usize>(
             Command::StencilMax => {
                 readbacks.push(Readback::StencilMax(
                     fb.stencil_max_lanes::<LANES>(&mut stats),
+                ));
+            }
+            Command::StencilCount { min } => {
+                readbacks.push(Readback::StencilCount(
+                    fb.stencil_count_ge_lanes::<LANES>(min, &mut stats),
                 ));
             }
             Command::CellMax { start, len } => {

@@ -94,6 +94,14 @@ pub enum Command {
     Minmax,
     /// Maximum stencil value → one readback slot.
     StencilMax,
+    /// Number of pixels with stencil value ≥ `min` → one readback slot.
+    /// The fragment-counting query of the area-of-overlap aggregation:
+    /// scaled by the viewport's per-pixel world area, the count *is* the
+    /// quantized overlap area.
+    StencilCount {
+        /// The inclusive stencil threshold a pixel must reach to count.
+        min: u8,
+    },
     /// Per-cell maximum red reduction over a run of pixel rectangles
     /// (validated non-empty and in-bounds at record time) → one readback
     /// slot holding one value per rectangle.
@@ -111,7 +119,10 @@ impl Command {
     pub fn is_readback(&self) -> bool {
         matches!(
             self,
-            Command::Minmax | Command::StencilMax | Command::CellMax { .. }
+            Command::Minmax
+                | Command::StencilMax
+                | Command::StencilCount { .. }
+                | Command::CellMax { .. }
         )
     }
 }
@@ -316,6 +327,10 @@ impl CommandList {
                 }
                 Command::StencilMax => {
                     let _ = writeln!(out, "stencil_max slot={slot}");
+                    slot += 1;
+                }
+                Command::StencilCount { min } => {
+                    let _ = writeln!(out, "stencil_count min={min} slot={slot}");
                     slot += 1;
                 }
                 Command::CellMax { start, len } => {
@@ -645,6 +660,14 @@ impl Recorder {
     /// Records a stencil-maximum query; returns its readback slot.
     pub fn stencil_max(&mut self) -> usize {
         self.list.commands.push(Command::StencilMax);
+        self.list.readbacks += 1;
+        self.list.readbacks - 1
+    }
+
+    /// Records a stencil-count query (pixels with stencil ≥ `min`);
+    /// returns its readback slot.
+    pub fn stencil_count(&mut self, min: u8) -> usize {
+        self.list.commands.push(Command::StencilCount { min });
         self.list.readbacks += 1;
         self.list.readbacks - 1
     }

@@ -130,7 +130,9 @@ fn flip_float(readbacks: &mut [Readback], mut target: u64) -> bool {
         .map(|r| match r {
             Readback::Minmax(..) => 6u64,
             Readback::CellMax(v) => v.len() as u64,
-            Readback::StencilMax(_) => 0,
+            // Integer readbacks carry no floats: scheduled flips on a
+            // stencil-only stream surface as ReadbackCorrupt instead.
+            Readback::StencilMax(_) | Readback::StencilCount(_) => 0,
         })
         .sum();
     if floats == 0 {
@@ -155,7 +157,7 @@ fn flip_float(readbacks: &mut [Readback], mut target: u64) -> bool {
                 }
                 target -= vals.len() as u64;
             }
-            Readback::StencilMax(_) => {}
+            Readback::StencilMax(_) | Readback::StencilCount(_) => {}
         }
     }
     unreachable!("target reduced modulo the total float count")

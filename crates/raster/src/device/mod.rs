@@ -134,6 +134,10 @@ pub enum Readback {
     Minmax(Color, Color),
     /// Maximum stencil value.
     StencilMax(u8),
+    /// Number of pixels whose stencil value reached the recorded
+    /// threshold — the fragment count the area-of-overlap aggregation
+    /// scales to world-space area.
+    StencilCount(u64),
     /// Per-cell maximum red values, one per recorded rectangle.
     CellMax(Vec<f32>),
 }
@@ -167,6 +171,16 @@ impl Execution {
     pub fn stencil_value(&self, slot: usize) -> Result<u8, DeviceError> {
         match self.readbacks.get(slot) {
             Some(Readback::StencilMax(v)) => Ok(*v),
+            _ => Err(DeviceError::ReadbackCorrupt { slot }),
+        }
+    }
+
+    /// The stencil-count readback in `slot`, or
+    /// [`DeviceError::ReadbackCorrupt`] when the slot is missing or holds
+    /// a different readback kind.
+    pub fn stencil_count(&self, slot: usize) -> Result<u64, DeviceError> {
+        match self.readbacks.get(slot) {
+            Some(Readback::StencilCount(n)) => Ok(*n),
             _ => Err(DeviceError::ReadbackCorrupt { slot }),
         }
     }
@@ -226,6 +240,12 @@ impl Execution {
                 Command::StencilMax => {
                     matches!(&self.readbacks[slot], Readback::StencilMax(_))
                 }
+                Command::StencilCount { .. } => match &self.readbacks[slot] {
+                    // No valid execution can count more covered pixels
+                    // than the window holds.
+                    Readback::StencilCount(n) => *n <= (list.width() * list.height()) as u64,
+                    _ => false,
+                },
                 Command::CellMax { len, .. } => match &self.readbacks[slot] {
                     Readback::CellMax(vals) => {
                         vals.len() == len && vals.iter().all(|&v| in_range(v))

@@ -104,6 +104,9 @@ impl RasterDevice for ReferenceDevice {
                 Command::StencilMax => {
                     readbacks.push(Readback::StencilMax(gl.stencil_max()));
                 }
+                Command::StencilCount { min } => {
+                    readbacks.push(Readback::StencilCount(gl.stencil_count_ge(min)));
+                }
                 Command::CellMax { start, len } => {
                     readbacks.push(Readback::CellMax(
                         gl.cell_max_scan(list.cell_run(start, len)),

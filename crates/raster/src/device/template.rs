@@ -37,6 +37,7 @@ pub struct ListTemplate {
     viewport_slots: usize,
     segment_slots: usize,
     point_slots: usize,
+    poly_slots: usize,
 }
 
 impl ListTemplate {
@@ -47,11 +48,13 @@ impl ListTemplate {
         let mut viewport_slots = 0;
         let mut segment_slots = 0;
         let mut point_slots = 0;
+        let mut poly_slots = 0;
         for cmd in list.commands() {
             match cmd {
                 Command::SetViewport(_) => viewport_slots += 1,
                 Command::DrawSegments { .. } => segment_slots += 1,
                 Command::DrawPoints { .. } => point_slots += 1,
+                Command::FillPolygon { .. } => poly_slots += 1,
                 _ => {}
             }
         }
@@ -65,6 +68,7 @@ impl ListTemplate {
             viewport_slots,
             segment_slots,
             point_slots,
+            poly_slots,
         }
     }
 
@@ -87,6 +91,15 @@ impl ListTemplate {
         self.point_slots
     }
 
+    /// Number of filled-polygon draws in the tape — the run count
+    /// [`ListTemplate::instantiate_with_polys`] splices. Plain
+    /// [`ListTemplate::instantiate`] keeps these runs verbatim (their
+    /// geometry is shape-determined for the segment-based choreographies).
+    #[inline]
+    pub fn poly_slots(&self) -> usize {
+        self.poly_slots
+    }
+
     /// Re-instantiates the skeleton into an executable [`CommandList`]:
     /// the `i`-th `SetViewport` takes `viewports[i]`, the `i`-th
     /// segment/point draw's run is whatever `fill_segments(i, arena)` /
@@ -100,8 +113,38 @@ impl ListTemplate {
     pub fn instantiate(
         &self,
         viewports: &[Viewport],
+        fill_segments: impl FnMut(usize, &mut Vec<Segment>),
+        fill_points: impl FnMut(usize, &mut Vec<Point>),
+    ) -> CommandList {
+        self.splice(
+            viewports,
+            fill_segments,
+            fill_points,
+            None::<fn(usize, &mut Vec<Point>)>,
+        )
+    }
+
+    /// [`ListTemplate::instantiate`] that *also* splices the `i`-th
+    /// filled-polygon draw's vertex run from `fill_polys(i, arena)` — the
+    /// area-of-overlap choreography's per-pair geometry. The template's
+    /// own polygon arena is discarded; every `FillPolygon` run is rebuilt
+    /// from the closure.
+    pub fn instantiate_with_polys(
+        &self,
+        viewports: &[Viewport],
+        fill_segments: impl FnMut(usize, &mut Vec<Segment>),
+        fill_points: impl FnMut(usize, &mut Vec<Point>),
+        fill_polys: impl FnMut(usize, &mut Vec<Point>),
+    ) -> CommandList {
+        self.splice(viewports, fill_segments, fill_points, Some(fill_polys))
+    }
+
+    fn splice(
+        &self,
+        viewports: &[Viewport],
         mut fill_segments: impl FnMut(usize, &mut Vec<Segment>),
         mut fill_points: impl FnMut(usize, &mut Vec<Point>),
+        mut fill_polys: Option<impl FnMut(usize, &mut Vec<Point>)>,
     ) -> CommandList {
         assert_eq!(
             viewports.len(),
@@ -111,7 +154,8 @@ impl ListTemplate {
         let mut commands = Vec::with_capacity(self.commands.len());
         let mut segments: Vec<Segment> = Vec::new();
         let mut points: Vec<Point> = Vec::new();
-        let (mut vi, mut si, mut pi) = (0usize, 0usize, 0usize);
+        let mut polys: Vec<Point> = Vec::new();
+        let (mut vi, mut si, mut pi, mut fi) = (0usize, 0usize, 0usize, 0usize);
         for cmd in &self.commands {
             match *cmd {
                 Command::SetViewport(_) => {
@@ -138,8 +182,25 @@ impl ListTemplate {
                         new_call,
                     });
                 }
+                Command::FillPolygon { start, len } => match fill_polys.as_mut() {
+                    Some(fill) => {
+                        let new_start = polys.len();
+                        fill(fi, &mut polys);
+                        fi += 1;
+                        commands.push(Command::FillPolygon {
+                            start: new_start,
+                            len: polys.len() - new_start,
+                        });
+                    }
+                    // Shape-determined polygon geometry: keep the run and
+                    // its arena slice verbatim.
+                    None => commands.push(Command::FillPolygon { start, len }),
+                },
                 ref other => commands.push(other.clone()),
             }
+        }
+        if fill_polys.is_none() {
+            polys = self.polys.clone();
         }
         CommandList::from_parts(
             self.width,
@@ -147,7 +208,7 @@ impl ListTemplate {
             commands,
             segments,
             points,
-            self.polys.clone(),
+            polys,
             self.cells.clone(),
             self.readbacks,
         )

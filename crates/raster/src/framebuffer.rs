@@ -237,6 +237,25 @@ impl FrameBuffer {
         scan::stencil_max::<LANES>(&self.stencil)
     }
 
+    /// Number of pixels whose stencil value is at least `min` — the
+    /// fragment-counting readback of the area-of-overlap aggregation.
+    pub fn stencil_count_ge(&self, min: u8, stats: &mut HwStats) -> u64 {
+        self.stencil_count_ge_lanes::<1>(min, stats)
+    }
+
+    /// [`FrameBuffer::stencil_count_ge`] with `LANES` independent
+    /// accumulators — identical count (integer sum), one scan charged
+    /// either way.
+    #[inline(always)]
+    pub(crate) fn stencil_count_ge_lanes<const LANES: usize>(
+        &self,
+        min: u8,
+        stats: &mut HwStats,
+    ) -> u64 {
+        stats.pixels_scanned += self.len();
+        scan::stencil_count_ge::<LANES>(&self.stencil, min)
+    }
+
     /// The colors of row `y`, columns `x0 .. x0 + len` — a contiguous slice
     /// the per-cell reduction feeds through the lane kernels.
     #[inline]

@@ -98,6 +98,26 @@ pub(crate) fn stencil_max<const LANES: usize>(vals: &[u8]) -> u8 {
     m
 }
 
+/// Number of stencil values ≥ `min`, `LANES` bytes per step — the
+/// fragment-counting readback behind the area-of-overlap aggregation.
+/// Integer addition is associative, so the lane-accumulator sum is exactly
+/// the serial count at every width.
+#[inline(always)]
+pub(crate) fn stencil_count_ge<const LANES: usize>(vals: &[u8], min: u8) -> u64 {
+    let mut acc = [0u64; LANES];
+    let mut chunks = vals.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (a, &v) in acc.iter_mut().zip(chunk) {
+            *a += (v >= min) as u64;
+        }
+    }
+    let mut count: u64 = acc.iter().sum();
+    for &v in chunks.remainder() {
+        count += (v >= min) as u64;
+    }
+    count
+}
+
 /// Maximum red channel over a row slice, `LANES` colors per step — the
 /// per-cell reduction's inner loop. Returns `NEG_INFINITY` on an empty
 /// slice; the cell fold starts at 0.0 and all colors are ≥ 0, so the
@@ -253,6 +273,20 @@ mod tests {
         assert_eq!(stencil_max::<8>(&vals), expect);
         assert_eq!(stencil_max::<16>(&vals), expect);
         assert_eq!(stencil_max::<8>(&[]), 0);
+    }
+
+    #[test]
+    fn stencil_count_lane_widths_agree() {
+        let vals: Vec<u8> = (0..103u32)
+            .map(|i| (i.wrapping_mul(197) % 5) as u8)
+            .collect();
+        for min in 0..4u8 {
+            let expect = vals.iter().filter(|&&v| v >= min).count() as u64;
+            assert_eq!(stencil_count_ge::<1>(&vals, min), expect, "min={min}");
+            assert_eq!(stencil_count_ge::<8>(&vals, min), expect, "min={min}");
+            assert_eq!(stencil_count_ge::<16>(&vals, min), expect, "min={min}");
+        }
+        assert_eq!(stencil_count_ge::<8>(&[], 2), 0);
     }
 
     #[test]
